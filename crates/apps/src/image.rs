@@ -1,0 +1,120 @@
+//! The image compression utility (paper §6).
+//!
+//! A FaaS-style service running **purely at CNs**: each client (think one
+//! user's photo collection) runs as its own process for isolation, keeps two
+//! arrays at the MN (originals and compressed), and loops
+//! `rread → compress → rwrite`. The codec is a real run-length encoder over
+//! synthetic photos with spatially-correlated pixels — the paper uses
+//! compression as a stand-in for CN-side processing that is too complex to
+//! offload.
+
+use clio_sim::SimRng;
+
+/// Width/height of the paper's test images (256×256 single-channel).
+pub const IMAGE_DIM: usize = 256;
+/// Bytes per image.
+pub const IMAGE_BYTES: usize = IMAGE_DIM * IMAGE_DIM;
+
+/// Generates a synthetic photo: smooth regions with occasional edges, so
+/// RLE achieves realistic (~3-6×) compression.
+pub fn synth_image(rng: &mut SimRng) -> Vec<u8> {
+    let mut img = Vec::with_capacity(IMAGE_BYTES);
+    let mut level: u8 = (rng.u64() % 256) as u8;
+    let mut run_left = 0usize;
+    for _ in 0..IMAGE_BYTES {
+        if run_left == 0 {
+            run_left = 8 + (rng.u64() % 120) as usize;
+            level = (rng.u64() % 256) as u8;
+        }
+        // Occasional speckle noise within a region.
+        if rng.chance(0.04) {
+            img.push(level.saturating_add(1 + (rng.u64() % 3) as u8));
+        } else {
+            img.push(level);
+        }
+        run_left -= 1;
+    }
+    img
+}
+
+/// Run-length encodes `data` as `(count, value)` pairs (count ≤ 255).
+pub fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut iter = data.iter().copied();
+    let Some(mut current) = iter.next() else { return out };
+    let mut count: u8 = 1;
+    for b in iter {
+        if b == current && count < u8::MAX {
+            count += 1;
+        } else {
+            out.push(count);
+            out.push(current);
+            current = b;
+            count = 1;
+        }
+    }
+    out.push(count);
+    out.push(current);
+    out
+}
+
+/// Decodes an RLE stream.
+pub fn rle_decompress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for pair in data.chunks_exact(2) {
+        out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
+    }
+    out
+}
+
+/// Estimated CPU time to compress + decompress one image at a CN (drives
+/// the virtual clock in the application model). A FaaS-grade core processes
+/// photos at roughly 4 MB/s end to end (paper §6 uses compression as a
+/// stand-in for heavier image processing), i.e. ~16 ms per 256x256 photo.
+pub fn compress_cpu_time(bytes: usize) -> clio_sim::SimDuration {
+    clio_sim::SimDuration::from_nanos(bytes as u64 * 250)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..5 {
+            let img = synth_image(&mut rng);
+            let packed = rle_compress(&img);
+            assert_eq!(rle_decompress(&packed), img);
+        }
+    }
+
+    #[test]
+    fn synthetic_images_compress_meaningfully() {
+        let mut rng = SimRng::new(6);
+        let img = synth_image(&mut rng);
+        let packed = rle_compress(&img);
+        let ratio = img.len() as f64 / packed.len() as f64;
+        assert!(ratio > 2.0, "compression ratio {ratio:.2} too low");
+        assert!(ratio < 100.0, "suspiciously compressible");
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert!(rle_compress(&[]).is_empty());
+        assert_eq!(rle_decompress(&rle_compress(&[7])), vec![7]);
+        let long = vec![9u8; 1000]; // run longer than a u8 count
+        assert_eq!(rle_decompress(&rle_compress(&long)), long);
+        let alternating: Vec<u8> = (0..500).map(|i| (i % 2) as u8).collect();
+        assert_eq!(rle_decompress(&rle_compress(&alternating)), alternating);
+    }
+
+    #[test]
+    fn cpu_time_scales_linearly() {
+        assert_eq!(compress_cpu_time(IMAGE_BYTES).as_nanos(), IMAGE_BYTES as u64 * 250);
+        assert_eq!(
+            compress_cpu_time(2 * IMAGE_BYTES).as_nanos(),
+            2 * compress_cpu_time(IMAGE_BYTES).as_nanos()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # clio-apps — the five applications the paper builds on Clio (§6)
+//!
+//! * [`image`] — a FaaS-style image compression utility running purely at
+//!   CNs, one process per client for isolation (exercises basic
+//!   `rread`/`rwrite` plus MN-side protection),
+//! * [`radix`] — a radix-tree index whose per-level search runs as a
+//!   **pointer-chasing extend-path offload** (one RTT per level instead of
+//!   one per node),
+//! * [`kv`] — **Clio-KV**: a key-value store running *at the MN* as an
+//!   offload, using a chained hash table with fingerprints in its own
+//!   remote address space,
+//! * [`mv`] — **Clio-MV**: a multi-version object store offload
+//!   (create/append/read-version) with sequentially consistent per-object
+//!   access,
+//! * [`dataframe`] — **Clio-DF**: select/aggregate offloaded to the MN,
+//!   shuffle/histogram at the CN,
+//! * [`ycsb`] — the YCSB workload generator used by the KV evaluation
+//!   (Zipf θ = 0.99, workloads A/B/C).
+
+pub mod dataframe;
+pub mod image;
+pub mod kv;
+pub mod mv;
+pub mod radix;
+pub mod ycsb;

@@ -1,0 +1,156 @@
+//! YCSB workload generation (paper §7.2: 100 K keys, 1 KB values,
+//! Zipf θ = 0.99, workloads A/B/C).
+
+use clio_sim::dist::Zipf;
+use clio_sim::SimRng;
+
+/// The standard YCSB mixes used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// 50% get / 50% set.
+    A,
+    /// 95% get / 5% set.
+    B,
+    /// 100% get.
+    C,
+}
+
+impl YcsbMix {
+    /// Fraction of operations that are sets.
+    pub fn set_ratio(self) -> f64 {
+        match self {
+            YcsbMix::A => 0.5,
+            YcsbMix::B => 0.05,
+            YcsbMix::C => 0.0,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            YcsbMix::A => "A",
+            YcsbMix::B => "B",
+            YcsbMix::C => "C",
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Read the value of a key.
+    Get {
+        /// Key index.
+        key: u64,
+    },
+    /// Write a (deterministically generated) value.
+    Set {
+        /// Key index.
+        key: u64,
+        /// Value payload.
+        value: Vec<u8>,
+    },
+}
+
+/// Deterministic YCSB operation stream.
+#[derive(Debug)]
+pub struct YcsbGenerator {
+    mix: YcsbMix,
+    zipf: Zipf,
+    value_size: usize,
+    rng: SimRng,
+}
+
+impl YcsbGenerator {
+    /// A generator over `keys` keys with `value_size`-byte values.
+    pub fn new(mix: YcsbMix, keys: usize, value_size: usize, seed: u64) -> Self {
+        YcsbGenerator { mix, zipf: Zipf::new(keys, 0.99), value_size, rng: SimRng::new(seed) }
+    }
+
+    /// The paper's configuration: 100 K keys, 1 KB values (§7.2).
+    pub fn paper(mix: YcsbMix, seed: u64) -> Self {
+        Self::new(mix, 100_000, 1024, seed)
+    }
+
+    /// The key universe size.
+    pub fn keys(&self) -> usize {
+        self.zipf.universe()
+    }
+
+    /// Value bytes per record.
+    pub fn value_size(&self) -> usize {
+        self.value_size
+    }
+
+    /// Deterministic value content for a key (verifiable reads).
+    pub fn value_for(&self, key: u64, version: u8) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_size];
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = (key as u8) ^ (i as u8) ^ version;
+        }
+        v
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let key = self.zipf.sample(&mut self.rng) as u64;
+        if self.rng.chance(self.mix.set_ratio()) {
+            YcsbOp::Set { key, value: self.value_for(key, 1) }
+        } else {
+            YcsbOp::Get { key }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_ratios_hold() {
+        for (mix, expect) in [(YcsbMix::A, 0.5), (YcsbMix::B, 0.05), (YcsbMix::C, 0.0)] {
+            let mut g = YcsbGenerator::new(mix, 1000, 64, 7);
+            let mut sets = 0;
+            const N: usize = 20_000;
+            for _ in 0..N {
+                if matches!(g.next_op(), YcsbOp::Set { .. }) {
+                    sets += 1;
+                }
+            }
+            let ratio = sets as f64 / N as f64;
+            assert!((ratio - expect).abs() < 0.02, "{}: {ratio} vs {expect}", mix.name());
+        }
+    }
+
+    #[test]
+    fn keys_are_zipf_skewed() {
+        let mut g = YcsbGenerator::new(YcsbMix::C, 1000, 64, 3);
+        let mut hot = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            if let YcsbOp::Get { key } = g.next_op() {
+                if key < 10 {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(hot as f64 / N as f64 > 0.3, "top-10 keys should dominate: {hot}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = YcsbGenerator::new(YcsbMix::A, 100, 16, 42);
+        let mut b = YcsbGenerator::new(YcsbMix::A, 100, 16, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn values_verifiable() {
+        let g = YcsbGenerator::new(YcsbMix::A, 10, 32, 1);
+        assert_eq!(g.value_for(3, 1), g.value_for(3, 1));
+        assert_ne!(g.value_for(3, 1), g.value_for(4, 1));
+        assert_ne!(g.value_for(3, 1), g.value_for(3, 2));
+    }
+}

@@ -1,0 +1,107 @@
+//! CapEx and power cost model (paper §7.3).
+//!
+//! The paper estimates memory-node build cost from market prices: a
+//! server-based MN needs a whole host (chassis, CPU, motherboard, NIC)
+//! around its DRAM, while a CBoard needs only the ASIC/FPGA, board and
+//! ports. With 1 TB of DRAM the paper lands at **1.1–1.5× cost and
+//! 1.9–2.7× power** for the server, growing to **1.4–2.5× and 5.1–8.6×**
+//! with Optane persistent memory (whose own cost/power is lower, making the
+//! host overhead relatively larger).
+
+/// Bill of materials for one memory-node flavor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCost {
+    /// Name for the table.
+    pub name: &'static str,
+    /// Fixed platform cost (chassis/CPU/board/NIC or CBoard+ports), USD.
+    pub platform_cost_usd: f64,
+    /// Fixed platform power (host idle+CPU or FPGA+ARM), W.
+    pub platform_watts: f64,
+}
+
+/// Memory-media options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Media {
+    /// DDR4 DRAM.
+    Dram,
+    /// Intel Optane DC persistent memory.
+    Optane,
+}
+
+impl Media {
+    /// USD per GB (2021-ish market prices, as the paper uses).
+    pub fn usd_per_gb(self) -> f64 {
+        match self {
+            Media::Dram => 4.5,
+            Media::Optane => 2.2,
+        }
+    }
+
+    /// Watts per GB under load.
+    pub fn watts_per_gb(self) -> f64 {
+        match self {
+            Media::Dram => 0.17,
+            Media::Optane => 0.03,
+        }
+    }
+}
+
+/// A dual-socket server hosting remote memory (the RDMA baseline).
+pub fn server_platform() -> NodeCost {
+    NodeCost { name: "Server-MN", platform_cost_usd: 2800.0, platform_watts: 220.0 }
+}
+
+/// A conservative (high-cost) server build.
+pub fn server_platform_highend() -> NodeCost {
+    NodeCost { name: "Server-MN (high)", platform_cost_usd: 5200.0, platform_watts: 330.0 }
+}
+
+/// A CBoard (ASIC + board + ports + ARM).
+pub fn cboard_platform() -> NodeCost {
+    NodeCost { name: "CBoard", platform_cost_usd: 1600.0, platform_watts: 14.0 }
+}
+
+/// Total cost (USD) and power (W) of a node with `gb` of `media`.
+pub fn node_totals(platform: NodeCost, media: Media, gb: f64) -> (f64, f64) {
+    (
+        platform.platform_cost_usd + media.usd_per_gb() * gb,
+        platform.platform_watts + media.watts_per_gb() * gb,
+    )
+}
+
+/// The §7.3 comparison: `(cost_ratio_low..high, power_ratio_low..high)` of
+/// server-based MNs over CBoards for 1 TB of the given media.
+pub fn ratios(media: Media) -> ((f64, f64), (f64, f64)) {
+    let gb = 1024.0;
+    let (cb_cost, cb_watts) = node_totals(cboard_platform(), media, gb);
+    let (lo_cost, lo_watts) = node_totals(server_platform(), media, gb);
+    let (hi_cost, hi_watts) = node_totals(server_platform_highend(), media, gb);
+    ((lo_cost / cb_cost, hi_cost / cb_cost), (lo_watts / cb_watts, hi_watts / cb_watts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_ratios_match_paper_bands() {
+        let ((c_lo, c_hi), (p_lo, p_hi)) = ratios(Media::Dram);
+        // Paper: 1.1-1.5x cost, 1.9-2.7x power.
+        assert!((1.05..=1.3).contains(&c_lo), "cost low {c_lo:.2}");
+        assert!((1.3..=1.7).contains(&c_hi), "cost high {c_hi:.2}");
+        assert!((1.7..=2.2).contains(&p_lo), "power low {p_lo:.2}");
+        assert!((2.4..=3.1).contains(&p_hi), "power high {p_hi:.2}");
+    }
+
+    #[test]
+    fn optane_widens_the_gap() {
+        let ((c_lo, c_hi), (p_lo, p_hi)) = ratios(Media::Optane);
+        let ((dc_lo, dc_hi), (dp_lo, dp_hi)) = ratios(Media::Dram);
+        assert!(c_lo > dc_lo && c_hi > dc_hi, "optane cost ratios must grow");
+        assert!(p_lo > dp_lo && p_hi > dp_hi, "optane power ratios must grow");
+        // Paper: 1.4-2.5x and 5.1-8.6x.
+        assert!((1.3..=1.8).contains(&c_lo), "optane cost low {c_lo:.2}");
+        assert!((1.9..=2.8).contains(&c_hi), "optane cost high {c_hi:.2}");
+        assert!((4.5..=9.5).contains(&p_lo) && p_hi > p_lo, "optane power {p_lo:.1}-{p_hi:.1}");
+    }
+}

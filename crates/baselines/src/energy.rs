@@ -1,0 +1,100 @@
+//! Energy accounting (paper §7.3, Figure 21).
+//!
+//! The paper measures total energy for a fixed YCSB workload by summing
+//! (component power × busy time), split between the memory-node side and
+//! the compute-node side, omitting DRAM and NIC draw. We reproduce the
+//! same accounting: each platform has MN-side and CN-side power constants;
+//! busy time comes from the modeled runtime of the workload.
+
+use clio_sim::SimDuration;
+
+/// Power profile of one system under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Memory-node-side active power (W): FPGA+ARM for Clio, none for
+    /// Clover (its MN has no processing), server CPU cores for HERD,
+    /// BlueField SoC for HERD-BF.
+    pub mn_watts: f64,
+    /// CN-side active power (W) attributable to the workload's client
+    /// processing (polling threads, CN-side management).
+    pub cn_watts: f64,
+}
+
+/// Clio's CBoard: measured FPGA (§7.3) + A53 complex.
+pub const CLIO: PowerProfile = PowerProfile { name: "Clio", mn_watts: 13.0, cn_watts: 35.0 };
+
+/// Clover: passive MN (no processing), but heavier CN-side management
+/// ("its CNs use more cycles to process and manage memory", §7.3).
+pub const CLOVER: PowerProfile = PowerProfile { name: "Clover", mn_watts: 0.0, cn_watts: 60.0 };
+
+/// HERD: dedicated server CPU cores busy-polling at the MN.
+pub const HERD: PowerProfile = PowerProfile { name: "HERD", mn_watts: 90.0, cn_watts: 35.0 };
+
+/// HERD on BlueField: a low-power ARM SoC — but long runtimes (§7.3:
+/// "HERD-BF consumes the most energy ... because of its worse performance
+/// and longer total runtime").
+pub const HERD_BF: PowerProfile = PowerProfile { name: "HERD-BF", mn_watts: 25.0, cn_watts: 35.0 };
+
+/// Energy of a run, split by side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// System name.
+    pub name: &'static str,
+    /// MN-side energy per request (millijoules).
+    pub mn_mj_per_req: f64,
+    /// CN-side energy per request (millijoules).
+    pub cn_mj_per_req: f64,
+}
+
+impl EnergyReport {
+    /// Total energy per request (mJ).
+    pub fn total_mj(&self) -> f64 {
+        self.mn_mj_per_req + self.cn_mj_per_req
+    }
+}
+
+/// Computes energy/request for a workload of `requests` taking `runtime`.
+pub fn energy_per_request(
+    profile: PowerProfile,
+    runtime: SimDuration,
+    requests: u64,
+) -> EnergyReport {
+    assert!(requests > 0, "energy per request over zero requests");
+    let secs = runtime.as_secs_f64();
+    let per = 1e3 / requests as f64; // J -> mJ per request
+    EnergyReport {
+        name: profile.name,
+        mn_mj_per_req: profile.mn_watts * secs * per,
+        cn_mj_per_req: profile.cn_watts * secs * per,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_systems_use_less_energy() {
+        // Same request count; HERD-BF takes 4x longer.
+        let clio = energy_per_request(CLIO, SimDuration::from_secs(10), 1_000_000);
+        let bf = energy_per_request(HERD_BF, SimDuration::from_secs(40), 1_000_000);
+        assert!(bf.total_mj() > clio.total_mj(), "slow + powered = most energy");
+    }
+
+    #[test]
+    fn herd_burns_mn_cpu() {
+        let herd = energy_per_request(HERD, SimDuration::from_secs(10), 1_000_000);
+        let clio = energy_per_request(CLIO, SimDuration::from_secs(10), 1_000_000);
+        let ratio = herd.total_mj() / clio.total_mj();
+        assert!((1.6..=3.5).contains(&ratio), "paper reports 1.6-3x: got {ratio:.2}");
+    }
+
+    #[test]
+    fn clover_shifts_energy_to_cns() {
+        let clover = energy_per_request(CLOVER, SimDuration::from_secs(12), 1_000_000);
+        assert_eq!(clover.mn_mj_per_req, 0.0);
+        assert!(clover.cn_mj_per_req > 0.0);
+    }
+}

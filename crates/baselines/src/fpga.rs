@@ -1,0 +1,88 @@
+//! FPGA resource accounting (paper Figure 22).
+//!
+//! The paper reports post-synthesis utilization of its ZCU106 (504 K LUTs,
+//! 4.75 MB BRAM) for Clio's modules and two published FPGA network stacks.
+//! We keep the same accounting structure — per-module LUT/BRAM budgets that
+//! sum (with vendor IP) to the totals — so the comparison table can be
+//! regenerated and extended.
+
+/// One row of the utilization table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Module/system name.
+    pub name: &'static str,
+    /// Logic (LUT) utilization, percent of the ZCU106.
+    pub lut_pct: f64,
+    /// Memory (BRAM) utilization, percent.
+    pub bram_pct: f64,
+}
+
+/// Clio's own modules (paper Figure 22, lower half).
+pub fn clio_modules() -> Vec<Utilization> {
+    vec![
+        Utilization { name: "VirtMem", lut_pct: 5.5, bram_pct: 3.0 },
+        Utilization { name: "NetStack", lut_pct: 2.3, bram_pct: 1.7 },
+        Utilization { name: "Go-Back-N", lut_pct: 5.8, bram_pct: 2.6 },
+    ]
+}
+
+/// Vendor IP (PHY, MAC, DDR4, interconnect) accounts for the rest of
+/// Clio's total (§7.3: "the rest being vendor IPs").
+pub fn clio_vendor_ip() -> Utilization {
+    Utilization { name: "VendorIP", lut_pct: 17.4, bram_pct: 23.7 }
+}
+
+/// Clio's total utilization.
+pub fn clio_total() -> Utilization {
+    let (mut lut, mut bram) = (0.0, 0.0);
+    for m in clio_modules() {
+        lut += m.lut_pct;
+        bram += m.bram_pct;
+    }
+    let v = clio_vendor_ip();
+    Utilization { name: "Clio (Total)", lut_pct: lut + v.lut_pct, bram_pct: bram + v.bram_pct }
+}
+
+/// Published comparison points (paper Figure 22, upper half).
+pub fn comparisons() -> Vec<Utilization> {
+    vec![
+        Utilization { name: "StRoM-RoCEv2", lut_pct: 39.0, bram_pct: 76.0 },
+        Utilization { name: "Tonic-SACK", lut_pct: 48.0, bram_pct: 40.0 },
+    ]
+}
+
+/// The complete Figure 22 table, top to bottom.
+pub fn figure22() -> Vec<Utilization> {
+    let mut rows = comparisons();
+    rows.push(clio_total());
+    rows.extend(clio_modules());
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        let t = clio_total();
+        assert!((t.lut_pct - 31.0).abs() < 0.11, "paper reports 31% LUT, got {}", t.lut_pct);
+        assert!((t.bram_pct - 31.0).abs() < 0.11, "paper reports 31% BRAM, got {}", t.bram_pct);
+    }
+
+    #[test]
+    fn clio_uses_less_than_network_only_stacks() {
+        let t = clio_total();
+        for c in comparisons() {
+            assert!(t.lut_pct < c.lut_pct, "{} should use more LUT than Clio", c.name);
+            assert!(t.bram_pct < c.bram_pct, "{} should use more BRAM than Clio", c.name);
+        }
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let rows = figure22();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|r| r.name == "VirtMem"));
+    }
+}

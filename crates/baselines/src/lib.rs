@@ -1,0 +1,34 @@
+//! # clio-baselines — every system the paper compares Clio against
+//!
+//! Behavioral models of the comparison points in §7, built on the same
+//! simulation substrate so the evaluation isolates memory-node architecture:
+//!
+//! * [`rdma`] — the RNIC model (ConnectX-3 / ConnectX-5 parameter sets):
+//!   QP-context, PTE and MR caches with PCIe-crossing miss penalties, host
+//!   interrupt page faults (16.8 ms), MR registration/pinning costs, the
+//!   2^18 MR limit, and host-jitter tails. These cache cliffs are the
+//!   documented causes of Figures 4–6 and 12,
+//! * [`clover`] — passive disaggregated memory (PDM): no MN processing, so
+//!   writes take ≥ 2 network round trips (§2.3, Figures 11/18),
+//! * [`herd`] — RPC-over-RDMA key-value serving on server CPUs, plus the
+//!   BlueField SmartNIC variant with its NIC-chip↔ARM crossing (Figures
+//!   10/11/18),
+//! * [`legoos`] — a software virtual-memory memory node (thread pool + hash
+//!   lookup per request, 77 Gbps ceiling — §2.2, §7.1),
+//! * [`energy`] — power/energy accounting behind Figure 21,
+//! * [`fpga`] — the FPGA resource-utilization comparison of Figure 22,
+//! * [`capex`] — the §7.3 CapEx/power cost model.
+//!
+//! Each model exposes per-operation latency/throughput computations driven
+//! by explicit cache and queue state, so scalability figures emerge from the
+//! modeled *mechanisms* (cache thrash, host crossings), not fitted curves.
+
+pub mod capex;
+pub mod clover;
+pub mod energy;
+pub mod fpga;
+pub mod herd;
+pub mod legoos;
+pub mod rdma;
+
+pub use rdma::{RdmaNic, RnicParams};

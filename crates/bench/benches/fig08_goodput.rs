@@ -1,0 +1,78 @@
+//! Figure 8: End-to-end goodput with 1 KB requests.
+//!
+//! Goodput toward one CBoard (10 Gbps port) as client threads grow 1 → 16,
+//! for synchronous (window 1) and asynchronous (windowed) reads and writes.
+//! Async reaches the ~9.4 Gbps line rate with a couple of threads; sync
+//! needs more threads to cover the RTT.
+
+use clio_bench::drivers::{AccessMix, MemDriver};
+use clio_bench::setup::bench_cluster;
+use clio_bench::FigureReport;
+use clio_proto::Pid;
+use clio_sim::stats::Series;
+
+const THREADS: &[u64] = &[1, 2, 4, 8, 12, 16];
+const OPS_PER_THREAD: u64 = 600;
+const SIZE: u32 = 1024;
+
+fn goodput(threads: u64, mix: AccessMix, window: u32) -> f64 {
+    let mut cluster = bench_cluster(1, 1, 80 + threads);
+    for t in 0..threads {
+        cluster.add_driver(
+            0,
+            Pid(10 + t),
+            Box::new(MemDriver::new(
+                SIZE,
+                mix,
+                OPS_PER_THREAD,
+                window,
+                8,
+                4096,
+                false,
+                20 + t,
+            )),
+        );
+    }
+    cluster.start();
+    cluster.run_until_idle();
+    // Aggregate goodput: total measured payload over the whole run (the
+    // short alloc/warm-up prologue is negligible against the run length).
+    let mut bytes = 0u64;
+    for t in 0..threads as usize {
+        let d: &MemDriver = cluster.cn(0).driver(t);
+        bytes += d.recorder.ops() * SIZE as u64;
+    }
+    let elapsed = cluster.now().as_secs_f64();
+    if elapsed == 0.0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / elapsed / 1e9
+}
+
+fn main() {
+    let mut report = FigureReport::new(
+        "fig08",
+        "End-to-end goodput, 1 KB requests (Gbps) vs client threads",
+        "threads",
+    );
+    let wire_eff = 1024.0 / (1024.0 + 13.0 + 30.0 + 38.0); // payload / wire
+    let mut max = Series::new("Max-Throughput");
+    for &t in THREADS {
+        max.push(t as f64, 10.0 * wire_eff);
+    }
+    report.push_series(max);
+    for (name, mix, window) in [
+        ("Read-Sync", AccessMix::Reads, 1u32),
+        ("Write-Sync", AccessMix::Writes, 1),
+        ("Read-Async", AccessMix::Reads, 16),
+        ("Write-Async", AccessMix::Writes, 16),
+    ] {
+        let mut s = Series::new(name);
+        for &t in THREADS {
+            s.push(t as f64, goodput(t, mix, window));
+        }
+        report.push_series(s);
+    }
+    report.note("paper: async hits the 9.4 Gbps line rate almost immediately; sync needs ~8 threads");
+    report.print();
+}

@@ -1,0 +1,72 @@
+//! Figure 9: On-board goodput (no 10 Gbps port bottleneck).
+//!
+//! The paper drives the fast path with an FPGA traffic generator to measure
+//! the pipeline itself: both reads and writes exceed 110 Gbps at large
+//! sizes (the II=1 ceiling is 128 Gbps at 250 MHz × 512 bit); small reads
+//! trail small writes because the prototype's third-party DMA engine is not
+//! pipelined. We do the same: requests are issued back-to-back directly
+//! into the silicon model.
+
+use clio_bench::FigureReport;
+use clio_hw::pagetable::Pte;
+use clio_hw::{CBoardHwConfig, Silicon};
+use clio_proto::{Perm, Pid};
+use clio_sim::stats::Series;
+use clio_sim::SimTime;
+
+const SIZES: &[u32] = &[64, 128, 256, 512, 1024, 2048, 4096, 8192];
+const OPS: u64 = 2000;
+
+fn board() -> Silicon {
+    let mut cfg = CBoardHwConfig::prototype();
+    cfg.page_size = 64 << 10; // 64 KiB pages keep the sweep in-page
+    cfg.phys_mem_bytes = 1 << 30;
+    let mut s = Silicon::new(cfg);
+    // Pre-install valid identity mappings for a handful of pages.
+    for vpn in 0..64 {
+        s.vm_mut()
+            .install_pte(Pte { pid: Pid(1), vpn, ppn: vpn % 8, perm: Perm::RW, valid: true })
+            .expect("install");
+    }
+    s
+}
+
+fn goodput(size: u32, write: bool) -> f64 {
+    let mut s = board();
+    let pattern = vec![0xA5u8; size as usize];
+    let t0 = SimTime::ZERO;
+    let mut last_done = t0;
+    for i in 0..OPS {
+        let va = (i % 8) * (64 << 10);
+        let done = if write {
+            let (r, t) = s.write(t0, Pid(1), va, &pattern);
+            r.expect("write");
+            t.done
+        } else {
+            let (r, t) = s.read(t0, Pid(1), va, size);
+            r.expect("read");
+            t.done
+        };
+        last_done = last_done.max(done);
+    }
+    (OPS * size as u64) as f64 * 8.0 / last_done.since(t0).as_secs_f64() / 1e9
+}
+
+fn main() {
+    let mut report = FigureReport::new(
+        "fig09",
+        "On-board goodput (Gbps) vs request size — FPGA traffic generator",
+        "request bytes",
+    );
+    let mut read = Series::new("Read");
+    let mut write = Series::new("Write");
+    for &sz in SIZES {
+        read.push(sz as f64, goodput(sz, false));
+        write.push(sz as f64, goodput(sz, true));
+    }
+    report.push_series(read);
+    report.push_series(write);
+    report.note("paper: both >110 Gbps at large sizes; reads trail writes at small sizes");
+    report.note("cause: the prototype's non-pipelined third-party DMA IP on the read path");
+    report.print();
+}

@@ -1,0 +1,110 @@
+//! Figure 14: Latency breakdown at CBoard.
+//!
+//! Where the nanoseconds go for 4 B and 1 KB reads/writes: wire
+//! (serialization at the 10 Gbps port), on-board interconnect, TLB
+//! hit/miss cycles, and DDR access. The breakdown comes straight from the
+//! silicon model's per-stage attribution — the same accounting the paper's
+//! Figure 14 instruments in hardware.
+
+use clio_bench::FigureReport;
+use clio_hw::pagetable::Pte;
+use clio_hw::{Breakdown, CBoardHwConfig, Silicon};
+use clio_proto::{Perm, Pid};
+use clio_sim::stats::Series;
+use clio_sim::{Bandwidth, SimTime};
+
+fn board(tlb_entries: usize) -> Silicon {
+    let mut cfg = CBoardHwConfig::prototype();
+    cfg.page_size = 64 << 10;
+    cfg.phys_mem_bytes = 1 << 30;
+    cfg.tlb_entries = tlb_entries;
+    let mut s = Silicon::new(cfg);
+    for vpn in 0..64 {
+        s.vm_mut()
+            .install_pte(Pte { pid: Pid(1), vpn, ppn: vpn % 8, perm: Perm::RW, valid: true })
+            .expect("install");
+    }
+    s
+}
+
+/// One measured case: mean breakdown over a few ops.
+fn case(size: u32, write: bool, force_miss: bool) -> Breakdown {
+    let mut s = board(if force_miss { 1 } else { 1024 });
+    let pattern = vec![7u8; size as usize];
+    let mut acc = Breakdown::default();
+    const N: u64 = 32;
+    for i in 0..N + 4 {
+        // Alternate pages when forcing misses (1-entry TLB).
+        let va = ((i % 8) * (64 << 10)) % (8 * (64 << 10));
+        let t = SimTime::from_nanos(i * 100_000);
+        let timing = if write {
+            let (r, t) = s.write(t, Pid(1), va, &pattern);
+            r.expect("write");
+            t
+        } else {
+            let (r, t) = s.read(t, Pid(1), va, size);
+            r.expect("read");
+            t
+        };
+        if i >= 4 {
+            let b = timing.breakdown;
+            acc.mac_phy += b.mac_phy / N;
+            acc.admission_wait += b.admission_wait / N;
+            acc.pipeline_cycles += b.pipeline_cycles / N;
+            acc.tlb += b.tlb / N;
+            acc.pt_dram += b.pt_dram / N;
+            acc.interconnect += b.interconnect / N;
+            acc.data_dram += b.data_dram / N;
+            acc.dma += b.dma / N;
+        }
+    }
+    acc
+}
+
+fn main() {
+    let mut report = FigureReport::new(
+        "fig14",
+        "CBoard latency breakdown (ns per component)",
+        "case",
+    );
+    // Cases: 0=R-4B, 1=R-1KB, 2=W-4B, 3=W-1KB (hit); 4..7 same with misses.
+    let port = Bandwidth::from_gbps(10);
+    let cases: Vec<(&str, u32, bool, bool)> = vec![
+        ("R-4B", 4, false, false),
+        ("R-1KB", 1024, false, false),
+        ("W-4B", 4, true, false),
+        ("W-1KB", 1024, true, false),
+        ("R-4B-miss", 4, false, true),
+        ("W-1KB-miss", 1024, true, true),
+    ];
+    let mut wire = Series::new("WireDelay");
+    let mut interconn = Series::new("InterConn");
+    let mut tlb_hit = Series::new("TLBHit");
+    let mut tlb_miss = Series::new("TLBMiss");
+    let mut ddr = Series::new("DDRAccess");
+    let mut pipe = Series::new("Pipeline");
+    for (i, (name, size, write, miss)) in cases.iter().enumerate() {
+        let b = case(*size, *write, *miss);
+        let x = i as f64;
+        // Wire: serialization of request + response on the 10 Gbps port.
+        let req_bytes = if *write { *size as u64 + 81 } else { 81 };
+        let resp_bytes = if *write { 52 } else { *size as u64 + 61 };
+        let wire_ns = (port.transfer_time(req_bytes) + port.transfer_time(resp_bytes)).as_nanos();
+        wire.push(x, wire_ns as f64);
+        interconn.push(x, b.interconnect.as_nanos() as f64);
+        tlb_hit.push(x, (b.tlb + b.mac_phy).as_nanos() as f64);
+        tlb_miss.push(x, b.pt_dram.as_nanos() as f64);
+        ddr.push(x, (b.data_dram + b.dma).as_nanos() as f64);
+        pipe.push(x, (b.pipeline_cycles + b.admission_wait).as_nanos() as f64);
+        println!("case {i} = {name}");
+    }
+    report.push_series(wire);
+    report.push_series(interconn);
+    report.push_series(tlb_hit);
+    report.push_series(tlb_miss);
+    report.push_series(ddr);
+    report.push_series(pipe);
+    report.note("paper: DDR access + wire dominate, especially for 1 KB; TLB miss adds one DRAM read");
+    report.note("TLBHit row includes MAC/PHY fixed costs; case indices printed above");
+    report.print();
+}

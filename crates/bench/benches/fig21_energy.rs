@@ -1,0 +1,72 @@
+//! Figure 21: Energy per YCSB request, MN-side and CN-side.
+//!
+//! Each system runs the same request count; energy = power × runtime, with
+//! runtime derived from each system's measured/modeled YCSB latency (the
+//! Figure 18 methodology). Paper: HERD burns 1.6–3× Clio (server CPUs at
+//! the MN); Clover is slightly above Clio (its MN is free but its CNs work
+//! harder and run longer); HERD-BF is worst because it is slowest.
+
+#[path = "fig18_kv_ycsb_latency.rs"]
+#[allow(dead_code)]
+mod fig18;
+
+use clio_apps::ycsb::YcsbMix;
+use clio_baselines::energy::{energy_per_request, CLIO, CLOVER, HERD, HERD_BF};
+use clio_bench::FigureReport;
+use clio_sim::stats::Series;
+use clio_sim::SimDuration;
+
+const REQUESTS: u64 = 1_000_000;
+
+fn main() {
+    let mut report = FigureReport::new(
+        "fig21",
+        "Energy per request (mJ), workloads A/B/C (x = 0:A, 1:B, 2:C); MN+CN split in notes",
+        "workload",
+    );
+    let mixes = [YcsbMix::A, YcsbMix::B, YcsbMix::C];
+    let mut clio_s = Series::new("Clio");
+    let mut clover_s = Series::new("Clover");
+    let mut herd_s = Series::new("HERD");
+    let mut bf_s = Series::new("HERD-BF");
+    let mut notes = Vec::new();
+    for (i, mix) in mixes.iter().enumerate() {
+        // Runtime for the fixed request count at each system's modeled
+        // mean latency with a window of ~4 outstanding per client pair.
+        let window = 8.0;
+        let runtime = |mean_us: f64| {
+            SimDuration::from_secs_f64(mean_us * 1e-6 * REQUESTS as f64 / window)
+        };
+        let clio_e = energy_per_request(CLIO, runtime(fig18::clio_kv(*mix)), REQUESTS);
+        let clover_e = energy_per_request(CLOVER, runtime(fig18::clover(*mix)), REQUESTS);
+        let herd_e = energy_per_request(HERD, runtime(fig18::herd(*mix, false)), REQUESTS);
+        let bf_e = energy_per_request(HERD_BF, runtime(fig18::herd(*mix, true)), REQUESTS);
+        clio_s.push(i as f64, clio_e.total_mj());
+        clover_s.push(i as f64, clover_e.total_mj());
+        herd_s.push(i as f64, herd_e.total_mj());
+        bf_s.push(i as f64, bf_e.total_mj());
+        notes.push(format!(
+            "{}: MN/CN split (mJ) — Clio {:.4}/{:.4}, Clover {:.4}/{:.4}, HERD {:.4}/{:.4}, HERD-BF {:.4}/{:.4}",
+            mix.name(),
+            clio_e.mn_mj_per_req,
+            clio_e.cn_mj_per_req,
+            clover_e.mn_mj_per_req,
+            clover_e.cn_mj_per_req,
+            herd_e.mn_mj_per_req,
+            herd_e.cn_mj_per_req,
+            bf_e.mn_mj_per_req,
+            bf_e.cn_mj_per_req
+        ));
+        let ratio = herd_e.total_mj() / clio_e.total_mj();
+        notes.push(format!("{}: HERD/Clio energy ratio = {ratio:.2} (paper band: 1.6-3x)", mix.name()));
+    }
+    report.push_series(clio_s);
+    report.push_series(clover_s);
+    report.push_series(herd_s);
+    report.push_series(bf_s);
+    for n in notes {
+        report.note(n);
+    }
+    report.note("darker/lighter bars in the paper = the MN/CN split printed above");
+    report.print();
+}

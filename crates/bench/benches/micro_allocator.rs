@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the overflow-avoiding VA allocator.
+
+use clio_hw::pagetable::HashPageTable;
+use clio_mn::valloc::VaAllocator;
+use clio_proto::{Perm, Pid};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("valloc");
+    g.sample_size(20);
+
+    g.bench_function("alloc_free_1_page_empty_table", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut va = VaAllocator::new(4096, 64);
+                va.create_pid(Pid(1));
+                (va, HashPageTable::new(1024, 4))
+            },
+            |(va, shadow)| {
+                let a = va.alloc(shadow, Pid(1), 4096, Perm::RW, None).expect("alloc");
+                let _ = va.free(Pid(1), a.range.start);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("alloc_100_pages_half_full_table", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut va = VaAllocator::new(4096, 1024);
+                let mut shadow = HashPageTable::new(256, 4);
+                for pid in 0..8u64 {
+                    va.create_pid(Pid(pid));
+                    for _ in 0..8 {
+                        if let Ok(a) = va.alloc(&shadow, Pid(pid), 8 * 4096, Perm::RW, None) {
+                            for vpn in
+                                a.range.start / 4096..(a.range.start + a.range.len) / 4096
+                            {
+                                let _ = shadow.insert(clio_hw::pagetable::Pte {
+                                    pid: Pid(pid),
+                                    vpn,
+                                    ppn: 0,
+                                    perm: Perm::RW,
+                                    valid: false,
+                                });
+                            }
+                        }
+                    }
+                }
+                (va, shadow)
+            },
+            |(va, shadow)| {
+                if let Ok(a) = va.alloc(shadow, Pid(1), 100 * 4096, Perm::RW, None) {
+                    let _ = va.free(Pid(1), a.range.start);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks of the wire codec and MTU splitting.
+
+use bytes::Bytes;
+use clio_proto::{codec, split_write, ClioPacket, Pid, ReqHeader, ReqId, RequestBody};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(30);
+
+    let read_pkt = ClioPacket::Request {
+        header: ReqHeader::single(ReqId(7), Pid(3)),
+        body: RequestBody::Read { va: 0x4000, len: 4096 },
+    };
+    g.bench_function("encode_read_request", |b| {
+        b.iter(|| std::hint::black_box(codec::encode(&read_pkt)))
+    });
+
+    let bytes = codec::encode(&read_pkt);
+    g.bench_function("decode_read_request", |b| {
+        b.iter(|| std::hint::black_box(codec::decode(&bytes).expect("decode")))
+    });
+
+    let payload = Bytes::from(vec![7u8; 64 << 10]);
+    g.bench_function("split_64k_write", |b| {
+        b.iter(|| std::hint::black_box(split_write(ReqId(1), None, Pid(1), 0, payload.clone())))
+    });
+
+    g.bench_function("wire_len_write_frag", |b| {
+        let pkt = &split_write(ReqId(1), None, Pid(1), 0, payload.clone())[0];
+        b.iter(|| std::hint::black_box(codec::wire_len(pkt)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks of the overflow-free hash page table.
+
+use clio_hw::pagetable::{HashPageTable, Pte};
+use clio_proto::{Perm, Pid};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn table_with(n: u64) -> HashPageTable {
+    // One contiguous range, as the allocator lays ranges out (contiguous
+    // VPNs spread deterministically across buckets — see clio_hw::hash).
+    let mut pt = HashPageTable::new((n as usize * 2 / 4).max(4), 4);
+    for vpn in 0..n {
+        pt.insert(Pte { pid: Pid(0), vpn, ppn: vpn, perm: Perm::RW, valid: true })
+            .expect("insert");
+    }
+    pt
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pagetable");
+    g.sample_size(30);
+
+    let pt = table_with(1 << 16);
+    let mut i = 0u64;
+    g.bench_function("lookup_hit_64k_entries", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            std::hint::black_box(pt.lookup(Pid(0), i % (1 << 16)))
+        })
+    });
+
+    g.bench_function("insert_remove_cycle", |b| {
+        b.iter_batched_ref(
+            || table_with(1 << 12),
+            |pt| {
+                for vpn in (1 << 12)..(1 << 12) + 64 {
+                    let _ = pt.insert(Pte {
+                        pid: Pid(3),
+                        vpn,
+                        ppn: vpn,
+                        perm: Perm::RW,
+                        valid: false,
+                    });
+                }
+                for vpn in (1 << 12)..(1 << 12) + 64 {
+                    pt.remove(Pid(3), vpn);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let pt = table_with(1 << 14);
+    g.bench_function("can_insert_all_100_pages", |b| {
+        b.iter(|| {
+            std::hint::black_box(pt.can_insert_all((0..100u64).map(|i| (Pid(99), (1 << 20) + i))))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

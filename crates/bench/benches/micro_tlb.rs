@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks of the LRU TLB.
+
+use clio_hw::tlb::{Tlb, TlbEntry};
+use clio_proto::{Perm, Pid};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    g.sample_size(30);
+
+    let mut tlb = Tlb::new(4096);
+    for vpn in 0..4096u64 {
+        tlb.insert(Pid(1), vpn, TlbEntry { ppn: vpn, perm: Perm::RW });
+    }
+    let mut i = 0u64;
+    g.bench_function("lookup_hit", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            std::hint::black_box(tlb.lookup(Pid(1), i % 4096))
+        })
+    });
+
+    let mut tlb2 = Tlb::new(1024);
+    let mut j = 0u64;
+    g.bench_function("miss_insert_evict", |b| {
+        b.iter(|| {
+            j += 1;
+            if tlb2.lookup(Pid(1), j).is_none() {
+                tlb2.insert(Pid(1), j, TlbEntry { ppn: j, perm: Perm::RW });
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! §7.3 CapEx/power comparison: server-based MN vs CBoard, per memory
+//! medium. Paper: with 1 TB DRAM a server MN costs 1.1–1.5× and consumes
+//! 1.9–2.7× the power of a CBoard; with Optane the ratios grow to 1.4–2.5×
+//! and 5.1–8.6×.
+
+use clio_baselines::capex::{cboard_platform, node_totals, ratios, server_platform, Media};
+
+fn main() {
+    println!("================================================================");
+    println!("tab_capex: memory-node CapEx and power, 1 TB of media (§7.3)");
+    println!("================================================================");
+    for media in [Media::Dram, Media::Optane] {
+        let name = match media {
+            Media::Dram => "DRAM",
+            Media::Optane => "Optane",
+        };
+        let (srv_cost, srv_w) = node_totals(server_platform(), media, 1024.0);
+        let (cb_cost, cb_w) = node_totals(cboard_platform(), media, 1024.0);
+        let ((c_lo, c_hi), (p_lo, p_hi)) = ratios(media);
+        println!("{name}:");
+        println!("  server-MN : ${srv_cost:>8.0}  {srv_w:>6.0} W   (low-end build)");
+        println!("  CBoard    : ${cb_cost:>8.0}  {cb_w:>6.0} W");
+        println!("  cost ratio: {c_lo:.2}x - {c_hi:.2}x    power ratio: {p_lo:.2}x - {p_hi:.2}x");
+    }
+    println!("  note: paper bands — DRAM 1.1-1.5x cost / 1.9-2.7x power; Optane 1.4-2.5x / 5.1-8.6x");
+}

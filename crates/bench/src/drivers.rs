@@ -1,0 +1,408 @@
+//! Reusable load-generating client drivers.
+
+use bytes::Bytes;
+use clio_core::metrics::OpRecorder;
+use clio_core::{AppCompletion, ClientApi, ClientDriver};
+use clio_net::Mac;
+use clio_proto::Perm;
+use clio_sim::{SimDuration, SimRng, SimTime};
+
+use clio_apps::kv::{partition_of, KvRequest};
+use clio_apps::ycsb::{YcsbGenerator, YcsbOp};
+
+/// What a memory-access driver does per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMix {
+    /// Only reads.
+    Reads,
+    /// Only writes.
+    Writes,
+    /// Read/write alternating.
+    Alternate,
+}
+
+/// A closed-loop (optionally windowed) read/write load generator.
+///
+/// Allocates `span_pages` of remote memory, warms every page (fault +
+/// TLB), then runs `ops` operations of `size` bytes with `window`
+/// outstanding (1 = synchronous), optionally uniform-random over the span,
+/// with optional per-op think time. Latencies/goodput land in its
+/// [`OpRecorder`].
+pub struct MemDriver {
+    /// Operation size in bytes.
+    pub size: u32,
+    /// Access mix.
+    pub mix: AccessMix,
+    /// Operations to run after warm-up.
+    pub ops: u64,
+    /// Outstanding window (1 = sync; >1 = the paper's async API).
+    pub window: u32,
+    /// Pages of remote memory to use.
+    pub span_pages: u64,
+    /// Page size (for span math).
+    pub page_size: u64,
+    /// Uniform-random page selection (vs. fixed page 0).
+    pub random: bool,
+    /// Think time inserted before each op (models light offered load).
+    pub think: SimDuration,
+    /// Results.
+    pub recorder: OpRecorder,
+    // internal
+    va: u64,
+    warm_left: u64,
+    issued: u64,
+    completed: u64,
+    op_counter: u64,
+    rng: SimRng,
+    done: bool,
+}
+
+impl MemDriver {
+    /// A driver with the given shape; measurement starts after warm-up.
+    #[allow(clippy::too_many_arguments)] // a config surface, built once per bench
+    pub fn new(
+        size: u32,
+        mix: AccessMix,
+        ops: u64,
+        window: u32,
+        span_pages: u64,
+        page_size: u64,
+        random: bool,
+        seed: u64,
+    ) -> Self {
+        MemDriver {
+            size,
+            mix,
+            ops,
+            window: window.max(1),
+            span_pages: span_pages.max(1),
+            page_size,
+            random,
+            think: SimDuration::ZERO,
+            recorder: OpRecorder::new(SimTime::ZERO),
+            va: 0,
+            warm_left: 0,
+            issued: 0,
+            completed: 0,
+            op_counter: 0,
+            rng: SimRng::new(seed),
+            done: false,
+        }
+    }
+
+    /// True when all operations completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn target_va(&mut self) -> u64 {
+        let page = if self.random {
+            self.rng.range_u64(0, self.span_pages)
+        } else {
+            self.op_counter % self.span_pages
+        };
+        // Keep the op inside one page.
+        let max_off = self.page_size.saturating_sub(self.size as u64).max(1);
+        self.va + page * self.page_size + self.op_counter * 64 % max_off
+    }
+
+    fn issue_one(&mut self, api: &mut ClientApi<'_, '_>) {
+        let va = self.target_va();
+        self.op_counter += 1;
+        let write = match self.mix {
+            AccessMix::Reads => false,
+            AccessMix::Writes => true,
+            AccessMix::Alternate => self.op_counter.is_multiple_of(2),
+        };
+        if write {
+            api.write(va, Bytes::from(vec![self.op_counter as u8; self.size as usize]));
+        } else {
+            api.read(va, self.size);
+        }
+        self.issued += 1;
+    }
+
+    fn pump(&mut self, api: &mut ClientApi<'_, '_>) {
+        if !self.think.is_zero() {
+            // Think-time mode (window 1): pace ops via wake-ups.
+            if self.issued < self.ops && self.issued == self.completed {
+                api.wake_in(self.think, 1);
+            }
+            return;
+        }
+        while self.issued - self.completed < self.window as u64 && self.issued < self.ops {
+            self.issue_one(api);
+        }
+    }
+}
+
+impl ClientDriver for MemDriver {
+    fn name(&self) -> &str {
+        "mem-driver"
+    }
+
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        let len = self.span_pages * self.page_size;
+        api.alloc(len, Perm::RW);
+    }
+
+    fn on_wake(&mut self, api: &mut ClientApi<'_, '_>, _tag: u64) {
+        // A think-time op comes due.
+        if self.issued < self.ops {
+            self.issue_one(api);
+        }
+    }
+
+    fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+        if self.va == 0 {
+            // Allocation done: warm every page with a 1-byte write.
+            self.va = c.va();
+            self.warm_left = self.span_pages;
+            api.write(self.va, Bytes::from_static(&[0u8]));
+            return;
+        }
+        if self.warm_left > 0 {
+            self.warm_left -= 1;
+            if self.warm_left > 0 {
+                let page = self.span_pages - self.warm_left;
+                api.write(self.va + page * self.page_size, Bytes::from_static(&[0u8]));
+                return;
+            }
+            // Warm-up finished: start measuring now.
+            self.recorder = OpRecorder::new(api.now());
+            self.pump(api);
+            return;
+        }
+        match &c.result {
+            Ok(_) => self.recorder.record(c.completed_at, c.latency(), self.size as u64),
+            Err(_) => self.recorder.record_error(),
+        }
+        self.completed += 1;
+        if self.completed >= self.ops {
+            self.done = true;
+            return;
+        }
+        self.pump(api);
+    }
+}
+
+/// A YCSB client over the Clio-KV offload, partitioned across MNs.
+pub struct KvDriver {
+    gen: YcsbGenerator,
+    /// Operations to run.
+    pub ops: u64,
+    /// Outstanding window.
+    pub window: u32,
+    /// Offload id on every MN.
+    pub offload_id: u16,
+    /// Results.
+    pub recorder: OpRecorder,
+    issued: u64,
+    completed: u64,
+    loaded: u64,
+    preload: u64,
+    done: bool,
+    value_size: u64,
+}
+
+impl KvDriver {
+    /// A driver running `ops` YCSB operations after pre-loading `preload`
+    /// keys (sequentially, so every MN partition gets its records).
+    pub fn new(gen: YcsbGenerator, preload: u64, ops: u64, window: u32, offload_id: u16) -> Self {
+        let value_size = gen.value_size() as u64;
+        KvDriver {
+            gen,
+            ops,
+            window: window.max(1),
+            offload_id,
+            recorder: OpRecorder::new(SimTime::ZERO),
+            issued: 0,
+            completed: 0,
+            loaded: 0,
+            preload,
+            done: false,
+            value_size,
+        }
+    }
+
+    /// True when the run finished.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn key_bytes(key: u64) -> Vec<u8> {
+        format!("user{key:012}").into_bytes()
+    }
+
+    fn mn_for(&self, api: &ClientApi<'_, '_>, key: &[u8]) -> Mac {
+        let mns = api.mn_macs();
+        mns[partition_of(key, mns.len())]
+    }
+
+    fn send(&mut self, api: &mut ClientApi<'_, '_>, req: &KvRequest) {
+        let key = match req {
+            KvRequest::Put { key, .. } | KvRequest::Get { key } | KvRequest::Delete { key } => {
+                key.clone()
+            }
+        };
+        let mn = self.mn_for(api, &key);
+        api.offload(mn, self.offload_id, req.opcode(), req.encode());
+    }
+
+    fn issue_next(&mut self, api: &mut ClientApi<'_, '_>) {
+        let req = match self.gen.next_op() {
+            YcsbOp::Get { key } => KvRequest::Get { key: Self::key_bytes(key) },
+            YcsbOp::Set { key, value } => KvRequest::Put { key: Self::key_bytes(key), value },
+        };
+        self.send(api, &req);
+        self.issued += 1;
+    }
+
+    fn pump(&mut self, api: &mut ClientApi<'_, '_>) {
+        while self.issued - self.completed < self.window as u64 && self.issued < self.ops {
+            self.issue_next(api);
+        }
+    }
+}
+
+impl ClientDriver for KvDriver {
+    fn name(&self) -> &str {
+        "kv-driver"
+    }
+
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        if self.preload == 0 {
+            self.recorder = OpRecorder::new(api.now());
+            self.pump(api);
+            return;
+        }
+        let value = self.gen.value_for(0, 0);
+        let req = KvRequest::Put { key: Self::key_bytes(0), value };
+        self.send(api, &req);
+    }
+
+    fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+        if self.loaded < self.preload {
+            self.loaded += 1;
+            if self.loaded < self.preload {
+                let key = self.loaded;
+                let value = self.gen.value_for(key, 0);
+                let req = KvRequest::Put { key: Self::key_bytes(key), value };
+                self.send(api, &req);
+                return;
+            }
+            self.recorder = OpRecorder::new(api.now());
+            self.pump(api);
+            return;
+        }
+        match &c.result {
+            Ok(_) => self.recorder.record(c.completed_at, c.latency(), self.value_size),
+            Err(_) => self.recorder.record_error(),
+        }
+        self.completed += 1;
+        if self.completed >= self.ops {
+            self.done = true;
+            return;
+        }
+        self.pump(api);
+    }
+}
+
+/// A driver reading/writing a **pre-existing** remote range (used by sweeps
+/// that install state directly, e.g. the Figure 5 PTE-aliasing methodology).
+pub struct RangeDriver {
+    /// Base VA of the range (must already be mapped for this driver's pid).
+    pub base: u64,
+    /// Pages in the range.
+    pub pages: u64,
+    /// Page size.
+    pub page_size: u64,
+    /// Operation size.
+    pub size: u32,
+    /// Access mix.
+    pub mix: AccessMix,
+    /// Operations to run (first `warmup` excluded from stats).
+    pub ops: u64,
+    /// Warm-up operations.
+    pub warmup: u64,
+    /// Random page selection.
+    pub random: bool,
+    /// Results.
+    pub recorder: OpRecorder,
+    done_ops: u64,
+    rng: SimRng,
+}
+
+impl RangeDriver {
+    /// A synchronous driver over `[base, base + pages*page_size)`.
+    #[allow(clippy::too_many_arguments)] // bench config surface
+    pub fn new(
+        base: u64,
+        pages: u64,
+        page_size: u64,
+        size: u32,
+        mix: AccessMix,
+        ops: u64,
+        random: bool,
+        seed: u64,
+    ) -> Self {
+        RangeDriver {
+            base,
+            pages: pages.max(1),
+            page_size,
+            size,
+            mix,
+            ops,
+            warmup: (ops / 10).clamp(4, ops),
+            random,
+            recorder: OpRecorder::new(SimTime::ZERO),
+            done_ops: 0,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// True when finished.
+    pub fn is_done(&self) -> bool {
+        self.done_ops >= self.ops
+    }
+
+    fn issue(&mut self, api: &mut ClientApi<'_, '_>) {
+        let page = if self.random {
+            self.rng.range_u64(0, self.pages)
+        } else {
+            self.done_ops % self.pages
+        };
+        let va = self.base + page * self.page_size;
+        let write = match self.mix {
+            AccessMix::Reads => false,
+            AccessMix::Writes => true,
+            AccessMix::Alternate => self.done_ops % 2 == 1,
+        };
+        if write {
+            api.write(va, Bytes::from(vec![self.done_ops as u8; self.size as usize]));
+        } else {
+            api.read(va, self.size);
+        }
+    }
+}
+
+impl ClientDriver for RangeDriver {
+    fn name(&self) -> &str {
+        "range-driver"
+    }
+
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        self.issue(api);
+    }
+
+    fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+        assert!(c.result.is_ok(), "range op failed: {:?}", c.result);
+        if self.done_ops >= self.warmup {
+            self.recorder.record(c.completed_at, c.latency(), self.size as u64);
+        }
+        self.done_ops += 1;
+        if self.done_ops < self.ops {
+            self.issue(api);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! CLib's user-facing request layer (paper §3.1 API, §4.5 ordering).
+//!
+//! A [`CLib`] instance lives inside a compute-node host actor, next to the
+//! NIC. Applications (or the blocking runtime in `clio-core`) submit [`Op`]s
+//! tagged with a [`ThreadId`]; CLib enforces the paper's intra-thread
+//! ordering rules before handing requests to the [`Transport`]:
+//!
+//! * dependent (WAW/RAW/WAR) operations of one thread never overlap,
+//!   tracked at page granularity,
+//! * [`Op::Release`] (`rrelease`) waits for all of the thread's in-flight
+//!   operations; [`Op::Fence`] additionally fences at the memory node,
+//! * `rlock` spins on MN-side test-and-set with local backoff; `runlock`
+//!   stores 0 (§4.5 T3).
+//!
+//! Completions are returned from [`CLib::on_frame`]/[`CLib::on_timer`] for
+//! the host to deliver to the issuing application.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use clio_net::{Frame, Mac, NicPort};
+use clio_proto::{Perm, Pid};
+use clio_sim::{Ctx, Message, SimDuration, SimTime};
+
+use crate::config::CLibConfig;
+use crate::error::ClioError;
+use crate::ordering::{AccessClass, DependencyTracker};
+use crate::transport::{
+    AtomicKind, Blueprint, Transport, TransportTimer, XferDone, XferToken, XferValue,
+};
+
+/// Identifies an application thread for intra-thread ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u64);
+
+/// Handle for one submitted operation (returned by [`CLib::submit`], echoed
+/// in its [`Completion`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpToken(pub u64);
+
+/// An operation submitted to CLib. `mn` is the memory node that owns the
+/// addressed region (routing is the cluster layer's job).
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// `rread`: read `len` bytes at `va`.
+    Read {
+        /// Owning memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+        /// Start address.
+        va: u64,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// `rwrite`: write `data` at `va`.
+    Write {
+        /// Owning memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+        /// Start address.
+        va: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// `ralloc`: allocate remote virtual memory.
+    Alloc {
+        /// Memory node to allocate on.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+        /// Bytes requested.
+        size: u64,
+        /// Permissions.
+        perm: Perm,
+        /// Optional fixed placement.
+        fixed_va: Option<u64>,
+    },
+    /// `rfree`.
+    Free {
+        /// Owning memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+        /// Range start.
+        va: u64,
+        /// Range length.
+        size: u64,
+    },
+    /// `rlock`: spin until the 8-byte word at `va` transitions 0 → 1.
+    Lock {
+        /// Owning memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+        /// Lock word address.
+        va: u64,
+    },
+    /// `runlock`: store 0 into the lock word.
+    Unlock {
+        /// Owning memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+        /// Lock word address.
+        va: u64,
+    },
+    /// Fetch-and-add.
+    Faa {
+        /// Owning memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+        /// Word address.
+        va: u64,
+        /// Addend.
+        delta: u64,
+    },
+    /// Compare-and-swap.
+    Cas {
+        /// Owning memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+        /// Word address.
+        va: u64,
+        /// Expected value.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// `rfence`: local barrier plus MN-side fence.
+    Fence {
+        /// Memory node to fence.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+    },
+    /// `rrelease`: local barrier only — completes when every earlier op of
+    /// the thread has completed.
+    Release,
+    /// Explicit address-space creation.
+    CreateAs {
+        /// Memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+    },
+    /// Address-space teardown.
+    DestroyAs {
+        /// Memory node.
+        mn: Mac,
+        /// Protection domain.
+        pid: Pid,
+    },
+    /// Extend-path offload call.
+    Offload {
+        /// Memory node hosting the offload.
+        mn: Mac,
+        /// Calling process.
+        pid: Pid,
+        /// Installed offload id.
+        offload: u16,
+        /// Offload opcode.
+        opcode: u16,
+        /// Argument bytes.
+        arg: Bytes,
+    },
+}
+
+/// The value delivered by a successful completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletionValue {
+    /// Read data or offload reply.
+    Data(Bytes),
+    /// Plain success.
+    Done,
+    /// Allocated virtual address.
+    Va(u64),
+    /// Atomic old value.
+    Old(u64),
+}
+
+/// A finished operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The operation's token.
+    pub token: OpToken,
+    /// The issuing thread.
+    pub thread: ThreadId,
+    /// Outcome.
+    pub result: Result<CompletionValue, ClioError>,
+    /// Submission time (for end-to-end latency measurements).
+    pub issued_at: SimTime,
+    /// Completion time.
+    pub completed_at: SimTime,
+}
+
+#[derive(Debug)]
+struct PendingOp {
+    thread: ThreadId,
+    op: Op,
+    issued_at: SimTime,
+}
+
+/// Timer message for lock-acquisition backoff; hosts route it to
+/// [`CLib::on_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockRetry {
+    token: OpToken,
+}
+
+/// The compute-node library instance (one per CN host actor).
+#[derive(Debug)]
+pub struct CLib {
+    cfg: CLibConfig,
+    page_size: u64,
+    transport: Transport,
+    trackers: HashMap<ThreadId, DependencyTracker<OpToken>>,
+    ops: HashMap<OpToken, PendingOp>,
+    next_token: u64,
+    /// Latency histogram source: completions carry issue/finish times.
+    completed_count: u64,
+}
+
+impl CLib {
+    /// Creates a CLib for a CN. `cn_id` seeds the CN-unique request-id
+    /// space; `page_size` must match the MNs' page size for dependency
+    /// tracking granularity.
+    pub fn new(cfg: CLibConfig, cn_id: u64, page_size: u64) -> Self {
+        CLib {
+            transport: Transport::new(cfg, cn_id),
+            cfg,
+            page_size,
+            trackers: HashMap::new(),
+            ops: HashMap::new(),
+            next_token: 1,
+            completed_count: 0,
+        }
+    }
+
+    /// Total operations completed (success or failure).
+    pub fn completed_count(&self) -> u64 {
+        self.completed_count
+    }
+
+    /// Transport-level retry count.
+    pub fn retry_count(&self) -> u64 {
+        self.transport.retry_count
+    }
+
+    /// Operations in flight across all threads.
+    pub fn in_flight(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn vpns_of(&self, va: u64, len: u64) -> Vec<u64> {
+        if len == 0 {
+            return vec![va / self.page_size];
+        }
+        (va / self.page_size..=(va + len - 1) / self.page_size).collect()
+    }
+
+    fn classify(&self, op: &Op) -> (AccessClass, Vec<u64>, bool) {
+        match op {
+            Op::Read { va, len, .. } => {
+                (AccessClass::Read, self.vpns_of(*va, *len as u64), false)
+            }
+            Op::Write { va, data, .. } => {
+                (AccessClass::Write, self.vpns_of(*va, data.len() as u64), false)
+            }
+            Op::Lock { va, .. } | Op::Unlock { va, .. } => {
+                (AccessClass::Write, self.vpns_of(*va, 8), false)
+            }
+            Op::Faa { va, .. } | Op::Cas { va, .. } => {
+                (AccessClass::Write, self.vpns_of(*va, 8), false)
+            }
+            Op::Free { va, size, .. } => (AccessClass::Write, self.vpns_of(*va, *size), false),
+            // Metadata and synchronization ops act as barriers (§3.1:
+            // "potentially conflicting operations execute synchronously in
+            // the program order").
+            Op::Alloc { .. }
+            | Op::Fence { .. }
+            | Op::Release
+            | Op::CreateAs { .. }
+            | Op::DestroyAs { .. } => (AccessClass::Write, vec![], true),
+            Op::Offload { .. } => (AccessClass::Write, vec![], true),
+        }
+    }
+
+    /// Submits an operation on behalf of `thread`. The returned token is
+    /// echoed in the eventual [`Completion`].
+    pub fn submit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        thread: ThreadId,
+        op: Op,
+    ) -> (OpToken, Vec<Completion>) {
+        let token = OpToken(self.next_token);
+        self.next_token += 1;
+        let (class, vpns, barrier) = self.classify(&op);
+        self.ops.insert(token, PendingOp { thread, op, issued_at: ctx.now() });
+        let tracker = self.trackers.entry(thread).or_default();
+        let dispatch = if barrier {
+            tracker.submit_barrier(token)
+        } else {
+            tracker.submit(token, class, vpns)
+        };
+        if std::env::var_os("CLIO_DEBUG").is_some() {
+            eprintln!("[clib t={} thr={:?}] submit {:?} tok={:?} dispatch={}",
+                ctx.now(), thread, op_kind_dbg(&self.ops[&token].op), token, dispatch);
+        }
+        let mut completions = Vec::new();
+        if dispatch {
+            self.dispatch(ctx, nic, token, &mut completions);
+        }
+        (token, completions)
+    }
+
+    fn dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        token: OpToken,
+        completions: &mut Vec<Completion>,
+    ) {
+        let Some(pending) = self.ops.get(&token) else { return };
+        let (target, pid, blueprint) = match &pending.op {
+            Op::Read { mn, pid, va, len } => {
+                (*mn, *pid, Blueprint::Read { va: *va, len: *len })
+            }
+            Op::Write { mn, pid, va, data } => {
+                (*mn, *pid, Blueprint::Write { va: *va, data: data.clone() })
+            }
+            Op::Alloc { mn, pid, size, perm, fixed_va } => (
+                *mn,
+                *pid,
+                Blueprint::Alloc { size: *size, perm: *perm, fixed_va: *fixed_va },
+            ),
+            Op::Free { mn, pid, va, size } => {
+                (*mn, *pid, Blueprint::Free { va: *va, size: *size })
+            }
+            Op::Lock { mn, pid, va } => {
+                (*mn, *pid, Blueprint::Atomic { va: *va, op: AtomicKind::Tas })
+            }
+            Op::Unlock { mn, pid, va } => {
+                (*mn, *pid, Blueprint::Atomic { va: *va, op: AtomicKind::Store(0) })
+            }
+            Op::Faa { mn, pid, va, delta } => {
+                (*mn, *pid, Blueprint::Atomic { va: *va, op: AtomicKind::Faa(*delta) })
+            }
+            Op::Cas { mn, pid, va, expected, new } => (
+                *mn,
+                *pid,
+                Blueprint::Atomic { va: *va, op: AtomicKind::Cas { expected: *expected, new: *new } },
+            ),
+            Op::Fence { mn, pid } => (*mn, *pid, Blueprint::Fence),
+            Op::CreateAs { mn, pid } => (*mn, *pid, Blueprint::CreateAs),
+            Op::DestroyAs { mn, pid } => (*mn, *pid, Blueprint::DestroyAs),
+            Op::Offload { mn, pid, offload, opcode, arg } => (
+                *mn,
+                *pid,
+                Blueprint::Offload { offload: *offload, opcode: *opcode, arg: arg.clone() },
+            ),
+            Op::Release => {
+                // Purely local barrier: completes as soon as it dispatches
+                // (i.e. the thread drained).
+                let done = XferDone {
+                    token: XferToken(token.0),
+                    result: Ok(XferValue::Done),
+                    rtt: SimDuration::ZERO,
+                };
+                self.finish(ctx, nic, done, completions);
+                return;
+            }
+        };
+        self.transport.send(ctx, nic, XferToken(token.0), target, pid, blueprint);
+    }
+
+    /// Handles a frame delivered to the CN's NIC.
+    pub fn on_frame(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        frame: Frame,
+    ) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        if frame.corrupted {
+            // Corrupted response: drop; the request timer will retry.
+            return completions;
+        }
+        let Ok(pkt) = frame.payload.downcast::<clio_proto::ClioPacket>() else {
+            return completions;
+        };
+        for done in self.transport.on_packet(ctx, nic, pkt) {
+            self.finish(ctx, nic, done, &mut completions);
+        }
+        completions
+    }
+
+    /// Handles a timer message scheduled by CLib on its host actor. Returns
+    /// completions (e.g. timeout failures).
+    pub fn on_timer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        msg: Message,
+    ) -> (Vec<Completion>, Option<Message>) {
+        let msg = match msg.downcast::<TransportTimer>() {
+            Ok(t) => {
+                let mut completions = Vec::new();
+                for done in self.transport.on_timer(ctx, nic, t) {
+                    self.finish(ctx, nic, done, &mut completions);
+                }
+                return (completions, None);
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<LockRetry>() {
+            Ok(LockRetry { token }) => {
+                // Re-issue the TAS for a still-pending lock.
+                if let Some(p) = self.ops.get(&token) {
+                    if let Op::Lock { mn, pid, va } = p.op {
+                        self.transport.send(
+                            ctx,
+                            nic,
+                            XferToken(token.0),
+                            mn,
+                            pid,
+                            Blueprint::Atomic { va, op: AtomicKind::Tas },
+                        );
+                    }
+                }
+                (Vec::new(), None)
+            }
+            Err(m) => (Vec::new(), Some(m)),
+        }
+    }
+
+    /// Processes one finished transfer: lock spinning, ordering release,
+    /// completion delivery.
+    fn finish(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        done: XferDone,
+        completions: &mut Vec<Completion>,
+    ) {
+        let token = OpToken(done.token.0);
+        let Some(pending) = self.ops.get(&pending_key(token)) else { return };
+
+        // Lock spinning: TAS returned 1 -> not acquired; back off and retry.
+        if let (Op::Lock { .. }, Ok(XferValue::Old(old))) = (&pending.op, &done.result) {
+            if *old != 0 {
+                ctx.schedule(self.cfg.lock_backoff, Message::new(LockRetry { token }));
+                return;
+            }
+        }
+
+        let pending = self.ops.remove(&token).expect("checked above");
+        let value = done.result.map(|v| match (&pending.op, v) {
+            (_, XferValue::Data(d)) => CompletionValue::Data(d),
+            (_, XferValue::Va(va)) => CompletionValue::Va(va),
+            // Locks/unlocks surface as Done; raw atomics surface the value.
+            (Op::Lock { .. } | Op::Unlock { .. }, XferValue::Old(_)) => CompletionValue::Done,
+            (_, XferValue::Old(o)) => CompletionValue::Old(o),
+            (_, XferValue::Done) => CompletionValue::Done,
+        });
+        self.completed_count += 1;
+        if std::env::var_os("CLIO_DEBUG").is_some() {
+            eprintln!("[clib t={}] finish tok={:?} kind={} ok={}",
+                ctx.now(), token, op_kind_dbg(&pending.op), value.is_ok());
+        }
+        completions.push(Completion {
+            token,
+            thread: pending.thread,
+            result: value,
+            issued_at: pending.issued_at,
+            completed_at: ctx.now(),
+        });
+
+        // Release dependents in program order.
+        if let Some(tracker) = self.trackers.get_mut(&pending.thread) {
+            let released = tracker.complete(token);
+            for t in released {
+                self.dispatch(ctx, nic, t, completions);
+            }
+        }
+    }
+}
+
+/// Identity helper kept separate so the borrow in `finish` stays obvious.
+fn pending_key(token: OpToken) -> OpToken {
+    token
+}
+
+fn op_kind_dbg(op: &Op) -> &'static str {
+    match op {
+        Op::Read { .. } => "read", Op::Write { .. } => "write", Op::Alloc { .. } => "alloc",
+        Op::Free { .. } => "free", Op::Lock { .. } => "lock", Op::Unlock { .. } => "unlock",
+        Op::Faa { .. } => "faa", Op::Cas { .. } => "cas", Op::Fence { .. } => "fence",
+        Op::Release => "release", Op::CreateAs { .. } => "createas",
+        Op::DestroyAs { .. } => "destroyas", Op::Offload { .. } => "offload",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_ops() {
+        let clib = CLib::new(CLibConfig::default(), 1, 4096);
+        let (c, v, b) =
+            clib.classify(&Op::Read { mn: Mac(1), pid: Pid(1), va: 4000, len: 200 });
+        assert_eq!(c, AccessClass::Read);
+        assert_eq!(v, vec![0, 1], "crosses a page boundary");
+        assert!(!b);
+        let (_, _, b) = clib.classify(&Op::Release);
+        assert!(b, "release is a barrier");
+        let (c, v, _) = clib.classify(&Op::Faa { mn: Mac(1), pid: Pid(1), va: 8, delta: 1 });
+        assert_eq!(c, AccessClass::Write);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn vpn_of_zero_len() {
+        let clib = CLib::new(CLibConfig::default(), 1, 4096);
+        assert_eq!(clib.vpns_of(8192, 0), vec![2]);
+        assert_eq!(clib.vpns_of(4095, 2), vec![0, 1]);
+    }
+}

@@ -1,0 +1,87 @@
+//! CLib configuration and calibration constants.
+
+use clio_sim::SimDuration;
+
+/// Tunables of the CN-side library.
+///
+/// The software overheads reproduce the paper's measured ~250 ns total CLib
+/// cost per operation (§7.1 "Close look at CBoard components"); transport
+/// parameters follow §4.4–4.5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CLibConfig {
+    /// Software cost to build and post a request (ordering check, header
+    /// build, doorbell).
+    pub send_overhead: SimDuration,
+    /// Software cost to receive and deliver a completion.
+    pub recv_overhead: SimDuration,
+    /// Retry timeout: a request unanswered for this long is retried with a
+    /// fresh id (§4.5 T4). Must match the MN's dedup-buffer sizing.
+    pub request_timeout: SimDuration,
+    /// Retries before the request fails back to the application.
+    pub max_retries: u32,
+    /// Backoff before re-issuing a request refused with `Conflict` (its
+    /// region is mid-migration).
+    pub conflict_backoff: SimDuration,
+    /// Retries allowed for `Conflict` refusals (migration takes ~1 s/GB, so
+    /// this budget is generous and the backoff grows).
+    pub max_conflict_retries: u32,
+    /// Spin interval between lock acquisition attempts.
+    pub lock_backoff: SimDuration,
+    /// Initial congestion window (requests) per MN.
+    pub cwnd_init: f64,
+    /// Maximum congestion window (requests) per MN.
+    pub cwnd_max: f64,
+    /// Minimum congestion window; may fall below one packet (§4.4 incast).
+    pub cwnd_min: f64,
+    /// Additive increase per acknowledged request (divided by cwnd).
+    pub cwnd_ai: f64,
+    /// Multiplicative decrease factor on congestion.
+    pub cwnd_md: f64,
+    /// RTT above which the window decreases (delay-based signal, like
+    /// Swift's target delay).
+    pub target_rtt: SimDuration,
+    /// Incast window: maximum outstanding expected response bytes per CN.
+    pub iwnd_bytes: u64,
+}
+
+impl CLibConfig {
+    /// Paper-calibrated defaults.
+    pub fn prototype() -> Self {
+        CLibConfig {
+            send_overhead: SimDuration::from_nanos(150),
+            recv_overhead: SimDuration::from_nanos(100),
+            request_timeout: SimDuration::from_micros(50),
+            max_retries: 3,
+            conflict_backoff: SimDuration::from_micros(100),
+            max_conflict_retries: 100_000,
+            lock_backoff: SimDuration::from_micros(2),
+            cwnd_init: 16.0,
+            cwnd_max: 256.0,
+            cwnd_min: 0.01,
+            cwnd_ai: 1.0,
+            cwnd_md: 0.5,
+            target_rtt: SimDuration::from_micros(12),
+            iwnd_bytes: 512 << 10,
+        }
+    }
+}
+
+impl Default for CLibConfig {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = CLibConfig::default();
+        assert!(c.cwnd_min < 1.0, "window must be able to fall below one packet");
+        assert!(c.cwnd_init <= c.cwnd_max);
+        assert!(c.max_retries > 0);
+        assert!(c.request_timeout > c.target_rtt);
+    }
+}

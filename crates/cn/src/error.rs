@@ -1,0 +1,51 @@
+//! CLib error type.
+
+use clio_proto::Status;
+
+/// Errors surfaced to applications by CLib.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClioError {
+    /// The memory node reported a failure status.
+    Remote(Status),
+    /// The request (and all its retries) went unanswered (§4.5 T4: "we
+    /// report the error to the application" when the dedup window is
+    /// exhausted).
+    TimedOut,
+    /// The target region moved to another MN; the caller should refresh its
+    /// routing (handled transparently by the cluster runtime).
+    Moved,
+}
+
+impl std::fmt::Display for ClioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClioError::Remote(s) => write!(f, "remote error: {s}"),
+            ClioError::TimedOut => write!(f, "request timed out after all retries"),
+            ClioError::Moved => write!(f, "region moved to another memory node"),
+        }
+    }
+}
+
+impl std::error::Error for ClioError {}
+
+impl From<Status> for ClioError {
+    fn from(s: Status) -> Self {
+        match s {
+            Status::Moved => ClioError::Moved,
+            other => ClioError::Remote(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        assert_eq!(ClioError::from(Status::Moved), ClioError::Moved);
+        assert_eq!(ClioError::from(Status::PermDenied), ClioError::Remote(Status::PermDenied));
+        assert!(ClioError::TimedOut.to_string().contains("timed out"));
+        assert!(ClioError::Remote(Status::InvalidAddr).to_string().contains("invalid"));
+    }
+}

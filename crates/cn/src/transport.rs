@@ -1,0 +1,628 @@
+//! The connectionless reliable transport (paper §4.4–4.5).
+//!
+//! Everything a conventional reliable transport keeps at *both* ends lives
+//! only here, at the CN: the retransmission buffer (request blueprints), the
+//! request-id space, timeout timers, congestion windows and the incast
+//! window. Reliability is lifted to the **memory-request level**: any lost,
+//! corrupted (NACKed) or unanswered packet causes the whole request to be
+//! retried under a fresh id carrying `retry_of`, which the MN's dedup buffer
+//! uses to suppress double execution of non-idempotent operations.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use clio_net::{Mac, NicPort};
+use clio_proto::{
+    codec, split_write, ClioPacket, Perm, Pid, Reassembler, ReqHeader, ReqId, RequestBody,
+    ResponseBody, Status, ETH_OVERHEAD_BYTES,
+};
+use clio_sim::{Ctx, EventId, Message, SimDuration, SimTime};
+
+use crate::config::CLibConfig;
+use crate::congestion::{CongestionWindow, IncastWindow};
+use crate::error::ClioError;
+
+/// Caller-side handle for one in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XferToken(pub u64);
+
+/// How to (re)build the packets of a request — the CN-side retransmission
+/// state (§4.4 "maintain transport logic, state, and data buffers only at
+/// CNs").
+#[derive(Debug, Clone)]
+pub enum Blueprint {
+    /// `rread`.
+    Read {
+        /// Start address.
+        va: u64,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// `rwrite` (split over MTU packets on build).
+    Write {
+        /// Start address.
+        va: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// One 8-byte atomic.
+    Atomic {
+        /// Word address.
+        va: u64,
+        /// Operation.
+        op: AtomicKind,
+    },
+    /// Remote fence.
+    Fence,
+    /// Slow-path allocation.
+    Alloc {
+        /// Requested bytes.
+        size: u64,
+        /// Permissions.
+        perm: Perm,
+        /// Optional fixed placement.
+        fixed_va: Option<u64>,
+    },
+    /// Slow-path free.
+    Free {
+        /// Range start.
+        va: u64,
+        /// Range length.
+        size: u64,
+    },
+    /// Address-space creation.
+    CreateAs,
+    /// Address-space teardown.
+    DestroyAs,
+    /// Extend-path invocation.
+    Offload {
+        /// Installed offload id.
+        offload: u16,
+        /// Offload-defined opcode.
+        opcode: u16,
+        /// Argument bytes.
+        arg: Bytes,
+    },
+}
+
+/// Atomic operation kinds carried by [`Blueprint::Atomic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// Test-and-set to 1.
+    Tas,
+    /// Store a value.
+    Store(u64),
+    /// Compare-and-swap.
+    Cas {
+        /// Expected value.
+        expected: u64,
+        /// New value.
+        new: u64,
+    },
+    /// Fetch-and-add.
+    Faa(u64),
+}
+
+impl Blueprint {
+    fn build(&self, req_id: ReqId, retry_of: Option<ReqId>, pid: Pid) -> Vec<ClioPacket> {
+        let single = |body: RequestBody| {
+            vec![ClioPacket::Request {
+                header: ReqHeader { req_id, retry_of, pid, pkt_index: 0, pkt_count: 1 },
+                body,
+            }]
+        };
+        match self {
+            Blueprint::Read { va, len } => single(RequestBody::Read { va: *va, len: *len }),
+            Blueprint::Write { va, data } => {
+                split_write(req_id, retry_of, pid, *va, data.clone())
+            }
+            Blueprint::Atomic { va, op } => single(match op {
+                AtomicKind::Tas => RequestBody::AtomicTas { va: *va },
+                AtomicKind::Store(v) => RequestBody::AtomicStore { va: *va, value: *v },
+                AtomicKind::Cas { expected, new } => {
+                    RequestBody::AtomicCas { va: *va, expected: *expected, new: *new }
+                }
+                AtomicKind::Faa(d) => RequestBody::AtomicFaa { va: *va, delta: *d },
+            }),
+            Blueprint::Fence => single(RequestBody::Fence),
+            Blueprint::Alloc { size, perm, fixed_va } => single(RequestBody::Alloc {
+                size: *size,
+                perm: *perm,
+                fixed_va: *fixed_va,
+            }),
+            Blueprint::Free { va, size } => single(RequestBody::Free { va: *va, size: *size }),
+            Blueprint::CreateAs => single(RequestBody::CreateAs),
+            Blueprint::DestroyAs => single(RequestBody::DestroyAs),
+            Blueprint::Offload { offload, opcode, arg } => single(RequestBody::OffloadCall {
+                offload: *offload,
+                opcode: *opcode,
+                arg: arg.clone(),
+            }),
+        }
+    }
+
+    /// Expected response payload bytes (drives the incast window).
+    fn expected_response_bytes(&self) -> u64 {
+        match self {
+            Blueprint::Read { len, .. } => *len as u64 + 64,
+            Blueprint::Offload { .. } => 256,
+            _ => 64,
+        }
+    }
+
+    /// Request payload bytes (large writes take long to even transmit).
+    fn payload_bytes(&self) -> u64 {
+        match self {
+            Blueprint::Write { data, .. } => data.len() as u64,
+            Blueprint::Offload { arg, .. } => arg.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// The retry timeout: the base (multiplied for slow-path ops) plus a
+    /// conservative 20 ns/byte (≈0.4 Gbps) allowance for the bytes this
+    /// request moves in either direction, so multi-MTU transfers are not
+    /// spuriously retried even under congestion (the congestion window's
+    /// per-byte target of 10 ns/byte keeps queueing below this).
+    fn timeout(&self, base: SimDuration) -> SimDuration {
+        let transfer =
+            SimDuration::from_nanos((self.payload_bytes() + self.expected_response_bytes()) * 20);
+        base * self.timeout_multiplier() + transfer
+    }
+
+    /// True if a retry must carry `retry_of` for MN-side deduplication.
+    fn is_non_idempotent(&self) -> bool {
+        matches!(self, Blueprint::Write { .. } | Blueprint::Atomic { .. })
+    }
+
+    /// True for data-plane operations whose RTT is a valid congestion
+    /// signal. Slow-path and extend-path operations embed ARM/software
+    /// service time in their RTTs, so they must not drive the delay-based
+    /// window (they still consume and release window slots).
+    fn is_congestion_signal(&self) -> bool {
+        matches!(
+            self,
+            Blueprint::Read { .. }
+                | Blueprint::Write { .. }
+                | Blueprint::Atomic { .. }
+                | Blueprint::Fence
+        )
+    }
+
+    /// Slow-path and extend-path operations inherently take tens of
+    /// microseconds to milliseconds (ARM crossing, software service,
+    /// offload chains), so their retry timers are much longer than the
+    /// fast-path timeout that sizes the dedup buffer.
+    fn timeout_multiplier(&self) -> u64 {
+        match self {
+            Blueprint::Alloc { .. }
+            | Blueprint::Free { .. }
+            | Blueprint::CreateAs
+            | Blueprint::DestroyAs => 100,
+            Blueprint::Offload { .. } => 400,
+            Blueprint::Fence => 20,
+            _ => 1,
+        }
+    }
+}
+
+/// The value delivered on success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XferValue {
+    /// Read data / offload reply payload.
+    Data(Bytes),
+    /// Plain acknowledgment.
+    Done,
+    /// Allocation result.
+    Va(u64),
+    /// Atomic old value.
+    Old(u64),
+}
+
+/// What the transport reports upward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XferDone {
+    /// The request's token.
+    pub token: XferToken,
+    /// Result.
+    pub result: Result<XferValue, ClioError>,
+    /// Measured request RTT (first send to completion).
+    pub rtt: SimDuration,
+}
+
+/// Timer messages the transport schedules on its host actor; the host must
+/// route them back via [`Transport::on_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportTimer {
+    /// Retransmission timeout for a request.
+    Timeout(ReqId),
+    /// A queued send may now fit the (paced) window.
+    Pump(Mac),
+    /// Re-issue a request refused with `Conflict`.
+    ConflictRetry(XferToken),
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    token: XferToken,
+    target: Mac,
+    pid: Pid,
+    blueprint: Blueprint,
+    expected_bytes: u64,
+    attempt_sent_at: SimTime,
+    first_sent_at: SimTime,
+    retries: u32,
+    conflict_retries: u32,
+    timer: Option<EventId>,
+}
+
+#[derive(Debug)]
+struct QueuedSend {
+    token: XferToken,
+    pid: Pid,
+    blueprint: Blueprint,
+    enqueued_at: SimTime,
+}
+
+/// Per-CN transport instance (shared by all processes on the CN, like the
+/// kernel-bypass driver in §5).
+#[derive(Debug)]
+pub struct Transport {
+    cfg: CLibConfig,
+    next_req: u64,
+    outstanding: HashMap<ReqId, Outstanding>,
+    parked_conflicts: HashMap<XferToken, Outstanding>,
+    queues: HashMap<Mac, VecDeque<QueuedSend>>,
+    conflict_generations: HashMap<XferToken, u32>,
+    cwnds: HashMap<Mac, CongestionWindow>,
+    iwnd: IncastWindow,
+    reassembler: Reassembler,
+    /// Retries performed (for stats).
+    pub retry_count: u64,
+}
+
+impl Transport {
+    /// Creates a transport whose request ids start from a CN-unique base so
+    /// ids never collide across CNs.
+    pub fn new(cfg: CLibConfig, cn_id: u64) -> Self {
+        Transport {
+            iwnd: IncastWindow::new(cfg.iwnd_bytes),
+            cfg,
+            next_req: cn_id << 40,
+            outstanding: HashMap::new(),
+            parked_conflicts: HashMap::new(),
+            queues: HashMap::new(),
+            conflict_generations: HashMap::new(),
+            cwnds: HashMap::new(),
+            reassembler: Reassembler::new(),
+            retry_count: 0,
+        }
+    }
+
+    fn fresh_id(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(self.next_req)
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Requests queued for window space.
+    pub fn queued(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// The congestion window toward `mn` (created on first use).
+    pub fn cwnd(&mut self, mn: Mac) -> &mut CongestionWindow {
+        let cfg = &self.cfg;
+        self.cwnds.entry(mn).or_insert_with(|| CongestionWindow::new(cfg))
+    }
+
+    /// Submits a request. It is sent immediately if the congestion and
+    /// incast windows allow, otherwise queued.
+    pub fn send(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        token: XferToken,
+        target: Mac,
+        pid: Pid,
+        blueprint: Blueprint,
+    ) {
+        let q = QueuedSend { token, pid, blueprint, enqueued_at: ctx.now() };
+        self.queues.entry(target).or_default().push_back(q);
+        self.pump(ctx, nic, target);
+    }
+
+    /// Tries to transmit queued requests toward `target`.
+    fn pump(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, target: Mac) {
+        loop {
+            let now = ctx.now();
+            let Some(queue) = self.queues.get_mut(&target) else { return };
+            let Some(head) = queue.front() else { return };
+            let bytes = head.blueprint.expected_response_bytes();
+            let cwnd = self.cwnds.entry(target).or_insert_with(|| CongestionWindow::new(&self.cfg));
+            if !cwnd.try_acquire(now) {
+                // Paced sub-1 windows need a wake-up; full windows are
+                // pumped by the next completion.
+                let at = cwnd.next_opportunity(now);
+                if at > now {
+                    ctx.schedule(at.since(now), Message::new(TransportTimer::Pump(target)));
+                }
+                return;
+            }
+            if !self.iwnd.try_acquire(bytes) {
+                self.cwnds.get_mut(&target).expect("just used").on_release();
+                return;
+            }
+            let q = self
+                .queues
+                .get_mut(&target)
+                .expect("checked above")
+                .pop_front()
+                .expect("checked above");
+            let conflict_gen = self.conflict_generations.remove(&q.token).unwrap_or(0);
+            self.transmit(
+                ctx,
+                nic,
+                q.token,
+                target,
+                q.pid,
+                q.blueprint,
+                None,
+                0,
+                conflict_gen,
+                q.enqueued_at,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal send/retry core
+    fn transmit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        token: XferToken,
+        target: Mac,
+        pid: Pid,
+        blueprint: Blueprint,
+        retry_of: Option<ReqId>,
+        retries: u32,
+        conflict_retries: u32,
+        first_sent_at: SimTime,
+    ) {
+        let req_id = self.fresh_id();
+        let retry_of = retry_of.filter(|_| blueprint.is_non_idempotent());
+        let packets = blueprint.build(req_id, retry_of, pid);
+        let send_start = ctx.now() + self.cfg.send_overhead;
+        for pkt in &packets {
+            let wire = (codec::wire_len(pkt) + ETH_OVERHEAD_BYTES) as u32;
+            nic.send_at(ctx, send_start, target, wire, Message::new(pkt.clone()));
+        }
+        let timer = ctx.schedule(
+            blueprint.timeout(self.cfg.request_timeout),
+            Message::new(TransportTimer::Timeout(req_id)),
+        );
+        self.outstanding.insert(
+            req_id,
+            Outstanding {
+                token,
+                target,
+                pid,
+                blueprint,
+                expected_bytes: 0, // filled below
+                attempt_sent_at: ctx.now(),
+                first_sent_at,
+                retries,
+                conflict_retries,
+                timer: Some(timer),
+            },
+        );
+        let bytes = self.outstanding[&req_id].blueprint.expected_response_bytes();
+        self.outstanding.get_mut(&req_id).expect("just inserted").expected_bytes = bytes;
+    }
+
+    fn release_windows(&mut self, now: SimTime, o: &Outstanding, rtt: Option<SimDuration>) {
+        let cwnd = self.cwnds.entry(o.target).or_insert_with(|| CongestionWindow::new(&self.cfg));
+        let moved_bytes = o.expected_bytes + o.blueprint.payload_bytes();
+        match rtt {
+            Some(rtt) if o.blueprint.is_congestion_signal() => {
+                cwnd.on_response_sized(now, rtt, moved_bytes)
+            }
+            Some(_) => cwnd.on_release(),
+            None if o.blueprint.is_congestion_signal() => cwnd.on_timeout(now),
+            None => cwnd.on_release(),
+        }
+        self.iwnd.release(o.expected_bytes);
+    }
+
+    /// Handles a frame payload (a [`ClioPacket`]) delivered to this CN.
+    /// Returns completions to surface and the MACs whose queues may now
+    /// drain (the caller should keep forwarding frames in).
+    pub fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        pkt: ClioPacket,
+    ) -> Vec<XferDone> {
+        let mut done = Vec::new();
+        match pkt {
+            ClioPacket::Response { header, body } => {
+                if !self.outstanding.contains_key(&header.req_id) {
+                    return done; // stale/duplicate response
+                }
+                // Multi-packet read responses finish on the last fragment.
+                let value = match body {
+                    ResponseBody::DataFrag { offset, data } => {
+                        match self.reassembler.accept(header, offset, data) {
+                            Some(full) => XferValue::Data(full),
+                            None => return done,
+                        }
+                    }
+                    ResponseBody::Done => XferValue::Done,
+                    ResponseBody::Alloced { va } => XferValue::Va(va),
+                    ResponseBody::AtomicOld { old } => XferValue::Old(old),
+                    ResponseBody::OffloadReply { data } => XferValue::Data(data),
+                };
+                let o = self.outstanding.remove(&header.req_id).expect("checked");
+                if let Some(t) = o.timer {
+                    ctx.cancel(t);
+                }
+                let now = ctx.now();
+                let rtt = now.since(o.attempt_sent_at);
+                self.release_windows(now, &o, Some(rtt));
+                match header.status {
+                    Status::Ok => {
+                        done.push(XferDone {
+                            token: o.token,
+                            result: Ok(value),
+                            rtt: now.since(o.first_sent_at) + self.cfg.recv_overhead,
+                        });
+                    }
+                    Status::Conflict => {
+                        // Region mid-migration: back off and re-issue.
+                        if o.conflict_retries >= self.cfg.max_conflict_retries {
+                            done.push(XferDone {
+                                token: o.token,
+                                result: Err(ClioError::Remote(Status::Conflict)),
+                                rtt: now.since(o.first_sent_at),
+                            });
+                        } else {
+                            let backoff = self.cfg.conflict_backoff
+                                * (1 + o.conflict_retries.min(16) as u64);
+                            ctx.schedule(
+                                backoff,
+                                Message::new(TransportTimer::ConflictRetry(o.token)),
+                            );
+                            self.parked_conflicts.insert(o.token, o);
+                        }
+                    }
+                    status => {
+                        done.push(XferDone {
+                            token: o.token,
+                            result: Err(ClioError::from(status)),
+                            rtt: now.since(o.first_sent_at),
+                        });
+                    }
+                }
+                // A completion freed window space: drain every queue.
+                let macs: Vec<Mac> = self.queues.keys().copied().collect();
+                for m in macs {
+                    self.pump(ctx, nic, m);
+                }
+            }
+            ClioPacket::Nack { req_id } => {
+                // Corrupted on the wire: retry immediately (no congestion
+                // signal; corruption is not loss).
+                if let Some(mut o) = self.outstanding.remove(&req_id) {
+                    if let Some(t) = o.timer.take() {
+                        ctx.cancel(t);
+                    }
+                    self.retry_count += 1;
+                    o.retries += 1;
+                    if o.retries > self.cfg.max_retries {
+                        self.release_windows(ctx.now(), &o, None);
+                        done.push(XferDone {
+                            token: o.token,
+                            result: Err(ClioError::TimedOut),
+                            rtt: ctx.now().since(o.first_sent_at),
+                        });
+                    } else {
+                        // Window slot stays held: this is the same logical
+                        // request. Hand the slot bookkeeping over by not
+                        // releasing and re-transmitting directly.
+                        self.retransmit(ctx, nic, o, req_id);
+                    }
+                }
+            }
+            ClioPacket::Request { .. } => { /* CNs never receive requests */ }
+        }
+        done
+    }
+
+    fn retransmit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        o: Outstanding,
+        prev_id: ReqId,
+    ) {
+        let new_id = self.fresh_id();
+        let retry_of = o.blueprint.is_non_idempotent().then_some(prev_id);
+        let packets = o.blueprint.build(new_id, retry_of, o.pid);
+        let send_start = ctx.now() + self.cfg.send_overhead;
+        for pkt in &packets {
+            let wire = (codec::wire_len(pkt) + ETH_OVERHEAD_BYTES) as u32;
+            nic.send_at(ctx, send_start, o.target, wire, Message::new(pkt.clone()));
+        }
+        let timer = ctx.schedule(
+            o.blueprint.timeout(self.cfg.request_timeout),
+            Message::new(TransportTimer::Timeout(new_id)),
+        );
+        self.reassembler.forget(prev_id);
+        self.outstanding.insert(
+            new_id,
+            Outstanding { attempt_sent_at: ctx.now(), timer: Some(timer), ..o },
+        );
+    }
+
+    /// Handles a transport timer routed back by the host actor.
+    pub fn on_timer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        timer: TransportTimer,
+    ) -> Vec<XferDone> {
+        let mut done = Vec::new();
+        match timer {
+            TransportTimer::Timeout(req_id) => {
+                let Some(mut o) = self.outstanding.remove(&req_id) else {
+                    return done; // completed already
+                };
+                o.timer = None;
+                self.retry_count += 1;
+                o.retries += 1;
+                let now = ctx.now();
+                if o.retries > self.cfg.max_retries {
+                    self.release_windows(now, &o, None);
+                    done.push(XferDone {
+                        token: o.token,
+                        result: Err(ClioError::TimedOut),
+                        rtt: now.since(o.first_sent_at),
+                    });
+                    let macs: Vec<Mac> = self.queues.keys().copied().collect();
+                    for m in macs {
+                        self.pump(ctx, nic, m);
+                    }
+                } else {
+                    // Timeout is a congestion signal; shrink but keep the
+                    // slot for the retransmission (same logical request).
+                    let cfg = &self.cfg;
+                    let cwnd =
+                        self.cwnds.entry(o.target).or_insert_with(|| CongestionWindow::new(cfg));
+                    cwnd.on_congestion(now);
+                    self.retransmit(ctx, nic, o, req_id);
+                }
+            }
+            TransportTimer::Pump(mac) => self.pump(ctx, nic, mac),
+            TransportTimer::ConflictRetry(token) => {
+                if let Some(o) = self.parked_conflicts.remove(&token) {
+                    // Rejoin the send queue (at the front: it is the oldest
+                    // logical request) so window accounting stays uniform.
+                    let target = o.target;
+                    self.queues.entry(target).or_default().push_front(QueuedSend {
+                        token: o.token,
+                        pid: o.pid,
+                        blueprint: o.blueprint,
+                        enqueued_at: o.first_sent_at,
+                    });
+                    self.conflict_generations.insert(o.token, o.conflict_retries + 1);
+                    self.pump(ctx, nic, target);
+                }
+            }
+        }
+        done
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: the dependency tracker never violates the paper's
+//! ordering rules (§4.5 T2) under arbitrary schedules.
+
+use clio_cn::ordering::{AccessClass, DependencyTracker};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct OpSpec {
+    write: bool,
+    vpn: u64,
+}
+
+fn arb_op() -> impl Strategy<Value = OpSpec> {
+    (any::<bool>(), 0u64..6).prop_map(|(write, vpn)| OpSpec { write, vpn })
+}
+
+fn conflicts(a: &OpSpec, b: &OpSpec) -> bool {
+    a.vpn == b.vpn && (a.write || b.write)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Submit a random op sequence, completing in-flight ops at random
+    /// points. Invariants:
+    /// 1. no two conflicting ops are ever in flight together,
+    /// 2. every op eventually dispatches,
+    /// 3. conflicting ops dispatch in program order.
+    #[test]
+    fn no_conflicting_ops_in_flight(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        completions in proptest::collection::vec(any::<prop::sample::Index>(), 0..200),
+    ) {
+        let mut tracker: DependencyTracker<u32> = DependencyTracker::new();
+        let mut inflight: Vec<u32> = Vec::new();
+        let mut dispatched_order: Vec<u32> = Vec::new();
+        let specs: Vec<OpSpec> = ops.clone();
+        let mut completion_iter = completions.into_iter();
+
+        let check_inflight = |inflight: &[u32], specs: &[OpSpec]| {
+            for (i, &a) in inflight.iter().enumerate() {
+                for &b in &inflight[i + 1..] {
+                    assert!(
+                        !conflicts(&specs[a as usize], &specs[b as usize]),
+                        "ops {a} and {b} conflict but are both in flight"
+                    );
+                }
+            }
+        };
+
+        for (token, op) in specs.iter().enumerate() {
+            let token = token as u32;
+            let class = if op.write { AccessClass::Write } else { AccessClass::Read };
+            if tracker.submit(token, class, vec![op.vpn]) {
+                inflight.push(token);
+                dispatched_order.push(token);
+            }
+            check_inflight(&inflight, &specs);
+
+            // Randomly complete one in-flight op.
+            if let Some(idx) = completion_iter.next() {
+                if !inflight.is_empty() {
+                    let victim = inflight.remove(idx.index(inflight.len()));
+                    for released in tracker.complete(victim) {
+                        inflight.push(released);
+                        dispatched_order.push(released);
+                    }
+                    check_inflight(&inflight, &specs);
+                }
+            }
+        }
+
+        // Drain everything.
+        let mut guard = 0;
+        while !inflight.is_empty() {
+            let victim = inflight.remove(0);
+            for released in tracker.complete(victim) {
+                inflight.push(released);
+                dispatched_order.push(released);
+            }
+            check_inflight(&inflight, &specs);
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+        }
+        prop_assert!(tracker.is_drained(), "tracker retains state after drain");
+        prop_assert_eq!(dispatched_order.len(), specs.len(), "an op never dispatched");
+
+        // Conflicting pairs dispatched in program order.
+        for (pos_a, &a) in dispatched_order.iter().enumerate() {
+            for &b in &dispatched_order[pos_a + 1..] {
+                if conflicts(&specs[a as usize], &specs[b as usize]) {
+                    // b dispatched after a; program order must agree.
+                    // (Equal tokens impossible.)
+                    if b < a {
+                        // A later-dispatched op with an earlier token would
+                        // mean reordering of a conflicting pair... unless
+                        // they never overlapped in the pending queue. The
+                        // tracker releases strictly in program order among
+                        // conflicting ops, so this must not happen.
+                        prop_assert!(
+                            false,
+                            "conflicting ops {b} and {a} dispatched out of program order"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Cluster assembly: CNs + CBoards + switch + controller.
+
+use clio_cn::CLibConfig;
+use clio_mn::{CBoard, CBoardConfig, Offload};
+use clio_net::{Mac, Network, NetworkConfig};
+use clio_proto::Pid;
+use clio_sim::{ActorId, Bandwidth, SimDuration, SimTime, Simulation};
+
+use crate::controller::Controller;
+use crate::node::{ClientDriver, ComputeNode, StartClients};
+
+/// Deployment shape and component configurations.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// RNG seed (whole run is deterministic in it).
+    pub seed: u64,
+    /// Number of compute nodes.
+    pub cns: usize,
+    /// Number of memory nodes (CBoards).
+    pub mns: usize,
+    /// Board template (each MN gets a disjoint VA slice stamped in).
+    pub board: CBoardConfig,
+    /// CLib configuration for every CN.
+    pub clib: CLibConfig,
+    /// Fabric configuration.
+    pub network: NetworkConfig,
+    /// CN NIC rate (testbed: 40 Gbps ConnectX-3).
+    pub cn_nic_rate: Bandwidth,
+    /// RAS bytes owned by each MN (its VA slice span).
+    pub mn_slice_span: u64,
+    /// Physical-memory utilization at which boards report pressure.
+    pub pressure_threshold: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed shape: 4 CNs, 4 MNs (§7 Environment).
+    pub fn testbed() -> Self {
+        ClusterConfig {
+            seed: 0xC110,
+            cns: 4,
+            mns: 4,
+            board: CBoardConfig::prototype(),
+            clib: CLibConfig::prototype(),
+            network: NetworkConfig::default(),
+            cn_nic_rate: Bandwidth::from_gbps(40),
+            mn_slice_span: 1 << 40,
+            pressure_threshold: 0.9,
+        }
+    }
+
+    /// A small single-CN/single-MN configuration for tests.
+    pub fn test_small() -> Self {
+        ClusterConfig {
+            cns: 1,
+            mns: 1,
+            board: CBoardConfig::test_small(),
+            ..Self::testbed()
+        }
+    }
+}
+
+/// A built cluster, ready to run.
+pub struct Cluster {
+    /// The simulation driving everything.
+    pub sim: Simulation,
+    /// The fabric handle (fault injection, port stats).
+    pub net: Network,
+    controller: ActorId,
+    cns: Vec<ActorId>,
+    mns: Vec<ActorId>,
+    mn_macs: Vec<Mac>,
+    started: bool,
+}
+
+impl Cluster {
+    /// Builds the deployment described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has zero CNs or MNs.
+    pub fn build(cfg: &ClusterConfig) -> Self {
+        assert!(cfg.cns > 0 && cfg.mns > 0, "cluster needs at least one CN and MN");
+        let mut sim = Simulation::new(cfg.seed);
+        let mut net = Network::new(&mut sim, cfg.network);
+        let mut controller = Controller::new();
+
+        // Memory nodes, each owning a disjoint RAS slice.
+        let mut mns = Vec::new();
+        let mut mn_macs = Vec::new();
+        let mut slices = Vec::new();
+        for i in 0..cfg.mns {
+            let slice_base = (1u64 << 20).max((i as u64) * cfg.mn_slice_span + (1 << 20));
+            let mut board_cfg = cfg.board.clone();
+            board_cfg.va_window = Some((slice_base, cfg.mn_slice_span - (2 << 20)));
+            let port = net.create_port(cfg.board.port_rate);
+            let mac = port.mac();
+            let board = CBoard::new(format!("mn{i}"), board_cfg, port);
+            let id = sim.add_actor(board);
+            net.attach(&mut sim, mac, id);
+            controller.register_mn(
+                mac,
+                id,
+                slice_base,
+                cfg.mn_slice_span,
+                cfg.board.hw.phys_mem_bytes,
+            );
+            slices.push((slice_base, cfg.mn_slice_span, mac));
+            mns.push(id);
+            mn_macs.push(mac);
+        }
+
+        let controller_id = sim.add_actor(controller);
+        for (i, &mn) in mns.iter().enumerate() {
+            let _ = i;
+            sim.actor_mut::<CBoard>(mn).set_controller(controller_id, cfg.pressure_threshold);
+        }
+
+        // Compute nodes.
+        let mut cns = Vec::new();
+        for i in 0..cfg.cns {
+            let port = net.create_port(cfg.cn_nic_rate);
+            let mac = port.mac();
+            let node = ComputeNode::new(
+                format!("cn{i}"),
+                i,
+                port,
+                cfg.clib,
+                cfg.board.hw.page_size,
+                controller_id,
+                slices.clone(),
+                mn_macs.clone(),
+            );
+            let id = sim.add_actor(node);
+            net.attach(&mut sim, mac, id);
+            cns.push(id);
+        }
+
+        Cluster { sim, net, controller: controller_id, cns, mns, mn_macs, started: false }
+    }
+
+    /// The controller actor id.
+    pub fn controller_id(&self) -> ActorId {
+        self.controller
+    }
+
+    /// Compute-node actor ids.
+    pub fn cn_ids(&self) -> &[ActorId] {
+        &self.cns
+    }
+
+    /// Memory-node actor ids.
+    pub fn mn_ids(&self) -> &[ActorId] {
+        &self.mns
+    }
+
+    /// Memory-node MACs (offload targeting).
+    pub fn mn_macs(&self) -> &[Mac] {
+        &self.mn_macs
+    }
+
+    /// Registers a driver as process `pid` on compute node `cn`. Returns the
+    /// driver's index on that CN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`start`](Self::start) or with a bad index.
+    pub fn add_driver(&mut self, cn: usize, pid: Pid, driver: Box<dyn ClientDriver>) -> usize {
+        assert!(!self.started, "add drivers before starting the cluster");
+        self.sim.actor_mut::<ComputeNode>(self.cns[cn]).add_driver(pid, driver)
+    }
+
+    /// Installs an offload module on memory node `mn`.
+    pub fn install_offload(&mut self, mn: usize, id: u16, pid: Pid, module: Box<dyn Offload>) {
+        self.sim.actor_mut::<CBoard>(self.mns[mn]).install_offload(id, pid, module);
+    }
+
+    /// Installs an offload that runs in each caller's own address space
+    /// (Clio-DF style, §6).
+    pub fn install_offload_shared(&mut self, mn: usize, id: u16, module: Box<dyn Offload>) {
+        self.sim.actor_mut::<CBoard>(self.mns[mn]).install_offload_shared(id, module);
+    }
+
+    /// Starts every registered driver.
+    pub fn start(&mut self) {
+        self.started = true;
+        for &cn in &self.cns {
+            self.sim.post(cn, clio_sim::Message::new(StartClients));
+        }
+    }
+
+    /// Runs the cluster until no events remain.
+    pub fn run_until_idle(&mut self) {
+        self.sim.run_until_idle();
+    }
+
+    /// Runs the cluster for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Borrows a compute node (stats, driver state).
+    pub fn cn(&self, i: usize) -> &ComputeNode {
+        self.sim.actor::<ComputeNode>(self.cns[i])
+    }
+
+    /// Borrows a memory node (silicon/allocator inspection).
+    pub fn mn(&self, i: usize) -> &CBoard {
+        self.sim.actor::<CBoard>(self.mns[i])
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("cns", &self.cns.len())
+            .field("mns", &self.mns.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}

@@ -1,0 +1,447 @@
+//! The global controller (paper §4.7).
+//!
+//! A management-plane service (modeled as an actor reachable with a small
+//! RPC latency) that performs the *coarse* half of Clio's two-level
+//! distributed memory management:
+//!
+//! * **placement** — each `ralloc` is directed to a memory node (default
+//!   policy: the node with the most free physical memory); every MN owns a
+//!   disjoint slice of the RAS so fine-grained allocation needs no global
+//!   coordination,
+//! * **tracking** — allocated ranges are recorded so the controller can pick
+//!   migration victims and answer routing queries,
+//! * **migration** — when an MN reports memory pressure, the controller
+//!   moves its least-recently-allocated region to the least-pressured node
+//!   and invalidates CN routing.
+
+use clio_mn::migrate::{MigrateCommand, MigrationComplete, PressureReport};
+use clio_net::Mac;
+use clio_proto::Pid;
+use clio_sim::{Actor, ActorId, Ctx, Message, SimDuration, SimTime};
+
+/// Management RPC: where should this allocation go?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaceAlloc {
+    /// Allocating process.
+    pub pid: Pid,
+    /// Requested bytes.
+    pub size: u64,
+    /// Who to answer.
+    pub reply_to: ActorId,
+    /// Caller-chosen tag echoed in the reply.
+    pub tag: u64,
+}
+
+/// Reply to [`PlaceAlloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementReply {
+    /// The chosen memory node.
+    pub mn: Mac,
+    /// Echoed tag.
+    pub tag: u64,
+}
+
+/// Management RPC: which MN owns `(pid, va)` now? (Sent after a `Moved`
+/// refusal.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteQuery {
+    /// Process.
+    pub pid: Pid,
+    /// Address being accessed.
+    pub va: u64,
+    /// Who to answer.
+    pub reply_to: ActorId,
+    /// Caller-chosen tag echoed in the reply.
+    pub tag: u64,
+}
+
+/// Reply to [`RouteQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteReply {
+    /// Current owner of the address (`None` if unknown).
+    pub mn: Option<Mac>,
+    /// Echoed tag.
+    pub tag: u64,
+}
+
+/// Notification from a CN: an allocation succeeded (the controller tracks
+/// ranges for migration victim selection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocNotify {
+    /// Owning process.
+    pub pid: Pid,
+    /// Range start.
+    pub va: u64,
+    /// Range length.
+    pub len: u64,
+    /// Node it was placed on.
+    pub mn: Mac,
+}
+
+/// Notification from a CN: a range was freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeNotify {
+    /// Owning process.
+    pub pid: Pid,
+    /// Range start.
+    pub va: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TrackedRange {
+    pid: Pid,
+    va: u64,
+    len: u64,
+    owner: Mac,
+    allocated_at: SimTime,
+    migrating: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MnInfo {
+    mac: Mac,
+    actor: ActorId,
+    slice_base: u64,
+    slice_span: u64,
+    phys_bytes: u64,
+    placed_bytes: u64,
+}
+
+/// The global controller actor.
+#[derive(Debug)]
+pub struct Controller {
+    mns: Vec<MnInfo>,
+    ranges: Vec<TrackedRange>,
+    rpc_latency: SimDuration,
+    migrations_started: u64,
+    migrations_completed: u64,
+}
+
+impl Controller {
+    /// Creates an empty controller; memory nodes register via
+    /// [`Controller::register_mn`].
+    pub fn new() -> Self {
+        Controller {
+            mns: Vec::new(),
+            ranges: Vec::new(),
+            rpc_latency: SimDuration::from_micros(2),
+            migrations_started: 0,
+            migrations_completed: 0,
+        }
+    }
+
+    /// Registers a memory node and the RAS slice it owns.
+    pub fn register_mn(
+        &mut self,
+        mac: Mac,
+        actor: ActorId,
+        slice_base: u64,
+        slice_span: u64,
+        phys_bytes: u64,
+    ) {
+        self.mns.push(MnInfo {
+            mac,
+            actor,
+            slice_base,
+            slice_span,
+            phys_bytes,
+            placed_bytes: 0,
+        });
+    }
+
+    /// The RAS slice `(base, span)` owned by the MN at `mac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is not registered.
+    pub fn slice_of(&self, mac: Mac) -> (u64, u64) {
+        let m = self.mns.iter().find(|m| m.mac == mac).expect("unregistered MN");
+        (m.slice_base, m.slice_span)
+    }
+
+    /// Registered memory nodes, in registration order.
+    pub fn mn_macs(&self) -> Vec<Mac> {
+        self.mns.iter().map(|m| m.mac).collect()
+    }
+
+    /// `(started, completed)` migration counters.
+    pub fn migration_stats(&self) -> (u64, u64) {
+        (self.migrations_started, self.migrations_completed)
+    }
+
+    /// Placement policy: most free (physical minus placed) bytes first;
+    /// ties break by registration order.
+    fn place(&mut self, size: u64) -> Option<usize> {
+        let idx = self
+            .mns
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, m)| (m.phys_bytes.saturating_sub(m.placed_bytes), usize::MAX - i))
+            .map(|(i, _)| i)?;
+        self.mns[idx].placed_bytes += size;
+        Some(idx)
+    }
+
+    /// The current owner of `(pid, va)`: a tracked range's owner, or the
+    /// slice owner as the default.
+    fn owner_of(&self, pid: Pid, va: u64) -> Option<Mac> {
+        if let Some(r) =
+            self.ranges.iter().find(|r| r.pid == pid && va >= r.va && va < r.va + r.len)
+        {
+            return Some(r.owner);
+        }
+        self.mns
+            .iter()
+            .find(|m| va >= m.slice_base && va < m.slice_base + m.slice_span)
+            .map(|m| m.mac)
+    }
+
+    fn handle_pressure(&mut self, ctx: &mut Ctx<'_>, report: PressureReport) {
+        // Victim: the least-recently-allocated (coldest proxy) range on the
+        // pressured node that is not already moving.
+        let Some(victim_idx) = self
+            .ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.owner == report.mac && !r.migrating)
+            .min_by_key(|(_, r)| r.allocated_at)
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        // Destination: the node with the most free physical memory that is
+        // not the source.
+        let Some(dst) = self
+            .mns
+            .iter()
+            .filter(|m| m.mac != report.mac)
+            .max_by_key(|m| m.phys_bytes.saturating_sub(m.placed_bytes))
+            .map(|m| m.mac)
+        else {
+            return;
+        };
+        let src_actor = self
+            .mns
+            .iter()
+            .find(|m| m.mac == report.mac)
+            .expect("pressure from unregistered MN")
+            .actor;
+        let victim = &mut self.ranges[victim_idx];
+        victim.migrating = true;
+        self.migrations_started += 1;
+        let cmd =
+            MigrateCommand { pid: victim.pid, start: victim.va, len: victim.len, dst };
+        ctx.send(src_actor, self.rpc_latency, Message::new(cmd));
+    }
+
+    fn handle_complete(&mut self, done: MigrationComplete) {
+        self.migrations_completed += 1;
+        for r in &mut self.ranges {
+            if r.pid == done.pid && r.va == done.start {
+                r.owner = done.dst;
+                r.migrating = false;
+            }
+        }
+        // Account the moved bytes.
+        if let Some(m) = self.mns.iter_mut().find(|m| m.mac == done.dst) {
+            m.placed_bytes += done.len;
+        }
+    }
+}
+
+impl Default for Controller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Actor for Controller {
+    fn name(&self) -> &str {
+        "controller"
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let msg = match msg.downcast::<PlaceAlloc>() {
+            Ok(p) => {
+                let mn = self
+                    .place(p.size)
+                    .map(|i| self.mns[i].mac)
+                    .expect("no memory nodes registered");
+                ctx.send(
+                    p.reply_to,
+                    self.rpc_latency,
+                    Message::new(PlacementReply { mn, tag: p.tag }),
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RouteQuery>() {
+            Ok(q) => {
+                let mn = self.owner_of(q.pid, q.va);
+                ctx.send(
+                    q.reply_to,
+                    self.rpc_latency,
+                    Message::new(RouteReply { mn, tag: q.tag }),
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<AllocNotify>() {
+            Ok(n) => {
+                self.ranges.push(TrackedRange {
+                    pid: n.pid,
+                    va: n.va,
+                    len: n.len,
+                    owner: n.mn,
+                    allocated_at: ctx.now(),
+                    migrating: false,
+                });
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<FreeNotify>() {
+            Ok(n) => {
+                self.ranges.retain(|r| !(r.pid == n.pid && r.va == n.va));
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<PressureReport>() {
+            Ok(r) => {
+                self.handle_pressure(ctx, r);
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<MigrationComplete>() {
+            Ok(done) => self.handle_complete(done),
+            Err(other) => panic!("controller got unexpected message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_sim::Simulation;
+
+    /// Sink that records placement/route replies.
+    struct Sink {
+        placements: Vec<PlacementReply>,
+        routes: Vec<RouteReply>,
+    }
+    impl Actor for Sink {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+            let msg = match msg.downcast::<PlacementReply>() {
+                Ok(p) => {
+                    self.placements.push(p);
+                    return;
+                }
+                Err(m) => m,
+            };
+            self.routes.push(msg.downcast::<RouteReply>().expect("route reply"));
+        }
+    }
+
+    fn setup() -> (Simulation, ActorId, ActorId) {
+        let mut sim = Simulation::new(5);
+        let sink = sim.add_actor(Sink { placements: vec![], routes: vec![] });
+        let mut c = Controller::new();
+        c.register_mn(Mac(10), sink /*placeholder*/, 1 << 30, 1 << 30, 4 << 30);
+        c.register_mn(Mac(20), sink, 2 << 30, 1 << 30, 2 << 30);
+        let ctrl = sim.add_actor(c);
+        (sim, ctrl, sink)
+    }
+
+    #[test]
+    fn placement_prefers_free_memory() {
+        let (mut sim, ctrl, sink) = setup();
+        for tag in 0..3 {
+            sim.post(
+                ctrl,
+                Message::new(PlaceAlloc { pid: Pid(1), size: 1 << 30, reply_to: sink, tag }),
+            );
+        }
+        sim.run_until_idle();
+        let got: Vec<Mac> =
+            sim.actor::<Sink>(sink).placements.iter().map(|p| p.mn).collect();
+        // 4 GB free vs 2 GB free: first to Mac(10) (4->3), second Mac(10)
+        // (3->2), third ties at 2 GB -> registration order Mac(10).
+        assert_eq!(got[0], Mac(10));
+        assert_eq!(got[1], Mac(10));
+        assert_eq!(got[2], Mac(10));
+    }
+
+    #[test]
+    fn routing_defaults_to_slice_owner_and_tracks_ranges() {
+        let (mut sim, ctrl, sink) = setup();
+        // Address in MN 1's slice with no tracked range.
+        sim.post(
+            ctrl,
+            Message::new(RouteQuery { pid: Pid(1), va: (1 << 30) + 8192, reply_to: sink, tag: 1 }),
+        );
+        // Tracked range overrides the slice owner.
+        sim.post(
+            ctrl,
+            Message::new(AllocNotify { pid: Pid(1), va: 1 << 30, len: 4096, mn: Mac(20) }),
+        );
+        sim.post(
+            ctrl,
+            Message::new(RouteQuery { pid: Pid(1), va: (1 << 30) + 10, reply_to: sink, tag: 2 }),
+        );
+        // Unknown address outside every slice.
+        sim.post(
+            ctrl,
+            Message::new(RouteQuery { pid: Pid(1), va: 1 << 45, reply_to: sink, tag: 3 }),
+        );
+        sim.run_until_idle();
+        let routes = &sim.actor::<Sink>(sink).routes;
+        assert_eq!(routes[0], RouteReply { mn: Some(Mac(10)), tag: 1 });
+        assert_eq!(routes[1], RouteReply { mn: Some(Mac(20)), tag: 2 });
+        assert_eq!(routes[2], RouteReply { mn: None, tag: 3 });
+    }
+
+    #[test]
+    fn pressure_triggers_migration_command() {
+        let mut sim = Simulation::new(5);
+        /// Captures MigrateCommand sent to the "board".
+        struct BoardStub {
+            cmds: Vec<MigrateCommand>,
+        }
+        impl Actor for BoardStub {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+                self.cmds.push(msg.downcast::<MigrateCommand>().expect("cmd"));
+            }
+        }
+        let board = sim.add_actor(BoardStub { cmds: vec![] });
+        let mut c = Controller::new();
+        c.register_mn(Mac(10), board, 1 << 30, 1 << 30, 1 << 30);
+        c.register_mn(Mac(20), board, 2 << 30, 1 << 30, 8 << 30);
+        let ctrl = sim.add_actor(c);
+        sim.post(
+            ctrl,
+            Message::new(AllocNotify { pid: Pid(3), va: 1 << 30, len: 8192, mn: Mac(10) }),
+        );
+        sim.post(ctrl, Message::new(PressureReport { mac: Mac(10), utilization: 0.95 }));
+        sim.run_until_idle();
+        let cmds = &sim.actor::<BoardStub>(board).cmds;
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].pid, Pid(3));
+        assert_eq!(cmds[0].dst, Mac(20), "moves to the roomier node");
+        // Completion updates routing.
+        sim.post(
+            ctrl,
+            Message::new(MigrationComplete {
+                pid: Pid(3),
+                start: 1 << 30,
+                len: 8192,
+                dst: Mac(20),
+            }),
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Controller>(ctrl).migration_stats(), (1, 1));
+    }
+}

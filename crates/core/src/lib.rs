@@ -1,0 +1,30 @@
+//! # clio-core — the assembled Clio system
+//!
+//! Everything above the individual components: this crate builds whole
+//! deployments (compute nodes + CBoards + ToR switch + global controller)
+//! and offers two ways to program against them:
+//!
+//! * **event-driven drivers** ([`ClientDriver`]) — state machines used by
+//!   workload generators and benchmarks; thousands of client processes cost
+//!   no OS threads,
+//! * **the blocking runtime** ([`runtime::BlockingCluster`]) — spawn real OS
+//!   threads whose code reads like the paper's Figure 1
+//!   (`ralloc`/`rread`/`rwrite`/`rlock`/...), rendezvousing with the
+//!   simulator under the hood.
+//!
+//! The [`Controller`] implements the paper's two-level distributed virtual
+//! memory management (§4.7): it places allocations across MNs (each MN owns
+//! a disjoint slice of the 48-bit RAS), tracks where every allocated range
+//! lives, relocates regions away from memory-pressured nodes, and answers
+//! CN routing queries after migrations.
+
+pub mod cluster;
+pub mod controller;
+pub mod metrics;
+pub mod node;
+pub mod runtime;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use controller::Controller;
+pub use node::{AppCompletion, AppResult, AppToken, ClientApi, ClientDriver, ComputeNode};
+pub use runtime::{BlockingCluster, RemoteProcess};

@@ -1,0 +1,659 @@
+//! The compute-node host actor and its application-facing API.
+//!
+//! A [`ComputeNode`] owns a NIC, a CLib instance and any number of
+//! [`ClientDriver`]s — event-driven client programs (workload generators,
+//! application clients, bridges for the blocking runtime). Drivers issue
+//! operations through [`ClientApi`] using only `(pid, va)`; the node resolves
+//! which memory node owns the address (slice routing plus
+//! migration-exception cache), consults the global controller for
+//! allocations and after `Moved` refusals, and transparently re-issues
+//! relocated requests — the CN half of §4.7's distributed memory support.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, OpToken, ThreadId};
+use clio_net::{Frame, Mac, NicPort};
+use clio_proto::{Perm, Pid};
+use clio_sim::{Actor, ActorId, Ctx, Message, SimDuration, SimTime};
+
+use crate::controller::{AllocNotify, FreeNotify, PlaceAlloc, PlacementReply, RouteQuery, RouteReply};
+
+/// Host-level operation handle, stable across transparent re-submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppToken(pub u64);
+
+/// Result type delivered to drivers.
+pub type AppResult = Result<CompletionValue, ClioError>;
+
+/// A finished application operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppCompletion {
+    /// The operation's handle.
+    pub token: AppToken,
+    /// Outcome.
+    pub result: AppResult,
+    /// When the driver issued it.
+    pub issued_at: SimTime,
+    /// When it completed.
+    pub completed_at: SimTime,
+}
+
+impl AppCompletion {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed_at.since(self.issued_at)
+    }
+
+    /// Unwraps read/offload data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation failed or returned no data.
+    pub fn data(&self) -> &Bytes {
+        match &self.result {
+            Ok(CompletionValue::Data(d)) => d,
+            other => panic!("expected data completion, got {other:?}"),
+        }
+    }
+
+    /// Unwraps an allocation's virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation failed or was not an allocation.
+    pub fn va(&self) -> u64 {
+        match &self.result {
+            Ok(CompletionValue::Va(va)) => *va,
+            other => panic!("expected va completion, got {other:?}"),
+        }
+    }
+}
+
+/// An event-driven client program hosted on a compute node.
+///
+/// The [`std::any::Any`] supertrait lets harnesses read a driver's concrete
+/// state back out of the simulation via [`ComputeNode::driver`].
+pub trait ClientDriver: std::any::Any {
+    /// Name for traces.
+    fn name(&self) -> &str {
+        "client"
+    }
+
+    /// Called once when the cluster starts.
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>);
+
+    /// Called for every completed operation this driver issued.
+    fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, completion: AppCompletion);
+
+    /// Called when a timer armed with [`ClientApi::wake_in`] fires.
+    fn on_wake(&mut self, api: &mut ClientApi<'_, '_>, tag: u64) {
+        let _ = (api, tag);
+    }
+}
+
+/// The operation spec kept host-side so requests can be transparently
+/// re-routed after migration.
+#[derive(Debug, Clone)]
+enum OpSpec {
+    Read { pid: Pid, va: u64, len: u32 },
+    Write { pid: Pid, va: u64, data: Bytes },
+    Alloc { pid: Pid, size: u64, perm: Perm },
+    Free { pid: Pid, va: u64, size: u64 },
+    Lock { pid: Pid, va: u64 },
+    Unlock { pid: Pid, va: u64 },
+    Faa { pid: Pid, va: u64, delta: u64 },
+    Cas { pid: Pid, va: u64, expected: u64, new: u64 },
+    Fence { pid: Pid },
+    Release,
+    Offload { pid: Pid, mn: Mac, offload: u16, opcode: u16, arg: Bytes },
+}
+
+impl OpSpec {
+    /// The address that determines routing, if any.
+    fn route_va(&self) -> Option<(Pid, u64)> {
+        match self {
+            OpSpec::Read { pid, va, .. }
+            | OpSpec::Write { pid, va, .. }
+            | OpSpec::Free { pid, va, .. }
+            | OpSpec::Lock { pid, va }
+            | OpSpec::Unlock { pid, va }
+            | OpSpec::Faa { pid, va, .. }
+            | OpSpec::Cas { pid, va, .. } => Some((*pid, *va)),
+            _ => None,
+        }
+    }
+
+    fn to_op(&self, mn: Mac) -> Op {
+        match self.clone() {
+            OpSpec::Read { pid, va, len } => Op::Read { mn, pid, va, len },
+            OpSpec::Write { pid, va, data } => Op::Write { mn, pid, va, data },
+            OpSpec::Alloc { pid, size, perm } => Op::Alloc { mn, pid, size, perm, fixed_va: None },
+            OpSpec::Free { pid, va, size } => Op::Free { mn, pid, va, size },
+            OpSpec::Lock { pid, va } => Op::Lock { mn, pid, va },
+            OpSpec::Unlock { pid, va } => Op::Unlock { mn, pid, va },
+            OpSpec::Faa { pid, va, delta } => Op::Faa { mn, pid, va, delta },
+            OpSpec::Cas { pid, va, expected, new } => Op::Cas { mn, pid, va, expected, new },
+            OpSpec::Fence { pid } => Op::Fence { mn, pid },
+            OpSpec::Release => Op::Release,
+            OpSpec::Offload { pid, mn: target, offload, opcode, arg } => {
+                Op::Offload { mn: target, pid, offload, opcode, arg }
+            }
+        }
+    }
+}
+
+/// Routing table: RAS slices (static) + migrated-range exceptions (learned).
+#[derive(Debug, Default)]
+struct RasRouter {
+    slices: Vec<(u64, u64, Mac)>,
+    exceptions: Vec<(Pid, u64, u64, Mac)>,
+}
+
+impl RasRouter {
+    fn lookup(&self, pid: Pid, va: u64) -> Option<Mac> {
+        if let Some(&(_, _, _, mac)) = self
+            .exceptions
+            .iter()
+            .find(|(p, start, len, _)| *p == pid && va >= *start && va < start + len)
+        {
+            return Some(mac);
+        }
+        self.slices
+            .iter()
+            .find(|(base, span, _)| va >= *base && va < base + span)
+            .map(|&(_, _, mac)| mac)
+    }
+
+    fn add_exception(&mut self, pid: Pid, start: u64, len: u64, mac: Mac) {
+        self.exceptions.retain(|(p, s, _, _)| !(*p == pid && *s == start));
+        self.exceptions.push((pid, start, len, mac));
+    }
+}
+
+#[derive(Debug)]
+struct HostOp {
+    driver: usize,
+    spec: OpSpec,
+    issued_at: SimTime,
+    moved_retries: u32,
+    /// Outstanding sub-operations (only >1 for multi-MN fences).
+    fanout: u32,
+}
+
+/// Kick-off message: start all drivers (sent by `Cluster::start`).
+#[derive(Debug, Clone, Copy)]
+pub struct StartClients;
+
+/// Wakes one driver with the reserved poke tag (used by the blocking
+/// runtime to make a bridge driver drain its command queue).
+#[derive(Debug, Clone, Copy)]
+pub struct PokeDriver {
+    /// The driver index on the target compute node.
+    pub driver: usize,
+}
+
+/// The `on_wake` tag delivered by [`PokeDriver`].
+pub const POKE_TAG: u64 = u64::MAX;
+
+/// Driver timer message.
+#[derive(Debug, Clone, Copy)]
+struct Wake {
+    driver: usize,
+    tag: u64,
+}
+
+enum DriverEvent {
+    Completion(AppCompletion),
+    Wake(u64),
+}
+
+struct NodeCore {
+    cn_index: usize,
+    nic: NicPort,
+    clib: CLib,
+    router: RasRouter,
+    controller: ActorId,
+    mn_macs: Vec<Mac>,
+    driver_pids: Vec<Pid>,
+    app_ops: HashMap<AppToken, HostOp>,
+    token_map: HashMap<OpToken, AppToken>,
+    next_app_token: u64,
+    next_tag: u64,
+    pending_placements: HashMap<u64, AppToken>,
+    pending_routes: HashMap<u64, AppToken>,
+    events: VecDeque<(usize, DriverEvent)>,
+    max_moved_retries: u32,
+}
+
+impl NodeCore {
+    fn fresh_token(&mut self) -> AppToken {
+        self.next_app_token += 1;
+        AppToken(self.next_app_token)
+    }
+
+    fn fresh_tag(&mut self) -> u64 {
+        self.next_tag += 1;
+        self.next_tag
+    }
+
+    /// Issues (or re-issues) the stored op for `token`.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, token: AppToken) {
+        let Some(host_op) = self.app_ops.get_mut(&token) else { return };
+        let driver = host_op.driver;
+        let thread = ThreadId(driver as u64);
+        match &host_op.spec {
+            OpSpec::Alloc { pid, size, .. } => {
+                // Placement is the controller's call.
+                let tag = {
+                    let (pid, size) = (*pid, *size);
+                    let tag = self.fresh_tag();
+                    let msg = PlaceAlloc { pid, size, reply_to: ctx.self_id(), tag };
+                    ctx.send(self.controller, SimDuration::from_micros(1), Message::new(msg));
+                    tag
+                };
+                self.pending_placements.insert(tag, token);
+            }
+            OpSpec::Fence { .. } => {
+                // Fence every MN the process might touch.
+                let spec = host_op.spec.clone();
+                host_op.fanout = self.mn_macs.len() as u32;
+                for mac in self.mn_macs.clone() {
+                    let (t, comps) =
+                        self.clib.submit(ctx, &mut self.nic, thread, spec.to_op(mac));
+                    self.token_map.insert(t, token);
+                    self.enqueue_clib_completions(ctx, comps);
+                }
+            }
+            spec => {
+                let mn = match spec.route_va() {
+                    Some((pid, va)) => match self.router.lookup(pid, va) {
+                        Some(m) => m,
+                        None => {
+                            // Unknown address: fail fast.
+                            let issued_at = host_op.issued_at;
+                            self.events.push_back((
+                                driver,
+                                DriverEvent::Completion(AppCompletion {
+                                    token,
+                                    result: Err(ClioError::Remote(
+                                        clio_proto::Status::InvalidAddr,
+                                    )),
+                                    issued_at,
+                                    completed_at: ctx.now(),
+                                }),
+                            ));
+                            self.app_ops.remove(&token);
+                            return;
+                        }
+                    },
+                    None => match spec {
+                        OpSpec::Offload { mn, .. } => *mn,
+                        _ => self.mn_macs.first().copied().expect("at least one MN"),
+                    },
+                };
+                let op = spec.to_op(mn);
+                let (t, comps) = self.clib.submit(ctx, &mut self.nic, thread, op);
+                self.token_map.insert(t, token);
+                self.enqueue_clib_completions(ctx, comps);
+            }
+        }
+    }
+
+    /// Converts CLib completions into driver events, handling Moved
+    /// re-routing, alloc notifications and fence fan-in.
+    fn enqueue_clib_completions(&mut self, ctx: &mut Ctx<'_>, comps: Vec<Completion>) {
+        for c in comps {
+            let Some(app_token) = self.token_map.remove(&c.token) else { continue };
+            let Some(host_op) = self.app_ops.get_mut(&app_token) else { continue };
+
+            // Transparent re-route on Moved.
+            if c.result == Err(ClioError::Moved)
+                && host_op.moved_retries < self.max_moved_retries
+            {
+                host_op.moved_retries += 1;
+                if let Some((pid, va)) = host_op.spec.route_va() {
+                    let tag = self.fresh_tag();
+                    self.pending_routes.insert(tag, app_token);
+                    let q = RouteQuery { pid, va, reply_to: ctx.self_id(), tag };
+                    ctx.send(self.controller, SimDuration::from_micros(1), Message::new(q));
+                    continue;
+                }
+            }
+
+            // Fence fan-in: deliver only the last sub-completion.
+            if host_op.fanout > 1 {
+                host_op.fanout -= 1;
+                continue;
+            }
+
+            let host_op = self.app_ops.remove(&app_token).expect("present");
+            // Successful allocations are reported to the controller.
+            if let (OpSpec::Alloc { pid, size, .. }, Ok(CompletionValue::Va(va))) =
+                (&host_op.spec, &c.result)
+            {
+                let mn = self
+                    .router
+                    .lookup(*pid, *va)
+                    .expect("allocated address must be routable");
+                let n = AllocNotify { pid: *pid, va: *va, len: *size, mn };
+                ctx.send(self.controller, SimDuration::from_micros(1), Message::new(n));
+            }
+            if let (OpSpec::Free { pid, va, .. }, Ok(_)) = (&host_op.spec, &c.result) {
+                let n = FreeNotify { pid: *pid, va: *va };
+                ctx.send(self.controller, SimDuration::from_micros(1), Message::new(n));
+            }
+            self.events.push_back((
+                host_op.driver,
+                DriverEvent::Completion(AppCompletion {
+                    token: app_token,
+                    result: c.result,
+                    issued_at: host_op.issued_at,
+                    completed_at: c.completed_at,
+                }),
+            ));
+        }
+    }
+}
+
+/// The API drivers program against.
+pub struct ClientApi<'a, 'b> {
+    core: &'a mut NodeCore,
+    ctx: &'a mut Ctx<'b>,
+    driver: usize,
+}
+
+impl ClientApi<'_, '_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// This driver's process id.
+    pub fn pid(&self) -> Pid {
+        self.core.driver_pids[self.driver]
+    }
+
+    /// This compute node's index in the cluster.
+    pub fn cn_index(&self) -> usize {
+        self.core.cn_index
+    }
+
+    /// The memory nodes of the cluster (for offload targeting).
+    pub fn mn_macs(&self) -> &[Mac] {
+        &self.core.mn_macs
+    }
+
+    fn issue(&mut self, spec: OpSpec) -> AppToken {
+        let token = self.core.fresh_token();
+        self.core.app_ops.insert(
+            token,
+            HostOp {
+                driver: self.driver,
+                spec,
+                issued_at: self.ctx.now(),
+                moved_retries: 0,
+                fanout: 1,
+            },
+        );
+        self.core.dispatch(self.ctx, token);
+        token
+    }
+
+    /// `ralloc`: allocate remote virtual memory (placed by the controller).
+    pub fn alloc(&mut self, size: u64, perm: Perm) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Alloc { pid, size, perm })
+    }
+
+    /// `rfree`.
+    pub fn free(&mut self, va: u64, size: u64) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Free { pid, va, size })
+    }
+
+    /// `rread`.
+    pub fn read(&mut self, va: u64, len: u32) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Read { pid, va, len })
+    }
+
+    /// `rwrite`.
+    pub fn write(&mut self, va: u64, data: Bytes) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Write { pid, va, data })
+    }
+
+    /// `rlock` (completes when acquired).
+    pub fn lock(&mut self, va: u64) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Lock { pid, va })
+    }
+
+    /// `runlock`.
+    pub fn unlock(&mut self, va: u64) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Unlock { pid, va })
+    }
+
+    /// Fetch-and-add on a remote 8-byte word.
+    pub fn faa(&mut self, va: u64, delta: u64) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Faa { pid, va, delta })
+    }
+
+    /// Compare-and-swap on a remote 8-byte word.
+    pub fn cas(&mut self, va: u64, expected: u64, new: u64) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Cas { pid, va, expected, new })
+    }
+
+    /// `rfence`: fences this process's requests on every MN.
+    pub fn fence(&mut self) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Fence { pid })
+    }
+
+    /// `rrelease`: local barrier over this driver's async operations.
+    pub fn release(&mut self) -> AppToken {
+        self.issue(OpSpec::Release)
+    }
+
+    /// Invokes an offload installed on `mn`.
+    pub fn offload(&mut self, mn: Mac, offload: u16, opcode: u16, arg: Bytes) -> AppToken {
+        let pid = self.pid();
+        self.issue(OpSpec::Offload { pid, mn, offload, opcode, arg })
+    }
+
+    /// Arms a timer delivering [`ClientDriver::on_wake`] with `tag`.
+    pub fn wake_in(&mut self, delay: SimDuration, tag: u64) {
+        let driver = self.driver;
+        self.ctx.schedule(delay, Message::new(Wake { driver, tag }));
+    }
+}
+
+/// The compute-node actor.
+pub struct ComputeNode {
+    name: String,
+    core: NodeCore,
+    drivers: Vec<Option<Box<dyn ClientDriver>>>,
+}
+
+impl ComputeNode {
+    /// Builds a compute node. `slices` is the RAS routing table
+    /// (base, span, owner-MAC per MN).
+    #[allow(clippy::too_many_arguments)] // assembled once, by the cluster builder
+    pub fn new(
+        name: impl Into<String>,
+        cn_index: usize,
+        nic: NicPort,
+        clib_cfg: CLibConfig,
+        page_size: u64,
+        controller: ActorId,
+        slices: Vec<(u64, u64, Mac)>,
+        mn_macs: Vec<Mac>,
+    ) -> Self {
+        ComputeNode {
+            name: name.into(),
+            core: NodeCore {
+                cn_index,
+                clib: CLib::new(clib_cfg, cn_index as u64 + 1, page_size),
+                nic,
+                router: RasRouter { slices, exceptions: Vec::new() },
+                controller,
+                mn_macs,
+                driver_pids: Vec::new(),
+                app_ops: HashMap::new(),
+                token_map: HashMap::new(),
+                next_app_token: 0,
+                next_tag: 0,
+                pending_placements: HashMap::new(),
+                pending_routes: HashMap::new(),
+                events: VecDeque::new(),
+                max_moved_retries: 8,
+            },
+            drivers: Vec::new(),
+        }
+    }
+
+    /// Registers a driver running as process `pid`. Returns its index.
+    pub fn add_driver(&mut self, pid: Pid, driver: Box<dyn ClientDriver>) -> usize {
+        self.core.driver_pids.push(pid);
+        self.drivers.push(Some(driver));
+        self.drivers.len() - 1
+    }
+
+    /// The CLib instance (stats inspection).
+    pub fn clib(&self) -> &CLib {
+        &self.core.clib
+    }
+
+    /// Borrows a driver's concrete state (harvesting measurements).
+    ///
+    /// # Panics
+    ///
+    /// Panics on index/type mismatch.
+    pub fn driver<D: ClientDriver>(&self, idx: usize) -> &D {
+        let d = self.drivers[idx].as_ref().expect("driver is executing");
+        let any: &dyn std::any::Any = d.as_ref();
+        any.downcast_ref::<D>().expect("driver type mismatch")
+    }
+
+    /// Drains queued driver events, letting drivers issue follow-up ops.
+    fn pump_events(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some((idx, ev)) = self.core.events.pop_front() {
+            let Some(mut driver) = self.drivers[idx].take() else { continue };
+            {
+                let mut api = ClientApi { core: &mut self.core, ctx, driver: idx };
+                match ev {
+                    DriverEvent::Completion(c) => driver.on_completion(&mut api, c),
+                    DriverEvent::Wake(tag) => driver.on_wake(&mut api, tag),
+                }
+            }
+            self.drivers[idx] = Some(driver);
+        }
+    }
+}
+
+impl Actor for ComputeNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let msg = match msg.downcast::<StartClients>() {
+            Ok(_) => {
+                for idx in 0..self.drivers.len() {
+                    let Some(mut driver) = self.drivers[idx].take() else { continue };
+                    {
+                        let mut api = ClientApi { core: &mut self.core, ctx, driver: idx };
+                        driver.on_start(&mut api);
+                    }
+                    self.drivers[idx] = Some(driver);
+                }
+                self.pump_events(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Frame>() {
+            Ok(frame) => {
+                let comps = self.core.clib.on_frame(ctx, &mut self.core.nic, frame);
+                self.core.enqueue_clib_completions(ctx, comps);
+                self.pump_events(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Wake>() {
+            Ok(w) => {
+                self.core.events.push_back((w.driver, DriverEvent::Wake(w.tag)));
+                self.pump_events(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<PokeDriver>() {
+            Ok(p) => {
+                self.core.events.push_back((p.driver, DriverEvent::Wake(POKE_TAG)));
+                self.pump_events(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<PlacementReply>() {
+            Ok(p) => {
+                if let Some(token) = self.core.pending_placements.remove(&p.tag) {
+                    if let Some(host_op) = self.core.app_ops.get(&token) {
+                        let thread = ThreadId(host_op.driver as u64);
+                        let op = host_op.spec.to_op(p.mn);
+                        let (t, comps) = self.core.clib.submit(ctx, &mut self.core.nic, thread, op);
+                        self.core.token_map.insert(t, token);
+                        self.core.enqueue_clib_completions(ctx, comps);
+                        self.pump_events(ctx);
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RouteReply>() {
+            Ok(r) => {
+                if let Some(token) = self.core.pending_routes.remove(&r.tag) {
+                    match (r.mn, self.core.app_ops.get(&token)) {
+                        (Some(mac), Some(host_op)) => {
+                            if let Some((pid, va)) = host_op.spec.route_va() {
+                                // Cache a page-sized exception; subsequent
+                                // Moved refusals refine it.
+                                self.core.router.add_exception(pid, va, 1, mac);
+                            }
+                            self.core.dispatch(ctx, token);
+                        }
+                        (None, Some(host_op)) => {
+                            let ev = DriverEvent::Completion(AppCompletion {
+                                token,
+                                result: Err(ClioError::Moved),
+                                issued_at: host_op.issued_at,
+                                completed_at: ctx.now(),
+                            });
+                            let driver = host_op.driver;
+                            self.core.app_ops.remove(&token);
+                            self.core.events.push_back((driver, ev));
+                        }
+                        _ => {}
+                    }
+                    self.pump_events(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        // Anything else is a CLib timer.
+        let (comps, leftover) = self.core.clib.on_timer(ctx, &mut self.core.nic, msg);
+        if let Some(m) = leftover {
+            panic!("ComputeNode {} got unexpected message {m:?}", self.name);
+        }
+        self.core.enqueue_clib_completions(ctx, comps);
+        self.pump_events(ctx);
+    }
+}

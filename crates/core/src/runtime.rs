@@ -1,0 +1,516 @@
+//! The blocking client runtime: paper-style application code on OS threads.
+//!
+//! The paper's Figure 1 programs Clio with blocking calls (`ralloc`,
+//! `rread`, `rlock`, ...). This module reproduces that programming model on
+//! top of the deterministic simulator: each spawned process runs on a real
+//! OS thread holding a [`RemoteProcess`] handle; its calls rendezvous with
+//! the simulation, which advances virtual time only at well-defined points.
+//! Thread "compute" between calls takes zero virtual time unless modeled
+//! explicitly with [`RemoteProcess::compute`].
+//!
+//! Determinism: the runtime services bridge threads in index order and one
+//! command at a time, so a given program + seed always produces the same
+//! virtual-time schedule.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use clio_cn::{ClioError, CompletionValue};
+use clio_net::Mac;
+use clio_proto::{Perm, Pid};
+use clio_sim::{Message, SimDuration};
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::node::{
+    AppCompletion, AppToken, ClientApi, ClientDriver, ComputeNode, PokeDriver, POKE_TAG,
+};
+
+/// A handle to one asynchronous operation issued by a [`RemoteProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsyncHandle(u64);
+
+/// Calls a bridge thread can queue.
+#[derive(Debug, Clone)]
+enum CallSpec {
+    Alloc { size: u64, perm: Perm },
+    Free { va: u64, size: u64 },
+    Read { va: u64, len: u32 },
+    Write { va: u64, data: Bytes },
+    Lock { va: u64 },
+    Unlock { va: u64 },
+    Faa { va: u64, delta: u64 },
+    Cas { va: u64, expected: u64, new: u64 },
+    Fence,
+    Release,
+    Offload { mn_index: usize, offload: u16, opcode: u16, arg: Bytes },
+    Sleep { dur: SimDuration },
+}
+
+#[derive(Debug)]
+enum Cmd {
+    Call { seq: u64, call: CallSpec, sync: bool },
+    Poll { seqs: Vec<u64> },
+    Finish,
+}
+
+#[derive(Debug)]
+enum Resp {
+    Token(u64),
+    One(Result<CompletionValue, ClioError>),
+    Many(Vec<Result<CompletionValue, ClioError>>),
+}
+
+#[derive(Debug, Default)]
+struct BridgeShared {
+    queue: Vec<(u64, CallSpec)>,
+    ready: HashMap<u64, Result<CompletionValue, ClioError>>,
+}
+
+/// The driver living inside the simulation on behalf of one bridge thread.
+struct BridgeDriver {
+    shared: Arc<Mutex<BridgeShared>>,
+    seq_of_token: HashMap<AppToken, u64>,
+}
+
+impl ClientDriver for BridgeDriver {
+    fn name(&self) -> &str {
+        "bridge"
+    }
+
+    fn on_start(&mut self, _api: &mut ClientApi<'_, '_>) {}
+
+    fn on_completion(&mut self, _api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+        if let Some(seq) = self.seq_of_token.remove(&c.token) {
+            self.shared.lock().expect("bridge lock").ready.insert(seq, c.result);
+        }
+    }
+
+    fn on_wake(&mut self, api: &mut ClientApi<'_, '_>, tag: u64) {
+        if tag != POKE_TAG {
+            // A Sleep finished.
+            self.shared
+                .lock()
+                .expect("bridge lock")
+                .ready
+                .insert(tag, Ok(CompletionValue::Done));
+            return;
+        }
+        let calls: Vec<(u64, CallSpec)> =
+            std::mem::take(&mut self.shared.lock().expect("bridge lock").queue);
+        for (seq, call) in calls {
+            let token = match call {
+                CallSpec::Alloc { size, perm } => api.alloc(size, perm),
+                CallSpec::Free { va, size } => api.free(va, size),
+                CallSpec::Read { va, len } => api.read(va, len),
+                CallSpec::Write { va, data } => api.write(va, data),
+                CallSpec::Lock { va } => api.lock(va),
+                CallSpec::Unlock { va } => api.unlock(va),
+                CallSpec::Faa { va, delta } => api.faa(va, delta),
+                CallSpec::Cas { va, expected, new } => api.cas(va, expected, new),
+                CallSpec::Fence => api.fence(),
+                CallSpec::Release => api.release(),
+                CallSpec::Offload { mn_index, offload, opcode, arg } => {
+                    let mac: Mac = api.mn_macs()[mn_index];
+                    api.offload(mac, offload, opcode, arg)
+                }
+                CallSpec::Sleep { dur } => {
+                    api.wake_in(dur, seq);
+                    continue;
+                }
+            };
+            self.seq_of_token.insert(token, seq);
+        }
+    }
+}
+
+/// The blocking application handle, used from a spawned OS thread.
+///
+/// All `r*` methods mirror the paper's CLib API (§3.1). Synchronous methods
+/// block the calling thread until the simulated operation completes;
+/// `*_async` variants return an [`AsyncHandle`] for later [`rpoll`].
+///
+/// [`rpoll`]: RemoteProcess::rpoll
+#[derive(Debug)]
+pub struct RemoteProcess {
+    cmd_tx: Sender<Cmd>,
+    resp_rx: Receiver<Resp>,
+    next_seq: u64,
+}
+
+impl RemoteProcess {
+    fn call_sync(&mut self, call: CallSpec) -> Result<CompletionValue, ClioError> {
+        self.next_seq += 1;
+        self.cmd_tx
+            .send(Cmd::Call { seq: self.next_seq, call, sync: true })
+            .expect("runtime alive");
+        match self.resp_rx.recv().expect("runtime alive") {
+            Resp::One(r) => r,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    fn call_async(&mut self, call: CallSpec) -> AsyncHandle {
+        self.next_seq += 1;
+        self.cmd_tx
+            .send(Cmd::Call { seq: self.next_seq, call, sync: false })
+            .expect("runtime alive");
+        match self.resp_rx.recv().expect("runtime alive") {
+            Resp::Token(t) => AsyncHandle(t),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// `ralloc`: allocates remote virtual memory, returning its address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote allocation failures.
+    pub fn ralloc(&mut self, size: u64) -> Result<u64, ClioError> {
+        match self.call_sync(CallSpec::Alloc { size, perm: Perm::RW })? {
+            CompletionValue::Va(va) => Ok(va),
+            other => panic!("alloc returned {other:?}"),
+        }
+    }
+
+    /// `rfree`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn rfree(&mut self, va: u64, size: u64) -> Result<(), ClioError> {
+        self.call_sync(CallSpec::Free { va, size }).map(|_| ())
+    }
+
+    /// Synchronous `rread`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn rread(&mut self, va: u64, len: u32) -> Result<Bytes, ClioError> {
+        match self.call_sync(CallSpec::Read { va, len })? {
+            CompletionValue::Data(d) => Ok(d),
+            other => panic!("read returned {other:?}"),
+        }
+    }
+
+    /// Synchronous `rwrite`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn rwrite(&mut self, va: u64, data: &[u8]) -> Result<(), ClioError> {
+        self.call_sync(CallSpec::Write { va, data: Bytes::copy_from_slice(data) }).map(|_| ())
+    }
+
+    /// Asynchronous `rread`; poll with [`rpoll`](Self::rpoll).
+    pub fn rread_async(&mut self, va: u64, len: u32) -> AsyncHandle {
+        self.call_async(CallSpec::Read { va, len })
+    }
+
+    /// Asynchronous `rwrite`; poll with [`rpoll`](Self::rpoll).
+    pub fn rwrite_async(&mut self, va: u64, data: &[u8]) -> AsyncHandle {
+        self.call_async(CallSpec::Write { va, data: Bytes::copy_from_slice(data) })
+    }
+
+    /// `rpoll`: blocks until every handle completes; returns their results
+    /// in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error among the polled operations.
+    pub fn rpoll(&mut self, handles: &[AsyncHandle]) -> Result<Vec<CompletionValue>, ClioError> {
+        self.cmd_tx
+            .send(Cmd::Poll { seqs: handles.iter().map(|h| h.0).collect() })
+            .expect("runtime alive");
+        match self.resp_rx.recv().expect("runtime alive") {
+            Resp::Many(rs) => rs.into_iter().collect(),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// `rlock`: blocks until the lock at `va` is acquired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn rlock(&mut self, va: u64) -> Result<(), ClioError> {
+        self.call_sync(CallSpec::Lock { va }).map(|_| ())
+    }
+
+    /// `runlock`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn runlock(&mut self, va: u64) -> Result<(), ClioError> {
+        self.call_sync(CallSpec::Unlock { va }).map(|_| ())
+    }
+
+    /// Remote fetch-and-add; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn rfaa(&mut self, va: u64, delta: u64) -> Result<u64, ClioError> {
+        match self.call_sync(CallSpec::Faa { va, delta })? {
+            CompletionValue::Old(v) => Ok(v),
+            other => panic!("faa returned {other:?}"),
+        }
+    }
+
+    /// Remote compare-and-swap; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn rcas(&mut self, va: u64, expected: u64, new: u64) -> Result<u64, ClioError> {
+        match self.call_sync(CallSpec::Cas { va, expected, new })? {
+            CompletionValue::Old(v) => Ok(v),
+            other => panic!("cas returned {other:?}"),
+        }
+    }
+
+    /// `rfence`: orders this process's requests at every memory node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn rfence(&mut self) -> Result<(), ClioError> {
+        self.call_sync(CallSpec::Fence).map(|_| ())
+    }
+
+    /// `rrelease`: waits for all of this process's outstanding async ops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn rrelease(&mut self) -> Result<(), ClioError> {
+        self.call_sync(CallSpec::Release).map(|_| ())
+    }
+
+    /// Calls an offload on the `mn_index`-th memory node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures.
+    pub fn offload_call(
+        &mut self,
+        mn_index: usize,
+        offload: u16,
+        opcode: u16,
+        arg: &[u8],
+    ) -> Result<Bytes, ClioError> {
+        match self.call_sync(CallSpec::Offload {
+            mn_index,
+            offload,
+            opcode,
+            arg: Bytes::copy_from_slice(arg),
+        })? {
+            CompletionValue::Data(d) => Ok(d),
+            other => panic!("offload returned {other:?}"),
+        }
+    }
+
+    /// Models `dur` of local computation: virtual time advances, the thread
+    /// resumes afterwards.
+    pub fn compute(&mut self, dur: SimDuration) {
+        self.call_sync(CallSpec::Sleep { dur }).expect("sleep cannot fail");
+    }
+}
+
+struct Bridge {
+    cmd_rx: Receiver<Cmd>,
+    resp_tx: Sender<Resp>,
+    shared: Arc<Mutex<BridgeShared>>,
+    join: Option<JoinHandle<()>>,
+    cn: usize,
+    driver: usize,
+    runnable: bool,
+    finished: bool,
+    waiting: Option<Vec<u64>>,
+}
+
+/// A cluster plus the blocking-thread machinery.
+pub struct BlockingCluster {
+    /// The underlying cluster (accessible for inspection after `run`).
+    pub cluster: Cluster,
+    bridges: Vec<Bridge>,
+}
+
+impl BlockingCluster {
+    /// Builds a cluster for blocking-style clients.
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        BlockingCluster { cluster: Cluster::build(cfg), bridges: Vec::new() }
+    }
+
+    /// Spawns `f` as process `pid` on compute node `cn`. The closure runs on
+    /// its own OS thread once [`run`](Self::run) is called.
+    ///
+    /// Spawning several closures with the same `pid` models a multi-threaded
+    /// process sharing one RAS.
+    pub fn spawn<F>(&mut self, cn: usize, pid: u64, f: F)
+    where
+        F: FnOnce(&mut RemoteProcess) + Send + 'static,
+    {
+        let (cmd_tx, cmd_rx) = channel();
+        let (resp_tx, resp_rx) = channel();
+        let shared = Arc::new(Mutex::new(BridgeShared::default()));
+        let driver = BridgeDriver { shared: Arc::clone(&shared), seq_of_token: HashMap::new() };
+        let driver_idx = self.cluster.add_driver(cn, Pid(pid), Box::new(driver));
+        let join = std::thread::spawn(move || {
+            let mut proc = RemoteProcess { cmd_tx, resp_rx, next_seq: 0 };
+            f(&mut proc);
+            let _ = proc.cmd_tx.send(Cmd::Finish);
+        });
+        self.bridges.push(Bridge {
+            cmd_rx,
+            resp_tx,
+            shared,
+            join: Some(join),
+            cn,
+            driver: driver_idx,
+            runnable: true,
+            finished: false,
+            waiting: None,
+        });
+    }
+
+    /// Runs the cluster and every spawned process to completion.
+    ///
+    /// Threads may also coordinate through ordinary host channels (like the
+    /// examples do to share addresses); the loop therefore polls command
+    /// channels non-blockingly and parks briefly when no thread has spoken.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (no thread can ever make progress again) or if a
+    /// spawned thread panicked.
+    pub fn run(&mut self) {
+        self.cluster.start();
+        // Let on_start settle.
+        self.cluster.sim.run_until_idle();
+
+        let mut idle_spins: u32 = 0;
+        loop {
+            let mut progress = false;
+
+            // Phase 1: drain commands from runnable threads, in index order.
+            let mut pokes: Vec<(usize, usize)> = Vec::new();
+            for b in &mut self.bridges {
+                while b.runnable && !b.finished {
+                    match b.cmd_rx.try_recv() {
+                        Ok(Cmd::Call { seq, call, sync }) => {
+                            progress = true;
+                            b.shared.lock().expect("bridge lock").queue.push((seq, call));
+                            pokes.push((b.cn, b.driver));
+                            if sync {
+                                b.runnable = false;
+                                b.waiting = Some(vec![seq]);
+                            } else {
+                                b.resp_tx.send(Resp::Token(seq)).expect("thread alive");
+                            }
+                        }
+                        Ok(Cmd::Poll { seqs }) => {
+                            progress = true;
+                            b.runnable = false;
+                            b.waiting = Some(seqs);
+                        }
+                        Ok(Cmd::Finish) => {
+                            progress = true;
+                            b.finished = true;
+                            b.runnable = false;
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                            b.finished = true;
+                            b.runnable = false;
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                    }
+                }
+            }
+            pokes.dedup();
+            for (cn, driver) in pokes {
+                let cn_actor = self.cluster.cn_ids()[cn];
+                self.cluster.sim.post(cn_actor, Message::new(PokeDriver { driver }));
+            }
+
+            // Phase 2: deliver results to waiting threads.
+            for b in &mut self.bridges {
+                let Some(waiting) = &b.waiting else { continue };
+                let mut shared = b.shared.lock().expect("bridge lock");
+                if waiting.iter().all(|s| shared.ready.contains_key(s)) {
+                    let results: Vec<_> = waiting
+                        .iter()
+                        .map(|s| shared.ready.remove(s).expect("checked"))
+                        .collect();
+                    drop(shared);
+                    let single = b.waiting.as_ref().expect("waiting").len() == 1;
+                    let resp = if single {
+                        Resp::One(results.into_iter().next().expect("one"))
+                    } else {
+                        Resp::Many(results)
+                    };
+                    b.resp_tx.send(resp).expect("thread alive");
+                    b.waiting = None;
+                    b.runnable = true;
+                    progress = true;
+                }
+            }
+
+            if self.bridges.iter().all(|b| b.finished) {
+                self.cluster.sim.run_until_idle();
+                break;
+            }
+
+            // Phase 3: advance the simulation a bounded batch, so threads
+            // that became ready (e.g. after a lock release) are re-polled
+            // even while other clients keep the event queue busy.
+            for _ in 0..64 {
+                if !self.cluster.sim.step() {
+                    break;
+                }
+                progress = true;
+            }
+
+            if progress {
+                idle_spins = 0;
+            } else {
+                // A runnable thread may simply still be computing (or
+                // blocked on host-side coordination with another thread):
+                // park briefly and re-poll.
+                idle_spins += 1;
+                if idle_spins > 200_000 {
+                    panic!(
+                        "blocking runtime deadlock: no thread progressed for ~20s                          (waiting={}, runnable={})",
+                        self.bridges.iter().filter(|b| b.waiting.is_some()).count(),
+                        self.bridges.iter().filter(|b| b.runnable && !b.finished).count()
+                    );
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+
+        for b in &mut self.bridges {
+            if let Some(j) = b.join.take() {
+                j.join().expect("client thread panicked");
+            }
+        }
+    }
+
+    /// Convenience: the CN hosting bridge `i` (for post-run inspection).
+    pub fn cn_of_bridge(&self, i: usize) -> &ComputeNode {
+        self.cluster.cn(self.bridges[i].cn)
+    }
+}
+
+impl std::fmt::Debug for BlockingCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockingCluster")
+            .field("bridges", &self.bridges.len())
+            .field("cluster", &self.cluster)
+            .finish()
+    }
+}

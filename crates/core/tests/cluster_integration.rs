@@ -1,0 +1,251 @@
+//! Full-system integration: clusters with event-driven drivers, the
+//! blocking runtime, cross-CN sharing, multi-MN placement and
+//! pressure-triggered migration.
+
+use bytes::Bytes;
+use clio_core::runtime::BlockingCluster;
+use clio_core::{AppCompletion, ClientApi, ClientDriver, Cluster, ClusterConfig};
+use clio_proto::Perm;
+use clio_sim::SimDuration;
+
+/// Driver that allocates, writes a pattern, reads it back, and checks it.
+struct WriteReadClient {
+    va: u64,
+    phase: u8,
+    pattern: Vec<u8>,
+    verified: bool,
+    read_latency: Option<SimDuration>,
+}
+
+impl WriteReadClient {
+    fn new(pattern: Vec<u8>) -> Self {
+        WriteReadClient { va: 0, phase: 0, pattern, verified: false, read_latency: None }
+    }
+}
+
+impl ClientDriver for WriteReadClient {
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        api.alloc(self.pattern.len() as u64, Perm::RW);
+    }
+
+    fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+        match self.phase {
+            0 => {
+                self.va = c.va();
+                self.phase = 1;
+                api.write(self.va, Bytes::from(self.pattern.clone()));
+            }
+            1 => {
+                assert!(c.result.is_ok(), "write failed: {:?}", c.result);
+                self.phase = 2;
+                api.read(self.va, self.pattern.len() as u32);
+            }
+            2 => {
+                assert_eq!(&c.data()[..], &self.pattern[..]);
+                self.read_latency = Some(c.latency());
+                self.verified = true;
+                self.phase = 3;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn driver_roundtrip_on_small_cluster() {
+    let mut cluster = Cluster::build(&ClusterConfig::test_small());
+    cluster.add_driver(0, clio_proto::Pid(1), Box::new(WriteReadClient::new(vec![7u8; 3000])));
+    cluster.start();
+    cluster.run_until_idle();
+    let d: &WriteReadClient = cluster.cn(0).driver(0);
+    assert!(d.verified, "client never verified its data");
+    let lat = d.read_latency.expect("read measured");
+    assert!(lat < SimDuration::from_micros(20), "3 KB read latency {lat}");
+}
+
+#[test]
+fn many_processes_on_many_cns_and_mns() {
+    let mut cfg = ClusterConfig::test_small();
+    cfg.cns = 3;
+    cfg.mns = 2;
+    let mut cluster = Cluster::build(&cfg);
+    for i in 0..12u64 {
+        let cn = (i % 3) as usize;
+        cluster.add_driver(
+            cn,
+            clio_proto::Pid(100 + i),
+            Box::new(WriteReadClient::new(vec![i as u8; 512])),
+        );
+    }
+    cluster.start();
+    cluster.run_until_idle();
+    for i in 0..12u64 {
+        let cn = (i % 3) as usize;
+        let idx = (i / 3) as usize;
+        let d: &WriteReadClient = cluster.cn(cn).driver(idx);
+        assert!(d.verified, "client {i} failed");
+    }
+    // Placement used both MNs (the controller balances by free memory).
+    let used0 = cluster.mn(0).slow_path().palloc().used_pages();
+    let used1 = cluster.mn(1).slow_path().palloc().used_pages();
+    assert!(used0 > 0 && used1 > 0, "placement ignored one MN: {used0}/{used1}");
+}
+
+#[test]
+fn blocking_runtime_figure1_style() {
+    let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
+    // The paper's Figure 1, nearly verbatim.
+    bc.spawn(0, 42, |p| {
+        let remote_addr = p.ralloc(4096).expect("ralloc");
+        let lock = p.ralloc(4096).expect("ralloc lock page");
+
+        p.rlock(lock).expect("rlock");
+        let e0 = p.rwrite_async(remote_addr, b"hello ");
+        let e1 = p.rwrite_async(remote_addr + 6, b"world");
+        p.runlock(lock).expect("runlock");
+        p.rpoll(&[e0, e1]).expect("rpoll");
+
+        let back = p.rread(remote_addr, 11).expect("rread");
+        assert_eq!(&back[..], b"hello world");
+
+        p.compute(SimDuration::from_micros(50));
+        p.rfree(remote_addr, 4096).expect("rfree");
+    });
+    bc.run();
+}
+
+#[test]
+fn blocking_runtime_two_threads_share_a_lock() {
+    let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
+    // Thread 1 allocates a counter + lock and publishes the addresses via a
+    // std channel (host-side coordination, like argv in the paper).
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel::<(u64, u64)>();
+    bc.spawn(0, 7, move |p| {
+        let counter = p.ralloc(4096).expect("alloc");
+        let lock = counter + 8;
+        addr_tx.send((counter, lock)).expect("publish");
+        for _ in 0..5 {
+            p.rlock(lock).expect("lock");
+            let v = p.rfaa(counter, 1).expect("faa");
+            let _ = v;
+            p.runlock(lock).expect("unlock");
+        }
+    });
+    bc.spawn(0, 7, move |p| {
+        let (counter, lock) = addr_rx.recv().expect("addresses");
+        for _ in 0..5 {
+            p.rlock(lock).expect("lock");
+            p.rfaa(counter, 1).expect("faa");
+            p.runlock(lock).expect("unlock");
+        }
+        // Both threads done: counter must be exactly 10 (5 + 5), though we
+        // may read it before the other thread's last increment -- so fence
+        // and read at the end is only >= our own 5.
+        let v = p.rfaa(counter, 0).expect("read");
+        assert!(v >= 5, "counter lost updates: {v}");
+    });
+    bc.run();
+}
+
+#[test]
+fn pressure_triggers_transparent_migration() {
+    // Tiny MNs: the first fills up and must shed a region to the second.
+    let mut cfg = ClusterConfig::test_small();
+    cfg.mns = 2;
+    cfg.board.hw.phys_mem_bytes = 16 * cfg.board.hw.page_size; // 16 pages
+    cfg.board.hw.pt_slack = 8;
+    cfg.board.hw.async_buffer_pages = 2;
+    cfg.pressure_threshold = 0.5;
+    let mut bc = BlockingCluster::new(&cfg);
+    bc.spawn(0, 9, |p| {
+        // Two ranges; touching the second drives utilization over 50%,
+        // so the controller migrates the first (coldest) range away.
+        let a = p.ralloc(4 * 4096).expect("alloc a");
+        let b = p.ralloc(8 * 4096).expect("alloc b");
+        p.rwrite(a, b"range-a data").expect("write a");
+        for i in 0..8u64 {
+            p.rwrite(b + i * 4096, &[i as u8; 64]).expect("write b");
+        }
+        // Give the migration time to run, then access the moved range:
+        // the runtime re-routes transparently after the Moved refusal.
+        p.compute(SimDuration::from_millis(50));
+        let back = p.rread(a, 12).expect("read after migration");
+        assert_eq!(&back[..], b"range-a data");
+    });
+    bc.run();
+    let ctrl = bc
+        .cluster
+        .sim
+        .actor::<clio_core::Controller>(bc.cluster.controller_id());
+    let (started, completed) = ctrl.migration_stats();
+    assert!(started >= 1, "no migration started");
+    assert_eq!(started, completed, "migrations must complete");
+}
+
+/// A closed-loop driver issuing `n` sequential reads (for scalability
+/// sanity: many drivers at once).
+struct ClosedLoop {
+    va: u64,
+    remaining: u32,
+    done: bool,
+}
+
+impl ClientDriver for ClosedLoop {
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        api.alloc(4096, Perm::RW);
+    }
+    fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+        if self.va == 0 {
+            self.va = c.va();
+            api.write(self.va, Bytes::from_static(&[1u8; 64]));
+            return;
+        }
+        assert!(c.result.is_ok());
+        if self.remaining == 0 {
+            self.done = true;
+            return;
+        }
+        self.remaining -= 1;
+        api.read(self.va, 64);
+    }
+}
+
+#[test]
+fn hundred_concurrent_processes() {
+    let mut cfg = ClusterConfig::test_small();
+    cfg.cns = 2;
+    let mut cluster = Cluster::build(&cfg);
+    for i in 0..100u64 {
+        cluster.add_driver(
+            (i % 2) as usize,
+            clio_proto::Pid(1000 + i),
+            Box::new(ClosedLoop { va: 0, remaining: 20, done: false }),
+        );
+    }
+    cluster.start();
+    cluster.run_until_idle();
+    for i in 0..100u64 {
+        let d: &ClosedLoop = cluster.cn((i % 2) as usize).driver((i / 2) as usize);
+        assert!(d.done, "process {i} did not finish");
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let digest = |seed: u64| {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.seed = seed;
+        let mut cluster = Cluster::build(&cfg);
+        for i in 0..10u64 {
+            cluster.add_driver(
+                0,
+                clio_proto::Pid(i),
+                Box::new(ClosedLoop { va: 0, remaining: 5, done: false }),
+            );
+        }
+        cluster.start();
+        cluster.run_until_idle();
+        (cluster.sim.digest(), cluster.sim.events_dispatched(), cluster.now())
+    };
+    assert_eq!(digest(1), digest(1), "same seed must replay identically");
+}

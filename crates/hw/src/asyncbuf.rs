@@ -1,0 +1,140 @@
+//! The async buffer of pre-allocated physical pages (paper §4.3).
+//!
+//! Physical-page allocation involves free-list bookkeeping that is far too
+//! slow for the fast path, so the slow-path ARM **pre-generates** free
+//! physical page numbers into this fixed-size ring. The hardware page-fault
+//! handler just pops one — that is what makes fault handling a constant
+//! three cycles. The ARM refills the buffer asynchronously; as long as the
+//! refill rate exceeds line-rate fault arrival, the fast path never stalls.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity ring of pre-reserved physical page numbers.
+#[derive(Debug, Clone)]
+pub struct AsyncPageBuffer {
+    pages: VecDeque<u64>,
+    capacity: usize,
+    pops: u64,
+    underflows: u64,
+}
+
+impl AsyncPageBuffer {
+    /// An empty buffer holding at most `capacity` page numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "async buffer must have capacity");
+        AsyncPageBuffer { pages: VecDeque::with_capacity(capacity), capacity, pops: 0, underflows: 0 }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently buffered.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if no pre-allocated pages are available.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Free slots the slow path should refill.
+    pub fn refill_demand(&self) -> usize {
+        self.capacity - self.pages.len()
+    }
+
+    /// Fast path: takes one pre-allocated page for a faulting access.
+    /// Returns `None` (and counts an underflow) if the ARM has fallen
+    /// behind — the fault must then wait for a refill.
+    pub fn pop(&mut self) -> Option<u64> {
+        match self.pages.pop_front() {
+            Some(p) => {
+                self.pops += 1;
+                Some(p)
+            }
+            None => {
+                self.underflows += 1;
+                None
+            }
+        }
+    }
+
+    /// Slow path: deposits a freshly reserved physical page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — the refill loop must respect
+    /// [`refill_demand`](Self::refill_demand).
+    pub fn push(&mut self, ppn: u64) {
+        assert!(self.pages.len() < self.capacity, "async buffer overflow");
+        self.pages.push_back(ppn);
+    }
+
+    /// Drains all buffered pages (address-space teardown returns them to the
+    /// physical allocator).
+    pub fn drain(&mut self) -> Vec<u64> {
+        self.pages.drain(..).collect()
+    }
+
+    /// Total successful pops (page faults served).
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Times the fast path found the buffer empty.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_pop_order() {
+        let mut b = AsyncPageBuffer::new(4);
+        b.push(10);
+        b.push(11);
+        assert_eq!(b.pop(), Some(10));
+        assert_eq!(b.pop(), Some(11));
+        assert_eq!(b.pop(), None);
+        assert_eq!(b.pops(), 2);
+        assert_eq!(b.underflows(), 1);
+    }
+
+    #[test]
+    fn refill_demand_tracks_occupancy() {
+        let mut b = AsyncPageBuffer::new(3);
+        assert_eq!(b.refill_demand(), 3);
+        b.push(1);
+        assert_eq!(b.refill_demand(), 2);
+        b.pop();
+        assert_eq!(b.refill_demand(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "async buffer overflow")]
+    fn overfill_panics() {
+        let mut b = AsyncPageBuffer::new(1);
+        b.push(1);
+        b.push(2);
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut b = AsyncPageBuffer::new(4);
+        b.push(7);
+        b.push(8);
+        assert_eq!(b.drain(), vec![7, 8]);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 4);
+    }
+}

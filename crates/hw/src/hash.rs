@@ -1,0 +1,104 @@
+//! The page-table bucket mapping.
+//!
+//! The paper indexes its flat page table by "the hash value of a VA and its
+//! PID" and relies on allocation-time retries to avoid bucket overflow
+//! (§4.2). A subtlety the implementation must get right: with a *fully
+//! random* per-page hash, a large contiguous allocation (the paper allocates
+//! up to 1424 MB of a 2 GB node — ~35 % of all table slots — in one call)
+//! would overflow some bucket with probability ≈ 1 no matter how often the
+//! allocator retries, because every retry re-throws thousands of balls into
+//! the same bins. For the overflow-free design to admit near-capacity
+//! allocations at all, contiguous pages of one process must spread
+//! *deterministically* across buckets.
+//!
+//! We therefore use an affine per-process mapping:
+//!
+//! ```text
+//! bucket(pid, vpn) = (mix(pid) + vpn) mod n_buckets
+//! ```
+//!
+//! * a contiguous `k`-page range occupies `k` consecutive buckets (mod `n`),
+//!   adding at most `ceil(k / n)` entries per bucket — so an empty table
+//!   accepts any allocation up to its capacity,
+//! * different processes start at strongly-mixed random offsets, so bucket
+//!   *pileups* (and hence allocation retries) appear as the table fills with
+//!   many tenants — reproducing Figure 13's shape,
+//! * sliding the candidate range by one page (the allocator's retry rule)
+//!   shifts the whole window by one bucket, so retries genuinely escape
+//!   pileups instead of resampling them,
+//! * hardware cost is one addition and one modulo by a constant — cheaper
+//!   than the Jenkins lookup the paper budgets for.
+
+use clio_proto::Pid;
+
+/// Strong 64-bit mix of a PID — the per-process bucket offset.
+pub fn pid_offset(pid: Pid) -> u64 {
+    // SplitMix64 finalizer: full avalanche, trivially synthesizable.
+    let mut z = pid.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a `(pid, vpn)` pair to a bucket index in `[0, buckets)`.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`.
+pub fn bucket_of(pid: Pid, vpn: u64, buckets: usize) -> usize {
+    assert!(buckets > 0, "page table must have buckets");
+    let n = buckets as u128;
+    ((pid_offset(pid) as u128 + vpn as u128) % n) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_pid_sensitive() {
+        assert_eq!(bucket_of(Pid(1), 42, 257), bucket_of(Pid(1), 42, 257));
+        assert_ne!(pid_offset(Pid(1)), pid_offset(Pid(2)));
+        assert_ne!(pid_offset(Pid(0)), pid_offset(Pid(1)));
+    }
+
+    #[test]
+    fn bucket_in_range() {
+        for vpn in 0..10_000 {
+            assert!(bucket_of(Pid(3), vpn, 257) < 257);
+        }
+    }
+
+    #[test]
+    fn contiguous_range_spreads_perfectly() {
+        // A k-page range in an n-bucket table adds at most ceil(k/n) per
+        // bucket — the property that makes near-capacity allocation work.
+        const BUCKETS: usize = 64;
+        let mut counts = vec![0u32; BUCKETS];
+        for vpn in 5000..5000 + 150 {
+            counts[bucket_of(Pid(9), vpn, BUCKETS)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max <= 150u32.div_ceil(BUCKETS as u32), "max per bucket {max}");
+    }
+
+    #[test]
+    fn pid_offsets_are_roughly_uniform() {
+        const BUCKETS: usize = 64;
+        let mut counts = vec![0u64; BUCKETS];
+        for pid in 0..6400 {
+            counts[bucket_of(Pid(pid), 0, BUCKETS)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as f64 - 100.0).abs() < 40.0, "bucket {i} has {c}, expected ~100");
+        }
+    }
+
+    #[test]
+    fn sliding_one_page_shifts_one_bucket() {
+        // The allocator's retry rule relies on this escape property.
+        let a = bucket_of(Pid(5), 100, 97);
+        let b = bucket_of(Pid(5), 101, 97);
+        assert_eq!((a + 1) % 97, b);
+    }
+}

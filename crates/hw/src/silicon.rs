@@ -1,0 +1,649 @@
+//! The assembled CBoard fast-path datapath.
+//!
+//! [`Silicon`] bundles the VM unit, physical memory, DRAM, the II=1 pipeline
+//! admission gate, the DMA engine and the atomic-serialization unit, and
+//! executes whole fast-path operations: every call returns the functional
+//! result **and** an [`AccessTiming`] whose [`Breakdown`] mirrors the bars of
+//! the paper's Figure 14 (TLB hit/miss time, DDR access, on-board
+//! interconnect, etc.).
+//!
+//! Timing model (paper §5): a request packet is admitted by the pipeline
+//! gate — one 64 B flit per 250 MHz cycle, i.e. the 128 Gbps II=1 ceiling —
+//! then flows through fixed-cycle parse/translate/respond stages, with DRAM
+//! and the (non-pipelined) read-DMA engine as shared FCFS resources.
+
+use bytes::Bytes;
+use clio_proto::{Perm, Pid, Status};
+use clio_sim::resource::{PipelineGate, SerialResource};
+use clio_sim::{Cycles, SimDuration, SimTime};
+
+use crate::config::CBoardHwConfig;
+use crate::dedup::DedupBuffer;
+use crate::dram::DramModel;
+use crate::memory::PhysMemory;
+use crate::vm::VmUnit;
+
+/// An atomic operation on one 8-byte word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// Test-and-set to 1; returns the old value (Clio's `rlock`).
+    Tas,
+    /// Unconditional store; returns the old value (Clio's `runlock`).
+    Store(u64),
+    /// Compare-and-swap; returns the old value.
+    Cas {
+        /// Expected current value.
+        expected: u64,
+        /// Replacement if matched.
+        new: u64,
+    },
+    /// Fetch-and-add (wrapping); returns the old value.
+    Faa(u64),
+}
+
+/// Per-stage time attribution for one request (Figure 14's bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// MAC + PHY ingress and egress.
+    pub mac_phy: SimDuration,
+    /// Waiting for pipeline admission (II backpressure).
+    pub admission_wait: SimDuration,
+    /// Parse + MAT dispatch + response-generation cycles.
+    pub pipeline_cycles: SimDuration,
+    /// TLB lookup (and fault-handler) cycles.
+    pub tlb: SimDuration,
+    /// Page-table bucket fetches from DRAM (TLB-miss cost).
+    pub pt_dram: SimDuration,
+    /// On-board interconnect crossings.
+    pub interconnect: SimDuration,
+    /// Data movement to/from DRAM (including bus queueing).
+    pub data_dram: SimDuration,
+    /// Read-DMA engine wait + occupancy.
+    pub dma: SimDuration,
+}
+
+impl Breakdown {
+    /// Sum of all components (= time spent on the board).
+    pub fn total(&self) -> SimDuration {
+        self.mac_phy
+            + self.admission_wait
+            + self.pipeline_cycles
+            + self.tlb
+            + self.pt_dram
+            + self.interconnect
+            + self.data_dram
+            + self.dma
+    }
+}
+
+/// When a request entered and left the board, with its stage attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// Arrival at the MAC.
+    pub arrived: SimTime,
+    /// Completion: response handed to the egress MAC.
+    pub done: SimTime,
+    /// Stage attribution.
+    pub breakdown: Breakdown,
+    /// Whether the access page-faulted.
+    pub page_fault: bool,
+    /// Whether every touched page hit the TLB.
+    pub all_tlb_hits: bool,
+}
+
+impl AccessTiming {
+    /// Board-resident latency.
+    pub fn latency(&self) -> SimDuration {
+        self.done.since(self.arrived)
+    }
+}
+
+/// Counters exposed for the harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiliconStats {
+    /// Fast-path read requests served.
+    pub reads: u64,
+    /// Fast-path write fragments served.
+    pub writes: u64,
+    /// Atomics served.
+    pub atomics: u64,
+    /// Payload bytes read.
+    pub read_bytes: u64,
+    /// Payload bytes written.
+    pub write_bytes: u64,
+}
+
+/// Out-params shared by the per-page translation walk.
+struct TranslateScratch<'a> {
+    b: &'a mut Breakdown,
+    page_fault: &'a mut bool,
+    all_hits: &'a mut bool,
+}
+
+/// The CBoard datapath: functional state plus shared timing resources.
+#[derive(Debug)]
+pub struct Silicon {
+    cfg: CBoardHwConfig,
+    vm: VmUnit,
+    mem: PhysMemory,
+    dram: DramModel,
+    gate: PipelineGate,
+    dma: SerialResource,
+    atomic_unit: SerialResource,
+    dedup: DedupBuffer,
+    internal_access: bool,
+    stats: SiliconStats,
+}
+
+impl Silicon {
+    /// Builds a board from its hardware configuration.
+    pub fn new(cfg: CBoardHwConfig) -> Self {
+        cfg.validate();
+        Silicon {
+            vm: VmUnit::new(&cfg),
+            mem: PhysMemory::new(),
+            dram: DramModel::new(cfg.dram_latency, cfg.dram_bandwidth),
+            gate: PipelineGate::new(cfg.flit_time()),
+            dma: SerialResource::new(),
+            atomic_unit: SerialResource::new(),
+            dedup: DedupBuffer::with_byte_budget(cfg.dedup_buffer_bytes, cfg.dedup_entry_bytes),
+            internal_access: false,
+            stats: SiliconStats::default(),
+            cfg,
+        }
+    }
+
+    /// The board's configuration.
+    pub fn config(&self) -> &CBoardHwConfig {
+        &self.cfg
+    }
+
+    /// The VM unit (slow path installs PTEs and refills the async buffer
+    /// through this).
+    pub fn vm_mut(&mut self) -> &mut VmUnit {
+        &mut self.vm
+    }
+
+    /// The VM unit, read-only.
+    pub fn vm(&self) -> &VmUnit {
+        &self.vm
+    }
+
+    /// The retry-dedup buffer.
+    pub fn dedup_mut(&mut self) -> &mut DedupBuffer {
+        &mut self.dedup
+    }
+
+    /// Raw physical memory (offloads and migration use physical access).
+    pub fn mem_mut(&mut self) -> &mut PhysMemory {
+        &mut self.mem
+    }
+
+    /// Raw physical memory, read-only.
+    pub fn mem(&self) -> &PhysMemory {
+        &self.mem
+    }
+
+    /// Request counters.
+    pub fn stats(&self) -> SiliconStats {
+        self.stats
+    }
+
+    fn cycles(&self, c: Cycles) -> SimDuration {
+        self.cfg.clock.cycles(c)
+    }
+
+    /// Common front-end: MAC/PHY ingress, II-gate admission, parse cycles.
+    /// Returns (time at translate stage, partial breakdown, arrival).
+    fn front_end(&mut self, now: SimTime, payload_bytes: u64) -> (SimTime, Breakdown) {
+        let mac = if self.internal_access { SimDuration::ZERO } else { self.cfg.mac_phy_latency };
+        let mut b = Breakdown::default();
+        let at_pipeline = now + mac;
+        b.mac_phy += mac;
+        let flits = self.cfg.flits(payload_bytes);
+        let admitted = self.gate.admit(at_pipeline, flits);
+        b.admission_wait += admitted.since(at_pipeline);
+        let parse = self.cycles(self.cfg.parse_cycles);
+        b.pipeline_cycles += parse;
+        (admitted + parse, b)
+    }
+
+    /// Common back-end: response generation + MAC/PHY egress.
+    fn back_end(&self, t: SimTime, b: &mut Breakdown) -> SimTime {
+        let mac = if self.internal_access { SimDuration::ZERO } else { self.cfg.mac_phy_latency };
+        let resp = self.cycles(self.cfg.response_cycles);
+        b.pipeline_cycles += resp;
+        b.mac_phy += mac;
+        t + resp + mac
+    }
+
+    /// Switches the datapath between network-facing accesses (MAC/PHY
+    /// charged) and extend-path internal accesses (offloads sit behind the
+    /// MAT, on-chip — §4.6). Returns the previous mode.
+    pub fn set_internal_access(&mut self, internal: bool) -> bool {
+        std::mem::replace(&mut self.internal_access, internal)
+    }
+
+    /// Translates every page a `[va, va+len)` access touches, accumulating
+    /// timing into the scratch state. Returns
+    /// `(segments, time_after_translate)` where each segment is
+    /// `(physical_address, length)`.
+    fn translate_range(
+        &mut self,
+        mut t: SimTime,
+        pid: Pid,
+        va: u64,
+        len: u64,
+        access: Perm,
+        st: &mut TranslateScratch<'_>,
+    ) -> Result<(Vec<(u64, u64)>, SimTime), Status> {
+        let TranslateScratch { b, page_fault, all_hits } = st;
+        let (b, page_fault, all_hits) = (&mut **b, &mut **page_fault, &mut **all_hits);
+        let page = self.cfg.page_size;
+        let mut segs = Vec::new();
+        let mut addr = va;
+        let end = va.checked_add(len).ok_or(Status::InvalidAddr)?;
+        loop {
+            let vpn = addr / page;
+            let (res, timing) = self.vm.translate(t, &mut self.dram, pid, vpn, access);
+            b.tlb += self.cycles(timing.cycles);
+            b.pt_dram += timing.pt_fetch;
+            t = t + self.cycles(timing.cycles) + timing.pt_fetch;
+            if timing.page_fault {
+                *page_fault = true;
+            }
+            if !timing.tlb_hit {
+                *all_hits = false;
+            }
+            let tr = res?;
+            if let Some(new_ppn) = tr.faulted {
+                // Fresh page: contents must read as zero.
+                self.mem.zero_range(new_ppn * page, page);
+            }
+            let seg_len = (page - addr % page).min(end - addr);
+            segs.push((tr.ppn * page + addr % page, seg_len));
+            addr += seg_len;
+            if addr >= end {
+                break;
+            }
+        }
+        Ok((segs, t))
+    }
+
+    /// Fast-path read: translate, fetch from DRAM via the DMA engine, and
+    /// form the response.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        va: u64,
+        len: u32,
+    ) -> (Result<Bytes, Status>, AccessTiming) {
+        // Read *requests* are one flit; the payload flows on the response.
+        let (t, mut b) = self.front_end(now, 0);
+        let mut fault = false;
+        let mut hits = true;
+        let result = self
+            .translate_range(
+                t,
+                pid,
+                va,
+                len as u64,
+                Perm::READ,
+                &mut TranslateScratch { b: &mut b, page_fault: &mut fault, all_hits: &mut hits },
+            )
+            .map(|(segs, mut t)| {
+                // One interconnect crossing to issue, one for data return.
+                b.interconnect += self.cfg.interconnect_latency * 2;
+                t += self.cfg.interconnect_latency;
+                let mut data = bytes::BytesMut::with_capacity(len as usize);
+                let mut dram_done = t;
+                for &(pa, seg_len) in &segs {
+                    let r = self.dram.access(t, seg_len);
+                    dram_done = dram_done.max(r.end);
+                    data.extend_from_slice(&self.mem.read(pa, seg_len as usize));
+                }
+                b.data_dram += dram_done.since(t);
+                // The non-pipelined DMA engine serializes response payloads.
+                let occupancy = self.cfg.dma_read_overhead
+                    + self.cfg.dma_bandwidth.transfer_time(len as u64);
+                let dma = self.dma.reserve(dram_done, occupancy);
+                b.dma += dma.end.since(dram_done);
+                t = dma.end + self.cfg.interconnect_latency;
+                self.stats.reads += 1;
+                self.stats.read_bytes += len as u64;
+                (data.freeze(), t)
+            });
+        let (result, t_end) = match result {
+            Ok((data, t2)) => (Ok(data), t2),
+            Err(s) => (Err(s), t),
+        };
+        let done = self.back_end(t_end, &mut b);
+        (
+            result,
+            AccessTiming {
+                arrived: now,
+                done,
+                breakdown: b,
+                page_fault: fault,
+                all_tlb_hits: hits,
+            },
+        )
+    }
+
+    /// Fast-path write of one fragment: translate and stream to DRAM.
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        va: u64,
+        data: &[u8],
+    ) -> (Result<(), Status>, AccessTiming) {
+        let (t, mut b) = self.front_end(now, data.len() as u64);
+        let mut fault = false;
+        let mut hits = true;
+        let result = self
+            .translate_range(
+                t,
+                pid,
+                va,
+                data.len() as u64,
+                Perm::WRITE,
+                &mut TranslateScratch { b: &mut b, page_fault: &mut fault, all_hits: &mut hits },
+            )
+            .map(|(segs, mut t)| {
+                b.interconnect += self.cfg.interconnect_latency;
+                t += self.cfg.interconnect_latency;
+                let mut dram_done = t;
+                let mut off = 0usize;
+                for &(pa, seg_len) in &segs {
+                    let r = self.dram.access(t, seg_len);
+                    dram_done = dram_done.max(r.end);
+                    self.mem.write(pa, &data[off..off + seg_len as usize]);
+                    off += seg_len as usize;
+                }
+                b.data_dram += dram_done.since(t);
+                self.stats.writes += 1;
+                self.stats.write_bytes += data.len() as u64;
+                dram_done
+            });
+        let (result, t_end) = match result {
+            Ok(t2) => (Ok(()), t2),
+            Err(s) => (Err(s), t),
+        };
+        let done = self.back_end(t_end, &mut b);
+        (
+            result,
+            AccessTiming {
+                arrived: now,
+                done,
+                breakdown: b,
+                page_fault: fault,
+                all_tlb_hits: hits,
+            },
+        )
+    }
+
+    /// An atomic on the 8-byte word at `va`, serialized by the
+    /// synchronization unit (§4.5 T3). Returns the word's previous value.
+    pub fn atomic(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        va: u64,
+        op: AtomicOp,
+    ) -> (Result<u64, Status>, AccessTiming) {
+        let (t, mut b) = self.front_end(now, 8);
+        let mut fault = false;
+        let mut hits = true;
+        let result = self
+            .translate_range(
+                t,
+                pid,
+                va,
+                8,
+                Perm::RW,
+                &mut TranslateScratch { b: &mut b, page_fault: &mut fault, all_hits: &mut hits },
+            )
+            .map(|(segs, t_done)| {
+                let (pa, _) = segs[0];
+                // The atomic unit blocks later atomics until this completes:
+                // a read-modify-write of one DRAM word.
+                let service = self.dram.latency() * 2;
+                let unit = self.atomic_unit.reserve(t_done, service);
+                b.data_dram += unit.end.since(t_done);
+                b.interconnect += self.cfg.interconnect_latency;
+                let old = self.mem.read_u64(pa);
+                let new = match op {
+                    AtomicOp::Tas => 1,
+                    AtomicOp::Store(v) => v,
+                    AtomicOp::Cas { expected, new } => {
+                        if old == expected {
+                            new
+                        } else {
+                            old
+                        }
+                    }
+                    AtomicOp::Faa(d) => old.wrapping_add(d),
+                };
+                self.mem.write_u64(pa, new);
+                self.stats.atomics += 1;
+                (old, unit.end + self.cfg.interconnect_latency)
+            });
+        let (result, t_end) = match result {
+            Ok((old, t2)) => (Ok(old), t2),
+            Err(s) => (Err(s), t),
+        };
+        let done = self.back_end(t_end, &mut b);
+        (
+            result,
+            AccessTiming {
+                arrived: now,
+                done,
+                breakdown: b,
+                page_fault: fault,
+                all_tlb_hits: hits,
+            },
+        )
+    }
+
+    /// Physical-address read for offloads/migration (no translation; charged
+    /// as DRAM accesses only).
+    pub fn read_phys(&mut self, now: SimTime, pa: u64, len: usize) -> (Bytes, SimTime) {
+        let r = self.dram.access(now, len as u64);
+        (self.mem.read(pa, len), r.end)
+    }
+
+    /// Physical-address write for offloads/migration.
+    pub fn write_phys(&mut self, now: SimTime, pa: u64, data: &[u8]) -> SimTime {
+        let r = self.dram.access(now, data.len() as u64);
+        self.mem.write(pa, data);
+        r.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagetable::Pte;
+
+    fn board() -> Silicon {
+        let mut s = Silicon::new(CBoardHwConfig::test_small());
+        // Give the fault handler pages 1..=8.
+        for ppn in 1..=8 {
+            s.vm_mut().async_buffer_mut().push(ppn);
+        }
+        s
+    }
+
+    fn map(s: &mut Silicon, pid: u64, vpn: u64, perm: Perm) {
+        s.vm_mut()
+            .install_pte(Pte { pid: Pid(pid), vpn, ppn: 0, perm, valid: false })
+            .expect("install");
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_data() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        let (w, wt) = s.write(t0(), Pid(1), 100, b"disaggregate me");
+        w.expect("write ok");
+        assert!(wt.page_fault, "first touch faults");
+        let (r, rt) = s.read(wt.done, Pid(1), 100, 15);
+        assert_eq!(&r.expect("read ok")[..], b"disaggregate me");
+        assert!(!rt.page_fault);
+        assert!(rt.all_tlb_hits, "second access hits TLB");
+        assert!(rt.done > rt.arrived);
+    }
+
+    #[test]
+    fn read_of_untouched_page_faults_and_returns_zeroes() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        let (r, t) = s.read(t0(), Pid(1), 0, 64);
+        assert!(r.expect("ok").iter().all(|&b| b == 0));
+        assert!(t.page_fault);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        map(&mut s, 1, 1, Perm::RW);
+        let page = s.config().page_size;
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let start = page - 100;
+        s.write(t0(), Pid(1), start, &data).0.expect("write");
+        let (r, _) = s.read(t0() + SimDuration::from_micros(10), Pid(1), start, 200);
+        assert_eq!(&r.expect("read")[..], &data[..]);
+    }
+
+    #[test]
+    fn unmapped_and_denied_accesses_fail() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::READ);
+        let (r, _) = s.read(t0(), Pid(1), 1 << 30, 8);
+        assert_eq!(r.unwrap_err(), Status::InvalidAddr);
+        let (w, _) = s.write(t0(), Pid(1), 0, b"x");
+        assert_eq!(w.unwrap_err(), Status::PermDenied);
+        // Errors still produce a response (timing exists).
+    }
+
+    #[test]
+    fn tlb_miss_costs_one_dram_access() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        // Fault in and warm the TLB.
+        s.write(t0(), Pid(1), 0, b"warm").0.expect("warm");
+        let (_, hit) = s.read(SimTime::from_nanos(100_000), Pid(1), 0, 16);
+        assert!(hit.all_tlb_hits);
+        assert_eq!(hit.breakdown.pt_dram, SimDuration::ZERO);
+        // Evict by filling the TLB with other pages? Cheaper: new pid page.
+        map(&mut s, 1, 100, Perm::RW);
+        let (_, miss) = s.read(SimTime::from_nanos(200_000), Pid(1), 100 * 4096, 16);
+        assert!(!miss.all_tlb_hits);
+        assert!(miss.breakdown.pt_dram >= s.config().dram_latency);
+        assert!(miss.latency() > hit.latency(), "miss strictly slower");
+    }
+
+    #[test]
+    fn page_fault_cost_is_three_cycles_not_milliseconds() {
+        // A 1-entry TLB lets us force a miss on an already-valid page.
+        let mut s = Silicon::new(CBoardHwConfig { tlb_entries: 1, ..CBoardHwConfig::test_small() });
+        for ppn in 1..=4 {
+            s.vm_mut().async_buffer_mut().push(ppn);
+        }
+        map(&mut s, 1, 0, Perm::RW);
+        map(&mut s, 1, 1, Perm::RW);
+        map(&mut s, 1, 2, Perm::RW);
+        // Fault pages 0 and 1 in; page 1's access evicts page 0 from the TLB.
+        s.write(t0(), Pid(1), 0, b"a").0.expect("fault 0");
+        s.write(t0(), Pid(1), 4096, b"b").0.expect("fault 1");
+        // TLB miss on a valid page (no fault).
+        let (_, miss) = s.read(SimTime::from_nanos(100_000), Pid(1), 0, 16);
+        assert!(!miss.all_tlb_hits && !miss.page_fault);
+        // TLB miss + page fault on page 2.
+        let (_, fault) = s.read(SimTime::from_nanos(200_000), Pid(1), 2 * 4096, 16);
+        assert!(fault.page_fault);
+        // Fault latency exceeds plain miss by ONLY the 3-cycle handler.
+        let extra = fault.latency().as_nanos() as i64 - miss.latency().as_nanos() as i64;
+        let three_cycles = s.config().clock.cycles(Cycles(3)).as_nanos() as i64;
+        assert!(
+            (extra - three_cycles).abs() <= 2,
+            "fault extra cost {extra}ns != 3 cycles ({three_cycles}ns)"
+        );
+    }
+
+    #[test]
+    fn atomics_serialize_and_apply() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        let (old, _) = s.atomic(t0(), Pid(1), 0, AtomicOp::Tas);
+        assert_eq!(old.expect("tas"), 0);
+        let (old, _) = s.atomic(t0(), Pid(1), 0, AtomicOp::Tas);
+        assert_eq!(old.expect("tas"), 1, "lock already held");
+        let (old, _) = s.atomic(t0(), Pid(1), 0, AtomicOp::Store(0));
+        assert_eq!(old.expect("store"), 1);
+        let (old, _) = s.atomic(t0(), Pid(1), 0, AtomicOp::Faa(5));
+        assert_eq!(old.expect("faa"), 0);
+        let (old, _) = s.atomic(t0(), Pid(1), 0, AtomicOp::Cas { expected: 5, new: 9 });
+        assert_eq!(old.expect("cas"), 5);
+        let (old, _) = s.atomic(t0(), Pid(1), 0, AtomicOp::Faa(0));
+        assert_eq!(old.expect("read back"), 9, "cas stored the new value");
+        let (old, _) = s.atomic(t0(), Pid(1), 0, AtomicOp::Cas { expected: 5, new: 1 });
+        assert_eq!(old.expect("cas"), 9, "failed cas leaves the value");
+        s.atomic(t0(), Pid(1), 0, AtomicOp::Store(0)).0.expect("reset");
+
+        // Two atomics at the same instant: the second's completion is pushed
+        // behind the first by the atomic unit.
+        let (_, a) = s.atomic(t0(), Pid(1), 0, AtomicOp::Faa(1));
+        let (_, b) = s.atomic(t0(), Pid(1), 0, AtomicOp::Faa(1));
+        assert!(b.done > a.done);
+    }
+
+    #[test]
+    fn pipeline_gate_enforces_ii_one() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        s.write(t0(), Pid(1), 0, b"warm").0.expect("warm");
+        // Two 1-flit reads arriving together: admission spaced by 1 flit.
+        let t = SimTime::from_nanos(50_000);
+        let (_, a) = s.read(t, Pid(1), 0, 16);
+        let (_, b) = s.read(t, Pid(1), 0, 16);
+        let spacing = b.done.since(a.done);
+        assert!(
+            spacing >= s.config().flit_time(),
+            "requests must be spaced by at least one flit"
+        );
+        assert_eq!(b.breakdown.admission_wait, s.config().flit_time());
+    }
+
+    #[test]
+    fn faulted_page_reads_zero_even_after_recycling() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        // Dirty physical page 1 via physical write, then fault it in.
+        let page = s.config().page_size;
+        s.write_phys(t0(), page, b"stale garbage");
+        let (r, t) = s.read(t0(), Pid(1), 0, 13);
+        assert!(t.page_fault);
+        assert!(r.expect("ok").iter().all(|&b| b == 0), "faulted page must be zeroed");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        s.write(t0(), Pid(1), 0, b"abcd").0.expect("w");
+        s.read(t0(), Pid(1), 0, 4).0.expect("r");
+        s.atomic(t0(), Pid(1), 8, AtomicOp::Faa(1)).0.expect("a");
+        let st = s.stats();
+        assert_eq!((st.reads, st.writes, st.atomics), (1, 1, 1));
+        assert_eq!(st.read_bytes, 4);
+        assert_eq!(st.write_bytes, 4);
+    }
+}

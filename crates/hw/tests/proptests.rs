@@ -1,0 +1,141 @@
+//! Property tests of the hardware data structures against reference models.
+
+use std::collections::HashMap;
+
+use clio_hw::dedup::{DedupBuffer, DedupRecord};
+use clio_hw::memory::PhysMemory;
+use clio_hw::pagetable::{HashPageTable, Pte};
+use clio_proto::{Perm, Pid, ReqId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum PtOp {
+    Insert(u8, u16),
+    Remove(u8, u16),
+    Lookup(u8, u16),
+}
+
+fn arb_pt_op() -> impl Strategy<Value = PtOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(p, v)| PtOp::Insert(p % 4, v % 512)),
+        (any::<u8>(), any::<u16>()).prop_map(|(p, v)| PtOp::Remove(p % 4, v % 512)),
+        (any::<u8>(), any::<u16>()).prop_map(|(p, v)| PtOp::Lookup(p % 4, v % 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The hash page table behaves exactly like a map, except that inserts
+    /// may fail with bucket overflow — and only then.
+    #[test]
+    fn pagetable_matches_map_model(ops in proptest::collection::vec(arb_pt_op(), 1..400)) {
+        let mut pt = HashPageTable::new(64, 4);
+        let mut model: HashMap<(Pid, u64), u64> = HashMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                PtOp::Insert(p, v) => {
+                    let (pid, vpn, ppn) = (Pid(p as u64), v as u64, i as u64);
+                    let r = pt.insert(Pte { pid, vpn, ppn, perm: Perm::RW, valid: true });
+                    match r {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&(pid, vpn)), "duplicate accepted");
+                            model.insert((pid, vpn), ppn);
+                        }
+                        Err(clio_hw::pagetable::PageTableError::Duplicate) => {
+                            prop_assert!(model.contains_key(&(pid, vpn)));
+                        }
+                        Err(clio_hw::pagetable::PageTableError::BucketOverflow { .. }) => {
+                            prop_assert!(!model.contains_key(&(pid, vpn)));
+                        }
+                    }
+                }
+                PtOp::Remove(p, v) => {
+                    let (pid, vpn) = (Pid(p as u64), v as u64);
+                    let got = pt.remove(pid, vpn).map(|e| e.ppn);
+                    prop_assert_eq!(got, model.remove(&(pid, vpn)));
+                }
+                PtOp::Lookup(p, v) => {
+                    let (pid, vpn) = (Pid(p as u64), v as u64);
+                    let got = pt.lookup(pid, vpn).map(|e| e.ppn);
+                    prop_assert_eq!(got, model.get(&(pid, vpn)).copied());
+                }
+            }
+            prop_assert_eq!(pt.len(), model.len());
+        }
+    }
+
+    /// The allocation-time overflow check is sound: if `can_insert_all`
+    /// approves a set, inserting every page succeeds.
+    #[test]
+    fn can_insert_all_is_sound(
+        existing in proptest::collection::vec((0u64..4, 0u64..256), 0..60),
+        candidate in proptest::collection::vec((0u64..4, 0u64..256), 1..40),
+    ) {
+        let mut pt = HashPageTable::new(16, 4);
+        for (p, v) in existing {
+            let _ = pt.insert(Pte { pid: Pid(p), vpn: v, ppn: 0, perm: Perm::RW, valid: false });
+        }
+        let mut cand = candidate;
+        cand.sort();
+        cand.dedup();
+        let pages: Vec<(Pid, u64)> = cand.iter().map(|&(p, v)| (Pid(p), v)).collect();
+        if pt.can_insert_all(pages.iter().copied()) {
+            for (pid, vpn) in pages {
+                prop_assert!(
+                    pt.insert(Pte { pid, vpn, ppn: 0, perm: Perm::RW, valid: false }).is_ok(),
+                    "approved set failed to insert at ({pid}, {vpn})"
+                );
+            }
+        }
+    }
+
+    /// The dedup buffer never forgets an entry before `capacity` newer ones
+    /// arrive, and never invents entries.
+    #[test]
+    fn dedup_window_semantics(ids in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let cap = 16;
+        let mut d = DedupBuffer::new(cap);
+        let mut inserted: Vec<u64> = Vec::new();
+        for id in &ids {
+            let id = *id as u64;
+            d.record(ReqId(id), DedupRecord::Atomic { old: id });
+            if !inserted.contains(&id) {
+                inserted.push(id);
+            }
+        }
+        // The most recent `cap` distinct ids must all be present with their
+        // recorded values.
+        for &id in inserted.iter().rev().take(cap) {
+            prop_assert_eq!(d.check(ReqId(id)), Some(DedupRecord::Atomic { old: id }));
+        }
+        // Unknown ids never hit.
+        prop_assert_eq!(d.check(ReqId(1 << 40)), None);
+    }
+
+    /// Physical memory is an exact byte store across arbitrary scattered
+    /// writes (last write wins).
+    #[test]
+    fn phys_memory_matches_model(
+        writes in proptest::collection::vec(
+            (0u64..100_000, proptest::collection::vec(any::<u8>(), 1..64)),
+            1..40
+        )
+    ) {
+        let mut mem = PhysMemory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (pa, data) in &writes {
+            mem.write(*pa, data);
+            for (i, b) in data.iter().enumerate() {
+                model.insert(pa + i as u64, *b);
+            }
+        }
+        for (pa, data) in &writes {
+            let got = mem.read(*pa, data.len());
+            for (i, got_b) in got.iter().enumerate() {
+                let want = model.get(&(pa + i as u64)).copied().unwrap_or(0);
+                prop_assert_eq!(*got_b, want, "mismatch at {}", pa + i as u64);
+            }
+        }
+    }
+}

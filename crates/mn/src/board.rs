@@ -1,0 +1,905 @@
+//! The CBoard actor: Clio's network-attached memory node (paper Figure 3).
+//!
+//! An incoming frame traverses MAC/PHY and a match-and-action table that
+//! dispatches it to one of three paths:
+//!
+//! * **fast path** — reads, write fragments, atomics and fences execute in
+//!   the [`Silicon`] datapath with deterministic timing,
+//! * **slow path** — allocation/free/address-space management cross to the
+//!   ARM ([`SlowPath`]) and come back,
+//! * **extend path** — offload calls run in installed [`Offload`] modules.
+//!
+//! The board holds exactly the bounded state the paper allows it (§4.5): the
+//! retry-dedup buffer, in-flight synchronization state (one fence barrier +
+//! the atomic unit), and a TTL-bounded tracker for multi-packet writes. It
+//! is connectionless: every response is routed by the source MAC of the
+//! request frame.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use clio_hw::dedup::DedupRecord;
+use clio_hw::silicon::{AtomicOp, Silicon};
+use clio_net::{Frame, Mac, NicPort};
+use clio_proto::{
+    codec, split_read_response, ClioPacket, Pid, ReqHeader, ReqId, RequestBody, RespHeader,
+    ResponseBody, Status, ETH_OVERHEAD_BYTES,
+};
+use clio_sim::{Actor, ActorId, Ctx, Message, SimDuration, SimTime};
+
+use crate::config::CBoardConfig;
+use crate::extend::{Offload, OffloadEnv};
+use crate::migrate::{
+    MigrateCommand, MigrationComplete, MigrationMsg, PressureReport, RegionPhase, RegionTable,
+};
+use crate::slowpath::SlowPath;
+
+/// Aggregate board statistics for harness reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoardStats {
+    /// Request packets received.
+    pub rx_packets: u64,
+    /// Response packets sent.
+    pub tx_packets: u64,
+    /// Link-layer NACKs sent for corrupted frames.
+    pub nacks: u64,
+    /// Retries answered from the dedup buffer without re-execution.
+    pub dedup_replays: u64,
+    /// Slow-path operations served.
+    pub slow_ops: u64,
+    /// Extend-path calls served.
+    pub offload_calls: u64,
+    /// Requests refused because their region was migrating.
+    pub conflicts: u64,
+    /// Requests answered with `Moved`.
+    pub moved: u64,
+}
+
+#[derive(Debug)]
+struct PendingWrite {
+    remaining: u16,
+    done: SimTime,
+    src: Mac,
+    retry_of: Option<ReqId>,
+    failed: Option<Status>,
+    created: SimTime,
+    /// Drop the entry only after the whole transfer could have arrived on
+    /// a slow link plus several retry windows.
+    expires: SimTime,
+}
+
+/// TTL-bounded tracker for multi-packet writes (the "slim layer for handling
+/// corner-case requests" of §4.4 — bounded by in-flight data, not clients).
+#[derive(Debug, Default)]
+struct WriteTracker {
+    pending: HashMap<ReqId, PendingWrite>,
+    order: VecDeque<(SimTime, ReqId)>,
+}
+
+impl WriteTracker {
+    fn purge(&mut self, now: SimTime) {
+        while let Some(&(t, id)) = self.order.front() {
+            let expired = match self.pending.get(&id) {
+                Some(p) if p.created == t => p.expires <= now,
+                // Entry already completed/replaced: drop the order record.
+                _ => true,
+            };
+            if !expired && now < SimTime::MAX {
+                break;
+            }
+            self.order.pop_front();
+            if let Some(p) = self.pending.get(&id) {
+                if p.created == t && p.expires <= now {
+                    self.pending.remove(&id);
+                }
+            }
+        }
+    }
+}
+
+struct InstalledOffload {
+    /// The offload's own protection domain, or `None` to execute in the
+    /// calling process's RAS (how Clio-DF shares the user's address space,
+    /// §6).
+    pid: Option<Pid>,
+    module: Box<dyn Offload>,
+}
+
+impl std::fmt::Debug for InstalledOffload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstalledOffload").field("pid", &self.pid).finish()
+    }
+}
+
+#[derive(Debug)]
+struct OutMigration {
+    dst: Mac,
+    len: u64,
+    vpns: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct InMigration {
+    received_vpns: Vec<u64>,
+}
+
+/// The memory-node device actor.
+#[derive(Debug)]
+pub struct CBoard {
+    name: String,
+    cfg: CBoardConfig,
+    silicon: Silicon,
+    slow: SlowPath,
+    nic: NicPort,
+    offloads: HashMap<u16, InstalledOffload>,
+    // Synchronization state (§4.5 T3): one global barrier + completions.
+    fence_until: SimTime,
+    last_completion: SimTime,
+    writes: WriteTracker,
+    regions: RegionTable,
+    out_migrations: HashMap<(Pid, u64), OutMigration>,
+    in_migrations: HashMap<(Pid, u64), InMigration>,
+    controller: Option<ActorId>,
+    pressure_threshold: f64,
+    pressure_reported: bool,
+    stats: BoardStats,
+}
+
+impl CBoard {
+    /// Builds a board with its NIC port. The async free-page buffer starts
+    /// full so first-touch faults never stall.
+    pub fn new(name: impl Into<String>, cfg: CBoardConfig, nic: NicPort) -> Self {
+        let silicon = Silicon::new(cfg.hw.clone());
+        let slow = SlowPath::new(&cfg);
+        let mut board = CBoard {
+            name: name.into(),
+            cfg,
+            silicon,
+            slow,
+            nic,
+            offloads: HashMap::new(),
+            fence_until: SimTime::ZERO,
+            last_completion: SimTime::ZERO,
+            writes: WriteTracker::default(),
+            regions: RegionTable::new(),
+            out_migrations: HashMap::new(),
+            in_migrations: HashMap::new(),
+            controller: None,
+            pressure_threshold: 0.9,
+            pressure_reported: false,
+            stats: BoardStats::default(),
+        };
+        board.refill_async_buffer();
+        board
+    }
+
+    /// This board's network address.
+    pub fn mac(&self) -> Mac {
+        self.nic.mac()
+    }
+
+    /// Installs a computation offload under `id`, creating its address
+    /// space.
+    pub fn install_offload(&mut self, id: u16, pid: Pid, module: Box<dyn Offload>) {
+        self.slow.create_as(pid);
+        self.offloads.insert(id, InstalledOffload { pid: Some(pid), module });
+    }
+
+    /// Installs an offload that executes in the **calling process's**
+    /// address space (paper §6: Clio-DF's operators "share the same address
+    /// space" as the CN computation).
+    pub fn install_offload_shared(&mut self, id: u16, module: Box<dyn Offload>) {
+        self.offloads.insert(id, InstalledOffload { pid: None, module });
+    }
+
+    /// Registers the global controller for pressure reports and migration
+    /// completions.
+    pub fn set_controller(&mut self, controller: ActorId, pressure_threshold: f64) {
+        self.controller = Some(controller);
+        self.pressure_threshold = pressure_threshold;
+    }
+
+    /// Board statistics.
+    pub fn stats(&self) -> BoardStats {
+        self.stats
+    }
+
+    /// The fast-path silicon (tests/harnesses inspect TLB, page table, ...).
+    pub fn silicon(&self) -> &Silicon {
+        &self.silicon
+    }
+
+    /// Mutable silicon access for harnesses that pre-install state (e.g.
+    /// the PTE-scalability sweep aliases terabytes of VA onto a few
+    /// physical pages, exactly like the paper's Figure 5 stress test).
+    pub fn silicon_mut(&mut self) -> &mut Silicon {
+        &mut self.silicon
+    }
+
+    /// The slow path (tests/harnesses inspect allocators).
+    pub fn slow_path(&self) -> &SlowPath {
+        &self.slow
+    }
+
+    /// Mutable slow path (benches drive allocator sweeps directly).
+    pub fn slow_path_mut(&mut self) -> &mut SlowPath {
+        &mut self.slow
+    }
+
+    fn refill_async_buffer(&mut self) {
+        let demand = self.silicon.vm().async_buffer().refill_demand();
+        if demand > 0 {
+            let (pages, _service) = self.slow.refill_pages(demand);
+            for p in pages {
+                self.silicon.vm_mut().async_buffer_mut().push(p);
+            }
+        }
+    }
+
+    fn respond(&mut self, ctx: &mut Ctx<'_>, at: SimTime, dst: Mac, pkt: ClioPacket) {
+        let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
+        self.stats.tx_packets += 1;
+        self.nic.send_at(ctx, at, dst, wire, Message::new(pkt));
+    }
+
+    fn respond_status(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        at: SimTime,
+        dst: Mac,
+        req_id: ReqId,
+        status: Status,
+        body: ResponseBody,
+    ) {
+        let pkt =
+            ClioPacket::Response { header: RespHeader::single(req_id, status), body };
+        self.respond(ctx, at, dst, pkt);
+    }
+
+    /// The small fixed cost of generating a non-data response (parse +
+    /// respond cycles + MAC both ways).
+    fn control_latency(&self) -> SimDuration {
+        let hw = &self.cfg.hw;
+        hw.mac_phy_latency * 2
+            + hw.clock.cycles(hw.parse_cycles)
+            + hw.clock.cycles(hw.response_cycles)
+    }
+
+    fn note_completion(&mut self, done: SimTime) {
+        self.last_completion = self.last_completion.max(done);
+    }
+
+    fn check_pressure(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(controller) = self.controller else { return };
+        let util = self.slow.palloc().utilization();
+        if util >= self.pressure_threshold && !self.pressure_reported {
+            self.pressure_reported = true;
+            ctx.send(
+                controller,
+                SimDuration::from_micros(1),
+                Message::new(PressureReport { mac: self.nic.mac(), utilization: util }),
+            );
+        } else if util < self.pressure_threshold {
+            self.pressure_reported = false;
+        }
+    }
+
+    /// Looks up the dedup buffer for a request (its own id, and the id it
+    /// retries). Returns the recorded outcome if this request must not
+    /// re-execute (§4.5 T4).
+    fn dedup_hit(&mut self, header: &ReqHeader) -> Option<DedupRecord> {
+        if let Some(orig) = header.retry_of {
+            if let Some(rec) = self.silicon.dedup_mut().check(orig) {
+                return Some(rec);
+            }
+        }
+        // A slow (non-lost) original arriving after its retry executed.
+        self.silicon.dedup_mut().check(header.req_id)
+    }
+
+    fn record_dedup(&mut self, header: &ReqHeader, rec: DedupRecord) {
+        self.silicon.dedup_mut().record(header.req_id, rec);
+        if let Some(orig) = header.retry_of {
+            self.silicon.dedup_mut().record(orig, rec);
+        }
+    }
+
+    fn region_refusal(&mut self, pid: Pid, va: u64) -> Option<Status> {
+        match self.regions.phase_of(pid, va)? {
+            RegionPhase::Migrating => {
+                self.stats.conflicts += 1;
+                Some(Status::Conflict)
+            }
+            RegionPhase::Moved { .. } => {
+                self.stats.moved += 1;
+                Some(Status::Moved)
+            }
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Mac,
+        header: ReqHeader,
+        body: RequestBody,
+    ) {
+        let now = ctx.now();
+        // Fences block all later requests (§4.5 T3): nothing starts before
+        // the barrier.
+        let start = now.max(self.fence_until);
+        let pid = header.pid;
+
+        match body {
+            RequestBody::Read { va, len } => {
+                if let Some(status) = self.region_refusal(pid, va) {
+                    let at = now + self.control_latency();
+                    self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
+                    return;
+                }
+                let (res, timing) = self.read_with_stall_retry(start, pid, va, len);
+                self.note_completion(timing);
+                match res {
+                    Ok(data) => {
+                        for pkt in split_read_response(header.req_id, Status::Ok, data) {
+                            self.respond(ctx, timing, src, pkt);
+                        }
+                    }
+                    Err(status) => self.respond_status(
+                        ctx,
+                        timing,
+                        src,
+                        header.req_id,
+                        status,
+                        ResponseBody::Done,
+                    ),
+                }
+            }
+            RequestBody::WriteFrag { va, data } => {
+                if let Some(status) = self.region_refusal(pid, va) {
+                    let at = now + self.control_latency();
+                    self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
+                    return;
+                }
+                if let Some(rec) = self.dedup_hit(&header) {
+                    self.stats.dedup_replays += 1;
+                    // Keep the retry chain alive: a retry of THIS retry must
+                    // also find a record.
+                    self.record_dedup(&header, rec);
+                    let at = now + self.control_latency();
+                    debug_assert!(matches!(rec, DedupRecord::Write));
+                    self.respond_status(
+                        ctx,
+                        at,
+                        src,
+                        header.req_id,
+                        Status::Ok,
+                        ResponseBody::Done,
+                    );
+                    return;
+                }
+                let (res, done) = self.write_with_stall_retry(start, pid, va, &data);
+                self.note_completion(done);
+                self.finish_write_fragment(ctx, src, header, res.err(), done);
+            }
+            RequestBody::AtomicTas { va } => {
+                self.run_atomic(ctx, src, header, start, va, AtomicOp::Tas)
+            }
+            RequestBody::AtomicStore { va, value } => {
+                self.run_atomic(ctx, src, header, start, va, AtomicOp::Store(value))
+            }
+            RequestBody::AtomicCas { va, expected, new } => {
+                self.run_atomic(ctx, src, header, start, va, AtomicOp::Cas { expected, new })
+            }
+            RequestBody::AtomicFaa { va, delta } => {
+                self.run_atomic(ctx, src, header, start, va, AtomicOp::Faa(delta))
+            }
+            RequestBody::Fence => {
+                // Block everything after us until all in-flight complete.
+                let barrier = self.last_completion.max(now);
+                self.fence_until = self.fence_until.max(barrier);
+                let at = barrier.max(now) + self.control_latency();
+                self.respond_status(ctx, at, src, header.req_id, Status::Ok, ResponseBody::Done);
+            }
+            RequestBody::Alloc { size, perm, fixed_va } => {
+                self.run_slow_alloc(ctx, src, header, size, perm, fixed_va)
+            }
+            RequestBody::Free { va, size: _ } => self.run_slow_free(ctx, src, header, va),
+            RequestBody::CreateAs => {
+                let service = self.slow.create_as(pid);
+                let at = self.slow_path_completion(now, service);
+                self.stats.slow_ops += 1;
+                self.respond_status(ctx, at, src, header.req_id, Status::Ok, ResponseBody::Done);
+            }
+            RequestBody::DestroyAs => {
+                let (vpns, service) = self.slow.destroy_as(pid);
+                let mut freed = Vec::new();
+                for vpn in vpns {
+                    if let Some(pte) = self.silicon.vm_mut().remove_pte(pid, vpn) {
+                        if pte.valid {
+                            freed.push(pte.ppn);
+                        }
+                    }
+                }
+                self.slow.palloc_mut().free_many(freed);
+                let at = self.slow_path_completion(now, service);
+                self.stats.slow_ops += 1;
+                self.respond_status(ctx, at, src, header.req_id, Status::Ok, ResponseBody::Done);
+            }
+            RequestBody::OffloadCall { offload, opcode, arg } => {
+                self.run_offload(ctx, src, header, start, offload, opcode, arg)
+            }
+        }
+        self.refill_async_buffer();
+        self.check_pressure(ctx);
+    }
+
+    /// Executes a read, retrying once after an async-buffer refill if the
+    /// fault handler stalled on an empty buffer.
+    fn read_with_stall_retry(
+        &mut self,
+        start: SimTime,
+        pid: Pid,
+        va: u64,
+        len: u32,
+    ) -> (Result<Bytes, Status>, SimTime) {
+        let (res, t) = self.silicon.read(start, pid, va, len);
+        if res.as_ref().err() == Some(&Status::OutOfPhysicalMemory) {
+            self.refill_async_buffer();
+            let (res2, t2) = self.silicon.read(t.done, pid, va, len);
+            return (res2, t2.done);
+        }
+        (res, t.done)
+    }
+
+    fn write_with_stall_retry(
+        &mut self,
+        start: SimTime,
+        pid: Pid,
+        va: u64,
+        data: &[u8],
+    ) -> (Result<(), Status>, SimTime) {
+        let (res, t) = self.silicon.write(start, pid, va, data);
+        if res.as_ref().err() == Some(&Status::OutOfPhysicalMemory) {
+            self.refill_async_buffer();
+            let (res2, t2) = self.silicon.write(t.done, pid, va, data);
+            return (res2, t2.done);
+        }
+        (res, t.done)
+    }
+
+    /// Tracks fragment completion of a (possibly multi-packet) write and
+    /// responds when the whole request has been applied.
+    fn finish_write_fragment(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Mac,
+        header: ReqHeader,
+        failure: Option<Status>,
+        done: SimTime,
+    ) {
+        let now = ctx.now();
+        self.writes.purge(now);
+        let entry = self.writes.pending.entry(header.req_id).or_insert_with(|| {
+            self.writes.order.push_back((now, header.req_id));
+            // TTL covers the whole transfer at a conservative 10 ns/byte
+            // plus several retry windows.
+            let ttl = self.cfg.request_timeout * 8
+                + SimDuration::from_nanos(header.pkt_count as u64 * 1500 * 10);
+            PendingWrite {
+                remaining: header.pkt_count,
+                done,
+                src,
+                retry_of: header.retry_of,
+                failed: None,
+                created: now,
+                expires: now + ttl,
+            }
+        });
+        entry.remaining = entry.remaining.saturating_sub(1);
+        entry.done = entry.done.max(done);
+        if let Some(status) = failure {
+            entry.failed.get_or_insert(status);
+        }
+        if entry.remaining == 0 {
+            let p = self.writes.pending.remove(&header.req_id).expect("entry exists");
+            let status = p.failed.unwrap_or(Status::Ok);
+            if status == Status::Ok {
+                self.record_dedup(
+                    &ReqHeader { req_id: header.req_id, retry_of: p.retry_of, ..header },
+                    DedupRecord::Write,
+                );
+            }
+            self.respond_status(ctx, p.done, p.src, header.req_id, status, ResponseBody::Done);
+        }
+    }
+
+    fn run_atomic(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Mac,
+        header: ReqHeader,
+        start: SimTime,
+        va: u64,
+        op: AtomicOp,
+    ) {
+        if let Some(status) = self.region_refusal(header.pid, va) {
+            let at = ctx.now() + self.control_latency();
+            self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
+            return;
+        }
+        if let Some(rec) = self.dedup_hit(&header) {
+            self.stats.dedup_replays += 1;
+            self.record_dedup(&header, rec);
+            let at = ctx.now() + self.control_latency();
+            let old = match rec {
+                DedupRecord::Atomic { old } => old,
+                DedupRecord::Write => 0,
+            };
+            self.respond_status(
+                ctx,
+                at,
+                src,
+                header.req_id,
+                Status::Ok,
+                ResponseBody::AtomicOld { old },
+            );
+            return;
+        }
+        let (res, t) = self.silicon.atomic(start, header.pid, va, op);
+        let done = t.done;
+        self.note_completion(done);
+        match res {
+            Ok(old) => {
+                self.record_dedup(&header, DedupRecord::Atomic { old });
+                self.respond_status(
+                    ctx,
+                    done,
+                    src,
+                    header.req_id,
+                    Status::Ok,
+                    ResponseBody::AtomicOld { old },
+                );
+            }
+            Err(status) => {
+                self.respond_status(ctx, done, src, header.req_id, status, ResponseBody::Done)
+            }
+        }
+    }
+
+    /// ARM completion time for a slow-path op arriving now: MAC ingress,
+    /// crossing, worker queueing + service, crossing back, MAC egress.
+    fn slow_path_completion(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let hw = &self.cfg.hw;
+        let at_arm = now + hw.mac_phy_latency + self.slow.crossing_delay();
+        let served = self.slow.workers_mut().reserve(at_arm, service);
+        served.end + self.slow.crossing_delay() + hw.mac_phy_latency
+    }
+
+    fn run_slow_alloc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Mac,
+        header: ReqHeader,
+        size: u64,
+        perm: clio_proto::Perm,
+        fixed_va: Option<u64>,
+    ) {
+        let now = ctx.now();
+        self.stats.slow_ops += 1;
+        if !self.slow.has_pid(header.pid) {
+            // Implicit address-space creation on first allocation keeps the
+            // client API simple (CreateAs remains available explicitly).
+            self.slow.create_as(header.pid);
+        }
+        match self.slow.alloc(header.pid, size, perm, fixed_va) {
+            Ok(out) => {
+                for pte in &out.ptes {
+                    self.silicon
+                        .vm_mut()
+                        .install_pte(*pte)
+                        .expect("allocator pre-checked bucket capacity");
+                }
+                let at = self.slow_path_completion(now, out.service);
+                self.respond_status(
+                    ctx,
+                    at,
+                    src,
+                    header.req_id,
+                    Status::Ok,
+                    ResponseBody::Alloced { va: out.range.start },
+                );
+            }
+            Err((status, service)) => {
+                let at = self.slow_path_completion(now, service);
+                self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
+            }
+        }
+    }
+
+    fn run_slow_free(&mut self, ctx: &mut Ctx<'_>, src: Mac, header: ReqHeader, va: u64) {
+        let now = ctx.now();
+        self.stats.slow_ops += 1;
+        match self.slow.free(header.pid, va) {
+            Ok(out) => {
+                let mut freed = Vec::new();
+                for &vpn in &out.vpns {
+                    if let Some(pte) = self.silicon.vm_mut().remove_pte(header.pid, vpn) {
+                        if pte.valid {
+                            freed.push(pte.ppn);
+                        }
+                    }
+                }
+                self.slow.palloc_mut().free_many(freed);
+                let at = self.slow_path_completion(now, out.service);
+                self.respond_status(ctx, at, src, header.req_id, Status::Ok, ResponseBody::Done);
+            }
+            Err((status, service)) => {
+                let at = self.slow_path_completion(now, service);
+                self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the wire-format fields
+    fn run_offload(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Mac,
+        header: ReqHeader,
+        start: SimTime,
+        offload: u16,
+        opcode: u16,
+        arg: Bytes,
+    ) {
+        let Some(mut installed) = self.offloads.remove(&offload) else {
+            let at = ctx.now() + self.control_latency();
+            self.respond_status(
+                ctx,
+                at,
+                src,
+                header.req_id,
+                Status::Unsupported,
+                ResponseBody::Done,
+            );
+            return;
+        };
+        self.stats.offload_calls += 1;
+        let hw = &self.cfg.hw;
+        let begin = start + hw.mac_phy_latency + hw.clock.cycles(hw.parse_cycles);
+        // Offload accesses are on-chip, behind the MAT: no MAC/PHY on
+        // their path (§4.6).
+        let env_pid = installed.pid.unwrap_or(header.pid);
+        self.silicon.set_internal_access(true);
+        let mut env = OffloadEnv::new(&mut self.silicon, &mut self.slow, env_pid, begin);
+        let reply = installed.module.on_call(&mut env, opcode, arg);
+        let env_done = env.now();
+        let _ = env; // end the borrow of silicon/slow
+        self.silicon.set_internal_access(false);
+        let done = env_done + hw.clock.cycles(hw.response_cycles) + hw.mac_phy_latency;
+        self.offloads.insert(offload, installed);
+        self.note_completion(done);
+        self.respond(
+            ctx,
+            done,
+            src,
+            ClioPacket::Response {
+                header: RespHeader::single(header.req_id, reply.status),
+                body: ResponseBody::OffloadReply { data: reply.data },
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Migration (§4.7)
+    // ------------------------------------------------------------------
+
+    fn send_migration(&mut self, ctx: &mut Ctx<'_>, at: SimTime, dst: Mac, msg: MigrationMsg) {
+        let wire = (match &msg {
+            MigrationMsg::PageData { data, .. } => 64 + data.len(),
+            _ => 64,
+        } + ETH_OVERHEAD_BYTES) as u32;
+        self.nic.send_at(ctx, at, dst, wire, Message::new(msg));
+    }
+
+    fn start_migration(&mut self, ctx: &mut Ctx<'_>, cmd: MigrateCommand) {
+        let page = self.cfg.hw.page_size;
+        let vpns: Vec<u64> = self
+            .silicon
+            .vm()
+            .page_table()
+            .iter_pid(cmd.pid)
+            .filter(|p| {
+                let va = p.vpn * page;
+                va >= cmd.start && va < cmd.start + cmd.len
+            })
+            .map(|p| p.vpn)
+            .collect();
+        let perm = self
+            .silicon
+            .vm()
+            .page_table()
+            .iter_pid(cmd.pid)
+            .next()
+            .map(|p| p.perm)
+            .unwrap_or(clio_proto::Perm::RW);
+        self.regions.begin(cmd.pid, cmd.start, cmd.len);
+        self.out_migrations.insert(
+            (cmd.pid, cmd.start),
+            OutMigration { dst: cmd.dst, len: cmd.len, vpns },
+        );
+        let at = ctx.now() + SimDuration::from_micros(1);
+        self.send_migration(
+            ctx,
+            at,
+            cmd.dst,
+            MigrationMsg::Offer { pid: cmd.pid, start: cmd.start, len: cmd.len, perm },
+        );
+    }
+
+    fn handle_migration(&mut self, ctx: &mut Ctx<'_>, src: Mac, msg: MigrationMsg) {
+        match msg {
+            MigrationMsg::Offer { pid, start, len, perm } => {
+                let accepted = self
+                    .slow
+                    .adopt_range(
+                        pid,
+                        crate::valloc::VaRange { start, len, perm },
+                    )
+                    .is_ok();
+                if accepted {
+                    self.in_migrations.insert((pid, start), InMigration { received_vpns: vec![] });
+                }
+                let at = ctx.now() + SimDuration::from_micros(1);
+                self.send_migration(ctx, at, src, MigrationMsg::OfferReply { pid, start, accepted });
+            }
+            MigrationMsg::OfferReply { pid, start, accepted } => {
+                let Some(out) = self.out_migrations.get(&(pid, start)) else { return };
+                if !accepted {
+                    self.regions.abort(pid, start);
+                    self.out_migrations.remove(&(pid, start));
+                    return;
+                }
+                let (dst, len, vpns) = (out.dst, out.len, out.vpns.clone());
+                let page = self.cfg.hw.page_size;
+                let mut t = ctx.now();
+                for vpn in vpns {
+                    let Some(pte) = self.silicon.vm().page_table().lookup(pid, vpn).copied()
+                    else {
+                        continue;
+                    };
+                    if !pte.valid {
+                        continue; // never-touched pages carry no data
+                    }
+                    let (data, read_done) =
+                        self.silicon.read_phys(t, pte.ppn * page, page as usize);
+                    t = read_done;
+                    self.send_migration(
+                        ctx,
+                        t,
+                        dst,
+                        MigrationMsg::PageData { pid, vpn, perm: pte.perm, data },
+                    );
+                }
+                self.send_migration(ctx, t, dst, MigrationMsg::Commit { pid, start, len });
+            }
+            MigrationMsg::PageData { pid, vpn, perm, data } => {
+                let Some(ppn) = self.slow.palloc_mut().alloc() else {
+                    // The controller chose an overloaded destination; the
+                    // page is dropped and the commit will expose the gap.
+                    return;
+                };
+                let pte = clio_hw::pagetable::Pte { pid, vpn, ppn, perm, valid: true };
+                if self.slow.shadow_install(pte).is_err()
+                    || self.silicon.vm_mut().install_pte(pte).is_err()
+                {
+                    self.slow.palloc_mut().free(ppn);
+                    return;
+                }
+                let page = self.cfg.hw.page_size;
+                let now = ctx.now();
+                self.silicon.write_phys(now, ppn * page, &data);
+                if let Some(m) = self.in_migrations.iter_mut().find_map(|((p, _), m)| {
+                    (*p == pid).then_some(m)
+                }) {
+                    m.received_vpns.push(vpn);
+                }
+            }
+            MigrationMsg::Commit { pid, start, len } => {
+                // Install invalid PTEs for pages that never held data.
+                let page = self.cfg.hw.page_size;
+                let perm = clio_proto::Perm::RW;
+                for vpn in start / page..(start + len) / page {
+                    if self.silicon.vm().page_table().lookup(pid, vpn).is_none() {
+                        let pte =
+                            clio_hw::pagetable::Pte { pid, vpn, ppn: 0, perm, valid: false };
+                        let _ = self.slow.shadow_install(pte);
+                        let _ = self.silicon.vm_mut().install_pte(pte);
+                    }
+                }
+                self.in_migrations.remove(&(pid, start));
+                let at = ctx.now() + SimDuration::from_micros(1);
+                self.send_migration(ctx, at, src, MigrationMsg::Done { pid, start });
+            }
+            MigrationMsg::Done { pid, start } => {
+                let Some(out) = self.out_migrations.remove(&(pid, start)) else { return };
+                self.regions.complete(pid, start, out.dst);
+                // Free local pages and PTEs.
+                let mut freed = Vec::new();
+                for vpn in &out.vpns {
+                    if let Some(pte) = self.silicon.vm_mut().remove_pte(pid, *vpn) {
+                        if pte.valid {
+                            freed.push(pte.ppn);
+                        }
+                    }
+                }
+                self.slow.palloc_mut().free_many(freed);
+                if let Some(controller) = self.controller {
+                    ctx.send(
+                        controller,
+                        SimDuration::from_micros(1),
+                        Message::new(MigrationComplete {
+                            pid,
+                            start,
+                            len: out.len,
+                            dst: out.dst,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Actor for CBoard {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let msg = match msg.downcast::<MigrateCommand>() {
+            Ok(cmd) => {
+                self.start_migration(ctx, cmd);
+                return;
+            }
+            Err(m) => m,
+        };
+        let frame = match msg.downcast::<Frame>() {
+            Ok(f) => f,
+            Err(other) => panic!("CBoard {} got unexpected message {other:?}", self.name),
+        };
+        let src = frame.src;
+        if frame.corrupted {
+            // Link-layer integrity failure: NACK the request (§4.4).
+            if let Some(ClioPacket::Request { header, .. }) =
+                frame.payload.downcast_ref::<ClioPacket>()
+            {
+                let req_id = header.req_id;
+                self.stats.nacks += 1;
+                let at = ctx.now() + self.control_latency();
+                self.respond(ctx, at, src, ClioPacket::Nack { req_id });
+            }
+            return;
+        }
+        let payload = match frame.payload.downcast::<ClioPacket>() {
+            Ok(pkt) => pkt,
+            Err(other) => {
+                match other.downcast::<MigrationMsg>() {
+                    Ok(m) => {
+                        self.handle_migration(ctx, src, m);
+                        return;
+                    }
+                    Err(o) => panic!("CBoard {} got unexpected frame payload {o:?}", self.name),
+                }
+            }
+        };
+        match payload {
+            ClioPacket::Request { header, body } => {
+                self.stats.rx_packets += 1;
+                self.handle_request(ctx, src, header, body);
+            }
+            // MNs only respond; stray responses/NACKs are dropped.
+            ClioPacket::Response { .. } | ClioPacket::Nack { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the slow-path VA allocator: no overlaps, shadow-table
+//! consistency, and the overflow-free invariant.
+
+use clio_hw::pagetable::{HashPageTable, Pte};
+use clio_mn::valloc::VaAllocator;
+use clio_proto::{Perm, Pid};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc { pid: u8, pages: u8 },
+    Free { pid: u8, which: prop::sample::Index },
+}
+
+fn arb_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        3 => (0u8..3, 1u8..6).prop_map(|(pid, pages)| AllocOp::Alloc { pid, pages }),
+        1 => (0u8..3, any::<prop::sample::Index>())
+            .prop_map(|(pid, which)| AllocOp::Free { pid, which }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Across arbitrary alloc/free interleavings:
+    /// 1. live ranges of one process never overlap,
+    /// 2. every approved allocation's pages insert into the shadow table
+    ///    without overflow (the §4.2 invariant),
+    /// 3. freeing removes exactly the allocation's pages.
+    #[test]
+    fn allocator_invariants(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        const PAGE: u64 = 4096;
+        let mut shadow = HashPageTable::new(32, 4); // 128 slots
+        let mut va = VaAllocator::new(PAGE, 512);
+        for p in 0..3u64 {
+            va.create_pid(Pid(p));
+        }
+        let mut live: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 3]; // (start, len)
+
+        for op in ops {
+            match op {
+                AllocOp::Alloc { pid, pages } => {
+                    let pidn = Pid(pid as u64);
+                    match va.alloc(&shadow, pidn, pages as u64 * PAGE, Perm::RW, None) {
+                        Ok(a) => {
+                            // Overlap check.
+                            for &(s, l) in &live[pid as usize] {
+                                prop_assert!(
+                                    a.range.start + a.range.len <= s || s + l <= a.range.start,
+                                    "overlap: new [{:#x},{:#x}) vs live [{:#x},{:#x})",
+                                    a.range.start,
+                                    a.range.start + a.range.len,
+                                    s,
+                                    s + l
+                                );
+                            }
+                            // Overflow-free: shadow inserts must all succeed.
+                            for vpn in a.range.start / PAGE..(a.range.start + a.range.len) / PAGE {
+                                let pte =
+                                    Pte { pid: pidn, vpn, ppn: 0, perm: Perm::RW, valid: false };
+                                let inserted = shadow.insert(pte).is_ok();
+                                prop_assert!(inserted, "approved alloc overflowed a bucket");
+                            }
+                            live[pid as usize].push((a.range.start, a.range.len));
+                        }
+                        Err(_) => { /* table/VA pressure: acceptable */ }
+                    }
+                }
+                AllocOp::Free { pid, which } => {
+                    let ranges = &mut live[pid as usize];
+                    if ranges.is_empty() {
+                        continue;
+                    }
+                    let (start, len) = ranges.remove(which.index(ranges.len()));
+                    let freed = va.free(Pid(pid as u64), start).expect("live range frees");
+                    prop_assert_eq!(freed.start, start);
+                    prop_assert_eq!(freed.len, len);
+                    for vpn in start / PAGE..(start + len) / PAGE {
+                        prop_assert!(shadow.remove(Pid(pid as u64), vpn).is_some());
+                    }
+                }
+            }
+            // Shadow table and live set agree in size.
+            let live_pages: u64 =
+                live.iter().flatten().map(|(_, l)| l / PAGE).sum();
+            prop_assert_eq!(shadow.len() as u64, live_pages);
+        }
+    }
+
+    /// Adopted (migrated-in) ranges obey the same overlap rules.
+    #[test]
+    fn adoption_respects_overlaps(
+        starts in proptest::collection::vec(0u64..64, 1..20),
+    ) {
+        const PAGE: u64 = 4096;
+        let mut va = VaAllocator::new(PAGE, 64);
+        va.create_pid(Pid(1));
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for s in starts {
+            let range = clio_mn::valloc::VaRange {
+                start: (1 << 30) + s * PAGE,
+                len: 2 * PAGE,
+                perm: Perm::RW,
+            };
+            let overlaps = live
+                .iter()
+                .any(|&(ls, ll)| range.start < ls + ll && ls < range.start + range.len);
+            match va.adopt(Pid(1), range) {
+                Ok(()) => {
+                    prop_assert!(!overlaps, "adopted an overlapping range");
+                    live.push((range.start, range.len));
+                }
+                Err(_) => prop_assert!(overlaps, "refused a non-overlapping range"),
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # clio-net — simulated Ethernet fabric
+//!
+//! Models the datacenter network Clio runs over (paper §3.2): compute nodes
+//! and CBoards hang off a top-of-rack switch through full-duplex links with
+//! per-port bandwidth, propagation delay and store-and-forward queueing.
+//!
+//! The model captures the effects Clio's transport design responds to:
+//!
+//! * **serialization + queueing** — each port is a FCFS resource at its line
+//!   rate, so incast and congestion show up as growing egress queues and RTT
+//!   inflation (which CLib's delay-based congestion control measures),
+//! * **loss, corruption, reordering** — a per-port [`FaultInjector`] drops or
+//!   corrupts frames probabilistically and can add random jitter, which
+//!   reorders deliveries (exercising Clio's request-level retry/ordering),
+//! * **lossless vs. drop-tail operation** — the paper's testbed uses PFC
+//!   lossless Ethernet; [`QueueDiscipline`] selects between an unbounded
+//!   (PFC-style backpressure-free) queue and a bounded drop-tail queue.
+//!
+//! Frames carry a type-erased payload ([`clio_sim::Message`]) plus an
+//! explicit wire size, so upper layers (clio-proto packets, RDMA verbs, ...)
+//! share one fabric.
+
+mod frame;
+mod nic;
+mod switch;
+mod topology;
+
+pub use frame::{Frame, Mac};
+pub use nic::NicPort;
+pub use switch::{FaultInjector, PortStats, QueueDiscipline, Switch, SwitchConfig};
+pub use topology::{Network, NetworkConfig};

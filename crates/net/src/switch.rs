@@ -1,0 +1,349 @@
+//! The top-of-rack switch actor.
+
+use std::collections::HashMap;
+
+use clio_sim::resource::SerialResource;
+use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, SimDuration};
+
+use crate::frame::{Frame, Mac};
+
+/// Egress queue behavior for a switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// Unbounded queue — models the paper's PFC lossless Ethernet, where
+    /// backpressure (not drops) absorbs bursts and shows up as added delay.
+    #[default]
+    Lossless,
+    /// Drop-tail queue bounded to this many bytes of backlog.
+    DropTail {
+        /// Maximum queued bytes before arriving frames are dropped.
+        capacity_bytes: u64,
+    },
+}
+
+/// Probabilistic frame fault injection applied at a port's egress.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultInjector {
+    /// Probability a frame is silently dropped.
+    pub loss_prob: f64,
+    /// Probability a frame is delivered with a failing integrity check.
+    pub corrupt_prob: f64,
+    /// Extra uniformly-random delivery delay in `[0, jitter]`; non-zero
+    /// jitter reorders frames.
+    pub jitter: SimDuration,
+}
+
+impl FaultInjector {
+    /// No faults at all (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-port delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Frames forwarded out of this port.
+    pub tx_frames: u64,
+    /// Wire bytes forwarded out of this port.
+    pub tx_bytes: u64,
+    /// Frames dropped by drop-tail overflow.
+    pub dropped_overflow: u64,
+    /// Frames dropped by fault injection.
+    pub dropped_fault: u64,
+    /// Frames delivered corrupted by fault injection.
+    pub corrupted: u64,
+}
+
+/// Switch-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchConfig {
+    /// Fixed per-frame forwarding latency (lookup + crossbar).
+    pub forwarding_latency: SimDuration,
+    /// Propagation delay from the switch to any attached endpoint.
+    pub propagation_delay: SimDuration,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        // A cut-through ToR switch port-to-port latency of ~300 ns and an
+        // intra-rack cable + endpoint SerDes of ~250 ns (calibrated so a
+        // warm 16 B Clio read lands at the paper's ~2.5 us median).
+        SwitchConfig {
+            forwarding_latency: SimDuration::from_nanos(300),
+            propagation_delay: SimDuration::from_nanos(250),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Port {
+    endpoint: ActorId,
+    rate: Bandwidth,
+    egress: SerialResource,
+    discipline: QueueDiscipline,
+    faults: FaultInjector,
+    stats: PortStats,
+}
+
+/// A store-and-forward switch connecting all endpoints of the fabric.
+///
+/// Endpoints are registered with [`Switch::register_port`] (usually through
+/// [`Network`](crate::Network)); frames sent to the switch actor are looked
+/// up by destination MAC, serialized onto the destination port at its line
+/// rate, and delivered to the endpoint actor after the propagation delay.
+#[derive(Debug)]
+pub struct Switch {
+    config: SwitchConfig,
+    ports: HashMap<Mac, Port>,
+}
+
+impl Switch {
+    /// Creates a switch with the given fixed latencies.
+    pub fn new(config: SwitchConfig) -> Self {
+        Switch { config, ports: HashMap::new() }
+    }
+
+    /// Attaches `endpoint` to the fabric as `mac`, with an egress port at
+    /// `rate` using `discipline` and `faults`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is already registered.
+    pub fn register_port(
+        &mut self,
+        mac: Mac,
+        endpoint: ActorId,
+        rate: Bandwidth,
+        discipline: QueueDiscipline,
+        faults: FaultInjector,
+    ) {
+        let prev = self.ports.insert(
+            mac,
+            Port {
+                endpoint,
+                rate,
+                egress: SerialResource::new(),
+                discipline,
+                faults,
+                stats: PortStats::default(),
+            },
+        );
+        assert!(prev.is_none(), "duplicate port registration for {mac}");
+    }
+
+    /// Updates the fault injector on an existing port (tests flip faults on
+    /// and off mid-run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is not registered.
+    pub fn set_faults(&mut self, mac: Mac, faults: FaultInjector) {
+        self.ports.get_mut(&mac).expect("unknown port").faults = faults;
+    }
+
+    /// Delivery statistics for a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is not registered.
+    pub fn port_stats(&self, mac: Mac) -> PortStats {
+        self.ports.get(&mac).expect("unknown port").stats
+    }
+
+    /// The line rate configured for a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is not registered.
+    pub fn port_rate(&self, mac: Mac) -> Bandwidth {
+        self.ports.get(&mac).expect("unknown port").rate
+    }
+}
+
+impl Actor for Switch {
+    fn name(&self) -> &str {
+        "switch"
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let mut frame = match msg.downcast::<Frame>() {
+            Ok(f) => f,
+            Err(other) => panic!("switch received non-frame message: {other:?}"),
+        };
+        let Some(port) = self.ports.get_mut(&frame.dst) else {
+            // Unknown destination: drop (no flooding in this model).
+            return;
+        };
+
+        // Fault injection at egress.
+        if ctx.rng().chance(port.faults.loss_prob) {
+            port.stats.dropped_fault += 1;
+            return;
+        }
+        if ctx.rng().chance(port.faults.corrupt_prob) {
+            frame.corrupted = true;
+            port.stats.corrupted += 1;
+        }
+
+        // Drop-tail admission: reject if the egress backlog exceeds capacity.
+        let ready = ctx.now() + self.config.forwarding_latency;
+        if let QueueDiscipline::DropTail { capacity_bytes } = port.discipline {
+            let backlog = port.egress.free_at().since(ready);
+            if backlog > port.rate.transfer_time(capacity_bytes) {
+                port.stats.dropped_overflow += 1;
+                return;
+            }
+        }
+
+        let tx = port.egress.reserve(ready, port.rate.transfer_time(frame.wire_bytes as u64));
+        port.stats.tx_frames += 1;
+        port.stats.tx_bytes += frame.wire_bytes as u64;
+
+        let mut deliver_at = tx.end + self.config.propagation_delay;
+        if !port.faults.jitter.is_zero() {
+            let extra = (ctx.rng().f64() * port.faults.jitter.as_nanos() as f64) as u64;
+            deliver_at += SimDuration::from_nanos(extra);
+        }
+        let endpoint = port.endpoint;
+        ctx.send_at(endpoint, deliver_at, Message::new(frame));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_sim::{SimTime, Simulation};
+
+    /// Collects frames with arrival timestamps.
+    struct Sink {
+        got: Vec<(SimTime, u32, bool)>,
+    }
+    impl Actor for Sink {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            let f = msg.downcast::<Frame>().expect("frame");
+            self.got.push((ctx.now(), f.wire_bytes, f.corrupted));
+        }
+    }
+
+    fn build(
+        discipline: QueueDiscipline,
+        faults: FaultInjector,
+    ) -> (Simulation, ActorId, ActorId) {
+        let mut sim = Simulation::new(7);
+        let sink = sim.add_actor(Sink { got: vec![] });
+        let sw = sim.add_actor(Switch::new(SwitchConfig::default()));
+        sim.actor_mut::<Switch>(sw).register_port(
+            Mac(2),
+            sink,
+            Bandwidth::from_gbps(10),
+            discipline,
+            faults,
+        );
+        (sim, sw, sink)
+    }
+
+    fn frame(bytes: u32) -> Message {
+        Message::new(Frame::new(Mac(1), Mac(2), bytes, Message::new(())))
+    }
+
+    #[test]
+    fn forwards_with_serialization_and_latency() {
+        let (mut sim, sw, sink) = build(QueueDiscipline::Lossless, FaultInjector::none());
+        sim.post(sw, frame(1250)); // 1 us at 10 Gbps
+        sim.run_until_idle();
+        let got = &sim.actor::<Sink>(sink).got;
+        assert_eq!(got.len(), 1);
+        // 300 ns forwarding + 1000 ns serialization + 250 ns propagation.
+        assert_eq!(got[0].0, SimTime::from_nanos(1550));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_egress() {
+        let (mut sim, sw, sink) = build(QueueDiscipline::Lossless, FaultInjector::none());
+        sim.post(sw, frame(1250));
+        sim.post(sw, frame(1250));
+        sim.run_until_idle();
+        let got = &sim.actor::<Sink>(sink).got;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].0 - got[0].0, SimDuration::from_nanos(1000));
+    }
+
+    #[test]
+    fn drop_tail_drops_when_backlogged() {
+        let (mut sim, sw, sink) =
+            build(QueueDiscipline::DropTail { capacity_bytes: 2500 }, FaultInjector::none());
+        for _ in 0..10 {
+            sim.post(sw, frame(1250));
+        }
+        sim.run_until_idle();
+        let delivered = sim.actor::<Sink>(sink).got.len() as u64;
+        let stats = sim.actor::<Switch>(sw).port_stats(Mac(2));
+        assert!(delivered < 10, "expected drops, got {delivered}");
+        assert_eq!(stats.dropped_overflow + delivered, 10);
+    }
+
+    #[test]
+    fn lossless_never_drops() {
+        let (mut sim, sw, sink) = build(QueueDiscipline::Lossless, FaultInjector::none());
+        for _ in 0..100 {
+            sim.post(sw, frame(1500));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Sink>(sink).got.len(), 100);
+        let stats = sim.actor::<Switch>(sw).port_stats(Mac(2));
+        assert_eq!(stats.tx_frames, 100);
+        assert_eq!(stats.tx_bytes, 150_000);
+    }
+
+    #[test]
+    fn loss_injection_drops_roughly_at_rate() {
+        let (mut sim, sw, sink) = build(
+            QueueDiscipline::Lossless,
+            FaultInjector { loss_prob: 0.5, ..FaultInjector::none() },
+        );
+        for _ in 0..2000 {
+            sim.post(sw, frame(100));
+        }
+        sim.run_until_idle();
+        let n = sim.actor::<Sink>(sink).got.len();
+        assert!((800..1200).contains(&n), "lossy delivery count {n}");
+    }
+
+    #[test]
+    fn corruption_marks_frames() {
+        let (mut sim, sw, sink) = build(
+            QueueDiscipline::Lossless,
+            FaultInjector { corrupt_prob: 1.0, ..FaultInjector::none() },
+        );
+        sim.post(sw, frame(100));
+        sim.run_until_idle();
+        assert!(sim.actor::<Sink>(sink).got[0].2, "frame should be corrupted");
+    }
+
+    #[test]
+    fn jitter_can_reorder() {
+        let (mut sim, sw, sink) = build(
+            QueueDiscipline::Lossless,
+            FaultInjector { jitter: SimDuration::from_micros(100), ..FaultInjector::none() },
+        );
+        for i in 0..50u32 {
+            sim.post_in(sw, SimDuration::from_nanos(i as u64), frame(64 + i));
+        }
+        sim.run_until_idle();
+        let got = &sim.actor::<Sink>(sink).got;
+        assert_eq!(got.len(), 50);
+        let sizes: Vec<u32> = got.iter().map(|(_, b, _)| *b).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_ne!(sizes, sorted, "jitter should reorder some frames");
+    }
+
+    #[test]
+    fn unknown_destination_is_dropped() {
+        let (mut sim, sw, sink) = build(QueueDiscipline::Lossless, FaultInjector::none());
+        sim.post(sw, Message::new(Frame::new(Mac(1), Mac(99), 64, Message::new(()))));
+        sim.run_until_idle();
+        assert!(sim.actor::<Sink>(sink).got.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Fabric assembly: one ToR switch plus endpoint ports.
+
+use std::collections::HashMap;
+
+use clio_sim::{ActorId, Bandwidth, SimDuration, Simulation};
+
+use crate::frame::Mac;
+use crate::nic::NicPort;
+use crate::switch::{FaultInjector, QueueDiscipline, Switch, SwitchConfig};
+
+/// Fabric-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkConfig {
+    /// Switch forwarding/propagation latencies.
+    pub switch: SwitchConfig,
+}
+
+/// Builder/handle for the simulated fabric (paper §3.2's rack: CNs and
+/// CBoards on one ToR switch).
+///
+/// Usage: [`create_port`](Network::create_port) a NIC for each host, move the
+/// port into the host actor, then [`attach`](Network::attach) the host's
+/// actor id under the port's MAC.
+///
+/// ```
+/// use clio_sim::{Simulation, Bandwidth};
+/// use clio_net::{Network, NetworkConfig};
+///
+/// let mut sim = Simulation::new(1);
+/// let mut net = Network::new(&mut sim, NetworkConfig::default());
+/// let port = net.create_port(Bandwidth::from_gbps(40));
+/// let mac = port.mac();
+/// // ... move `port` into a host actor, add it to `sim`, then:
+/// # struct Nop; impl clio_sim::Actor for Nop { fn on_message(&mut self, _: &mut clio_sim::Ctx<'_>, _: clio_sim::Message) {} }
+/// # let host = sim.add_actor(Nop);
+/// net.attach(&mut sim, mac, host);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    switch_id: ActorId,
+    propagation_delay: SimDuration,
+    next_mac: u32,
+    pending_rates: HashMap<Mac, Bandwidth>,
+}
+
+impl Network {
+    /// Creates the switch actor and an empty fabric.
+    pub fn new(sim: &mut Simulation, config: NetworkConfig) -> Self {
+        let propagation_delay = config.switch.propagation_delay;
+        let switch_id = sim.add_actor(Switch::new(config.switch));
+        Network { switch_id, propagation_delay, next_mac: 1, pending_rates: HashMap::new() }
+    }
+
+    /// The switch actor id.
+    pub fn switch_id(&self) -> ActorId {
+        self.switch_id
+    }
+
+    /// Allocates a MAC address and builds the host-side NIC port for it.
+    /// The returned port should be embedded in the host actor.
+    pub fn create_port(&mut self, rate: Bandwidth) -> NicPort {
+        let mac = Mac(self.next_mac);
+        self.next_mac += 1;
+        self.pending_rates.insert(mac, rate);
+        NicPort::new(mac, rate, self.switch_id, self.propagation_delay)
+    }
+
+    /// Registers the host actor behind `mac` with a lossless, fault-free
+    /// switch port at the rate chosen at [`create_port`](Self::create_port)
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` was not created by this network.
+    pub fn attach(&mut self, sim: &mut Simulation, mac: Mac, endpoint: ActorId) {
+        self.attach_with(sim, mac, endpoint, QueueDiscipline::Lossless, FaultInjector::none());
+    }
+
+    /// Registers the host actor behind `mac` with explicit queueing and
+    /// fault-injection settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` was not created by this network.
+    pub fn attach_with(
+        &mut self,
+        sim: &mut Simulation,
+        mac: Mac,
+        endpoint: ActorId,
+        discipline: QueueDiscipline,
+        faults: FaultInjector,
+    ) {
+        let rate = self
+            .pending_rates
+            .remove(&mac)
+            .unwrap_or_else(|| panic!("{mac} was not created by this network"));
+        sim.actor_mut::<Switch>(self.switch_id).register_port(
+            mac, endpoint, rate, discipline, faults,
+        );
+    }
+
+    /// Changes fault injection toward `mac` mid-run.
+    pub fn set_faults(&self, sim: &mut Simulation, mac: Mac, faults: FaultInjector) {
+        sim.actor_mut::<Switch>(self.switch_id).set_faults(mac, faults);
+    }
+
+    /// Delivery statistics for the port toward `mac`.
+    pub fn port_stats(&self, sim: &Simulation, mac: Mac) -> crate::switch::PortStats {
+        sim.actor::<Switch>(self.switch_id).port_stats(mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use clio_sim::{Actor, Ctx, Message, SimTime};
+
+    /// Echoes every received frame back to its source.
+    struct EchoHost {
+        nic: NicPort,
+        echoed: u32,
+    }
+    impl Actor for EchoHost {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            let f = msg.downcast::<Frame>().expect("frame");
+            self.echoed += 1;
+            self.nic.send(ctx, f.src, f.wire_bytes, f.payload);
+        }
+    }
+
+    /// Sends one frame at start and records the echo's arrival.
+    struct Pinger {
+        nic: NicPort,
+        target: Mac,
+        echo_at: Option<SimTime>,
+    }
+    impl Actor for Pinger {
+        fn name(&self) -> &str {
+            "pinger"
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if msg.is::<Frame>() {
+                self.echo_at = Some(ctx.now());
+            } else {
+                self.nic.send(ctx, self.target, 64, Message::new("ping"));
+            }
+        }
+    }
+
+    #[test]
+    fn two_hosts_round_trip_through_the_fabric() {
+        let mut sim = Simulation::new(1);
+        let mut net = Network::new(&mut sim, NetworkConfig::default());
+
+        let echo_port = net.create_port(Bandwidth::from_gbps(10));
+        let echo_mac = echo_port.mac();
+        let echo = sim.add_actor(EchoHost { nic: echo_port, echoed: 0 });
+        net.attach(&mut sim, echo_mac, echo);
+
+        let ping_port = net.create_port(Bandwidth::from_gbps(10));
+        let ping_mac = ping_port.mac();
+        let pinger = sim.add_actor(Pinger { nic: ping_port, target: echo_mac, echo_at: None });
+        net.attach(&mut sim, ping_mac, pinger);
+
+        sim.post(pinger, Message::new("go"));
+        sim.run_until_idle();
+
+        assert_eq!(sim.actor::<EchoHost>(echo).echoed, 1);
+        let rtt = sim.actor::<Pinger>(pinger).echo_at.expect("echo received");
+        // Two hops each way: NIC ser (~52ns) + prop (100ns) + fwd (300ns) +
+        // egress ser + prop, twice. Just sanity-check the ballpark.
+        let rtt_ns = rtt.as_nanos();
+        assert!((800..3000).contains(&rtt_ns), "rtt {rtt_ns}ns");
+        let stats = net.port_stats(&sim, echo_mac);
+        assert_eq!(stats.tx_frames, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not created by this network")]
+    fn attach_unknown_mac_panics() {
+        let mut sim = Simulation::new(1);
+        let mut net = Network::new(&mut sim, NetworkConfig::default());
+        struct Nop;
+        impl Actor for Nop {
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: Message) {}
+        }
+        let host = sim.add_actor(Nop);
+        net.attach(&mut sim, Mac(99), host);
+    }
+}

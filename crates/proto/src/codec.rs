@@ -1,0 +1,446 @@
+//! Byte-level encoding of [`ClioPacket`]s.
+//!
+//! The encoding is fixed-layout (no varints) so that packet sizes are
+//! predictable: the timing model can compute a packet's wire footprint with
+//! [`wire_len`] without materializing bytes, and tests assert the two always
+//! agree.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::packet::{ClioPacket, ReqHeader, RequestBody, RespHeader, ResponseBody};
+use crate::types::{Perm, Pid, ReqId, Status};
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the packet was complete.
+    Truncated,
+    /// An unknown packet or body tag was encountered.
+    BadTag(u8),
+    /// An unknown status code was encountered.
+    BadStatus(u8),
+    /// Trailing bytes followed a complete packet.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "packet truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+            CodecError::BadStatus(s) => write!(f, "unknown status code {s}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after packet"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_REQUEST: u8 = 0;
+const TAG_RESPONSE: u8 = 1;
+const TAG_NACK: u8 = 2;
+
+const BODY_READ: u8 = 0;
+const BODY_WRITE_FRAG: u8 = 1;
+const BODY_ALLOC: u8 = 2;
+const BODY_FREE: u8 = 3;
+const BODY_TAS: u8 = 4;
+const BODY_STORE: u8 = 5;
+const BODY_CAS: u8 = 6;
+const BODY_FAA: u8 = 7;
+const BODY_FENCE: u8 = 8;
+const BODY_CREATE_AS: u8 = 9;
+const BODY_DESTROY_AS: u8 = 10;
+const BODY_OFFLOAD: u8 = 11;
+
+const RESP_DATA_FRAG: u8 = 0;
+const RESP_DONE: u8 = 1;
+const RESP_ALLOCED: u8 = 2;
+const RESP_ATOMIC_OLD: u8 = 3;
+const RESP_OFFLOAD: u8 = 4;
+
+/// Encoded size of the packet tag plus a request header.
+pub const REQ_HEADER_LEN: usize = 1 + 8 + 1 + 8 + 8 + 2 + 2;
+/// Encoded size of the packet tag plus a response header.
+pub const RESP_HEADER_LEN: usize = 1 + 8 + 1 + 2 + 2;
+
+fn put_req_header(buf: &mut BytesMut, h: &ReqHeader) {
+    buf.put_u64_le(h.req_id.0);
+    match h.retry_of {
+        Some(r) => {
+            buf.put_u8(1);
+            buf.put_u64_le(r.0);
+        }
+        None => {
+            buf.put_u8(0);
+            buf.put_u64_le(0);
+        }
+    }
+    buf.put_u64_le(h.pid.0);
+    buf.put_u16_le(h.pkt_index);
+    buf.put_u16_le(h.pkt_count);
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+/// Serializes a packet to its wire bytes.
+pub fn encode(pkt: &ClioPacket) -> Bytes {
+    let mut buf = BytesMut::with_capacity(wire_len(pkt));
+    match pkt {
+        ClioPacket::Request { header, body } => {
+            buf.put_u8(TAG_REQUEST);
+            put_req_header(&mut buf, header);
+            match body {
+                RequestBody::Read { va, len } => {
+                    buf.put_u8(BODY_READ);
+                    buf.put_u64_le(*va);
+                    buf.put_u32_le(*len);
+                }
+                RequestBody::WriteFrag { va, data } => {
+                    buf.put_u8(BODY_WRITE_FRAG);
+                    buf.put_u64_le(*va);
+                    put_bytes(&mut buf, data);
+                }
+                RequestBody::Alloc { size, perm, fixed_va } => {
+                    buf.put_u8(BODY_ALLOC);
+                    buf.put_u64_le(*size);
+                    buf.put_u8(perm.bits());
+                    match fixed_va {
+                        Some(va) => {
+                            buf.put_u8(1);
+                            buf.put_u64_le(*va);
+                        }
+                        None => {
+                            buf.put_u8(0);
+                            buf.put_u64_le(0);
+                        }
+                    }
+                }
+                RequestBody::Free { va, size } => {
+                    buf.put_u8(BODY_FREE);
+                    buf.put_u64_le(*va);
+                    buf.put_u64_le(*size);
+                }
+                RequestBody::AtomicTas { va } => {
+                    buf.put_u8(BODY_TAS);
+                    buf.put_u64_le(*va);
+                }
+                RequestBody::AtomicStore { va, value } => {
+                    buf.put_u8(BODY_STORE);
+                    buf.put_u64_le(*va);
+                    buf.put_u64_le(*value);
+                }
+                RequestBody::AtomicCas { va, expected, new } => {
+                    buf.put_u8(BODY_CAS);
+                    buf.put_u64_le(*va);
+                    buf.put_u64_le(*expected);
+                    buf.put_u64_le(*new);
+                }
+                RequestBody::AtomicFaa { va, delta } => {
+                    buf.put_u8(BODY_FAA);
+                    buf.put_u64_le(*va);
+                    buf.put_u64_le(*delta);
+                }
+                RequestBody::Fence => buf.put_u8(BODY_FENCE),
+                RequestBody::CreateAs => buf.put_u8(BODY_CREATE_AS),
+                RequestBody::DestroyAs => buf.put_u8(BODY_DESTROY_AS),
+                RequestBody::OffloadCall { offload, opcode, arg } => {
+                    buf.put_u8(BODY_OFFLOAD);
+                    buf.put_u16_le(*offload);
+                    buf.put_u16_le(*opcode);
+                    put_bytes(&mut buf, arg);
+                }
+            }
+        }
+        ClioPacket::Response { header, body } => {
+            buf.put_u8(TAG_RESPONSE);
+            buf.put_u64_le(header.req_id.0);
+            buf.put_u8(header.status.to_wire());
+            buf.put_u16_le(header.pkt_index);
+            buf.put_u16_le(header.pkt_count);
+            match body {
+                ResponseBody::DataFrag { offset, data } => {
+                    buf.put_u8(RESP_DATA_FRAG);
+                    buf.put_u32_le(*offset);
+                    put_bytes(&mut buf, data);
+                }
+                ResponseBody::Done => buf.put_u8(RESP_DONE),
+                ResponseBody::Alloced { va } => {
+                    buf.put_u8(RESP_ALLOCED);
+                    buf.put_u64_le(*va);
+                }
+                ResponseBody::AtomicOld { old } => {
+                    buf.put_u8(RESP_ATOMIC_OLD);
+                    buf.put_u64_le(*old);
+                }
+                ResponseBody::OffloadReply { data } => {
+                    buf.put_u8(RESP_OFFLOAD);
+                    put_bytes(&mut buf, data);
+                }
+            }
+        }
+        ClioPacket::Nack { req_id } => {
+            buf.put_u8(TAG_NACK);
+            buf.put_u64_le(req_id.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// The exact number of bytes [`encode`] will produce, computed analytically
+/// (used by the timing model on every packet send).
+pub fn wire_len(pkt: &ClioPacket) -> usize {
+    match pkt {
+        ClioPacket::Request { body, .. } => {
+            REQ_HEADER_LEN
+                + 1
+                + match body {
+                    RequestBody::Read { .. } => 12,
+                    RequestBody::WriteFrag { data, .. } => 8 + 4 + data.len(),
+                    RequestBody::Alloc { .. } => 8 + 1 + 1 + 8,
+                    RequestBody::Free { .. } => 16,
+                    RequestBody::AtomicTas { .. } => 8,
+                    RequestBody::AtomicStore { .. } => 16,
+                    RequestBody::AtomicCas { .. } => 24,
+                    RequestBody::AtomicFaa { .. } => 16,
+                    RequestBody::Fence | RequestBody::CreateAs | RequestBody::DestroyAs => 0,
+                    RequestBody::OffloadCall { arg, .. } => 2 + 2 + 4 + arg.len(),
+                }
+        }
+        ClioPacket::Response { body, .. } => {
+            RESP_HEADER_LEN
+                + 1
+                + match body {
+                    ResponseBody::DataFrag { data, .. } => 4 + 4 + data.len(),
+                    ResponseBody::Done => 0,
+                    ResponseBody::Alloced { .. } => 8,
+                    ResponseBody::AtomicOld { .. } => 8,
+                    ResponseBody::OffloadReply { data } => 4 + data.len(),
+                }
+        }
+        ClioPacket::Nack { .. } => 1 + 8,
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn bytes(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.u32()? as usize;
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+}
+
+/// Parses a packet from wire bytes.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for truncated input, unknown tags/status codes,
+/// or trailing garbage.
+pub fn decode(bytes: &[u8]) -> Result<ClioPacket, CodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let pkt = match r.u8()? {
+        TAG_REQUEST => {
+            let req_id = ReqId(r.u64()?);
+            let has_retry = r.u8()? != 0;
+            let retry_raw = r.u64()?;
+            let retry_of = has_retry.then_some(ReqId(retry_raw));
+            let pid = Pid(r.u64()?);
+            let pkt_index = r.u16()?;
+            let pkt_count = r.u16()?;
+            let header = ReqHeader { req_id, retry_of, pid, pkt_index, pkt_count };
+            let body = match r.u8()? {
+                BODY_READ => RequestBody::Read { va: r.u64()?, len: r.u32()? },
+                BODY_WRITE_FRAG => RequestBody::WriteFrag { va: r.u64()?, data: r.bytes()? },
+                BODY_ALLOC => {
+                    let size = r.u64()?;
+                    let perm = Perm::from_bits(r.u8()?);
+                    let has_fixed = r.u8()? != 0;
+                    let fixed_raw = r.u64()?;
+                    RequestBody::Alloc { size, perm, fixed_va: has_fixed.then_some(fixed_raw) }
+                }
+                BODY_FREE => RequestBody::Free { va: r.u64()?, size: r.u64()? },
+                BODY_TAS => RequestBody::AtomicTas { va: r.u64()? },
+                BODY_STORE => RequestBody::AtomicStore { va: r.u64()?, value: r.u64()? },
+                BODY_CAS => RequestBody::AtomicCas {
+                    va: r.u64()?,
+                    expected: r.u64()?,
+                    new: r.u64()?,
+                },
+                BODY_FAA => RequestBody::AtomicFaa { va: r.u64()?, delta: r.u64()? },
+                BODY_FENCE => RequestBody::Fence,
+                BODY_CREATE_AS => RequestBody::CreateAs,
+                BODY_DESTROY_AS => RequestBody::DestroyAs,
+                BODY_OFFLOAD => RequestBody::OffloadCall {
+                    offload: r.u16()?,
+                    opcode: r.u16()?,
+                    arg: r.bytes()?,
+                },
+                t => return Err(CodecError::BadTag(t)),
+            };
+            ClioPacket::Request { header, body }
+        }
+        TAG_RESPONSE => {
+            let req_id = ReqId(r.u64()?);
+            let status_raw = r.u8()?;
+            let status = Status::from_wire(status_raw).ok_or(CodecError::BadStatus(status_raw))?;
+            let pkt_index = r.u16()?;
+            let pkt_count = r.u16()?;
+            let header = RespHeader { req_id, status, pkt_index, pkt_count };
+            let body = match r.u8()? {
+                RESP_DATA_FRAG => ResponseBody::DataFrag { offset: r.u32()?, data: r.bytes()? },
+                RESP_DONE => ResponseBody::Done,
+                RESP_ALLOCED => ResponseBody::Alloced { va: r.u64()? },
+                RESP_ATOMIC_OLD => ResponseBody::AtomicOld { old: r.u64()? },
+                RESP_OFFLOAD => ResponseBody::OffloadReply { data: r.bytes()? },
+                t => return Err(CodecError::BadTag(t)),
+            };
+            ClioPacket::Response { header, body }
+        }
+        TAG_NACK => ClioPacket::Nack { req_id: ReqId(r.u64()?) },
+        t => return Err(CodecError::BadTag(t)),
+    };
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
+    }
+    Ok(pkt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pkt: ClioPacket) {
+        let bytes = encode(&pkt);
+        assert_eq!(bytes.len(), wire_len(&pkt), "wire_len mismatch for {pkt:?}");
+        assert_eq!(decode(&bytes).expect("decode"), pkt);
+    }
+
+    #[test]
+    fn all_request_bodies_roundtrip() {
+        let hdr = ReqHeader {
+            req_id: ReqId(0xDEAD),
+            retry_of: Some(ReqId(0xBEEF)),
+            pid: Pid(12),
+            pkt_index: 3,
+            pkt_count: 9,
+        };
+        let bodies = vec![
+            RequestBody::Read { va: 0x4000_0000, len: 4096 },
+            RequestBody::WriteFrag { va: 0x1234, data: Bytes::from_static(b"hello world") },
+            RequestBody::Alloc { size: 1 << 22, perm: Perm::RW, fixed_va: Some(0x8000) },
+            RequestBody::Alloc { size: 64, perm: Perm::READ, fixed_va: None },
+            RequestBody::Free { va: 0x8000, size: 1 << 22 },
+            RequestBody::AtomicTas { va: 0x10 },
+            RequestBody::AtomicStore { va: 0x10, value: 0 },
+            RequestBody::AtomicCas { va: 0x10, expected: 1, new: 2 },
+            RequestBody::AtomicFaa { va: 0x10, delta: u64::MAX },
+            RequestBody::Fence,
+            RequestBody::CreateAs,
+            RequestBody::DestroyAs,
+            RequestBody::OffloadCall { offload: 2, opcode: 7, arg: Bytes::from_static(b"arg") },
+        ];
+        for body in bodies {
+            roundtrip(ClioPacket::Request { header: hdr, body });
+        }
+    }
+
+    #[test]
+    fn all_response_bodies_roundtrip() {
+        let hdr = RespHeader {
+            req_id: ReqId(5),
+            status: Status::Ok,
+            pkt_index: 0,
+            pkt_count: 2,
+        };
+        let bodies = vec![
+            ResponseBody::DataFrag { offset: 1024, data: Bytes::from_static(b"data") },
+            ResponseBody::Done,
+            ResponseBody::Alloced { va: 0xAA55 },
+            ResponseBody::AtomicOld { old: 7 },
+            ResponseBody::OffloadReply { data: Bytes::from_static(b"ret") },
+        ];
+        for body in bodies {
+            roundtrip(ClioPacket::Response { header: hdr, body });
+        }
+    }
+
+    #[test]
+    fn error_statuses_roundtrip() {
+        for status in [Status::InvalidAddr, Status::PermDenied, Status::Moved] {
+            roundtrip(ClioPacket::Response {
+                header: RespHeader::single(ReqId(1), status),
+                body: ResponseBody::Done,
+            });
+        }
+    }
+
+    #[test]
+    fn nack_roundtrips() {
+        roundtrip(ClioPacket::Nack { req_id: ReqId(u64::MAX) });
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let pkt = ClioPacket::Request {
+            header: ReqHeader::single(ReqId(1), Pid(1)),
+            body: RequestBody::Read { va: 0, len: 64 },
+        };
+        let bytes = encode(&pkt);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode(&bytes[..cut]), Err(CodecError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let pkt = ClioPacket::Nack { req_id: ReqId(1) };
+        let mut bytes = encode(&pkt).to_vec();
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert_eq!(decode(&[99]), Err(CodecError::BadTag(99)));
+        let mut resp = encode(&ClioPacket::Response {
+            header: RespHeader::single(ReqId(1), Status::Ok),
+            body: ResponseBody::Done,
+        })
+        .to_vec();
+        resp[9] = 77; // status byte
+        assert_eq!(decode(&resp), Err(CodecError::BadStatus(77)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::Truncated.to_string().contains("truncated"));
+        assert!(CodecError::BadTag(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,159 @@
+//! Workload distributions: Zipf key popularity and exponential inter-arrivals.
+
+use rand::Rng;
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A Zipf-distributed sampler over `{0, 1, ..., n-1}` with skew `theta`.
+///
+/// Rank 0 is the most popular item. Sampling uses a precomputed CDF with
+/// binary search, which is exact and O(log n) per sample; construction is
+/// O(n). YCSB's default skew is `theta = 0.99` (paper §7.2).
+///
+/// ```
+/// use clio_sim::{SimRng, dist::Zipf};
+/// let z = Zipf::new(1000, 0.99);
+/// let mut rng = SimRng::new(1);
+/// let k = z.sample(&mut rng);
+/// assert!(k < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with skew `theta` (0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over empty universe");
+        assert!(theta.is_finite() && theta >= 0.0, "invalid zipf theta: {theta}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// The number of items in the universe.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one item; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point returns the count of entries < u, i.e. the first
+        // index whose CDF value reaches u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Exponentially distributed inter-arrival times for open-loop (Poisson)
+/// load generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpInterarrival {
+    mean: SimDuration,
+}
+
+impl ExpInterarrival {
+    /// An arrival process with `rate_per_sec` average arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    pub fn from_rate(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec.is_finite() && rate_per_sec > 0.0, "invalid rate");
+        ExpInterarrival { mean: SimDuration::from_secs_f64(1.0 / rate_per_sec) }
+    }
+
+    /// The mean inter-arrival gap.
+    pub fn mean(&self) -> SimDuration {
+        self.mean
+    }
+
+    /// Draws the gap until the next arrival.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.mean.mul_f64(-u.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SimRng::new(42);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_rank_zero() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SimRng::new(7);
+        let mut hot = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // With theta=0.99 over 1000 keys the top-10 hold ~39% of the mass.
+        let frac = hot as f64 / N as f64;
+        assert!(frac > 0.3, "top-10 fraction too small: {frac}");
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = SimRng::new(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(17, 1.2);
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let e = ExpInterarrival::from_rate(1_000_000.0); // 1 us mean
+        let mut rng = SimRng::new(11);
+        let mut total = SimDuration::ZERO;
+        const N: u64 = 50_000;
+        for _ in 0..N {
+            total += e.sample(&mut rng);
+        }
+        let mean_ns = total.as_nanos() as f64 / N as f64;
+        assert!((mean_ns - 1000.0).abs() < 30.0, "mean {mean_ns}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf over empty universe")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

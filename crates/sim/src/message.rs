@@ -1,0 +1,94 @@
+//! Dynamically-typed messages exchanged between actors.
+
+use std::any::Any;
+use std::fmt;
+
+/// A type-erased message delivered to an [`Actor`](crate::Actor).
+///
+/// Each crate defines its own concrete message types (network frames, DRAM
+/// completions, timer ticks, ...) and wraps them in a `Message` to cross the
+/// actor boundary; the receiver downcasts back to the concrete type. The
+/// original type name is retained for debugging.
+pub struct Message {
+    payload: Box<dyn Any>,
+    type_name: &'static str,
+}
+
+impl Message {
+    /// Wraps a concrete value into a type-erased message.
+    pub fn new<T: 'static>(value: T) -> Self {
+        Message { payload: Box::new(value), type_name: std::any::type_name::<T>() }
+    }
+
+    /// The `std::any::type_name` of the wrapped value (for tracing/debugging).
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+
+    /// Returns `true` if the wrapped value is a `T`.
+    pub fn is<T: 'static>(&self) -> bool {
+        self.payload.is::<T>()
+    }
+
+    /// Attempts to take the wrapped value out as a `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message unchanged if the wrapped value is not a `T`, so
+    /// that dispatch code can try the next candidate type.
+    pub fn downcast<T: 'static>(self) -> Result<T, Message> {
+        let type_name = self.type_name;
+        match self.payload.downcast::<T>() {
+            Ok(v) => Ok(*v),
+            Err(payload) => Err(Message { payload, type_name }),
+        }
+    }
+
+    /// Borrows the wrapped value as a `T`, if it is one.
+    pub fn downcast_ref<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the wrapped value as a `T`, if it is one.
+    pub fn downcast_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.payload.downcast_mut::<T>()
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Message").field("type", &self.type_name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+
+    #[test]
+    fn downcast_success_and_failure() {
+        let m = Message::new(Ping(7));
+        assert!(m.is::<Ping>());
+        assert!(!m.is::<u32>());
+        assert_eq!(m.downcast_ref::<Ping>(), Some(&Ping(7)));
+        let m = m.downcast::<u32>().unwrap_err();
+        assert_eq!(m.downcast::<Ping>().unwrap(), Ping(7));
+    }
+
+    #[test]
+    fn downcast_mut_mutates() {
+        let mut m = Message::new(Ping(1));
+        m.downcast_mut::<Ping>().unwrap().0 = 9;
+        assert_eq!(m.downcast::<Ping>().unwrap(), Ping(9));
+    }
+
+    #[test]
+    fn debug_includes_type_name() {
+        let m = Message::new(Ping(0));
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("Ping"), "{dbg}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Measurement toolkit: latency histograms, counters, rates and time series.
+
+mod counter;
+mod histogram;
+mod series;
+
+pub use counter::{Counter, RateMeter};
+pub use histogram::{Histogram, LatencySummary};
+pub use series::{render_table, Series};

@@ -1,0 +1,70 @@
+//! Clio-DF (paper §6): a select → aggregate → histogram pipeline split
+//! between the CN and the memory node. `select` and `avg` run as offloads in
+//! the *caller's* address space; only matching rows cross the network for
+//! the CN-side histogram.
+//!
+//! Run with: `cargo run --release --example analytics`
+
+use clio_apps::dataframe::{
+    avg_local, encode_avg, encode_select, histogram, select_local, synth_table, ClioDf,
+    DfOpcode, ROW_BYTES,
+};
+use clio_core::runtime::BlockingCluster;
+use clio_core::ClusterConfig;
+
+const ROWS: u64 = 50_000;
+const OFFLOAD_ID: u16 = 4;
+
+fn main() {
+    let mut cfg = ClusterConfig::test_small();
+    cfg.board.hw.phys_mem_bytes = 64 << 20;
+    let mut cluster = BlockingCluster::new(&cfg);
+    cluster.cluster.install_offload_shared(0, OFFLOAD_ID, Box::new(ClioDf::new()));
+
+    cluster.spawn(0, 11, |p| {
+        let table = synth_table(ROWS, 7);
+        let in_va = p.ralloc(ROWS * ROW_BYTES).expect("ralloc in");
+        let out_va = p.ralloc(ROWS * ROW_BYTES).expect("ralloc out");
+        p.rwrite(in_va, &table).expect("upload table");
+        println!("uploaded {ROWS} rows ({} KB)", table.len() / 1024);
+
+        for threshold in [60u32, 10] {
+            // select at the MN: only matching rows are materialized.
+            let reply = p
+                .offload_call(
+                    0,
+                    OFFLOAD_ID,
+                    DfOpcode::Select as u16,
+                    &encode_select(in_va, ROWS, threshold, out_va),
+                )
+                .expect("select");
+            let matched = u64::from_le_bytes(reply[..8].try_into().expect("8 B"));
+
+            // avg at the MN.
+            let reply = p
+                .offload_call(0, OFFLOAD_ID, DfOpcode::Avg as u16, &encode_avg(out_va, matched))
+                .expect("avg");
+            let mean_x1000 = u64::from_le_bytes(reply[..8].try_into().expect("8 B"));
+
+            // histogram at the CN over just the selected rows.
+            let rows = p.rread(out_va, (matched * ROW_BYTES) as u32).expect("fetch selected");
+            let hist = histogram(&rows);
+
+            // Verify against a local reference computation.
+            let expect = select_local(&table, threshold);
+            assert_eq!(matched, (expect.len() as u64) / ROW_BYTES);
+            assert_eq!(mean_x1000, avg_local(&expect));
+            assert_eq!(hist, histogram(&expect));
+
+            println!(
+                "select(a < {threshold}): {matched} rows ({:.0}%), avg(b) = {:.3}, histogram {:?}",
+                100.0 * matched as f64 / ROWS as f64,
+                mean_x1000 as f64 / 1000.0,
+                hist
+            );
+        }
+    });
+
+    cluster.run();
+    println!("done at {}", cluster.cluster.now());
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the paper's Figure 1, almost verbatim.
+//!
+//! Two threads of one process share remote memory on a simulated Clio
+//! cluster: thread 1 takes a remote lock and issues two asynchronous writes;
+//! thread 2 reads the data back under the same lock.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clio_core::runtime::BlockingCluster;
+use clio_core::ClusterConfig;
+
+const PAGE_SIZE: u64 = 4 << 10; // the test cluster's page size
+
+fn main() {
+    // A cluster with one compute node and one CBoard memory node.
+    let mut cluster = BlockingCluster::new(&ClusterConfig::test_small());
+
+    // Channel used to hand the allocated addresses to the second thread
+    // (in place of Figure 1's shared globals).
+    let (tx, rx) = std::sync::mpsc::channel::<(u64, u64)>();
+
+    // -- Figure 1, thread 1 ------------------------------------------------
+    cluster.spawn(0, 42, move |p| {
+        // /* Alloc one remote page. Define a remote lock */
+        let remote_addr = p.ralloc(PAGE_SIZE).expect("ralloc");
+        let lock = p.ralloc(8).expect("ralloc lock");
+        tx.send((remote_addr, lock)).expect("publish addresses");
+
+        // /* Acquire lock to enter critical section.
+        //    Do two ASYNC writes then poll completion. */
+        p.rlock(lock).expect("rlock");
+        let e0 = p.rwrite_async(remote_addr, b"hello ");
+        let e1 = p.rwrite_async(remote_addr + 6, b"remote world!");
+        p.runlock(lock).expect("runlock");
+        p.rpoll(&[e0, e1]).expect("rpoll");
+        println!("[thread 1] wrote 2 fragments under the lock");
+    });
+
+    // -- Figure 1, thread 2 ------------------------------------------------
+    cluster.spawn(0, 42, move |p| {
+        let (remote_addr, lock) = rx.recv().expect("addresses");
+
+        // /* Synchronously read from remote */
+        p.rlock(lock).expect("rlock");
+        let data = p.rread(remote_addr, 19).expect("rread");
+        p.runlock(lock).expect("runlock");
+
+        println!("[thread 2] read back: {:?}", std::str::from_utf8(&data).expect("utf8"));
+        assert_eq!(&data[..], b"hello remote world!");
+    });
+
+    cluster.run();
+    println!(
+        "simulation finished at virtual time {} after {} events",
+        cluster.cluster.now(),
+        cluster.cluster.sim.events_dispatched()
+    );
+}

@@ -1,0 +1,24 @@
+//! # clio — a hardware-software co-designed disaggregated memory system
+//!
+//! Facade crate re-exporting the whole Clio reproduction. See the individual
+//! crates for details:
+//!
+//! * [`sim`] — deterministic discrete-event simulation substrate
+//! * [`net`] — Ethernet fabric simulation
+//! * [`proto`] — the Clio wire protocol
+//! * [`hw`] — CBoard hardware fast path (page table, TLB, pipeline, ...)
+//! * [`mn`] — the memory node (slow path, extend path, migration)
+//! * [`cn`] — CLib, the compute-node library
+//! * [`system`] — cluster assembly, controller, client runtimes
+//! * [`baselines`] — RDMA / Clover / HERD / LegoOS comparison models
+//! * [`apps`] — the five paper applications + YCSB
+
+pub use clio_apps as apps;
+pub use clio_baselines as baselines;
+pub use clio_cn as cn;
+pub use clio_core as system;
+pub use clio_hw as hw;
+pub use clio_mn as mn;
+pub use clio_net as net;
+pub use clio_proto as proto;
+pub use clio_sim as sim;

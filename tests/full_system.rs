@@ -1,0 +1,182 @@
+//! Whole-system integration tests through the facade crate: every layer
+//! (CLib → transport → fabric → CBoard → offloads → controller) in one
+//! process, exercised the way a downstream user would.
+
+use clio::apps::kv::{partition_of, ClioKv, KvRequest, KvResponse};
+use clio::cn::CompletionValue;
+use clio::mn::CBoardConfig;
+use clio::proto::{Pid, Status};
+use clio::sim::SimDuration;
+use clio::system::runtime::BlockingCluster;
+use clio::system::{AppCompletion, ClientApi, ClientDriver, Cluster, ClusterConfig};
+
+#[test]
+fn blocking_api_roundtrip_with_locks_and_async() {
+    let mut cluster = BlockingCluster::new(&ClusterConfig::test_small());
+    cluster.spawn(0, 1, |p| {
+        let buf = p.ralloc(16 << 10).expect("ralloc");
+        let lock = p.ralloc(8).expect("lock page");
+
+        p.rlock(lock).expect("rlock");
+        let handles: Vec<_> =
+            (0..4).map(|i| p.rwrite_async(buf + i * 4096, &[i as u8 + 1; 128])).collect();
+        p.runlock(lock).expect("runlock");
+        p.rpoll(&handles).expect("rpoll");
+        p.rfence().expect("rfence");
+
+        for i in 0..4u64 {
+            let back = p.rread(buf + i * 4096, 128).expect("rread");
+            assert!(back.iter().all(|&b| b == i as u8 + 1));
+        }
+        p.rfree(buf, 16 << 10).expect("rfree");
+        assert!(p.rread(buf, 8).is_err(), "freed memory must not read");
+    });
+    cluster.run();
+}
+
+#[test]
+fn kv_store_across_partitioned_mns() {
+    struct Loader {
+        n: u64,
+        done: u64,
+        phase: u8,
+        hits: u64,
+    }
+    impl Loader {
+        fn send(&self, api: &mut ClientApi<'_, '_>, req: &KvRequest) {
+            let key = match req {
+                KvRequest::Put { key, .. } | KvRequest::Get { key } | KvRequest::Delete { key } => {
+                    key
+                }
+            };
+            let mn = api.mn_macs()[partition_of(key, api.mn_macs().len())];
+            api.offload(mn, 1, req.opcode(), req.encode());
+        }
+    }
+    impl ClientDriver for Loader {
+        fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+            self.send(
+                api,
+                &KvRequest::Put { key: b"k000".to_vec(), value: b"v000".to_vec() },
+            );
+        }
+        fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+            assert!(c.result.is_ok(), "kv op failed: {:?}", c.result);
+            self.done += 1;
+            if self.phase == 0 {
+                if self.done < self.n {
+                    let k = format!("k{:03}", self.done).into_bytes();
+                    let v = format!("v{:03}", self.done).into_bytes();
+                    self.send(api, &KvRequest::Put { key: k, value: v });
+                } else {
+                    self.phase = 1;
+                    self.done = 0;
+                    self.send(api, &KvRequest::Get { key: b"k000".to_vec() });
+                }
+            } else {
+                if let Ok(CompletionValue::Data(d)) = &c.result {
+                    let expect = format!("v{:03}", self.done - 1);
+                    assert_eq!(
+                        KvResponse::decode(Status::Ok, d.clone()),
+                        KvResponse::Value(bytes::Bytes::from(expect.into_bytes()))
+                    );
+                    self.hits += 1;
+                }
+                if self.done < self.n {
+                    let k = format!("k{:03}", self.done).into_bytes();
+                    self.send(api, &KvRequest::Get { key: k });
+                }
+            }
+        }
+    }
+
+    let mut cfg = ClusterConfig::test_small();
+    cfg.mns = 3;
+    let mut cluster = Cluster::build(&cfg);
+    for mn in 0..3 {
+        cluster.install_offload(mn, 1, Pid(9000 + mn as u64), Box::new(ClioKv::new(512)));
+    }
+    cluster.add_driver(0, Pid(5), Box::new(Loader { n: 60, done: 0, phase: 0, hits: 0 }));
+    cluster.start();
+    cluster.run_until_idle();
+    let l: &Loader = cluster.cn(0).driver(0);
+    assert_eq!(l.hits, 60, "all keys must be found across partitions");
+    // Every MN served some traffic.
+    for mn in 0..3 {
+        assert!(cluster.mn(mn).stats().offload_calls > 0, "mn{mn} idle");
+    }
+}
+
+#[test]
+fn lossy_network_preserves_correctness_end_to_end() {
+    let mut cfg = ClusterConfig::test_small();
+    cfg.board = CBoardConfig::test_small();
+    let mut cluster = BlockingCluster::new(&cfg);
+    // 10% loss + 5% corruption toward the MN after setup.
+    let mn_mac = cluster.cluster.mn_macs()[0];
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    cluster.spawn(0, 3, move |p| {
+        let buf = p.ralloc(64 << 10).expect("ralloc");
+        tx.send(buf).expect("publish");
+        for i in 0..40u64 {
+            p.rwrite(buf + i * 512, &[i as u8; 512]).expect("write survives loss");
+        }
+        for i in 0..40u64 {
+            let b = p.rread(buf + i * 512, 512).expect("read survives loss");
+            assert!(b.iter().all(|&x| x == i as u8), "data corrupted at {i}");
+        }
+    });
+    let _ = rx;
+    // Inject faults once the cluster exists (before running).
+    cluster.cluster.net.set_faults(
+        &mut cluster.cluster.sim,
+        mn_mac,
+        clio::net::FaultInjector {
+            loss_prob: 0.10,
+            corrupt_prob: 0.05,
+            jitter: SimDuration::from_micros(30),
+        },
+    );
+    cluster.run();
+    let retries = cluster.cn_of_bridge(0).clib().retry_count();
+    assert!(retries > 0, "faults should have caused retries (got {retries})");
+}
+
+#[test]
+fn deterministic_full_cluster_replay() {
+    let run = || {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.mns = 2;
+        cfg.seed = 77;
+        let mut cluster = Cluster::build(&cfg);
+        struct Worker {
+            left: u32,
+            va: u64,
+        }
+        impl ClientDriver for Worker {
+            fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+                api.alloc(8192, clio::proto::Perm::RW);
+            }
+            fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+                if self.va == 0 {
+                    self.va = c.va();
+                }
+                if self.left > 0 {
+                    self.left -= 1;
+                    if self.left.is_multiple_of(2) {
+                        api.read(self.va, 64);
+                    } else {
+                        api.write(self.va, bytes::Bytes::from(vec![1u8; 64]));
+                    }
+                }
+            }
+        }
+        for i in 0..6u64 {
+            cluster.add_driver(0, Pid(i), Box::new(Worker { left: 30, va: 0 }));
+        }
+        cluster.start();
+        cluster.run_until_idle();
+        (cluster.sim.digest(), cluster.sim.events_dispatched())
+    };
+    assert_eq!(run(), run());
+}
