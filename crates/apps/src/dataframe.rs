@@ -186,14 +186,12 @@ impl Offload for ClioDf {
         };
         match opcode {
             x if x == DfOpcode::Select as u16 => {
-                let (Some(in_va), Some(rows), Some(out_va)) =
-                    (u64_at(0), u64_at(8), u64_at(20))
+                let (Some(in_va), Some(rows), Some(out_va)) = (u64_at(0), u64_at(8), u64_at(20))
                 else {
                     return OffloadReply::err(Status::Unsupported);
                 };
-                let Some(thr) = arg
-                    .get(16..20)
-                    .map(|s| u32::from_le_bytes(s.try_into().expect("4 B")))
+                let Some(thr) =
+                    arg.get(16..20).map(|s| u32::from_le_bytes(s.try_into().expect("4 B")))
                 else {
                     return OffloadReply::err(Status::Unsupported);
                 };
@@ -309,10 +307,7 @@ mod tests {
         for thr in [2u32, 20, 80] {
             let sel = select_local(&table, thr);
             let frac = sel.len() as f64 / table.len() as f64;
-            assert!(
-                (frac - thr as f64 / 100.0).abs() < 0.03,
-                "threshold {thr}: got {frac}"
-            );
+            assert!((frac - thr as f64 / 100.0).abs() < 0.03, "threshold {thr}: got {frac}");
         }
     }
 

@@ -217,11 +217,7 @@ impl ClioKv {
         Ok(va)
     }
 
-    fn read_record(
-        &self,
-        env: &mut OffloadEnv<'_>,
-        va: u64,
-    ) -> Result<(Vec<u8>, Bytes), Status> {
+    fn read_record(&self, env: &mut OffloadEnv<'_>, va: u64) -> Result<(Vec<u8>, Bytes), Status> {
         let hdr = env.read(va, 8)?;
         let key_len = u32::from_le_bytes(hdr[0..4].try_into().expect("4 B"));
         let val_len = u32::from_le_bytes(hdr[4..8].try_into().expect("4 B"));
@@ -254,8 +250,7 @@ impl ClioKv {
                     continue;
                 }
                 env.compute(Cycles(4)); // fingerprint comparison
-                let eva =
-                    u64::from_le_bytes(slot[off + 8..off + 16].try_into().expect("8 B"));
+                let eva = u64::from_le_bytes(slot[off + 8..off + 16].try_into().expect("8 B"));
                 let (rkey, _) = self.read_record(env, eva)?;
                 if rkey == key {
                     return Ok((Some((slot_va, i)), last));
@@ -422,8 +417,7 @@ mod tests {
         }
 
         fn call(&mut self, req: &KvRequest) -> KvResponse {
-            let mut env =
-                OffloadEnv::new(&mut self.silicon, &mut self.slow, Pid(9000), self.now);
+            let mut env = OffloadEnv::new(&mut self.silicon, &mut self.slow, Pid(9000), self.now);
             let reply = self.kv.on_call(&mut env, req.opcode(), req.encode());
             // Keep the fault buffer happy and advance time.
             self.now = env.now();
@@ -486,11 +480,7 @@ mod tests {
         for i in 0..200u32 {
             let k = format!("key-{i}");
             let v = format!("value-{i}");
-            assert_eq!(
-                h.get(k.as_bytes()),
-                KvResponse::Value(Bytes::from(v.into_bytes())),
-                "{k}"
-            );
+            assert_eq!(h.get(k.as_bytes()), KvResponse::Value(Bytes::from(v.into_bytes())), "{k}");
         }
         let (p, g, _) = h.kv.op_counts();
         assert_eq!((p, g), (200, 200));
@@ -504,10 +494,7 @@ mod tests {
         h.get(b"k");
         let elapsed = h.now.since(before);
         // A get is a few DRAM accesses: hundreds of ns to a few µs.
-        assert!(
-            elapsed.as_nanos() > 300 && elapsed.as_nanos() < 20_000,
-            "get took {elapsed}"
-        );
+        assert!(elapsed.as_nanos() > 300 && elapsed.as_nanos() < 20_000, "get took {elapsed}");
     }
 
     #[test]
@@ -528,9 +515,6 @@ mod tests {
         let enc = r.encode();
         assert_eq!(enc.len(), 2 + 1 + 1);
         assert_eq!(KvResponse::decode(Status::Ok, Bytes::new()), KvResponse::Ok);
-        assert_eq!(
-            KvResponse::decode(Status::InvalidAddr, Bytes::new()),
-            KvResponse::NotFound
-        );
+        assert_eq!(KvResponse::decode(Status::InvalidAddr, Bytes::new()), KvResponse::NotFound);
     }
 }

@@ -254,8 +254,7 @@ mod tests {
         }
 
         fn call(&mut self, opcode: MvOpcode, arg: Bytes) -> OffloadReply {
-            let mut env =
-                OffloadEnv::new(&mut self.silicon, &mut self.slow, Pid(9001), self.now);
+            let mut env = OffloadEnv::new(&mut self.silicon, &mut self.slow, Pid(9001), self.now);
             let r = self.mv.on_call(&mut env, opcode as u16, arg);
             self.now = env.now();
             let demand = self.silicon.vm().async_buffer().refill_demand();

@@ -109,11 +109,7 @@ impl Offload for PointerChase {
 /// `k` chases level 0 for digit 0 of `k`, then the returned child list, and
 /// so on. The value stored at the leaf level is `k + 1` (non-zero).
 #[allow(clippy::type_complexity)]
-pub fn build_tree(
-    base_va: u64,
-    entries: u64,
-    fanout: u64,
-) -> (Vec<(u64, Vec<u8>)>, Vec<u64>, u32) {
+pub fn build_tree(base_va: u64, entries: u64, fanout: u64) -> (Vec<(u64, Vec<u8>)>, Vec<u64>, u32) {
     assert!(fanout >= 2, "radix fanout must be at least 2");
     let mut levels = 1u32;
     while fanout.pow(levels) < entries {

@@ -122,10 +122,7 @@ mod tests {
         let t0 = SimTime::ZERO;
         let cpu_lat = cpu.request(&mut rng, t0, 1024).since(t0);
         let bf_lat = bf.request(&mut rng, t0, 1024).since(t0);
-        assert!(
-            bf_lat > cpu_lat * 2,
-            "BF must be >2x slower: {bf_lat} vs {cpu_lat}"
-        );
+        assert!(bf_lat > cpu_lat * 2, "BF must be >2x slower: {bf_lat} vs {cpu_lat}");
         assert!(cpu_lat < SimDuration::from_micros(5), "HERD ~RPC latency: {cpu_lat}");
         assert!(bf_lat > SimDuration::from_micros(4), "BF crossing dominates: {bf_lat}");
     }

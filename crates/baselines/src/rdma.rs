@@ -197,8 +197,11 @@ impl RdmaNic {
         }
         self.registered_mrs += 1;
         let pages = bytes.div_ceil(2 << 20); // huge pages, the common practice
-        let per_page =
-            if self.pin_pages { self.params.mr_reg_per_page } else { self.params.mr_reg_per_page_odp };
+        let per_page = if self.pin_pages {
+            self.params.mr_reg_per_page
+        } else {
+            self.params.mr_reg_per_page_odp
+        };
         Ok(self.params.mr_reg_base + per_page * pages)
     }
 
@@ -206,8 +209,11 @@ impl RdmaNic {
     pub fn deregister_mr(&mut self, bytes: u64) -> SimDuration {
         self.registered_mrs = self.registered_mrs.saturating_sub(1);
         let pages = bytes.div_ceil(2 << 20);
-        let per_page =
-            if self.pin_pages { self.params.mr_reg_per_page } else { self.params.mr_reg_per_page_odp };
+        let per_page = if self.pin_pages {
+            self.params.mr_reg_per_page
+        } else {
+            self.params.mr_reg_per_page_odp
+        };
         (self.params.mr_reg_base + per_page * pages).mul_f64(self.params.mr_dereg_factor)
     }
 

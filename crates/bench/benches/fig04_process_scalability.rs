@@ -22,8 +22,7 @@ fn clio_point(procs: u64) -> f64 {
     let mut cluster = bench_cluster(1, 1, 40_000 + procs);
     let page = 4096;
     for p in 0..procs {
-        let mut d =
-            MemDriver::new(16, AccessMix::Reads, OPS_PER_PROC, 1, 1, page, false, 100 + p);
+        let mut d = MemDriver::new(16, AccessMix::Reads, OPS_PER_PROC, 1, 1, page, false, 100 + p);
         // Constant light aggregate load: ~N x 20us think.
         d.think = SimDuration::from_micros(procs * 20);
         cluster.add_driver(0, Pid(1000 + p), Box::new(d));

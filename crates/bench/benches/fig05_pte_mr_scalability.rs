@@ -108,7 +108,8 @@ fn main() {
     report.push_series(pte5);
     report.push_series(mr5);
     report.note("RDMA MR rows end at 2^18: registration fails (paper §7.1)");
-    report.note("Clio: flat TLB-hit level below 2^4 entries; flat one-DRAM-access miss level above");
+    report
+        .note("Clio: flat TLB-hit level below 2^4 entries; flat one-DRAM-access miss level above");
     report.note("Clio VA span aliased onto small physical memory, as in the paper");
     report.print();
 }

@@ -48,7 +48,11 @@ fn clio_case(hw: CBoardHwConfig, write: bool, scenario: &str) -> f64 {
             // Repeated access to one pre-faulted page.
             let mut c = cluster_with(hw, 4096, 61);
             let va = alias_ptes(&mut c, 0, Pid(5), 4);
-            c.add_driver(0, Pid(5), Box::new(RangeDriver::new(va, 1, 4096, 16, mix, OPS, false, 1)));
+            c.add_driver(
+                0,
+                Pid(5),
+                Box::new(RangeDriver::new(va, 1, 4096, 16, mix, OPS, false, 1)),
+            );
             c.start();
             c.run_until_idle();
             let d: &RangeDriver = c.cn(0).driver(0);
@@ -136,9 +140,9 @@ fn rdma_case(write: bool, scenario: &str) -> f64 {
     for i in 0..OPS {
         let (qp, mr, vpn) = match scenario {
             "hit" => (1, 1, 1),
-            "miss" => (1, 1, 1000 + i),       // new PTE every op
-            "mr-miss" => (1, 1000 + i, 1),    // new MR every op
-            "pgfault" => (1, 1, 5000 + i),    // unpinned first touch
+            "miss" => (1, 1, 1000 + i),    // new PTE every op
+            "mr-miss" => (1, 1000 + i, 1), // new MR every op
+            "pgfault" => (1, 1, 5000 + i), // unpinned first touch
             other => unreachable!("unknown scenario {other}"),
         };
         // Warm the fixed ids once.
@@ -158,11 +162,8 @@ fn main() {
         "TLB miss / page fault latency, 16 B ops (us; x = 0 read, 1 write)",
         "read0/write1",
     );
-    let cases: &[(&str, &str)] = &[
-        ("Clio-TLB-hit", "hit"),
-        ("Clio-TLB-miss", "miss"),
-        ("Clio-pgfault", "pgfault"),
-    ];
+    let cases: &[(&str, &str)] =
+        &[("Clio-TLB-hit", "hit"), ("Clio-TLB-miss", "miss"), ("Clio-pgfault", "pgfault")];
     for (name, scenario) in cases {
         let mut s = Series::new(*name);
         s.push(0.0, clio_case(CBoardHwConfig::prototype(), false, scenario));

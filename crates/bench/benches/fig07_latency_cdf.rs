@@ -17,11 +17,7 @@ const OPS: u64 = 30_000;
 fn clio_hist(mix: AccessMix) -> Histogram {
     let mut cluster = bench_cluster(1, 1, 70);
     let va = alias_ptes(&mut cluster, 0, Pid(3), 64);
-    cluster.add_driver(
-        0,
-        Pid(3),
-        Box::new(RangeDriver::new(va, 64, 4096, 16, mix, OPS, true, 4)),
-    );
+    cluster.add_driver(0, Pid(3), Box::new(RangeDriver::new(va, 64, 4096, 16, mix, OPS, true, 4)));
     cluster.start();
     cluster.run_until_idle();
     let d: &RangeDriver = cluster.cn(0).driver(0);

@@ -21,16 +21,7 @@ fn goodput(threads: u64, mix: AccessMix, window: u32) -> f64 {
         cluster.add_driver(
             0,
             Pid(10 + t),
-            Box::new(MemDriver::new(
-                SIZE,
-                mix,
-                OPS_PER_THREAD,
-                window,
-                8,
-                4096,
-                false,
-                20 + t,
-            )),
+            Box::new(MemDriver::new(SIZE, mix, OPS_PER_THREAD, window, 8, 4096, false, 20 + t)),
         );
     }
     cluster.start();
@@ -73,6 +64,7 @@ fn main() {
         }
         report.push_series(s);
     }
-    report.note("paper: async hits the 9.4 Gbps line rate almost immediately; sync needs ~8 threads");
+    report
+        .note("paper: async hits the 9.4 Gbps line rate almost immediately; sync needs ~8 threads");
     report.print();
 }

@@ -32,17 +32,22 @@ fn median_of(mut sample: impl FnMut(SimTime) -> SimTime) -> f64 {
     h.percentile(50.0) as f64 / 1000.0
 }
 
+/// Mean Clio read/write latency (us) for one op size.
 pub fn clio_latency(size: u32, mix: AccessMix) -> f64 {
     let mut cluster = bench_cluster(1, 1, 90 + size as u64);
     let va = alias_ptes(&mut cluster, 0, Pid(4), 8);
-    cluster
-        .add_driver(0, Pid(4), Box::new(RangeDriver::new(va, 4, 4096, size, mix, OPS, false, 6)));
+    cluster.add_driver(
+        0,
+        Pid(4),
+        Box::new(RangeDriver::new(va, 4, 4096, size, mix, OPS, false, 6)),
+    );
     cluster.start();
     cluster.run_until_idle();
     let d: &RangeDriver = cluster.cn(0).driver(0);
     d.recorder.latency().mean_ns / 1000.0
 }
 
+/// Mean one-sided RDMA verb latency (us) on a CX3 RNIC.
 pub fn rdma_latency(size: u32, verb: Verb) -> f64 {
     let mut nic = RdmaNic::new(RnicParams::connectx3(), true);
     let mut rng = SimRng::new(2);
@@ -53,6 +58,7 @@ pub fn rdma_latency(size: u32, verb: Verb) -> f64 {
     })
 }
 
+/// Mean Clover read/write latency (us) for one op size.
 pub fn clover_latency(size: u32, write: bool) -> f64 {
     let mut m = CloverModel::new(RnicParams::connectx3());
     let mut rng = SimRng::new(3);
@@ -67,6 +73,7 @@ pub fn clover_latency(size: u32, write: bool) -> f64 {
     })
 }
 
+/// Mean HERD RPC latency (us), CPU or BlueField server.
 pub fn herd_latency(size: u32, bluefield: bool) -> f64 {
     let params = if bluefield { HerdParams::on_bluefield() } else { HerdParams::on_cpu() };
     let mut m = HerdModel::new(params);
@@ -74,6 +81,7 @@ pub fn herd_latency(size: u32, bluefield: bool) -> f64 {
     median_of(|now| m.request(&mut rng, now, size as u64))
 }
 
+/// Mean LegoOS remote-access latency (us) for one op size.
 pub fn legoos_latency(size: u32) -> f64 {
     let mut m = LegoOsModel::default_model();
     let mut rng = SimRng::new(5);
@@ -81,11 +89,8 @@ pub fn legoos_latency(size: u32) -> f64 {
 }
 
 fn main() {
-    let mut report = FigureReport::new(
-        "fig10",
-        "Read latency (us) vs request size",
-        "request bytes",
-    );
+    let mut report =
+        FigureReport::new("fig10", "Read latency (us) vs request size", "request bytes");
     let mut clio = Series::new("Clio");
     let mut clover = Series::new("Clover");
     let mut rdma = Series::new("RDMA");

@@ -96,9 +96,7 @@ fn clio_alloc_phys(size_mb: u64) -> f64 {
     let mut slow = clio_mn::slowpath::SlowPath::new(&cfg);
     slow.create_as(Pid(1));
     let out = slow.alloc(Pid(1), size_mb << 20, Perm::RW, None).expect("alloc");
-    let (_, service) = slow
-        .alloc_phys(Pid(1), out.range.start, out.range.len)
-        .expect("phys");
+    let (_, service) = slow.alloc_phys(Pid(1), out.range.start, out.range.len).expect("phys");
     (service + cfg.arm.crossing_delay * 2).as_nanos() as f64 / 1e6
 }
 
@@ -110,11 +108,7 @@ fn rdma_reg(size_mb: u64, odp: bool) -> (f64, f64) {
 }
 
 fn main() {
-    let mut report = FigureReport::new(
-        "fig12",
-        "Alloc/Free latency (ms) vs size (MB)",
-        "size MB",
-    );
+    let mut report = FigureReport::new("fig12", "Alloc/Free latency (ms) vs size (MB)", "size MB");
     let mut clio_alloc = Series::new("Clio-Alloc");
     let mut clio_free = Series::new("Clio-Free");
     let mut clio_phys = Series::new("Clio-Alloc-Phys");

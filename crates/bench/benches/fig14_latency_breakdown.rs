@@ -62,11 +62,8 @@ fn case(size: u32, write: bool, force_miss: bool) -> Breakdown {
 }
 
 fn main() {
-    let mut report = FigureReport::new(
-        "fig14",
-        "CBoard latency breakdown (ns per component)",
-        "case",
-    );
+    let mut report =
+        FigureReport::new("fig14", "CBoard latency breakdown (ns per component)", "case");
     // Cases: 0=R-4B, 1=R-1KB, 2=W-4B, 3=W-1KB (hit); 4..7 same with misses.
     let port = Bandwidth::from_gbps(10);
     let cases: Vec<(&str, u32, bool, bool)> = vec![
@@ -104,7 +101,9 @@ fn main() {
     report.push_series(tlb_miss);
     report.push_series(ddr);
     report.push_series(pipe);
-    report.note("paper: DDR access + wire dominate, especially for 1 KB; TLB miss adds one DRAM read");
+    report.note(
+        "paper: DDR access + wire dominate, especially for 1 KB; TLB miss adds one DRAM read",
+    );
     report.note("TLBHit row includes MAC/PHY fixed costs; case indices printed above");
     report.print();
 }

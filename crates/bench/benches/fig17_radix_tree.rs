@@ -154,8 +154,7 @@ fn rdma_latency(entries: u64) -> f64 {
             let hops = 1 + rng.range_u64(0, FANOUT);
             for h in 0..hops {
                 let vpn = (s * 131 + level as u64 * 17 + h) % (entries / 8 + 1);
-                let (done, _) =
-                    nic.execute(&mut rng, now, Verb::Read, 1, 1, vpn, NODE_BYTES, 4);
+                let (done, _) = nic.execute(&mut rng, now, Verb::Read, 1, 1, vpn, NODE_BYTES, 4);
                 now = done + wire;
             }
         }
@@ -165,11 +164,8 @@ fn rdma_latency(entries: u64) -> f64 {
 }
 
 fn main() {
-    let mut report = FigureReport::new(
-        "fig17",
-        "Radix-tree search latency (us) vs tree entries",
-        "entries",
-    );
+    let mut report =
+        FigureReport::new("fig17", "Radix-tree search latency (us) vs tree entries", "entries");
     let mut clio = Series::new("Clio");
     let mut rdma = Series::new("RDMA");
     for &n in ENTRIES {

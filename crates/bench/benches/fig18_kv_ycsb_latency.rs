@@ -20,6 +20,7 @@ use clio_sim::{SimDuration, SimRng, SimTime};
 const OPS: u64 = 1500;
 const VALUE: usize = 1024;
 
+/// Mean Clio KV op latency (us) under one YCSB mix.
 pub fn clio_kv(mix: YcsbMix) -> f64 {
     let mut cluster = bench_cluster(2, 1, 180);
     cluster.install_offload(0, 1, Pid(9000), Box::new(ClioKv::new(4096)));
@@ -59,6 +60,7 @@ fn closed_loop(mut op: impl FnMut(SimTime, u64) -> SimTime) -> f64 {
     total.as_nanos() as f64 / n as f64 / 1000.0
 }
 
+/// Mean Clover KV op latency (us) under one YCSB mix.
 pub fn clover(mix: YcsbMix) -> f64 {
     let mut m = CloverModel::new(RnicParams::connectx3());
     let mut gen = YcsbGenerator::new(mix, 5_000, VALUE, 5);
@@ -69,6 +71,7 @@ pub fn clover(mix: YcsbMix) -> f64 {
     })
 }
 
+/// Mean HERD KV op latency (us) under one YCSB mix.
 pub fn herd(mix: YcsbMix, bluefield: bool) -> f64 {
     // A full KV op on the server (index walk + value copy) costs more than
     // the bare RPC of Figures 10/11; the paper's HERD testbed dedicates a

@@ -160,11 +160,8 @@ fn run(cns: usize, zipf: bool) -> (f64, f64) {
 }
 
 fn main() {
-    let mut report = FigureReport::new(
-        "fig19",
-        "Clio-MV object read/write latency (us) vs CNs",
-        "CNs",
-    );
+    let mut report =
+        FigureReport::new("fig19", "Clio-MV object read/write latency (us) vs CNs", "CNs");
     let mut ru = Series::new("Read-Uniform");
     let mut wu = Series::new("Write-Uniform");
     let mut rz = Series::new("Read-Zipf");

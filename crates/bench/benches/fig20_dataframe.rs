@@ -8,8 +8,8 @@
 //! movement wins — the paper's crossover.
 
 use clio_apps::dataframe::{
-    avg_local, encode_avg, encode_select, histogram, select_local, synth_table, ClioDf,
-    DfOpcode, ROW_BYTES,
+    avg_local, encode_avg, encode_select, histogram, select_local, synth_table, ClioDf, DfOpcode,
+    ROW_BYTES,
 };
 use clio_bench::setup::bench_cluster;
 use clio_bench::FigureReport;
@@ -49,11 +49,7 @@ impl clio_core::ClientDriver for DfClient {
         c: clio_core::AppCompletion,
     ) {
         if let Err(e) = &c.result {
-            panic!(
-                "dataframe step failed in state {} at {}: {e}",
-                self.state,
-                c.completed_at
-            );
+            panic!("dataframe step failed in state {} at {}: {e}", self.state, c.completed_at);
         }
         let mn = api.mn_macs()[0];
         match self.state {
@@ -159,8 +155,7 @@ fn rdma_runtime(ratio: u32) -> f64 {
         let _ = avg_local(&selected);
         let _ = histogram(&selected);
         let scan = Bandwidth::from_gigabytes_per_sec(CPU_SCAN).transfer_time(bytes);
-        let hist = Bandwidth::from_gigabytes_per_sec(CPU_HIST)
-            .transfer_time(selected.len() as u64);
+        let hist = Bandwidth::from_gigabytes_per_sec(CPU_HIST).transfer_time(selected.len() as u64);
         now = done + scan + hist;
     }
     now.since(t0).as_secs_f64()

@@ -34,9 +34,8 @@ fn main() {
         // Runtime for the fixed request count at each system's modeled
         // mean latency with a window of ~4 outstanding per client pair.
         let window = 8.0;
-        let runtime = |mean_us: f64| {
-            SimDuration::from_secs_f64(mean_us * 1e-6 * REQUESTS as f64 / window)
-        };
+        let runtime =
+            |mean_us: f64| SimDuration::from_secs_f64(mean_us * 1e-6 * REQUESTS as f64 / window);
         let clio_e = energy_per_request(CLIO, runtime(fig18::clio_kv(*mix)), REQUESTS);
         let clover_e = energy_per_request(CLOVER, runtime(fig18::clover(*mix)), REQUESTS);
         let herd_e = energy_per_request(HERD, runtime(fig18::herd(*mix, false)), REQUESTS);
@@ -58,7 +57,10 @@ fn main() {
             bf_e.cn_mj_per_req
         ));
         let ratio = herd_e.total_mj() / clio_e.total_mj();
-        notes.push(format!("{}: HERD/Clio energy ratio = {ratio:.2} (paper band: 1.6-3x)", mix.name()));
+        notes.push(format!(
+            "{}: HERD/Clio energy ratio = {ratio:.2} (paper band: 1.6-3x)",
+            mix.name()
+        ));
     }
     report.push_series(clio_s);
     report.push_series(clover_s);

@@ -33,9 +33,7 @@ fn bench(c: &mut Criterion) {
                     va.create_pid(Pid(pid));
                     for _ in 0..8 {
                         if let Ok(a) = va.alloc(&shadow, Pid(pid), 8 * 4096, Perm::RW, None) {
-                            for vpn in
-                                a.range.start / 4096..(a.range.start + a.range.len) / 4096
-                            {
+                            for vpn in a.range.start / 4096..(a.range.start + a.range.len) / 4096 {
                                 let _ = shadow.insert(clio_hw::pagetable::Pte {
                                     pid: Pid(pid),
                                     vpn,

@@ -9,8 +9,7 @@ fn table_with(n: u64) -> HashPageTable {
     // VPNs spread deterministically across buckets — see clio_hw::hash).
     let mut pt = HashPageTable::new((n as usize * 2 / 4).max(4), 4);
     for vpn in 0..n {
-        pt.insert(Pte { pid: Pid(0), vpn, ppn: vpn, perm: Perm::RW, valid: true })
-            .expect("insert");
+        pt.insert(Pte { pid: Pid(0), vpn, ppn: vpn, perm: Perm::RW, valid: true }).expect("insert");
     }
     pt
 }
@@ -33,13 +32,8 @@ fn bench(c: &mut Criterion) {
             || table_with(1 << 12),
             |pt| {
                 for vpn in (1 << 12)..(1 << 12) + 64 {
-                    let _ = pt.insert(Pte {
-                        pid: Pid(3),
-                        vpn,
-                        ppn: vpn,
-                        perm: Perm::RW,
-                        valid: false,
-                    });
+                    let _ =
+                        pt.insert(Pte { pid: Pid(3), vpn, ppn: vpn, perm: Perm::RW, valid: false });
                 }
                 for vpn in (1 << 12)..(1 << 12) + 64 {
                     pt.remove(Pid(3), vpn);

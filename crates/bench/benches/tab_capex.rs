@@ -22,5 +22,7 @@ fn main() {
         println!("  CBoard    : ${cb_cost:>8.0}  {cb_w:>6.0} W");
         println!("  cost ratio: {c_lo:.2}x - {c_hi:.2}x    power ratio: {p_lo:.2}x - {p_hi:.2}x");
     }
-    println!("  note: paper bands — DRAM 1.1-1.5x cost / 1.9-2.7x power; Optane 1.4-2.5x / 5.1-8.6x");
+    println!(
+        "  note: paper bands — DRAM 1.1-1.5x cost / 1.9-2.7x power; Optane 1.4-2.5x / 5.1-8.6x"
+    );
 }

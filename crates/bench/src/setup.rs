@@ -78,12 +78,8 @@ mod tests {
         let va = alias_ptes(&mut c, 0, Pid(42), 100);
         let board = c.mn(0);
         let page = board.silicon().config().page_size;
-        let pte = board
-            .silicon()
-            .vm()
-            .page_table()
-            .lookup(Pid(42), va / page + 99)
-            .expect("installed");
+        let pte =
+            board.silicon().vm().page_table().lookup(Pid(42), va / page + 99).expect("installed");
         assert!(pte.valid);
     }
 }

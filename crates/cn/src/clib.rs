@@ -264,9 +264,7 @@ impl CLib {
 
     fn classify(&self, op: &Op) -> (AccessClass, Vec<u64>, bool) {
         match op {
-            Op::Read { va, len, .. } => {
-                (AccessClass::Read, self.vpns_of(*va, *len as u64), false)
-            }
+            Op::Read { va, len, .. } => (AccessClass::Read, self.vpns_of(*va, *len as u64), false),
             Op::Write { va, data, .. } => {
                 (AccessClass::Write, self.vpns_of(*va, data.len() as u64), false)
             }
@@ -309,8 +307,14 @@ impl CLib {
             tracker.submit(token, class, vpns)
         };
         if std::env::var_os("CLIO_DEBUG").is_some() {
-            eprintln!("[clib t={} thr={:?}] submit {:?} tok={:?} dispatch={}",
-                ctx.now(), thread, op_kind_dbg(&self.ops[&token].op), token, dispatch);
+            eprintln!(
+                "[clib t={} thr={:?}] submit {:?} tok={:?} dispatch={}",
+                ctx.now(),
+                thread,
+                op_kind_dbg(&self.ops[&token].op),
+                token,
+                dispatch
+            );
         }
         let mut completions = Vec::new();
         if dispatch {
@@ -328,20 +332,14 @@ impl CLib {
     ) {
         let Some(pending) = self.ops.get(&token) else { return };
         let (target, pid, blueprint) = match &pending.op {
-            Op::Read { mn, pid, va, len } => {
-                (*mn, *pid, Blueprint::Read { va: *va, len: *len })
-            }
+            Op::Read { mn, pid, va, len } => (*mn, *pid, Blueprint::Read { va: *va, len: *len }),
             Op::Write { mn, pid, va, data } => {
                 (*mn, *pid, Blueprint::Write { va: *va, data: data.clone() })
             }
-            Op::Alloc { mn, pid, size, perm, fixed_va } => (
-                *mn,
-                *pid,
-                Blueprint::Alloc { size: *size, perm: *perm, fixed_va: *fixed_va },
-            ),
-            Op::Free { mn, pid, va, size } => {
-                (*mn, *pid, Blueprint::Free { va: *va, size: *size })
+            Op::Alloc { mn, pid, size, perm, fixed_va } => {
+                (*mn, *pid, Blueprint::Alloc { size: *size, perm: *perm, fixed_va: *fixed_va })
             }
+            Op::Free { mn, pid, va, size } => (*mn, *pid, Blueprint::Free { va: *va, size: *size }),
             Op::Lock { mn, pid, va } => {
                 (*mn, *pid, Blueprint::Atomic { va: *va, op: AtomicKind::Tas })
             }
@@ -354,7 +352,10 @@ impl CLib {
             Op::Cas { mn, pid, va, expected, new } => (
                 *mn,
                 *pid,
-                Blueprint::Atomic { va: *va, op: AtomicKind::Cas { expected: *expected, new: *new } },
+                Blueprint::Atomic {
+                    va: *va,
+                    op: AtomicKind::Cas { expected: *expected, new: *new },
+                },
             ),
             Op::Fence { mn, pid } => (*mn, *pid, Blueprint::Fence),
             Op::CreateAs { mn, pid } => (*mn, *pid, Blueprint::CreateAs),
@@ -470,8 +471,13 @@ impl CLib {
         });
         self.completed_count += 1;
         if std::env::var_os("CLIO_DEBUG").is_some() {
-            eprintln!("[clib t={}] finish tok={:?} kind={} ok={}",
-                ctx.now(), token, op_kind_dbg(&pending.op), value.is_ok());
+            eprintln!(
+                "[clib t={}] finish tok={:?} kind={} ok={}",
+                ctx.now(),
+                token,
+                op_kind_dbg(&pending.op),
+                value.is_ok()
+            );
         }
         completions.push(Completion {
             token,
@@ -498,11 +504,19 @@ fn pending_key(token: OpToken) -> OpToken {
 
 fn op_kind_dbg(op: &Op) -> &'static str {
     match op {
-        Op::Read { .. } => "read", Op::Write { .. } => "write", Op::Alloc { .. } => "alloc",
-        Op::Free { .. } => "free", Op::Lock { .. } => "lock", Op::Unlock { .. } => "unlock",
-        Op::Faa { .. } => "faa", Op::Cas { .. } => "cas", Op::Fence { .. } => "fence",
-        Op::Release => "release", Op::CreateAs { .. } => "createas",
-        Op::DestroyAs { .. } => "destroyas", Op::Offload { .. } => "offload",
+        Op::Read { .. } => "read",
+        Op::Write { .. } => "write",
+        Op::Alloc { .. } => "alloc",
+        Op::Free { .. } => "free",
+        Op::Lock { .. } => "lock",
+        Op::Unlock { .. } => "unlock",
+        Op::Faa { .. } => "faa",
+        Op::Cas { .. } => "cas",
+        Op::Fence { .. } => "fence",
+        Op::Release => "release",
+        Op::CreateAs { .. } => "createas",
+        Op::DestroyAs { .. } => "destroyas",
+        Op::Offload { .. } => "offload",
     }
 }
 
@@ -513,8 +527,7 @@ mod tests {
     #[test]
     fn classify_ops() {
         let clib = CLib::new(CLibConfig::default(), 1, 4096);
-        let (c, v, b) =
-            clib.classify(&Op::Read { mn: Mac(1), pid: Pid(1), va: 4000, len: 200 });
+        let (c, v, b) = clib.classify(&Op::Read { mn: Mac(1), pid: Pid(1), va: 4000, len: 200 });
         assert_eq!(c, AccessClass::Read);
         assert_eq!(v, vec![0, 1], "crosses a page boundary");
         assert!(!b);

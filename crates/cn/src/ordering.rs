@@ -115,13 +115,13 @@ impl<T: Copy + PartialEq> DependencyTracker<T> {
         let mut i = 0;
         while i < self.pending.len() {
             let candidate = &self.pending[i];
-            let blocked = self
-                .inflight
-                .iter()
-                .any(|o| o.conflicts_with(candidate.class, &candidate.vpns, candidate.barrier))
-                || self.pending.iter().take(i).any(|o| {
-                    o.conflicts_with(candidate.class, &candidate.vpns, candidate.barrier)
-                });
+            let blocked =
+                self.inflight
+                    .iter()
+                    .any(|o| o.conflicts_with(candidate.class, &candidate.vpns, candidate.barrier))
+                    || self.pending.iter().take(i).any(|o| {
+                        o.conflicts_with(candidate.class, &candidate.vpns, candidate.barrier)
+                    });
             if blocked {
                 i += 1;
                 continue;

@@ -113,9 +113,7 @@ impl Blueprint {
         };
         match self {
             Blueprint::Read { va, len } => single(RequestBody::Read { va: *va, len: *len }),
-            Blueprint::Write { va, data } => {
-                split_write(req_id, retry_of, pid, *va, data.clone())
-            }
+            Blueprint::Write { va, data } => split_write(req_id, retry_of, pid, *va, data.clone()),
             Blueprint::Atomic { va, op } => single(match op {
                 AtomicKind::Tas => RequestBody::AtomicTas { va: *va },
                 AtomicKind::Store(v) => RequestBody::AtomicStore { va: *va, value: *v },
@@ -125,11 +123,9 @@ impl Blueprint {
                 AtomicKind::Faa(d) => RequestBody::AtomicFaa { va: *va, delta: *d },
             }),
             Blueprint::Fence => single(RequestBody::Fence),
-            Blueprint::Alloc { size, perm, fixed_va } => single(RequestBody::Alloc {
-                size: *size,
-                perm: *perm,
-                fixed_va: *fixed_va,
-            }),
+            Blueprint::Alloc { size, perm, fixed_va } => {
+                single(RequestBody::Alloc { size: *size, perm: *perm, fixed_va: *fixed_va })
+            }
             Blueprint::Free { va, size } => single(RequestBody::Free { va: *va, size: *size }),
             Blueprint::CreateAs => single(RequestBody::CreateAs),
             Blueprint::DestroyAs => single(RequestBody::DestroyAs),
@@ -490,8 +486,8 @@ impl Transport {
                                 rtt: now.since(o.first_sent_at),
                             });
                         } else {
-                            let backoff = self.cfg.conflict_backoff
-                                * (1 + o.conflict_retries.min(16) as u64);
+                            let backoff =
+                                self.cfg.conflict_backoff * (1 + o.conflict_retries.min(16) as u64);
                             ctx.schedule(
                                 backoff,
                                 Message::new(TransportTimer::ConflictRetry(o.token)),
@@ -542,13 +538,7 @@ impl Transport {
         done
     }
 
-    fn retransmit(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        nic: &mut NicPort,
-        o: Outstanding,
-        prev_id: ReqId,
-    ) {
+    fn retransmit(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, o: Outstanding, prev_id: ReqId) {
         let new_id = self.fresh_id();
         let retry_of = o.blueprint.is_non_idempotent().then_some(prev_id);
         let packets = o.blueprint.build(new_id, retry_of, o.pid);
@@ -562,10 +552,8 @@ impl Transport {
             Message::new(TransportTimer::Timeout(new_id)),
         );
         self.reassembler.forget(prev_id);
-        self.outstanding.insert(
-            new_id,
-            Outstanding { attempt_sent_at: ctx.now(), timer: Some(timer), ..o },
-        );
+        self.outstanding
+            .insert(new_id, Outstanding { attempt_sent_at: ctx.now(), timer: Some(timer), ..o });
     }
 
     /// Handles a transport timer routed back by the host actor.

@@ -267,12 +267,7 @@ fn corruption_is_recovered_via_nack() {
     for i in 0..20u64 {
         r.submit(
             0,
-            Op::Write {
-                mn: r.board_mac,
-                pid: Pid(7),
-                va,
-                data: Bytes::from(vec![i as u8; 32]),
-            },
+            Op::Write { mn: r.board_mac, pid: Pid(7), va, data: Bytes::from(vec![i as u8; 32]) },
         );
     }
     let host = r.sim.actor::<CnHost>(r.cn);

@@ -50,12 +50,7 @@ impl ClusterConfig {
 
     /// A small single-CN/single-MN configuration for tests.
     pub fn test_small() -> Self {
-        ClusterConfig {
-            cns: 1,
-            mns: 1,
-            board: CBoardConfig::test_small(),
-            ..Self::testbed()
-        }
+        ClusterConfig { cns: 1, mns: 1, board: CBoardConfig::test_small(), ..Self::testbed() }
     }
 }
 

@@ -139,14 +139,7 @@ impl Controller {
         slice_span: u64,
         phys_bytes: u64,
     ) {
-        self.mns.push(MnInfo {
-            mac,
-            actor,
-            slice_base,
-            slice_span,
-            phys_bytes,
-            placed_bytes: 0,
-        });
+        self.mns.push(MnInfo { mac, actor, slice_base, slice_span, phys_bytes, placed_bytes: 0 });
     }
 
     /// The RAS slice `(base, span)` owned by the MN at `mac`.
@@ -229,8 +222,7 @@ impl Controller {
         let victim = &mut self.ranges[victim_idx];
         victim.migrating = true;
         self.migrations_started += 1;
-        let cmd =
-            MigrateCommand { pid: victim.pid, start: victim.va, len: victim.len, dst };
+        let cmd = MigrateCommand { pid: victim.pid, start: victim.va, len: victim.len, dst };
         ctx.send(src_actor, self.rpc_latency, Message::new(cmd));
     }
 
@@ -279,11 +271,7 @@ impl Actor for Controller {
         let msg = match msg.downcast::<RouteQuery>() {
             Ok(q) => {
                 let mn = self.owner_of(q.pid, q.va);
-                ctx.send(
-                    q.reply_to,
-                    self.rpc_latency,
-                    Message::new(RouteReply { mn, tag: q.tag }),
-                );
+                ctx.send(q.reply_to, self.rpc_latency, Message::new(RouteReply { mn, tag: q.tag }));
                 return;
             }
             Err(m) => m,
@@ -366,8 +354,7 @@ mod tests {
             );
         }
         sim.run_until_idle();
-        let got: Vec<Mac> =
-            sim.actor::<Sink>(sink).placements.iter().map(|p| p.mn).collect();
+        let got: Vec<Mac> = sim.actor::<Sink>(sink).placements.iter().map(|p| p.mn).collect();
         // 4 GB free vs 2 GB free: first to Mac(10) (4->3), second Mac(10)
         // (3->2), third ties at 2 GB -> registration order Mac(10).
         assert_eq!(got[0], Mac(10));

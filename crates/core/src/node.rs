@@ -17,7 +17,9 @@ use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{Perm, Pid};
 use clio_sim::{Actor, ActorId, Ctx, Message, SimDuration, SimTime};
 
-use crate::controller::{AllocNotify, FreeNotify, PlaceAlloc, PlacementReply, RouteQuery, RouteReply};
+use crate::controller::{
+    AllocNotify, FreeNotify, PlaceAlloc, PlacementReply, RouteQuery, RouteReply,
+};
 
 /// Host-level operation handle, stable across transparent re-submissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -259,8 +261,7 @@ impl NodeCore {
                 let spec = host_op.spec.clone();
                 host_op.fanout = self.mn_macs.len() as u32;
                 for mac in self.mn_macs.clone() {
-                    let (t, comps) =
-                        self.clib.submit(ctx, &mut self.nic, thread, spec.to_op(mac));
+                    let (t, comps) = self.clib.submit(ctx, &mut self.nic, thread, spec.to_op(mac));
                     self.token_map.insert(t, token);
                     self.enqueue_clib_completions(ctx, comps);
                 }
@@ -276,9 +277,7 @@ impl NodeCore {
                                 driver,
                                 DriverEvent::Completion(AppCompletion {
                                     token,
-                                    result: Err(ClioError::Remote(
-                                        clio_proto::Status::InvalidAddr,
-                                    )),
+                                    result: Err(ClioError::Remote(clio_proto::Status::InvalidAddr)),
                                     issued_at,
                                     completed_at: ctx.now(),
                                 }),
@@ -308,9 +307,7 @@ impl NodeCore {
             let Some(host_op) = self.app_ops.get_mut(&app_token) else { continue };
 
             // Transparent re-route on Moved.
-            if c.result == Err(ClioError::Moved)
-                && host_op.moved_retries < self.max_moved_retries
-            {
+            if c.result == Err(ClioError::Moved) && host_op.moved_retries < self.max_moved_retries {
                 host_op.moved_retries += 1;
                 if let Some((pid, va)) = host_op.spec.route_va() {
                     let tag = self.fresh_tag();
@@ -332,10 +329,7 @@ impl NodeCore {
             if let (OpSpec::Alloc { pid, size, .. }, Ok(CompletionValue::Va(va))) =
                 (&host_op.spec, &c.result)
             {
-                let mn = self
-                    .router
-                    .lookup(*pid, *va)
-                    .expect("allocated address must be routable");
+                let mn = self.router.lookup(*pid, *va).expect("allocated address must be routable");
                 let n = AllocNotify { pid: *pid, va: *va, len: *size, mn };
                 ctx.send(self.controller, SimDuration::from_micros(1), Message::new(n));
             }

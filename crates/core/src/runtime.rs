@@ -91,11 +91,7 @@ impl ClientDriver for BridgeDriver {
     fn on_wake(&mut self, api: &mut ClientApi<'_, '_>, tag: u64) {
         if tag != POKE_TAG {
             // A Sleep finished.
-            self.shared
-                .lock()
-                .expect("bridge lock")
-                .ready
-                .insert(tag, Ok(CompletionValue::Done));
+            self.shared.lock().expect("bridge lock").ready.insert(tag, Ok(CompletionValue::Done));
             return;
         }
         let calls: Vec<(u64, CallSpec)> =
@@ -442,10 +438,8 @@ impl BlockingCluster {
                 let Some(waiting) = &b.waiting else { continue };
                 let mut shared = b.shared.lock().expect("bridge lock");
                 if waiting.iter().all(|s| shared.ready.contains_key(s)) {
-                    let results: Vec<_> = waiting
-                        .iter()
-                        .map(|s| shared.ready.remove(s).expect("checked"))
-                        .collect();
+                    let results: Vec<_> =
+                        waiting.iter().map(|s| shared.ready.remove(s).expect("checked")).collect();
                     drop(shared);
                     let single = b.waiting.as_ref().expect("waiting").len() == 1;
                     let resp = if single {

@@ -173,10 +173,7 @@ fn pressure_triggers_transparent_migration() {
         assert_eq!(&back[..], b"range-a data");
     });
     bc.run();
-    let ctrl = bc
-        .cluster
-        .sim
-        .actor::<clio_core::Controller>(bc.cluster.controller_id());
+    let ctrl = bc.cluster.sim.actor::<clio_core::Controller>(bc.cluster.controller_id());
     let (started, completed) = ctrl.migration_stats();
     assert!(started >= 1, "no migration started");
     assert_eq!(started, completed, "migrations must complete");

@@ -26,7 +26,12 @@ impl AsyncPageBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "async buffer must have capacity");
-        AsyncPageBuffer { pages: VecDeque::with_capacity(capacity), capacity, pops: 0, underflows: 0 }
+        AsyncPageBuffer {
+            pages: VecDeque::with_capacity(capacity),
+            capacity,
+            pops: 0,
+            underflows: 0,
+        }
     }
 
     /// Capacity in pages.

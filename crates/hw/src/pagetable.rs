@@ -76,11 +76,7 @@ impl HashPageTable {
     /// Panics if either dimension is zero.
     pub fn new(buckets: usize, slots_per_bucket: usize) -> Self {
         assert!(buckets > 0 && slots_per_bucket > 0, "degenerate page table");
-        HashPageTable {
-            buckets: vec![Vec::new(); buckets],
-            slots_per_bucket,
-            occupied: 0,
-        }
+        HashPageTable { buckets: vec![Vec::new(); buckets], slots_per_bucket, occupied: 0 }
     }
 
     /// Number of buckets.
@@ -115,9 +111,7 @@ impl HashPageTable {
 
     /// Looks up the PTE for `(pid, vpn)`. One DRAM access in hardware.
     pub fn lookup(&self, pid: Pid, vpn: u64) -> Option<&Pte> {
-        self.buckets[self.bucket_index(pid, vpn)]
-            .iter()
-            .find(|p| p.pid == pid && p.vpn == vpn)
+        self.buckets[self.bucket_index(pid, vpn)].iter().find(|p| p.pid == pid && p.vpn == vpn)
     }
 
     /// Mutable lookup (fast path marks entries valid on page faults).
@@ -172,9 +166,7 @@ impl HashPageTable {
             }
             *demand.entry(self.bucket_index(pid, vpn)).or_insert(0) += 1;
         }
-        demand
-            .into_iter()
-            .all(|(b, extra)| self.buckets[b].len() + extra <= self.slots_per_bucket)
+        demand.into_iter().all(|(b, extra)| self.buckets[b].len() + extra <= self.slots_per_bucket)
     }
 
     /// Iterates all entries of a process (used by `DestroyAs` and
@@ -233,10 +225,7 @@ mod tests {
         let mut pt = HashPageTable::new(1, 2);
         pt.insert(pte(1, 0)).unwrap();
         pt.insert(pte(1, 1)).unwrap();
-        assert!(matches!(
-            pt.insert(pte(1, 2)),
-            Err(PageTableError::BucketOverflow { bucket: 0 })
-        ));
+        assert!(matches!(pt.insert(pte(1, 2)), Err(PageTableError::BucketOverflow { bucket: 0 })));
         assert_eq!(pt.len(), 2);
     }
 

@@ -305,8 +305,8 @@ impl Silicon {
                 }
                 b.data_dram += dram_done.since(t);
                 // The non-pipelined DMA engine serializes response payloads.
-                let occupancy = self.cfg.dma_read_overhead
-                    + self.cfg.dma_bandwidth.transfer_time(len as u64);
+                let occupancy =
+                    self.cfg.dma_read_overhead + self.cfg.dma_bandwidth.transfer_time(len as u64);
                 let dma = self.dma.reserve(dram_done, occupancy);
                 b.dma += dma.end.since(dram_done);
                 t = dma.end + self.cfg.interconnect_latency;
@@ -615,10 +615,7 @@ mod tests {
         let (_, a) = s.read(t, Pid(1), 0, 16);
         let (_, b) = s.read(t, Pid(1), 0, 16);
         let spacing = b.done.since(a.done);
-        assert!(
-            spacing >= s.config().flit_time(),
-            "requests must be spaced by at least one flit"
-        );
+        assert!(spacing >= s.config().flit_time(), "requests must be spaced by at least one flit");
         assert_eq!(b.breakdown.admission_wait, s.config().flit_time());
     }
 

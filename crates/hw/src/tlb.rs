@@ -184,8 +184,7 @@ impl Tlb {
 
     /// Drops every translation belonging to `pid` (address-space teardown).
     pub fn invalidate_pid(&mut self, pid: Pid) -> usize {
-        let keys: Vec<(Pid, u64)> =
-            self.map.keys().filter(|(p, _)| *p == pid).copied().collect();
+        let keys: Vec<(Pid, u64)> = self.map.keys().filter(|(p, _)| *p == pid).copied().collect();
         for k in &keys {
             let idx = self.map.remove(k).expect("key just listed");
             self.unlink(idx);

@@ -251,8 +251,7 @@ impl CBoard {
         status: Status,
         body: ResponseBody,
     ) {
-        let pkt =
-            ClioPacket::Response { header: RespHeader::single(req_id, status), body };
+        let pkt = ClioPacket::Response { header: RespHeader::single(req_id, status), body };
         self.respond(ctx, at, dst, pkt);
     }
 
@@ -724,10 +723,8 @@ impl CBoard {
             .map(|p| p.perm)
             .unwrap_or(clio_proto::Perm::RW);
         self.regions.begin(cmd.pid, cmd.start, cmd.len);
-        self.out_migrations.insert(
-            (cmd.pid, cmd.start),
-            OutMigration { dst: cmd.dst, len: cmd.len, vpns },
-        );
+        self.out_migrations
+            .insert((cmd.pid, cmd.start), OutMigration { dst: cmd.dst, len: cmd.len, vpns });
         let at = ctx.now() + SimDuration::from_micros(1);
         self.send_migration(
             ctx,
@@ -740,18 +737,18 @@ impl CBoard {
     fn handle_migration(&mut self, ctx: &mut Ctx<'_>, src: Mac, msg: MigrationMsg) {
         match msg {
             MigrationMsg::Offer { pid, start, len, perm } => {
-                let accepted = self
-                    .slow
-                    .adopt_range(
-                        pid,
-                        crate::valloc::VaRange { start, len, perm },
-                    )
-                    .is_ok();
+                let accepted =
+                    self.slow.adopt_range(pid, crate::valloc::VaRange { start, len, perm }).is_ok();
                 if accepted {
                     self.in_migrations.insert((pid, start), InMigration { received_vpns: vec![] });
                 }
                 let at = ctx.now() + SimDuration::from_micros(1);
-                self.send_migration(ctx, at, src, MigrationMsg::OfferReply { pid, start, accepted });
+                self.send_migration(
+                    ctx,
+                    at,
+                    src,
+                    MigrationMsg::OfferReply { pid, start, accepted },
+                );
             }
             MigrationMsg::OfferReply { pid, start, accepted } => {
                 let Some(out) = self.out_migrations.get(&(pid, start)) else { return };
@@ -764,8 +761,7 @@ impl CBoard {
                 let page = self.cfg.hw.page_size;
                 let mut t = ctx.now();
                 for vpn in vpns {
-                    let Some(pte) = self.silicon.vm().page_table().lookup(pid, vpn).copied()
-                    else {
+                    let Some(pte) = self.silicon.vm().page_table().lookup(pid, vpn).copied() else {
                         continue;
                     };
                     if !pte.valid {
@@ -799,9 +795,9 @@ impl CBoard {
                 let page = self.cfg.hw.page_size;
                 let now = ctx.now();
                 self.silicon.write_phys(now, ppn * page, &data);
-                if let Some(m) = self.in_migrations.iter_mut().find_map(|((p, _), m)| {
-                    (*p == pid).then_some(m)
-                }) {
+                if let Some(m) =
+                    self.in_migrations.iter_mut().find_map(|((p, _), m)| (*p == pid).then_some(m))
+                {
                     m.received_vpns.push(vpn);
                 }
             }
@@ -811,8 +807,7 @@ impl CBoard {
                 let perm = clio_proto::Perm::RW;
                 for vpn in start / page..(start + len) / page {
                     if self.silicon.vm().page_table().lookup(pid, vpn).is_none() {
-                        let pte =
-                            clio_hw::pagetable::Pte { pid, vpn, ppn: 0, perm, valid: false };
+                        let pte = clio_hw::pagetable::Pte { pid, vpn, ppn: 0, perm, valid: false };
                         let _ = self.slow.shadow_install(pte);
                         let _ = self.silicon.vm_mut().install_pte(pte);
                     }
@@ -838,12 +833,7 @@ impl CBoard {
                     ctx.send(
                         controller,
                         SimDuration::from_micros(1),
-                        Message::new(MigrationComplete {
-                            pid,
-                            start,
-                            len: out.len,
-                            dst: out.dst,
-                        }),
+                        Message::new(MigrationComplete { pid, start, len: out.len, dst: out.dst }),
                     );
                 }
             }
@@ -883,15 +873,13 @@ impl Actor for CBoard {
         }
         let payload = match frame.payload.downcast::<ClioPacket>() {
             Ok(pkt) => pkt,
-            Err(other) => {
-                match other.downcast::<MigrationMsg>() {
-                    Ok(m) => {
-                        self.handle_migration(ctx, src, m);
-                        return;
-                    }
-                    Err(o) => panic!("CBoard {} got unexpected frame payload {o:?}", self.name),
+            Err(other) => match other.downcast::<MigrationMsg>() {
+                Ok(m) => {
+                    self.handle_migration(ctx, src, m);
+                    return;
                 }
-            }
+                Err(o) => panic!("CBoard {} got unexpected frame payload {o:?}", self.name),
+            },
         };
         match payload {
             ClioPacket::Request { header, body } => {

@@ -62,12 +62,9 @@ impl SlowPath {
     /// Builds the slow path for a board configuration.
     pub fn new(cfg: &CBoardConfig) -> Self {
         let valloc = match cfg.va_window {
-            Some((base, span)) => VaAllocator::with_window(
-                cfg.hw.page_size,
-                cfg.arm.valloc_retry_limit,
-                base,
-                span,
-            ),
+            Some((base, span)) => {
+                VaAllocator::with_window(cfg.hw.page_size, cfg.arm.valloc_retry_limit, base, span)
+            }
             None => VaAllocator::new(cfg.hw.page_size, cfg.arm.valloc_retry_limit),
         };
         SlowPath {
@@ -171,8 +168,7 @@ impl SlowPath {
                 for &vpn in &vpns {
                     self.shadow.remove(pid, vpn);
                 }
-                let service =
-                    self.cfg.free_base + self.cfg.free_per_page * vpns.len() as u64;
+                let service = self.cfg.free_base + self.cfg.free_per_page * vpns.len() as u64;
                 Ok(FreeOutcome { range, vpns, service })
             }
             Err(status) => Err((status, self.cfg.free_base)),
@@ -228,10 +224,7 @@ impl SlowPath {
                 Some(pte) if !pte.valid => {
                     let Some(ppn) = self.palloc.alloc() else {
                         self.palloc.free_many(assignments.iter().map(|&(_, p)| p));
-                        return Err((
-                            Status::OutOfPhysicalMemory,
-                            self.cfg.palloc_base,
-                        ));
+                        return Err((Status::OutOfPhysicalMemory, self.cfg.palloc_base));
                     };
                     pte.valid = true;
                     pte.ppn = ppn;
@@ -244,8 +237,7 @@ impl SlowPath {
                 }
             }
         }
-        let service =
-            self.cfg.palloc_base + self.cfg.palloc_per_page * assignments.len() as u64;
+        let service = self.cfg.palloc_base + self.cfg.palloc_per_page * assignments.len() as u64;
         Ok((assignments, service))
     }
 
@@ -351,9 +343,8 @@ mod tests {
         s.create_as(Pid(1));
         let total = s.palloc().total_pages();
         // Allocate VA for more pages than physical memory.
-        let a = s
-            .alloc(Pid(1), (total + 8) * 4096, Perm::RW, None)
-            .expect("over-commit is allowed");
+        let a =
+            s.alloc(Pid(1), (total + 8) * 4096, Perm::RW, None).expect("over-commit is allowed");
         let free_before = s.palloc().free_pages();
         let err = s.alloc_phys(Pid(1), a.range.start, a.range.len).unwrap_err().0;
         assert_eq!(err, Status::OutOfPhysicalMemory);

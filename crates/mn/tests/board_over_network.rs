@@ -58,8 +58,7 @@ impl Actor for RawClient {
         };
         let frame = msg.downcast::<Frame>().expect("frame");
         let pkt = frame.payload.downcast::<ClioPacket>().expect("clio packet");
-        if let ClioPacket::Response { header, body: ResponseBody::DataFrag { offset, data } } =
-            &pkt
+        if let ClioPacket::Response { header, body: ResponseBody::DataFrag { offset, data } } = &pkt
         {
             if let Some(full) = self.reassembler.accept(*header, *offset, data.clone()) {
                 self.reads.push((header.req_id, full));
@@ -227,10 +226,8 @@ fn multi_packet_write_gets_single_response_and_reads_back() {
         va,
         data: Bytes::from(data.clone()),
     }));
-    let write_resps = r.responses()[n_before..]
-        .iter()
-        .filter(|(_, p)| p.req_id() == ReqId(2))
-        .count();
+    let write_resps =
+        r.responses()[n_before..].iter().filter(|(_, p)| p.req_id() == ReqId(2)).count();
     assert_eq!(write_resps, 1, "one response for a 5-packet write");
     r.send(req(3, 7, RequestBody::Read { va, len: 6000 }));
     let client = r.sim.actor::<RawClient>(r.client_id);
@@ -330,7 +327,7 @@ fn retried_atomic_returns_cached_result() {
     let mut r = rig();
     let va = r.alloc(1, 7, 4096, Perm::RW);
     r.send(req(2, 7, RequestBody::AtomicFaa { va, delta: 1 })); // old = 0
-    // Retry of req 2: must NOT add again; must return the cached old value.
+                                                                // Retry of req 2: must NOT add again; must return the cached old value.
     r.send(Message::new(SendNow(ClioPacket::Request {
         header: ReqHeader::single(ReqId(3), Pid(7)).retrying(ReqId(2)),
         body: RequestBody::AtomicFaa { va, delta: 1 },

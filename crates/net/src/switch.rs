@@ -226,10 +226,7 @@ mod tests {
         }
     }
 
-    fn build(
-        discipline: QueueDiscipline,
-        faults: FaultInjector,
-    ) -> (Simulation, ActorId, ActorId) {
+    fn build(discipline: QueueDiscipline, faults: FaultInjector) -> (Simulation, ActorId, ActorId) {
         let mut sim = Simulation::new(7);
         let sink = sim.add_actor(Sink { got: vec![] });
         let sw = sim.add_actor(Switch::new(SwitchConfig::default()));

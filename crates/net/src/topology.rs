@@ -94,9 +94,8 @@ impl Network {
             .pending_rates
             .remove(&mac)
             .unwrap_or_else(|| panic!("{mac} was not created by this network"));
-        sim.actor_mut::<Switch>(self.switch_id).register_port(
-            mac, endpoint, rate, discipline, faults,
-        );
+        sim.actor_mut::<Switch>(self.switch_id)
+            .register_port(mac, endpoint, rate, discipline, faults);
     }
 
     /// Changes fault injection toward `mac` mid-run.

@@ -288,11 +288,9 @@ pub fn decode(bytes: &[u8]) -> Result<ClioPacket, CodecError> {
                 BODY_FREE => RequestBody::Free { va: r.u64()?, size: r.u64()? },
                 BODY_TAS => RequestBody::AtomicTas { va: r.u64()? },
                 BODY_STORE => RequestBody::AtomicStore { va: r.u64()?, value: r.u64()? },
-                BODY_CAS => RequestBody::AtomicCas {
-                    va: r.u64()?,
-                    expected: r.u64()?,
-                    new: r.u64()?,
-                },
+                BODY_CAS => {
+                    RequestBody::AtomicCas { va: r.u64()?, expected: r.u64()?, new: r.u64()? }
+                }
                 BODY_FAA => RequestBody::AtomicFaa { va: r.u64()?, delta: r.u64()? },
                 BODY_FENCE => RequestBody::Fence,
                 BODY_CREATE_AS => RequestBody::CreateAs,
@@ -373,12 +371,7 @@ mod tests {
 
     #[test]
     fn all_response_bodies_roundtrip() {
-        let hdr = RespHeader {
-            req_id: ReqId(5),
-            status: Status::Ok,
-            pkt_index: 0,
-            pkt_count: 2,
-        };
+        let hdr = RespHeader { req_id: ReqId(5), status: Status::Ok, pkt_index: 0, pkt_count: 2 };
         let bodies = vec![
             ResponseBody::DataFrag { offset: 1024, data: Bytes::from_static(b"data") },
             ResponseBody::Done,

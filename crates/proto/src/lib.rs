@@ -37,8 +37,8 @@ mod packet;
 mod types;
 
 pub use mtu::{
-    split_read_response, split_write, Reassembler, CLIO_REQ_HEADER_BYTES,
-    CLIO_RESP_HEADER_BYTES, ETH_OVERHEAD_BYTES, MTU_BYTES,
+    split_read_response, split_write, Reassembler, CLIO_REQ_HEADER_BYTES, CLIO_RESP_HEADER_BYTES,
+    ETH_OVERHEAD_BYTES, MTU_BYTES,
 };
 pub use packet::{ClioPacket, ReqHeader, RequestBody, RespHeader, ResponseBody};
 pub use types::{Perm, Pid, ReqId, Status};

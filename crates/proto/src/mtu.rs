@@ -83,12 +83,7 @@ pub fn split_read_response(req_id: ReqId, status: Status, data: Bytes) -> Vec<Cl
         let lo = i * MAX_READ_FRAG_PAYLOAD;
         let hi = ((i + 1) * MAX_READ_FRAG_PAYLOAD).min(data.len());
         pkts.push(ClioPacket::Response {
-            header: RespHeader {
-                req_id,
-                status,
-                pkt_index: i as u16,
-                pkt_count: count as u16,
-            },
+            header: RespHeader { req_id, status, pkt_index: i as u16, pkt_count: count as u16 },
             body: ResponseBody::DataFrag { offset: lo as u32, data: data.slice(lo..hi) },
         });
     }

@@ -275,15 +275,17 @@ mod tests {
         assert!(RequestBody::Free { va: 0, size: 1 }.is_slow_path());
         assert!(RequestBody::CreateAs.is_slow_path());
         assert!(!RequestBody::Read { va: 0, len: 1 }.is_slow_path());
-        assert!(RequestBody::OffloadCall { offload: 0, opcode: 0, arg: Bytes::new() }
-            .is_extend_path());
+        assert!(
+            RequestBody::OffloadCall { offload: 0, opcode: 0, arg: Bytes::new() }.is_extend_path()
+        );
         assert!(!RequestBody::Fence.is_extend_path());
     }
 
     #[test]
     fn non_idempotent_ops_flagged() {
-        assert!(RequestBody::WriteFrag { va: 0, data: Bytes::from_static(b"x") }
-            .is_non_idempotent());
+        assert!(
+            RequestBody::WriteFrag { va: 0, data: Bytes::from_static(b"x") }.is_non_idempotent()
+        );
         assert!(RequestBody::AtomicTas { va: 0 }.is_non_idempotent());
         assert!(RequestBody::AtomicCas { va: 0, expected: 0, new: 1 }.is_non_idempotent());
         assert!(RequestBody::AtomicFaa { va: 0, delta: 1 }.is_non_idempotent());

@@ -3,8 +3,8 @@
 
 use bytes::Bytes;
 use clio_proto::{
-    codec, split_read_response, split_write, ClioPacket, Perm, Pid, Reassembler, ReqHeader,
-    ReqId, RequestBody, RespHeader, ResponseBody, Status, MTU_BYTES,
+    codec, split_read_response, split_write, ClioPacket, Perm, Pid, Reassembler, ReqHeader, ReqId,
+    RequestBody, RespHeader, ResponseBody, Status, MTU_BYTES,
 };
 use proptest::prelude::*;
 
@@ -43,20 +43,16 @@ fn arb_request_body() -> impl Strategy<Value = RequestBody> {
         }),
         (any::<u64>(), any::<u64>()).prop_map(|(va, size)| RequestBody::Free { va, size }),
         any::<u64>().prop_map(|va| RequestBody::AtomicTas { va }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(va, value)| RequestBody::AtomicStore { va, value }),
+        (any::<u64>(), any::<u64>()).prop_map(|(va, value)| RequestBody::AtomicStore { va, value }),
         (any::<u64>(), any::<u64>(), any::<u64>())
             .prop_map(|(va, expected, new)| RequestBody::AtomicCas { va, expected, new }),
         (any::<u64>(), any::<u64>()).prop_map(|(va, delta)| RequestBody::AtomicFaa { va, delta }),
         Just(RequestBody::Fence),
         Just(RequestBody::CreateAs),
         Just(RequestBody::DestroyAs),
-        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..512))
-            .prop_map(|(o, op, a)| RequestBody::OffloadCall {
-                offload: o,
-                opcode: op,
-                arg: Bytes::from(a)
-            }),
+        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..512)).prop_map(
+            |(o, op, a)| RequestBody::OffloadCall { offload: o, opcode: op, arg: Bytes::from(a) }
+        ),
     ]
 }
 

@@ -162,12 +162,8 @@ impl ServerPool {
     /// at `now`.
     pub fn reserve(&mut self, now: SimTime, service: SimDuration) -> Reservation {
         // Deterministic: pick the lowest-index earliest-free server.
-        let (idx, _) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, t)| (**t, *i))
-            .expect("non-empty pool");
+        let (idx, _) =
+            self.free_at.iter().enumerate().min_by_key(|(i, t)| (**t, *i)).expect("non-empty pool");
         let start = now.max(self.free_at[idx]);
         let end = start + service;
         self.free_at[idx] = end;

@@ -240,10 +240,7 @@ mod tests {
         for v in [1u64, 31, 32, 33, 100, 999, 1_000, 123_456, 10_000_000, u32::MAX as u64] {
             let ub = bucket_upper(bucket_index(v));
             assert!(ub >= v, "upper bound below value: {v} -> {ub}");
-            assert!(
-                (ub - v) as f64 <= (v as f64) * 0.05 + 1.0,
-                "error too large: {v} -> {ub}"
-            );
+            assert!((ub - v) as f64 <= (v as f64) * 0.05 + 1.0, "error too large: {v} -> {ub}");
         }
     }
 

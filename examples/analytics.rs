@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example analytics`
 
 use clio_apps::dataframe::{
-    avg_local, encode_avg, encode_select, histogram, select_local, synth_table, ClioDf,
-    DfOpcode, ROW_BYTES,
+    avg_local, encode_avg, encode_select, histogram, select_local, synth_table, ClioDf, DfOpcode,
+    ROW_BYTES,
 };
 use clio_core::runtime::BlockingCluster;
 use clio_core::ClusterConfig;

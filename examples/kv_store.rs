@@ -102,7 +102,11 @@ fn main() {
     for mn in 0..2 {
         cluster.install_offload(mn, OFFLOAD_ID, Pid(9000 + mn as u64), Box::new(ClioKv::new(1024)));
     }
-    cluster.add_driver(0, Pid(1), Box::new(KvClient { phase: 0, cursor: 0, verified: 0, deleted: 0 }));
+    cluster.add_driver(
+        0,
+        Pid(1),
+        Box::new(KvClient { phase: 0, cursor: 0, verified: 0, deleted: 0 }),
+    );
     cluster.start();
     cluster.run_until_idle();
 

@@ -19,9 +19,7 @@ fn main() {
     let mut cluster = BlockingCluster::new(&cfg);
     // The offload shares the caller's address space, so the tree the client
     // builds with plain rwrites is directly visible to it.
-    cluster
-        .cluster
-        .install_offload_shared(0, OFFLOAD_ID, Box::new(PointerChase::new()));
+    cluster.cluster.install_offload_shared(0, OFFLOAD_ID, Box::new(PointerChase::new()));
 
     cluster.spawn(0, 7, |p| {
         // Build the tree in remote memory with ordinary writes.
@@ -38,9 +36,8 @@ fn main() {
             let digits = search_digits(key, FANOUT, levels);
             let mut head = heads[0];
             for d in digits {
-                let reply = p
-                    .offload_call(0, OFFLOAD_ID, 0, &encode_chase(head, d))
-                    .expect("chase");
+                let reply =
+                    p.offload_call(0, OFFLOAD_ID, 0, &encode_chase(head, d)).expect("chase");
                 head = u64::from_le_bytes(reply[..8].try_into().expect("8 B"));
                 assert_ne!(head, 0, "key {key} must exist");
             }
@@ -55,8 +52,7 @@ fn main() {
         let mut head = heads[0];
         let mut found = true;
         for d in digits {
-            let reply =
-                p.offload_call(0, OFFLOAD_ID, 0, &encode_chase(head, d)).expect("chase");
+            let reply = p.offload_call(0, OFFLOAD_ID, 0, &encode_chase(head, d)).expect("chase");
             head = u64::from_le_bytes(reply[..8].try_into().expect("8 B"));
             if head == 0 {
                 found = false;

@@ -55,10 +55,7 @@ fn kv_store_across_partitioned_mns() {
     }
     impl ClientDriver for Loader {
         fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
-            self.send(
-                api,
-                &KvRequest::Put { key: b"k000".to_vec(), value: b"v000".to_vec() },
-            );
+            self.send(api, &KvRequest::Put { key: b"k000".to_vec(), value: b"v000".to_vec() });
         }
         fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
             assert!(c.result.is_ok(), "kv op failed: {:?}", c.result);

@@ -1,0 +1,428 @@
+//! Offline vendored subset of the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates.io mirror, so the workspace vendors the small part of the `bytes`
+//! API it actually uses: [`Bytes`] (a cheaply cloneable immutable buffer),
+//! [`BytesMut`] (a growable builder), and the [`BufMut`] write trait. The
+//! types are API-compatible with the real crate for every call site in this
+//! workspace; swap the `[workspace.dependencies]` path entry for the
+//! registry version to use the real thing.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// Internally an `Arc<[u8]>` plus a sub-range, so [`Bytes::clone`] and
+/// [`Bytes::slice`] are O(1) and never copy the payload.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates a new empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Creates `Bytes` from a static slice.
+    ///
+    /// Unlike the real crate this copies the slice into the shared `Arc`
+    /// representation once per call (clones and sub-slices stay O(1)).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Copies `data` into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// The number of bytes contained.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a slice of self for the provided range; O(1), shares storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds (len {})",
+            self.len()
+        );
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Splits the buffer at `at`; `self` keeps `[0, at)`, the tail is
+    /// returned. O(1), shares storage.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        let len = vec.len();
+        Bytes { data: vec.into(), start: 0, end: len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(slice: &'static [u8]) -> Self {
+        Bytes::from_static(slice)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(buf: BytesMut) -> Self {
+        buf.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A unique, growable byte buffer; the mutable counterpart of [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(capacity) }
+    }
+
+    /// Creates a buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut { vec: vec![0; len] }
+    }
+
+    /// The number of bytes contained.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.vec.extend_from_slice(extend);
+    }
+
+    /// Resizes in place, filling any new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    /// Shortens the buffer to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    /// Removes all bytes.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Splits off and returns the tail starting at `at`.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        BytesMut { vec: self.vec.split_off(at) }
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut { vec }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Bytes::copy_from_slice(&self.vec).fmt(f)
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.vec.extend(iter);
+    }
+}
+
+/// Write access to a growable byte buffer (little-endian helpers only; this
+/// workspace's wire format is fixed little-endian).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, n: u16) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, n: u64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, n: u16) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends the contents of another buffer.
+    fn put(&mut self, src: impl AsRef<[u8]>) {
+        self.put_slice(src.as_ref());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_slice_shares_and_bounds() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert_eq!(s.slice(..).len(), 3);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn bytes_split_off() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let tail = b.split_off(1);
+        assert_eq!(&b[..], &[1]);
+        assert_eq!(&tail[..], &[2, 3, 4]);
+    }
+
+    #[test]
+    fn bytesmut_builder_roundtrip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(1);
+        m.put_u16_le(0x0302);
+        m.put_u32_le(0x07060504);
+        m.put_u64_le(0x0F0E0D0C0B0A0908);
+        m.put_slice(&[16]);
+        let b = m.freeze();
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+    }
+
+    #[test]
+    fn zeroed_and_index() {
+        let mut m = BytesMut::zeroed(4);
+        m[1..3].copy_from_slice(&[9, 9]);
+        assert_eq!(&m[..], &[0, 9, 9, 0]);
+    }
+}

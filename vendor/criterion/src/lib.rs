@@ -1,0 +1,217 @@
+//! Offline vendored subset of the [`criterion`](https://docs.rs/criterion)
+//! bench harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! API surface the workspace's microbenches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`] with `iter` / `iter_batched` /
+//! `iter_batched_ref`, [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple calibrated
+//! mean-of-samples loop (no outlier analysis or HTML reports); CI only
+//! compiles benches (`cargo bench --no-run`), so the statistics here serve
+//! local spot-checking.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How batched setup output is amortized; the shim sizes batches the same
+/// way for every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Setup re-runs every iteration.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher { samples, total: Duration::ZERO, iters: 0 }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch costs ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if t.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += t.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`, consuming each input.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`, passing each by `&mut`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        if self.iters == 0 {
+            println!("{group}/{name}: no iterations recorded");
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        println!("{group}/{name}: {ns:.1} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark in this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, id);
+        self
+    }
+
+    /// Ends the group (retained for API parity; reporting is per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored by the shim
+    /// so `cargo bench -- <filter>` does not error).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { name: name.into(), sample_size, _criterion: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report("bench", id);
+        self
+    }
+
+    /// Hook for final reporting (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group runner (generated by `criterion_group!`).
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::new(3);
+        b.iter(|| 1 + 1);
+        assert!(b.iters >= 3);
+        let mut batched = Bencher::new(2);
+        batched.iter_batched_ref(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(batched.iters, 2);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut ran = 0;
+        g.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| ())
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! `any::<T>()` — canonical strategies for common types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u64>()`, ...).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy backing [`any`] for directly sampleable types.
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any { _marker: PhantomData }
+    }
+}
+
+/// Values drawable straight from the RNG stream.
+pub trait AnyValue: Sized {
+    /// Draws one value.
+    fn any_value(rng: &mut TestRng) -> Self;
+}
+
+impl<T: AnyValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::any_value(rng)
+    }
+}
+
+impl<T: AnyValue> Arbitrary for T {
+    type Strategy = Any<T>;
+    fn arbitrary() -> Any<T> {
+        Any::default()
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl AnyValue for $t {
+            fn any_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl AnyValue for bool {
+    fn any_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl AnyValue for f64 {
+    fn any_value(rng: &mut TestRng) -> Self {
+        rng.f64()
+    }
+}
+
+impl AnyValue for char {
+    fn any_value(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        (b' ' + (rng.below(95)) as u8) as char
+    }
+}
+
+impl<T: AnyValue> AnyValue for Option<T> {
+    fn any_value(rng: &mut TestRng) -> Self {
+        // Mirror proptest's default: None in 1 of 4 draws.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::any_value(rng))
+        }
+    }
+}
+
+impl AnyValue for crate::sample::Index {
+    fn any_value(rng: &mut TestRng) -> Self {
+        crate::sample::Index::new(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_option_hits_both_variants() {
+        let mut rng = TestRng::new(11);
+        let strat = any::<Option<u64>>();
+        let mut some = false;
+        let mut none = false;
+        for _ in 0..100 {
+            match strat.sample(&mut rng) {
+                Some(_) => some = true,
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline vendored subset of the [`proptest`](https://docs.rs/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the slice of proptest this workspace's property tests use: the
+//! [`Strategy`](strategy::Strategy) trait (`prop_map`, `boxed`), `any`,
+//! range and tuple strategies, [`collection::vec`], [`sample::Index`],
+//! weighted [`prop_oneof!`], and the [`proptest!`] test macro with
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, deliberate for an offline shim:
+//!
+//! * **No shrinking.** A failing case reports the panic from the raw inputs;
+//!   the case seed is deterministic, so failures reproduce exactly.
+//! * **Deterministic seeding.** Each test derives its stream from the test
+//!   name and case index, so runs are reproducible in CI by construction.
+//! * `prop_assert*` map to the std `assert*` macros (failures panic rather
+//!   than unwind-collect).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Path-compatibility alias so `proptest::prop::...` works like the real
+/// crate's prelude `prop` re-export.
+pub mod prop {
+    pub use crate::{arbitrary, collection, sample, strategy};
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $($(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let base = $crate::test_runner::seed_from_name(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::new(base ^ (case as u64).wrapping_mul(
+                            0x9E37_79B9_7F4A_7C15,
+                        ));
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,42 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A position into a collection whose length is not known at generation
+/// time; resolve with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Wraps a raw draw.
+    pub fn new(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Resolves against a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.raw % len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Index;
+
+    #[test]
+    fn index_wraps() {
+        assert_eq!(Index::new(7).index(3), 1);
+        assert_eq!(Index::new(2).index(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn index_empty_panics() {
+        Index::new(0).index(0);
+    }
+}
