@@ -1,4 +1,4 @@
-//! Clover — passive disaggregated (key-value) memory (paper §2.3, [75]).
+//! Clover — passive disaggregated (key-value) memory (paper §2.3, citation 75).
 //!
 //! Clover's memory nodes have **no processing power**: clients manage
 //! everything through one-sided RDMA. Reads traverse the client-cached

@@ -1,4 +1,4 @@
-//! HERD — RPC-style key-value serving over RDMA (paper [36]), plus the
+//! HERD — RPC-style key-value serving over RDMA (paper citation 36), plus the
 //! BlueField SmartNIC variant (paper §7's HERD-BF).
 //!
 //! HERD clients write requests into server memory with unreliable-connected

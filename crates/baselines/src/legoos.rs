@@ -1,4 +1,4 @@
-//! LegoOS — a software memory node (paper §2.2, [64]).
+//! LegoOS — a software memory node (paper §2.2, citation 64).
 //!
 //! LegoOS's mComponent performs the same VA→PA translation as Clio but in
 //! **software**: a thread pool picks incoming requests off the RDMA stack

@@ -186,6 +186,110 @@ impl ClientDriver for MemDriver {
     }
 }
 
+/// An open-loop burst generator: issues `burst` small async reads in one
+/// callback (the paper's issue-then-`rpoll` pattern), waits for all of them,
+/// then fires the next burst. Because every request of a burst is submitted
+/// at the same virtual instant, this is the natural showcase for the
+/// transport's doorbell-coalesced request batching.
+pub struct BurstDriver {
+    /// Operation size in bytes.
+    pub size: u32,
+    /// Requests per burst.
+    pub burst: u64,
+    /// Bursts to run after warm-up.
+    pub bursts: u64,
+    /// Pages of remote memory spanned (each burst walks distinct pages).
+    pub span_pages: u64,
+    /// Page size.
+    pub page_size: u64,
+    /// Results (per-op latencies land here).
+    pub recorder: OpRecorder,
+    va: u64,
+    warm_left: u64,
+    outstanding: u64,
+    bursts_done: u64,
+    done: bool,
+}
+
+impl BurstDriver {
+    /// A driver firing `bursts` bursts of `burst` reads of `size` bytes.
+    pub fn new(size: u32, burst: u64, bursts: u64, span_pages: u64, page_size: u64) -> Self {
+        BurstDriver {
+            size,
+            burst: burst.max(1),
+            bursts,
+            span_pages: span_pages.max(burst.max(1)),
+            page_size,
+            recorder: OpRecorder::new(SimTime::ZERO),
+            va: 0,
+            warm_left: 0,
+            outstanding: 0,
+            bursts_done: 0,
+            done: false,
+        }
+    }
+
+    /// True when all bursts completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn fire_burst(&mut self, api: &mut ClientApi<'_, '_>) {
+        // Distinct pages inside one burst: no intra-burst dependencies, so
+        // the whole burst dispatches (and coalesces) at one instant.
+        let base = (self.bursts_done * self.burst) % self.span_pages;
+        for i in 0..self.burst {
+            let page = (base + i) % self.span_pages;
+            api.read(self.va + page * self.page_size, self.size);
+        }
+        self.outstanding = self.burst;
+    }
+}
+
+impl ClientDriver for BurstDriver {
+    fn name(&self) -> &str {
+        "burst-driver"
+    }
+
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        api.alloc(self.span_pages * self.page_size, Perm::RW);
+    }
+
+    fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+        if self.va == 0 {
+            self.va = c.va();
+            self.warm_left = self.span_pages;
+            api.write(self.va, Bytes::from_static(&[0u8]));
+            return;
+        }
+        if self.warm_left > 0 {
+            self.warm_left -= 1;
+            if self.warm_left > 0 {
+                let page = self.span_pages - self.warm_left;
+                api.write(self.va + page * self.page_size, Bytes::from_static(&[0u8]));
+                return;
+            }
+            self.recorder = OpRecorder::new(api.now());
+            self.fire_burst(api);
+            return;
+        }
+        match &c.result {
+            Ok(_) => self.recorder.record(c.completed_at, c.latency(), self.size as u64),
+            Err(_) => self.recorder.record_error(),
+        }
+        self.outstanding -= 1;
+        if self.outstanding > 0 {
+            return;
+        }
+        self.bursts_done += 1;
+        if self.bursts_done >= self.bursts {
+            self.done = true;
+            return;
+        }
+        self.fire_burst(api);
+    }
+}
+
 /// A YCSB client over the Clio-KV offload, partitioned across MNs.
 pub struct KvDriver {
     gen: YcsbGenerator,

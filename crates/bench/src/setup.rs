@@ -1,5 +1,6 @@
 //! Cluster construction shortcuts and direct-install helpers for benches.
 
+use clio_cn::CLibConfig;
 use clio_core::{Cluster, ClusterConfig};
 use clio_hw::pagetable::Pte;
 use clio_mn::{CBoard, CBoardConfig};
@@ -8,10 +9,18 @@ use clio_proto::{Perm, Pid};
 /// The paper's prototype-scale cluster, shrunk to `cns`×`mns` nodes, with a
 /// 4 KB bench page size (so spans in pages stay host-memory-friendly).
 pub fn bench_cluster(cns: usize, mns: usize, seed: u64) -> Cluster {
+    bench_cluster_clib(cns, mns, seed, CLibConfig::prototype())
+}
+
+/// Like [`bench_cluster`] but with an explicit CLib configuration, so
+/// figures can pin transport knobs (e.g. `batch_max_ops = 1` reproduces the
+/// pre-batching wire behavior, larger windows expose batching headroom).
+pub fn bench_cluster_clib(cns: usize, mns: usize, seed: u64, clib: CLibConfig) -> Cluster {
     let mut cfg = ClusterConfig::testbed();
     cfg.cns = cns;
     cfg.mns = mns;
     cfg.seed = seed;
+    cfg.clib = clib;
     cfg.board = CBoardConfig::test_small();
     // Give benches headroom: 64 MB per node, generous page table.
     cfg.board.hw.phys_mem_bytes = 64 << 20;

@@ -250,6 +250,16 @@ impl CLib {
         self.transport.retry_count
     }
 
+    /// Multi-request batch frames the transport has sent.
+    pub fn batch_frames(&self) -> u64 {
+        self.transport.batch_frames
+    }
+
+    /// Requests that traveled inside a multi-request batch frame.
+    pub fn batched_ops(&self) -> u64 {
+        self.transport.batched_ops
+    }
+
     /// Operations in flight across all threads.
     pub fn in_flight(&self) -> usize {
         self.ops.len()

@@ -42,6 +42,15 @@ pub struct CLibConfig {
     pub target_rtt: SimDuration,
     /// Incast window: maximum outstanding expected response bytes per CN.
     pub iwnd_bytes: u64,
+    /// Maximum small requests coalesced into one wire frame toward an MN
+    /// (doorbell coalescing). `1` disables batching entirely and restores
+    /// the one-frame-per-request wire behavior (the escape hatch that keeps
+    /// pre-batching figures reproducible).
+    pub batch_max_ops: u32,
+    /// Maximum encoded bytes of a batch frame (clamped to the MTU). Small
+    /// values bound the serialization delay a batched request can add in
+    /// front of its peers.
+    pub batch_max_bytes: u32,
 }
 
 impl CLibConfig {
@@ -62,7 +71,15 @@ impl CLibConfig {
             cwnd_md: 0.5,
             target_rtt: SimDuration::from_micros(12),
             iwnd_bytes: 512 << 10,
+            batch_max_ops: 16,
+            batch_max_bytes: clio_proto::MTU_BYTES as u32,
         }
+    }
+
+    /// Paper-calibrated defaults with batching disabled (one frame per
+    /// request, the pre-batching wire behavior).
+    pub fn prototype_unbatched() -> Self {
+        CLibConfig { batch_max_ops: 1, ..Self::prototype() }
     }
 }
 
@@ -83,5 +100,8 @@ mod tests {
         assert!(c.cwnd_init <= c.cwnd_max);
         assert!(c.max_retries > 0);
         assert!(c.request_timeout > c.target_rtt);
+        assert!(c.batch_max_ops > 1, "batching is on by default");
+        assert!(c.batch_max_bytes as usize <= clio_proto::MTU_BYTES);
+        assert_eq!(CLibConfig::prototype_unbatched().batch_max_ops, 1);
     }
 }

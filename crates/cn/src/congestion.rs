@@ -144,11 +144,14 @@ impl CongestionWindow {
         }
     }
 
-    /// Resets to the initial window (new epoch; used by tests).
+    /// Resets to the initial window (new epoch; used by tests). Clears the
+    /// decrease rate-limit stamp too, so the fresh epoch does not inherit
+    /// the old epoch's "recently decreased" suppression.
     pub fn reset(&mut self) {
         self.cwnd = self.cfg.init;
         self.outstanding = 0;
         self.next_paced_send = SimTime::ZERO;
+        self.last_decrease = SimTime::ZERO;
     }
 }
 
@@ -253,6 +256,24 @@ mod tests {
         let when = w.next_opportunity(now);
         assert!(w.try_acquire(when.max(now)) || w.try_acquire(w.next_opportunity(now)));
         assert!(!w.try_acquire(w.next_opportunity(now)), "only one in flight when sub-1");
+    }
+
+    #[test]
+    fn reset_clears_decrease_rate_limit_stamp() {
+        let mut w = cwnd();
+        // A decrease at t=100 µs arms the per-RTT rate limit.
+        assert!(w.try_acquire(t(100)));
+        w.on_response(t(100), d(100));
+        let decreased = w.window();
+        assert!(decreased < 2.0, "late ACK must shrink the window");
+        // New epoch: a congestion signal right away must decrease again
+        // instead of inheriting the old epoch's rate-limit stamp.
+        w.reset();
+        assert_eq!(w.window(), 2.0);
+        assert!(w.try_acquire(t(100)));
+        w.on_response(t(100), d(100));
+        assert!(w.window() < 2.0, "fresh epoch suppressed its first decrease");
+        assert_eq!(w.outstanding(), 0);
     }
 
     #[test]

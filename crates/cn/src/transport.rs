@@ -7,14 +7,33 @@
 //! corrupted (NACKed) or unanswered packet causes the whole request to be
 //! retried under a fresh id carrying `retry_of`, which the MN's dedup buffer
 //! uses to suppress double execution of non-idempotent operations.
+//!
+//! # Request batching (doorbell coalescing)
+//!
+//! With batching enabled (`batch_max_ops > 1`, the default), [`send`]
+//! enqueues the request and rings a zero-delay *doorbell* instead of
+//! transmitting immediately; the doorbell fires after the current event
+//! finishes, so every request submitted at the same virtual instant — e.g.
+//! an async burst issued in one application callback — drains through a
+//! single pump. The pump packs admitted small same-MN requests
+//! (single-packet reads, writes, and atomics) into [`ClioPacket::Batch`]
+//! frames under the `batch_max_ops`/`batch_max_bytes`/MTU budgets, saving
+//! one Ethernet framing overhead per coalesced request. Each batched
+//! request keeps its own request id, congestion/incast window slot, retry
+//! timer, and blueprint: timeouts, NACK retries (`retry_of` dedup), and
+//! completions are indistinguishable from the unbatched wire protocol, and
+//! retransmissions always go out unbatched. A lone admitted request is
+//! framed as a plain `Request`, byte-identical to `batch_max_ops = 1`.
+//!
+//! [`send`]: Transport::send
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use bytes::Bytes;
 use clio_net::{Mac, NicPort};
 use clio_proto::{
-    codec, split_write, ClioPacket, Perm, Pid, Reassembler, ReqHeader, ReqId, RequestBody,
-    ResponseBody, Status, ETH_OVERHEAD_BYTES,
+    codec, split_write, BatchBuilder, ClioPacket, Perm, Pid, Reassembler, ReqHeader, ReqId,
+    RequestBody, ResponseBody, Status, ETH_OVERHEAD_BYTES, MAX_WRITE_FRAG_PAYLOAD,
 };
 use clio_sim::{Ctx, EventId, Message, SimDuration, SimTime};
 
@@ -171,6 +190,17 @@ impl Blueprint {
         matches!(self, Blueprint::Write { .. } | Blueprint::Atomic { .. })
     }
 
+    /// True for requests eligible to share a batch frame: data-plane
+    /// operations that encode as exactly one packet. Slow-path, fence, and
+    /// extend-path requests always travel alone.
+    fn is_batchable(&self) -> bool {
+        match self {
+            Blueprint::Read { .. } | Blueprint::Atomic { .. } => true,
+            Blueprint::Write { data, .. } => data.len() <= MAX_WRITE_FRAG_PAYLOAD,
+            _ => false,
+        }
+    }
+
     /// True for data-plane operations whose RTT is a valid congestion
     /// signal. Slow-path and extend-path operations embed ARM/software
     /// service time in their RTTs, so they must not drive the delay-based
@@ -273,8 +303,14 @@ pub struct Transport {
     cwnds: HashMap<Mac, CongestionWindow>,
     iwnd: IncastWindow,
     reassembler: Reassembler,
+    /// MNs with a zero-delay doorbell (pump) event already scheduled.
+    doorbells: HashSet<Mac>,
     /// Retries performed (for stats).
     pub retry_count: u64,
+    /// Multi-request batch frames sent (for stats).
+    pub batch_frames: u64,
+    /// Requests that traveled inside a multi-request batch frame.
+    pub batched_ops: u64,
 }
 
 impl Transport {
@@ -291,7 +327,10 @@ impl Transport {
             conflict_generations: HashMap::new(),
             cwnds: HashMap::new(),
             reassembler: Reassembler::new(),
+            doorbells: HashSet::new(),
             retry_count: 0,
+            batch_frames: 0,
+            batched_ops: 0,
         }
     }
 
@@ -310,14 +349,30 @@ impl Transport {
         self.queues.values().map(VecDeque::len).sum()
     }
 
+    /// Requests parked awaiting a conflict-retry backoff.
+    pub fn parked(&self) -> usize {
+        self.parked_conflicts.len()
+    }
+
+    /// Expected response bytes currently held by the incast window.
+    pub fn incast_in_flight(&self) -> u64 {
+        self.iwnd.in_flight()
+    }
+
+    fn batching(&self) -> bool {
+        self.cfg.batch_max_ops > 1
+    }
+
     /// The congestion window toward `mn` (created on first use).
     pub fn cwnd(&mut self, mn: Mac) -> &mut CongestionWindow {
         let cfg = &self.cfg;
         self.cwnds.entry(mn).or_insert_with(|| CongestionWindow::new(cfg))
     }
 
-    /// Submits a request. It is sent immediately if the congestion and
-    /// incast windows allow, otherwise queued.
+    /// Submits a request. With batching disabled it is sent immediately if
+    /// the congestion and incast windows allow (otherwise queued); with
+    /// batching enabled it is queued and a zero-delay doorbell coalesces
+    /// every same-instant submission into one pump of the send queue.
     pub fn send(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -329,15 +384,37 @@ impl Transport {
     ) {
         let q = QueuedSend { token, pid, blueprint, enqueued_at: ctx.now() };
         self.queues.entry(target).or_default().push_back(q);
-        self.pump(ctx, nic, target);
+        self.kick(ctx, nic, target);
     }
 
-    /// Tries to transmit queued requests toward `target`.
+    /// Makes queued requests toward `target` progress: immediately when
+    /// batching is off, via a coalescing zero-delay doorbell when on.
+    fn kick(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, target: Mac) {
+        if !self.batching() {
+            self.pump(ctx, nic, target);
+        } else if self.doorbells.insert(target) {
+            ctx.schedule(SimDuration::ZERO, Message::new(TransportTimer::Pump(target)));
+        }
+    }
+
+    /// Kicks every queue (after a completion/failure freed window space).
+    fn kick_all(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort) {
+        let macs: Vec<Mac> = self.queues.keys().copied().collect();
+        for m in macs {
+            self.kick(ctx, nic, m);
+        }
+    }
+
+    /// Tries to transmit queued requests toward `target`, coalescing small
+    /// admitted requests into batch frames.
     fn pump(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, target: Mac) {
+        self.doorbells.remove(&target);
+        let mut batch =
+            BatchBuilder::new(self.cfg.batch_max_ops as usize, self.cfg.batch_max_bytes as usize);
         loop {
             let now = ctx.now();
-            let Some(queue) = self.queues.get_mut(&target) else { return };
-            let Some(head) = queue.front() else { return };
+            let Some(queue) = self.queues.get_mut(&target) else { break };
+            let Some(head) = queue.front() else { break };
             let bytes = head.blueprint.expected_response_bytes();
             let cwnd = self.cwnds.entry(target).or_insert_with(|| CongestionWindow::new(&self.cfg));
             if !cwnd.try_acquire(now) {
@@ -347,11 +424,11 @@ impl Transport {
                 if at > now {
                     ctx.schedule(at.since(now), Message::new(TransportTimer::Pump(target)));
                 }
-                return;
+                break;
             }
             if !self.iwnd.try_acquire(bytes) {
                 self.cwnds.get_mut(&target).expect("just used").on_release();
-                return;
+                break;
             }
             let q = self
                 .queues
@@ -360,19 +437,110 @@ impl Transport {
                 .pop_front()
                 .expect("checked above");
             let conflict_gen = self.conflict_generations.remove(&q.token).unwrap_or(0);
-            self.transmit(
-                ctx,
-                nic,
-                q.token,
-                target,
-                q.pid,
-                q.blueprint,
-                None,
-                0,
-                conflict_gen,
-                q.enqueued_at,
-            );
+            if self.batching() && q.blueprint.is_batchable() {
+                self.transmit_batched(
+                    ctx,
+                    nic,
+                    &mut batch,
+                    q.token,
+                    target,
+                    q.pid,
+                    q.blueprint,
+                    conflict_gen,
+                    q.enqueued_at,
+                );
+            } else {
+                // Flush first so the MN still sees requests in send order
+                // (fences must not overtake the batch in front of them).
+                self.flush_batch(ctx, nic, target, &mut batch);
+                self.transmit(
+                    ctx,
+                    nic,
+                    q.token,
+                    target,
+                    q.pid,
+                    q.blueprint,
+                    None,
+                    0,
+                    conflict_gen,
+                    q.enqueued_at,
+                );
+            }
         }
+        self.flush_batch(ctx, nic, target, &mut batch);
+    }
+
+    /// Registers a batchable request as outstanding and adds its single
+    /// packet to `batch`, flushing first when a budget would be busted. A
+    /// request too large to share even an empty batch ships alone.
+    #[allow(clippy::too_many_arguments)] // internal sibling of `transmit`
+    fn transmit_batched(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        batch: &mut BatchBuilder,
+        token: XferToken,
+        target: Mac,
+        pid: Pid,
+        blueprint: Blueprint,
+        conflict_retries: u32,
+        first_sent_at: SimTime,
+    ) {
+        let req_id = self.fresh_id();
+        let mut packets = blueprint.build(req_id, None, pid);
+        debug_assert_eq!(packets.len(), 1, "batchable requests are single-packet");
+        let pkt = packets.pop().expect("single packet");
+        let entry_wire = codec::wire_len(&pkt);
+        if !batch.fits(entry_wire) {
+            self.flush_batch(ctx, nic, target, batch);
+        }
+        if batch.fits(entry_wire) {
+            let ClioPacket::Request { header, body } = pkt else {
+                unreachable!("blueprints build request packets")
+            };
+            batch.push(header, body);
+        } else {
+            let wire = (entry_wire + ETH_OVERHEAD_BYTES) as u32;
+            nic.send_at(ctx, ctx.now() + self.cfg.send_overhead, target, wire, Message::new(pkt));
+        }
+        let timer = ctx.schedule(
+            blueprint.timeout(self.cfg.request_timeout),
+            Message::new(TransportTimer::Timeout(req_id)),
+        );
+        let expected_bytes = blueprint.expected_response_bytes();
+        self.outstanding.insert(
+            req_id,
+            Outstanding {
+                token,
+                target,
+                pid,
+                blueprint,
+                expected_bytes,
+                attempt_sent_at: ctx.now(),
+                first_sent_at,
+                retries: 0,
+                conflict_retries,
+                timer: Some(timer),
+            },
+        );
+    }
+
+    /// Ships the accumulated batch (if any) as one wire frame.
+    fn flush_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        target: Mac,
+        batch: &mut BatchBuilder,
+    ) {
+        let ops = batch.len() as u64;
+        let Some(pkt) = batch.take() else { return };
+        if ops > 1 {
+            self.batch_frames += 1;
+            self.batched_ops += ops;
+        }
+        let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
+        nic.send_at(ctx, ctx.now() + self.cfg.send_overhead, target, wire, Message::new(pkt));
     }
 
     #[allow(clippy::too_many_arguments)] // internal send/retry core
@@ -504,10 +672,7 @@ impl Transport {
                     }
                 }
                 // A completion freed window space: drain every queue.
-                let macs: Vec<Mac> = self.queues.keys().copied().collect();
-                for m in macs {
-                    self.pump(ctx, nic, m);
-                }
+                self.kick_all(ctx, nic);
             }
             ClioPacket::Nack { req_id } => {
                 // Corrupted on the wire: retry immediately (no congestion
@@ -525,6 +690,10 @@ impl Transport {
                             result: Err(ClioError::TimedOut),
                             rtt: ctx.now().since(o.first_sent_at),
                         });
+                        // The failure freed window space just like a
+                        // completion: drain queued requests now instead of
+                        // stalling them until an unrelated completion.
+                        self.kick_all(ctx, nic);
                     } else {
                         // Window slot stays held: this is the same logical
                         // request. Hand the slot bookkeeping over by not
@@ -533,7 +702,8 @@ impl Transport {
                     }
                 }
             }
-            ClioPacket::Request { .. } => { /* CNs never receive requests */ }
+            // CNs never receive requests (batched or not).
+            ClioPacket::Request { .. } | ClioPacket::Batch { .. } => {}
         }
         done
     }
@@ -580,10 +750,7 @@ impl Transport {
                         result: Err(ClioError::TimedOut),
                         rtt: now.since(o.first_sent_at),
                     });
-                    let macs: Vec<Mac> = self.queues.keys().copied().collect();
-                    for m in macs {
-                        self.pump(ctx, nic, m);
-                    }
+                    self.kick_all(ctx, nic);
                 } else {
                     // Timeout is a congestion signal; shrink but keep the
                     // slot for the retransmission (same logical request).
@@ -607,7 +774,7 @@ impl Transport {
                         enqueued_at: o.first_sent_at,
                     });
                     self.conflict_generations.insert(o.token, o.conflict_retries + 1);
-                    self.pump(ctx, nic, target);
+                    self.kick(ctx, nic, target);
                 }
             }
         }

@@ -1,0 +1,234 @@
+//! Property test: transport window accounting is conserved.
+//!
+//! A scripted memory node answers each request with an arbitrary
+//! (proptest-chosen) fate — success, remote error, `Conflict` refusal,
+//! link-layer NACK, or silence (forcing a timeout) — and the test asserts
+//! that once every submitted request has completed or failed, all three
+//! window accounts drain to zero: transport `outstanding`, the congestion
+//! window's in-flight count, and the incast window's in-flight bytes. Runs
+//! with batching both off and on, so batched sends share the invariant.
+
+use bytes::Bytes;
+use clio_cn::config::CLibConfig;
+use clio_cn::transport::{AtomicKind, Blueprint, Transport, TransportTimer, XferDone, XferToken};
+use clio_net::{Frame, Mac, NicPort};
+use clio_proto::{
+    codec, ClioPacket, ReqHeader, RequestBody, RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES,
+};
+use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, SimDuration, Simulation};
+use proptest::prelude::*;
+
+const CN_MAC: Mac = Mac(1);
+const MN_MAC: Mac = Mac(2);
+
+/// What the scripted MN does with one received request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Ok,
+    Error,
+    Conflict,
+    Nack,
+    Drop,
+}
+
+impl Fate {
+    fn from_byte(b: u8) -> Self {
+        match b % 5 {
+            0 => Fate::Ok,
+            1 => Fate::Error,
+            2 => Fate::Conflict,
+            3 => Fate::Nack,
+            _ => Fate::Drop,
+        }
+    }
+}
+
+/// Kick-off message carrying the workload.
+struct Go {
+    ops: Vec<Blueprint>,
+}
+
+/// CN host driving a bare `Transport`.
+struct Host {
+    nic: NicPort,
+    transport: Transport,
+    done: Vec<XferDone>,
+}
+
+impl Actor for Host {
+    fn name(&self) -> &str {
+        "host"
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let msg = match msg.downcast::<Go>() {
+            Ok(go) => {
+                for (i, bp) in go.ops.into_iter().enumerate() {
+                    self.transport.send(
+                        ctx,
+                        &mut self.nic,
+                        XferToken(i as u64),
+                        MN_MAC,
+                        clio_proto::Pid(7),
+                        bp,
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Frame>() {
+            Ok(f) => {
+                let pkt = f.payload.downcast::<ClioPacket>().expect("clio packet");
+                self.done.extend(self.transport.on_packet(ctx, &mut self.nic, pkt));
+                return;
+            }
+            Err(m) => m,
+        };
+        let timer = msg.downcast::<TransportTimer>().expect("transport timer");
+        self.done.extend(self.transport.on_timer(ctx, &mut self.nic, timer));
+    }
+}
+
+/// The scripted MN; doubles as the CN NIC's "switch" so frames arrive here
+/// directly.
+struct ScriptedMn {
+    cn: Option<ActorId>,
+    script: Vec<Fate>,
+    next: usize,
+}
+
+impl ScriptedMn {
+    fn fate(&mut self) -> Fate {
+        let f = self.script.get(self.next).copied().unwrap_or(Fate::Ok);
+        self.next += 1;
+        f
+    }
+
+    fn reply(&self, ctx: &mut Ctx<'_>, pkt: ClioPacket) {
+        let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
+        let frame = Frame::new(MN_MAC, CN_MAC, wire, Message::new(pkt));
+        ctx.send(self.cn.expect("wired up"), SimDuration::from_micros(1), Message::new(frame));
+    }
+
+    fn serve(&mut self, ctx: &mut Ctx<'_>, header: ReqHeader, body: RequestBody) {
+        match self.fate() {
+            Fate::Ok => {
+                let resp = match &body {
+                    RequestBody::Read { len, .. } => ResponseBody::DataFrag {
+                        offset: 0,
+                        data: Bytes::from(vec![0u8; *len as usize]),
+                    },
+                    RequestBody::AtomicTas { .. }
+                    | RequestBody::AtomicStore { .. }
+                    | RequestBody::AtomicCas { .. }
+                    | RequestBody::AtomicFaa { .. } => ResponseBody::AtomicOld { old: 0 },
+                    _ => ResponseBody::Done,
+                };
+                self.reply(
+                    ctx,
+                    ClioPacket::Response {
+                        header: RespHeader::single(header.req_id, Status::Ok),
+                        body: resp,
+                    },
+                );
+            }
+            Fate::Error => self.reply(
+                ctx,
+                ClioPacket::Response {
+                    header: RespHeader::single(header.req_id, Status::PermDenied),
+                    body: ResponseBody::Done,
+                },
+            ),
+            Fate::Conflict => self.reply(
+                ctx,
+                ClioPacket::Response {
+                    header: RespHeader::single(header.req_id, Status::Conflict),
+                    body: ResponseBody::Done,
+                },
+            ),
+            Fate::Nack => self.reply(ctx, ClioPacket::Nack { req_id: header.req_id }),
+            Fate::Drop => {}
+        }
+    }
+}
+
+impl Actor for ScriptedMn {
+    fn name(&self) -> &str {
+        "scripted-mn"
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let frame = msg.downcast::<Frame>().expect("frame");
+        match frame.payload.downcast::<ClioPacket>().expect("clio packet") {
+            ClioPacket::Request { header, body } => self.serve(ctx, header, body),
+            ClioPacket::Batch { requests } => {
+                for (header, body) in requests {
+                    self.serve(ctx, header, body);
+                }
+            }
+            other => panic!("MN got {other:?}"),
+        }
+    }
+}
+
+fn blueprint_of(kind: u8) -> Blueprint {
+    match kind % 3 {
+        0 => Blueprint::Read { va: 0x1000 + kind as u64 * 64, len: 8 },
+        1 => Blueprint::Write { va: 0x2000 + kind as u64 * 64, data: Bytes::from(vec![kind; 8]) },
+        _ => Blueprint::Atomic { va: 0x3000 + kind as u64 * 8, op: AtomicKind::Faa(1) },
+    }
+}
+
+fn run_case(op_kinds: &[u8], script: &[u8], batch_max_ops: u32, seed: u64) {
+    let cfg = CLibConfig {
+        // Tight windows so the queue, pacing, and incast paths all engage.
+        cwnd_init: 2.0,
+        cwnd_max: 4.0,
+        iwnd_bytes: 256,
+        request_timeout: SimDuration::from_micros(20),
+        max_retries: 2,
+        conflict_backoff: SimDuration::from_micros(10),
+        max_conflict_retries: 1,
+        batch_max_ops,
+        ..CLibConfig::prototype()
+    };
+    let mut sim = Simulation::new(seed);
+    // The CN's id is only known after creation; wired up below.
+    let mn_id = sim.add_actor(ScriptedMn {
+        cn: None,
+        script: script.iter().map(|&b| Fate::from_byte(b)).collect(),
+        next: 0,
+    });
+    let nic = NicPort::new(CN_MAC, Bandwidth::from_gbps(40), mn_id, SimDuration::from_nanos(50));
+    let cn_id = sim.add_actor(Host { nic, transport: Transport::new(cfg, 1), done: vec![] });
+    sim.actor_mut::<ScriptedMn>(mn_id).cn = Some(cn_id);
+
+    let ops: Vec<Blueprint> = op_kinds.iter().map(|&k| blueprint_of(k)).collect();
+    let n = ops.len();
+    sim.post(cn_id, Message::new(Go { ops }));
+    sim.run_until_idle();
+
+    let host = sim.actor_mut::<Host>(cn_id);
+    assert_eq!(host.done.len(), n, "every request completes exactly once");
+    let mut tokens: Vec<u64> = host.done.iter().map(|d| d.token.0).collect();
+    tokens.sort_unstable();
+    assert_eq!(tokens, (0..n as u64).collect::<Vec<_>>(), "token set mismatch");
+    assert_eq!(host.transport.in_flight(), 0, "outstanding not drained");
+    assert_eq!(host.transport.queued(), 0, "send queue not drained");
+    assert_eq!(host.transport.parked(), 0, "conflict parking not drained");
+    assert_eq!(host.transport.incast_in_flight(), 0, "incast bytes leaked");
+    assert_eq!(host.transport.cwnd(MN_MAC).outstanding(), 0, "cwnd slots leaked");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_accounting_conserved_across_interleavings(
+        op_kinds in proptest::collection::vec(any::<u8>(), 1..20),
+        script in proptest::collection::vec(any::<u8>(), 0..120),
+        batched in any::<bool>(),
+        seed in 1u64..1000,
+    ) {
+        run_case(&op_kinds, &script, if batched { 8 } else { 1 }, seed);
+    }
+}

@@ -427,6 +427,10 @@ impl BlockingCluster {
                     }
                 }
             }
+            // Duplicates need not be adjacent (several commands from one
+            // bridge interleave with other bridges'); sort before dedup so
+            // every driver is poked exactly once.
+            pokes.sort_unstable();
             pokes.dedup();
             for (cn, driver) in pokes {
                 let cn_actor = self.cluster.cn_ids()[cn];
@@ -438,8 +442,16 @@ impl BlockingCluster {
                 let Some(waiting) = &b.waiting else { continue };
                 let mut shared = b.shared.lock().expect("bridge lock");
                 if waiting.iter().all(|s| shared.ready.contains_key(s)) {
-                    let results: Vec<_> =
-                        waiting.iter().map(|s| shared.ready.remove(s).expect("checked")).collect();
+                    // Clone then remove: `rpoll` may legally pass the same
+                    // handle more than once, so removal must not assume each
+                    // seq appears a single time.
+                    let results: Vec<_> = waiting
+                        .iter()
+                        .map(|s| shared.ready.get(s).cloned().expect("checked"))
+                        .collect();
+                    for s in waiting {
+                        shared.ready.remove(s);
+                    }
                     drop(shared);
                     let single = b.waiting.as_ref().expect("waiting").len() == 1;
                     let resp = if single {
@@ -478,7 +490,7 @@ impl BlockingCluster {
                 idle_spins += 1;
                 if idle_spins > 200_000 {
                     panic!(
-                        "blocking runtime deadlock: no thread progressed for ~20s                          (waiting={}, runnable={})",
+                        "blocking runtime deadlock: no thread progressed for ~20s (waiting={}, runnable={})",
                         self.bridges.iter().filter(|b| b.waiting.is_some()).count(),
                         self.bridges.iter().filter(|b| b.runnable && !b.finished).count()
                     );

@@ -115,6 +115,26 @@ fn blocking_runtime_figure1_style() {
 }
 
 #[test]
+fn blocking_runtime_rpoll_accepts_duplicate_handles() {
+    let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
+    bc.spawn(0, 42, |p| {
+        let va = p.ralloc(4096).expect("ralloc");
+        let w = p.rwrite_async(va, b"dup");
+        let r = p.rread_async(va + 1024, 4);
+        // The same handle may appear several times in one poll; each
+        // occurrence yields that operation's result (regression: this used
+        // to panic in the runtime's ready-map bookkeeping).
+        let results = p.rpoll(&[w, r, w, w]).expect("rpoll with duplicates");
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], results[2]);
+        assert_eq!(results[0], results[3]);
+        let back = p.rread(va, 3).expect("rread");
+        assert_eq!(&back[..], b"dup");
+    });
+    bc.run();
+}
+
+#[test]
 fn blocking_runtime_two_threads_share_a_lock() {
     let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
     // Thread 1 allocates a counter + lock and publishes the addresses via a

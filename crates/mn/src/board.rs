@@ -9,6 +9,12 @@
 //!   ARM ([`SlowPath`]) and come back,
 //! * **extend path** — offload calls run in installed [`Offload`] modules.
 //!
+//! Batch frames (`ClioPacket::Batch`) are unbatched at ingress: every entry
+//! dispatches through the same match-and-action table in batch order and
+//! responds independently, so the CN's per-request reliability (retries,
+//! dedup via `retry_of`) is oblivious to how requests were framed. A
+//! corrupted batch frame is NACKed per entry.
+//!
 //! The board holds exactly the bounded state the paper allows it (§4.5): the
 //! retry-dedup buffer, in-flight synchronization state (one fence barrier +
 //! the atomic unit), and a TTL-bounded tracker for multi-packet writes. It
@@ -37,6 +43,10 @@ use crate::slowpath::SlowPath;
 /// Aggregate board statistics for harness reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BoardStats {
+    /// Wire frames carrying requests received (a batch frame counts once).
+    pub rx_frames: u64,
+    /// Requests that arrived coalesced inside batch frames.
+    pub batched_requests: u64,
     /// Request packets received.
     pub rx_packets: u64,
     /// Response packets sent.
@@ -860,14 +870,24 @@ impl Actor for CBoard {
         };
         let src = frame.src;
         if frame.corrupted {
-            // Link-layer integrity failure: NACK the request (§4.4).
-            if let Some(ClioPacket::Request { header, .. }) =
-                frame.payload.downcast_ref::<ClioPacket>()
-            {
-                let req_id = header.req_id;
-                self.stats.nacks += 1;
-                let at = ctx.now() + self.control_latency();
-                self.respond(ctx, at, src, ClioPacket::Nack { req_id });
+            // Link-layer integrity failure: NACK the request (§4.4). A
+            // corrupted batch frame NACKs every request it carried — each is
+            // an independent logical request the CN retries on its own.
+            match frame.payload.downcast_ref::<ClioPacket>() {
+                Some(ClioPacket::Request { header, .. }) => {
+                    let req_id = header.req_id;
+                    self.stats.nacks += 1;
+                    let at = ctx.now() + self.control_latency();
+                    self.respond(ctx, at, src, ClioPacket::Nack { req_id });
+                }
+                Some(ClioPacket::Batch { requests }) => {
+                    let at = ctx.now() + self.control_latency();
+                    for (header, _) in requests {
+                        self.stats.nacks += 1;
+                        self.respond(ctx, at, src, ClioPacket::Nack { req_id: header.req_id });
+                    }
+                }
+                _ => {}
             }
             return;
         }
@@ -883,8 +903,19 @@ impl Actor for CBoard {
         };
         match payload {
             ClioPacket::Request { header, body } => {
+                self.stats.rx_frames += 1;
                 self.stats.rx_packets += 1;
                 self.handle_request(ctx, src, header, body);
+            }
+            ClioPacket::Batch { requests } => {
+                // Unbatch: each entry executes (and responds) exactly as if
+                // it had arrived in its own frame, in batch order.
+                self.stats.rx_frames += 1;
+                self.stats.rx_packets += requests.len() as u64;
+                self.stats.batched_requests += requests.len() as u64;
+                for (header, body) in requests {
+                    self.handle_request(ctx, src, header, body);
+                }
             }
             // MNs only respond; stray responses/NACKs are dropped.
             ClioPacket::Response { .. } | ClioPacket::Nack { .. } => {}

@@ -9,6 +9,8 @@
 //! * operations are served by a small worker pool behind a polling core,
 //! * each operation reports an explicit software **service time** derived
 //!   from [`ArmConfig`]; the board adds interconnect crossings and queueing.
+//!
+//! [`ArmConfig`]: crate::config::ArmConfig
 
 use clio_hw::pagetable::{HashPageTable, Pte};
 use clio_proto::{Perm, Pid, Status};

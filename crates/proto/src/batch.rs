@@ -1,0 +1,151 @@
+//! MTU-bounded packing of small requests into [`ClioPacket::Batch`] frames.
+//!
+//! Clio's asynchronous API (§4.5 T1) keeps many small requests in flight;
+//! sent one per frame, a 16–64 B operation pays ~38 B of Ethernet overhead
+//! plus a full Clio header of framing per op. [`BatchBuilder`] packs several
+//! same-destination single-packet requests into one wire frame under three
+//! budgets: the link MTU (always), a caller-chosen byte budget, and a
+//! caller-chosen op-count budget. Every entry keeps its own [`ReqHeader`],
+//! so retries, deduplication and responses stay per logical request.
+
+use crate::codec::{request_wire_len, BATCH_OVERHEAD_BYTES};
+use crate::mtu::MTU_BYTES;
+use crate::packet::{ClioPacket, ReqHeader, RequestBody};
+
+/// Accumulates request entries into an MTU-bounded batch frame.
+///
+/// `take` yields a plain [`ClioPacket::Request`] when only one entry
+/// accumulated, so a lone request's wire image is byte-identical to the
+/// unbatched protocol and batching is a pure overlay.
+#[derive(Debug)]
+pub struct BatchBuilder {
+    entries: Vec<(ReqHeader, RequestBody)>,
+    wire: usize,
+    max_ops: usize,
+    max_bytes: usize,
+}
+
+impl BatchBuilder {
+    /// A builder admitting at most `max_ops` entries and at most
+    /// `max_bytes` of encoded batch frame (clamped to the MTU; values below
+    /// the smallest possible frame effectively disable multi-op batches).
+    pub fn new(max_ops: usize, max_bytes: usize) -> Self {
+        BatchBuilder {
+            entries: Vec::new(),
+            wire: BATCH_OVERHEAD_BYTES,
+            max_ops: max_ops.max(1),
+            max_bytes: max_bytes.min(MTU_BYTES),
+        }
+    }
+
+    /// Entries accumulated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Encoded size of the batch frame built so far (tag + count + entries).
+    pub fn wire_len(&self) -> usize {
+        self.wire
+    }
+
+    /// Whether a request whose standalone encoding is `entry_wire` bytes
+    /// ([`request_wire_len`]) can join the current batch without busting the
+    /// op, byte, or MTU budget.
+    pub fn fits(&self, entry_wire: usize) -> bool {
+        self.entries.len() < self.max_ops && self.wire + entry_wire <= self.max_bytes
+    }
+
+    /// Appends an entry. Callers must check [`fits`](Self::fits) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the entry busts a budget.
+    pub fn push(&mut self, header: ReqHeader, body: RequestBody) {
+        let entry = request_wire_len(&body);
+        debug_assert!(self.fits(entry), "entry of {entry} B pushed into a full batch");
+        self.wire += entry;
+        self.entries.push((header, body));
+    }
+
+    /// Takes the accumulated frame, leaving the builder empty for reuse.
+    /// Returns `None` when nothing accumulated; a single entry degenerates
+    /// to a plain [`ClioPacket::Request`] (no batch overhead on the wire).
+    pub fn take(&mut self) -> Option<ClioPacket> {
+        self.wire = BATCH_OVERHEAD_BYTES;
+        match self.entries.len() {
+            0 => None,
+            1 => {
+                let (header, body) = self.entries.pop().expect("one entry");
+                Some(ClioPacket::Request { header, body })
+            }
+            _ => Some(ClioPacket::Batch { requests: std::mem::take(&mut self.entries) }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::wire_len;
+    use crate::types::{Pid, ReqId};
+
+    fn read_entry(id: u64) -> (ReqHeader, RequestBody) {
+        (ReqHeader::single(ReqId(id), Pid(1)), RequestBody::Read { va: id * 64, len: 32 })
+    }
+
+    #[test]
+    fn op_budget_enforced() {
+        let mut b = BatchBuilder::new(2, MTU_BYTES);
+        for id in 0..2 {
+            let (h, body) = read_entry(id);
+            assert!(b.fits(request_wire_len(&body)));
+            b.push(h, body);
+        }
+        let (_, body) = read_entry(2);
+        assert!(!b.fits(request_wire_len(&body)), "third op exceeds max_ops=2");
+    }
+
+    #[test]
+    fn byte_budget_and_mtu_enforced() {
+        let (_, body) = read_entry(0);
+        let entry = request_wire_len(&body);
+        // Budget for exactly two entries.
+        let mut b = BatchBuilder::new(64, BATCH_OVERHEAD_BYTES + 2 * entry);
+        let (h0, b0) = read_entry(0);
+        let (h1, b1) = read_entry(1);
+        b.push(h0, b0);
+        b.push(h1, b1);
+        assert!(!b.fits(entry));
+        // A byte budget above the MTU is clamped to the MTU.
+        let clamped = BatchBuilder::new(64, 1 << 20);
+        assert!(!clamped.fits(MTU_BYTES + 1));
+    }
+
+    #[test]
+    fn single_entry_degenerates_to_plain_request() {
+        let mut b = BatchBuilder::new(16, MTU_BYTES);
+        let (h, body) = read_entry(7);
+        b.push(h, body.clone());
+        let pkt = b.take().expect("one entry");
+        assert_eq!(pkt, ClioPacket::Request { header: h, body });
+        assert!(b.take().is_none(), "builder resets after take");
+    }
+
+    #[test]
+    fn multi_entry_batch_wire_len_tracked_exactly() {
+        let mut b = BatchBuilder::new(16, MTU_BYTES);
+        for id in 0..5 {
+            let (h, body) = read_entry(id);
+            b.push(h, body);
+        }
+        let predicted = b.wire_len();
+        let pkt = b.take().expect("batch");
+        assert!(matches!(pkt, ClioPacket::Batch { ref requests } if requests.len() == 5));
+        assert_eq!(wire_len(&pkt), predicted);
+    }
+}

@@ -21,6 +21,8 @@ pub enum CodecError {
     BadStatus(u8),
     /// Trailing bytes followed a complete packet.
     TrailingBytes(usize),
+    /// A batch packet declared zero entries.
+    EmptyBatch,
 }
 
 impl std::fmt::Display for CodecError {
@@ -30,6 +32,7 @@ impl std::fmt::Display for CodecError {
             CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
             CodecError::BadStatus(s) => write!(f, "unknown status code {s}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after packet"),
+            CodecError::EmptyBatch => write!(f, "batch packet with zero entries"),
         }
     }
 }
@@ -39,6 +42,7 @@ impl std::error::Error for CodecError {}
 const TAG_REQUEST: u8 = 0;
 const TAG_RESPONSE: u8 = 1;
 const TAG_NACK: u8 = 2;
+const TAG_BATCH: u8 = 3;
 
 const BODY_READ: u8 = 0;
 const BODY_WRITE_FRAG: u8 = 1;
@@ -63,6 +67,12 @@ const RESP_OFFLOAD: u8 = 4;
 pub const REQ_HEADER_LEN: usize = 1 + 8 + 1 + 8 + 8 + 2 + 2;
 /// Encoded size of the packet tag plus a response header.
 pub const RESP_HEADER_LEN: usize = 1 + 8 + 1 + 2 + 2;
+/// Fixed framing cost of a batch packet (packet tag + u16 entry count).
+/// Each entry then costs exactly what the same request would cost as a
+/// standalone [`ClioPacket::Request`] ([`request_wire_len`]), so batching
+/// `n` small requests saves `(n - 1)` per-frame Ethernet overheads at the
+/// price of these 3 bytes.
+pub const BATCH_OVERHEAD_BYTES: usize = 1 + 2;
 
 fn put_req_header(buf: &mut BytesMut, h: &ReqHeader) {
     buf.put_u64_le(h.req_id.0);
@@ -86,6 +96,70 @@ fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
     buf.put_slice(b);
 }
 
+fn put_req_body(buf: &mut BytesMut, body: &RequestBody) {
+    match body {
+        RequestBody::Read { va, len } => {
+            buf.put_u8(BODY_READ);
+            buf.put_u64_le(*va);
+            buf.put_u32_le(*len);
+        }
+        RequestBody::WriteFrag { va, data } => {
+            buf.put_u8(BODY_WRITE_FRAG);
+            buf.put_u64_le(*va);
+            put_bytes(buf, data);
+        }
+        RequestBody::Alloc { size, perm, fixed_va } => {
+            buf.put_u8(BODY_ALLOC);
+            buf.put_u64_le(*size);
+            buf.put_u8(perm.bits());
+            match fixed_va {
+                Some(va) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(*va);
+                }
+                None => {
+                    buf.put_u8(0);
+                    buf.put_u64_le(0);
+                }
+            }
+        }
+        RequestBody::Free { va, size } => {
+            buf.put_u8(BODY_FREE);
+            buf.put_u64_le(*va);
+            buf.put_u64_le(*size);
+        }
+        RequestBody::AtomicTas { va } => {
+            buf.put_u8(BODY_TAS);
+            buf.put_u64_le(*va);
+        }
+        RequestBody::AtomicStore { va, value } => {
+            buf.put_u8(BODY_STORE);
+            buf.put_u64_le(*va);
+            buf.put_u64_le(*value);
+        }
+        RequestBody::AtomicCas { va, expected, new } => {
+            buf.put_u8(BODY_CAS);
+            buf.put_u64_le(*va);
+            buf.put_u64_le(*expected);
+            buf.put_u64_le(*new);
+        }
+        RequestBody::AtomicFaa { va, delta } => {
+            buf.put_u8(BODY_FAA);
+            buf.put_u64_le(*va);
+            buf.put_u64_le(*delta);
+        }
+        RequestBody::Fence => buf.put_u8(BODY_FENCE),
+        RequestBody::CreateAs => buf.put_u8(BODY_CREATE_AS),
+        RequestBody::DestroyAs => buf.put_u8(BODY_DESTROY_AS),
+        RequestBody::OffloadCall { offload, opcode, arg } => {
+            buf.put_u8(BODY_OFFLOAD);
+            buf.put_u16_le(*offload);
+            buf.put_u16_le(*opcode);
+            put_bytes(buf, arg);
+        }
+    }
+}
+
 /// Serializes a packet to its wire bytes.
 pub fn encode(pkt: &ClioPacket) -> Bytes {
     let mut buf = BytesMut::with_capacity(wire_len(pkt));
@@ -93,66 +167,19 @@ pub fn encode(pkt: &ClioPacket) -> Bytes {
         ClioPacket::Request { header, body } => {
             buf.put_u8(TAG_REQUEST);
             put_req_header(&mut buf, header);
-            match body {
-                RequestBody::Read { va, len } => {
-                    buf.put_u8(BODY_READ);
-                    buf.put_u64_le(*va);
-                    buf.put_u32_le(*len);
-                }
-                RequestBody::WriteFrag { va, data } => {
-                    buf.put_u8(BODY_WRITE_FRAG);
-                    buf.put_u64_le(*va);
-                    put_bytes(&mut buf, data);
-                }
-                RequestBody::Alloc { size, perm, fixed_va } => {
-                    buf.put_u8(BODY_ALLOC);
-                    buf.put_u64_le(*size);
-                    buf.put_u8(perm.bits());
-                    match fixed_va {
-                        Some(va) => {
-                            buf.put_u8(1);
-                            buf.put_u64_le(*va);
-                        }
-                        None => {
-                            buf.put_u8(0);
-                            buf.put_u64_le(0);
-                        }
-                    }
-                }
-                RequestBody::Free { va, size } => {
-                    buf.put_u8(BODY_FREE);
-                    buf.put_u64_le(*va);
-                    buf.put_u64_le(*size);
-                }
-                RequestBody::AtomicTas { va } => {
-                    buf.put_u8(BODY_TAS);
-                    buf.put_u64_le(*va);
-                }
-                RequestBody::AtomicStore { va, value } => {
-                    buf.put_u8(BODY_STORE);
-                    buf.put_u64_le(*va);
-                    buf.put_u64_le(*value);
-                }
-                RequestBody::AtomicCas { va, expected, new } => {
-                    buf.put_u8(BODY_CAS);
-                    buf.put_u64_le(*va);
-                    buf.put_u64_le(*expected);
-                    buf.put_u64_le(*new);
-                }
-                RequestBody::AtomicFaa { va, delta } => {
-                    buf.put_u8(BODY_FAA);
-                    buf.put_u64_le(*va);
-                    buf.put_u64_le(*delta);
-                }
-                RequestBody::Fence => buf.put_u8(BODY_FENCE),
-                RequestBody::CreateAs => buf.put_u8(BODY_CREATE_AS),
-                RequestBody::DestroyAs => buf.put_u8(BODY_DESTROY_AS),
-                RequestBody::OffloadCall { offload, opcode, arg } => {
-                    buf.put_u8(BODY_OFFLOAD);
-                    buf.put_u16_le(*offload);
-                    buf.put_u16_le(*opcode);
-                    put_bytes(&mut buf, arg);
-                }
+            put_req_body(&mut buf, body);
+        }
+        ClioPacket::Batch { requests } => {
+            debug_assert!(!requests.is_empty(), "batches must carry at least one request");
+            buf.put_u8(TAG_BATCH);
+            buf.put_u16_le(requests.len() as u16);
+            // Each entry is a complete embedded request packet (tag
+            // included), so an entry's encoded size is exactly
+            // `request_wire_len` and unbatching reuses the request parser.
+            for (header, body) in requests {
+                buf.put_u8(TAG_REQUEST);
+                put_req_header(&mut buf, header);
+                put_req_body(&mut buf, body);
             }
         }
         ClioPacket::Response { header, body } => {
@@ -190,25 +217,34 @@ pub fn encode(pkt: &ClioPacket) -> Bytes {
     buf.freeze()
 }
 
+/// The exact encoded size of one request (header + body) framed as a
+/// standalone [`ClioPacket::Request`]. A batch entry costs exactly this
+/// much, so callers can pack batches against the MTU analytically.
+pub fn request_wire_len(body: &RequestBody) -> usize {
+    REQ_HEADER_LEN
+        + 1
+        + match body {
+            RequestBody::Read { .. } => 12,
+            RequestBody::WriteFrag { data, .. } => 8 + 4 + data.len(),
+            RequestBody::Alloc { .. } => 8 + 1 + 1 + 8,
+            RequestBody::Free { .. } => 16,
+            RequestBody::AtomicTas { .. } => 8,
+            RequestBody::AtomicStore { .. } => 16,
+            RequestBody::AtomicCas { .. } => 24,
+            RequestBody::AtomicFaa { .. } => 16,
+            RequestBody::Fence | RequestBody::CreateAs | RequestBody::DestroyAs => 0,
+            RequestBody::OffloadCall { arg, .. } => 2 + 2 + 4 + arg.len(),
+        }
+}
+
 /// The exact number of bytes [`encode`] will produce, computed analytically
 /// (used by the timing model on every packet send).
 pub fn wire_len(pkt: &ClioPacket) -> usize {
     match pkt {
-        ClioPacket::Request { body, .. } => {
-            REQ_HEADER_LEN
-                + 1
-                + match body {
-                    RequestBody::Read { .. } => 12,
-                    RequestBody::WriteFrag { data, .. } => 8 + 4 + data.len(),
-                    RequestBody::Alloc { .. } => 8 + 1 + 1 + 8,
-                    RequestBody::Free { .. } => 16,
-                    RequestBody::AtomicTas { .. } => 8,
-                    RequestBody::AtomicStore { .. } => 16,
-                    RequestBody::AtomicCas { .. } => 24,
-                    RequestBody::AtomicFaa { .. } => 16,
-                    RequestBody::Fence | RequestBody::CreateAs | RequestBody::DestroyAs => 0,
-                    RequestBody::OffloadCall { arg, .. } => 2 + 2 + 4 + arg.len(),
-                }
+        ClioPacket::Request { body, .. } => request_wire_len(body),
+        ClioPacket::Batch { requests } => {
+            BATCH_OVERHEAD_BYTES
+                + requests.iter().map(|(_, body)| request_wire_len(body)).sum::<usize>()
         }
         ClioPacket::Response { body, .. } => {
             RESP_HEADER_LEN
@@ -257,52 +293,68 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Parses one request (header + body, tag already consumed) from `r`.
+fn read_request(r: &mut Reader<'_>) -> Result<(ReqHeader, RequestBody), CodecError> {
+    let req_id = ReqId(r.u64()?);
+    let has_retry = r.u8()? != 0;
+    let retry_raw = r.u64()?;
+    let retry_of = has_retry.then_some(ReqId(retry_raw));
+    let pid = Pid(r.u64()?);
+    let pkt_index = r.u16()?;
+    let pkt_count = r.u16()?;
+    let header = ReqHeader { req_id, retry_of, pid, pkt_index, pkt_count };
+    let body = match r.u8()? {
+        BODY_READ => RequestBody::Read { va: r.u64()?, len: r.u32()? },
+        BODY_WRITE_FRAG => RequestBody::WriteFrag { va: r.u64()?, data: r.bytes()? },
+        BODY_ALLOC => {
+            let size = r.u64()?;
+            let perm = Perm::from_bits(r.u8()?);
+            let has_fixed = r.u8()? != 0;
+            let fixed_raw = r.u64()?;
+            RequestBody::Alloc { size, perm, fixed_va: has_fixed.then_some(fixed_raw) }
+        }
+        BODY_FREE => RequestBody::Free { va: r.u64()?, size: r.u64()? },
+        BODY_TAS => RequestBody::AtomicTas { va: r.u64()? },
+        BODY_STORE => RequestBody::AtomicStore { va: r.u64()?, value: r.u64()? },
+        BODY_CAS => RequestBody::AtomicCas { va: r.u64()?, expected: r.u64()?, new: r.u64()? },
+        BODY_FAA => RequestBody::AtomicFaa { va: r.u64()?, delta: r.u64()? },
+        BODY_FENCE => RequestBody::Fence,
+        BODY_CREATE_AS => RequestBody::CreateAs,
+        BODY_DESTROY_AS => RequestBody::DestroyAs,
+        BODY_OFFLOAD => {
+            RequestBody::OffloadCall { offload: r.u16()?, opcode: r.u16()?, arg: r.bytes()? }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok((header, body))
+}
+
 /// Parses a packet from wire bytes.
 ///
 /// # Errors
 ///
 /// Returns a [`CodecError`] for truncated input, unknown tags/status codes,
-/// or trailing garbage.
+/// empty batches, or trailing garbage.
 pub fn decode(bytes: &[u8]) -> Result<ClioPacket, CodecError> {
     let mut r = Reader { buf: bytes, pos: 0 };
     let pkt = match r.u8()? {
         TAG_REQUEST => {
-            let req_id = ReqId(r.u64()?);
-            let has_retry = r.u8()? != 0;
-            let retry_raw = r.u64()?;
-            let retry_of = has_retry.then_some(ReqId(retry_raw));
-            let pid = Pid(r.u64()?);
-            let pkt_index = r.u16()?;
-            let pkt_count = r.u16()?;
-            let header = ReqHeader { req_id, retry_of, pid, pkt_index, pkt_count };
-            let body = match r.u8()? {
-                BODY_READ => RequestBody::Read { va: r.u64()?, len: r.u32()? },
-                BODY_WRITE_FRAG => RequestBody::WriteFrag { va: r.u64()?, data: r.bytes()? },
-                BODY_ALLOC => {
-                    let size = r.u64()?;
-                    let perm = Perm::from_bits(r.u8()?);
-                    let has_fixed = r.u8()? != 0;
-                    let fixed_raw = r.u64()?;
-                    RequestBody::Alloc { size, perm, fixed_va: has_fixed.then_some(fixed_raw) }
-                }
-                BODY_FREE => RequestBody::Free { va: r.u64()?, size: r.u64()? },
-                BODY_TAS => RequestBody::AtomicTas { va: r.u64()? },
-                BODY_STORE => RequestBody::AtomicStore { va: r.u64()?, value: r.u64()? },
-                BODY_CAS => {
-                    RequestBody::AtomicCas { va: r.u64()?, expected: r.u64()?, new: r.u64()? }
-                }
-                BODY_FAA => RequestBody::AtomicFaa { va: r.u64()?, delta: r.u64()? },
-                BODY_FENCE => RequestBody::Fence,
-                BODY_CREATE_AS => RequestBody::CreateAs,
-                BODY_DESTROY_AS => RequestBody::DestroyAs,
-                BODY_OFFLOAD => RequestBody::OffloadCall {
-                    offload: r.u16()?,
-                    opcode: r.u16()?,
-                    arg: r.bytes()?,
-                },
-                t => return Err(CodecError::BadTag(t)),
-            };
+            let (header, body) = read_request(&mut r)?;
             ClioPacket::Request { header, body }
+        }
+        TAG_BATCH => {
+            let count = r.u16()? as usize;
+            if count == 0 {
+                return Err(CodecError::EmptyBatch);
+            }
+            let mut requests = Vec::with_capacity(count);
+            for _ in 0..count {
+                match r.u8()? {
+                    TAG_REQUEST => requests.push(read_request(&mut r)?),
+                    t => return Err(CodecError::BadTag(t)),
+                }
+            }
+            ClioPacket::Batch { requests }
         }
         TAG_RESPONSE => {
             let req_id = ReqId(r.u64()?);
@@ -397,6 +449,51 @@ mod tests {
     #[test]
     fn nack_roundtrips() {
         roundtrip(ClioPacket::Nack { req_id: ReqId(u64::MAX) });
+    }
+
+    #[test]
+    fn batch_roundtrips() {
+        let requests = vec![
+            (ReqHeader::single(ReqId(1), Pid(3)), RequestBody::Read { va: 0x1000, len: 64 }),
+            (
+                ReqHeader::single(ReqId(2), Pid(3)).retrying(ReqId(1)),
+                RequestBody::WriteFrag { va: 0x2000, data: Bytes::from_static(b"payload") },
+            ),
+            (ReqHeader::single(ReqId(3), Pid(4)), RequestBody::AtomicFaa { va: 0x10, delta: 2 }),
+        ];
+        roundtrip(ClioPacket::Batch { requests });
+    }
+
+    #[test]
+    fn batch_entry_costs_exactly_one_standalone_request() {
+        let header = ReqHeader::single(ReqId(9), Pid(1));
+        let body = RequestBody::Read { va: 0x4000, len: 16 };
+        let single = wire_len(&ClioPacket::Request { header, body: body.clone() });
+        assert_eq!(single, request_wire_len(&body));
+        let batch = ClioPacket::Batch {
+            requests: vec![(header, body.clone()), (header, body.clone()), (header, body)],
+        };
+        assert_eq!(wire_len(&batch), BATCH_OVERHEAD_BYTES + 3 * single);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        // tag + count 0.
+        assert_eq!(decode(&[3, 0, 0]), Err(CodecError::EmptyBatch));
+        assert!(CodecError::EmptyBatch.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn batch_with_bad_entry_tag_rejected() {
+        let pkt = ClioPacket::Batch {
+            requests: vec![(
+                ReqHeader::single(ReqId(1), Pid(1)),
+                RequestBody::Read { va: 0, len: 8 },
+            )],
+        };
+        let mut bytes = encode(&pkt).to_vec();
+        bytes[3] = 99; // the entry's embedded TAG_REQUEST byte
+        assert_eq!(decode(&bytes), Err(CodecError::BadTag(99)));
     }
 
     #[test]

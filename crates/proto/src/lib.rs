@@ -17,6 +17,12 @@
 //! * Responses double as ACKs; there are no transport-level ACKs at all, and
 //!   the only MN-generated control packet is a link-layer [`Nack`] for
 //!   corrupted frames (§4.4).
+//! * Small same-destination requests may be **coalesced** into one
+//!   [`Batch`] frame ([`BatchBuilder`] packs them under MTU/op/byte
+//!   budgets); every entry keeps its own header, so execution, dedup, and
+//!   responses remain per logical request.
+//!
+//! [`Batch`]: ClioPacket::Batch
 //!
 //! ```
 //! use clio_proto::{ClioPacket, ReqHeader, ReqId, Pid, RequestBody, codec};
@@ -31,14 +37,16 @@
 //!
 //! [`Nack`]: ClioPacket::Nack
 
+mod batch;
 pub mod codec;
 mod mtu;
 mod packet;
 mod types;
 
+pub use batch::BatchBuilder;
 pub use mtu::{
     split_read_response, split_write, Reassembler, CLIO_REQ_HEADER_BYTES, CLIO_RESP_HEADER_BYTES,
-    ETH_OVERHEAD_BYTES, MTU_BYTES,
+    ETH_OVERHEAD_BYTES, MAX_READ_FRAG_PAYLOAD, MAX_WRITE_FRAG_PAYLOAD, MTU_BYTES,
 };
 pub use packet::{ClioPacket, ReqHeader, RequestBody, RespHeader, ResponseBody};
 pub use types::{Perm, Pid, ReqId, Status};

@@ -239,6 +239,16 @@ pub enum ClioPacket {
         /// Operation.
         body: RequestBody,
     },
+    /// CN → MN batch: several small single-packet requests coalesced into
+    /// one wire frame to amortize per-frame Ethernet overhead (§4.5 T1's
+    /// async API makes such bursts common). Every entry keeps its own
+    /// [`ReqHeader`] — its request id, `retry_of`, and pid — so the MN
+    /// executes, deduplicates, and answers each entry exactly as if it had
+    /// arrived alone; only the framing is shared.
+    Batch {
+        /// The coalesced requests, executed by the MN in order.
+        requests: Vec<(ReqHeader, RequestBody)>,
+    },
     /// MN → CN response (doubles as the ACK).
     Response {
         /// Response header.
@@ -255,10 +265,14 @@ pub enum ClioPacket {
 }
 
 impl ClioPacket {
-    /// The request id this packet concerns.
+    /// The request id this packet concerns. For a [`Batch`](Self::Batch)
+    /// this is the first entry's id (batches are never empty on the wire).
     pub fn req_id(&self) -> ReqId {
         match self {
             ClioPacket::Request { header, .. } => header.req_id,
+            ClioPacket::Batch { requests } => {
+                requests.first().map(|(h, _)| h.req_id).unwrap_or(ReqId(0))
+            }
             ClioPacket::Response { header, .. } => header.req_id,
             ClioPacket::Nack { req_id } => *req_id,
         }

@@ -88,6 +88,26 @@ proptest! {
     }
 
     #[test]
+    fn batch_codec_roundtrips(
+        entries in proptest::collection::vec((arb_req_header(), arb_request_body()), 1..24),
+    ) {
+        let pkt = ClioPacket::Batch { requests: entries };
+        let bytes = codec::encode(&pkt);
+        prop_assert_eq!(bytes.len(), codec::wire_len(&pkt));
+        prop_assert_eq!(codec::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn batch_truncation_never_panics(
+        entries in proptest::collection::vec((arb_req_header(), arb_request_body()), 1..8),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = codec::encode(&ClioPacket::Batch { requests: entries });
+        let cut = cut.index(bytes.len());
+        let _ = codec::decode(&bytes[..cut]);
+    }
+
+    #[test]
     fn response_codec_roundtrips(pkt in arb_response()) {
         let bytes = codec::encode(&pkt);
         prop_assert_eq!(bytes.len(), codec::wire_len(&pkt));

@@ -11,7 +11,7 @@ const SUB_BITS: u32 = 5;
 
 /// A log-linear histogram of `u64` values (typically nanoseconds).
 ///
-/// Values up to [`SUB_BUCKETS`] are recorded exactly; larger values land in
+/// Values up to `SUB_BUCKETS` (32) are recorded exactly; larger values land in
 /// one of 32 linear sub-buckets within their power-of-two octave (HdrHistogram
 /// style). Recording is O(1); percentile queries are O(buckets).
 ///
