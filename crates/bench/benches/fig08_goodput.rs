@@ -5,15 +5,18 @@
 //! Async reaches the ~9.4 Gbps line rate with a couple of threads; sync
 //! needs more threads to cover the RTT.
 //!
-//! The four paper series run with `batch_max_ops = 1` (one frame per
-//! request, the paper's wire behavior); the `*-Batched` variants enable the
-//! transport's request batching, which coalesces same-instant async
-//! requests into shared frames and trims per-frame Ethernet overhead.
+//! The four paper series run with batching fully disabled in both
+//! directions (one frame per packet, the paper's wire behavior); the
+//! `*-Batched` variants enable the transport's request batching **and** the
+//! MN's response batching, which coalesce small packets into shared frames
+//! and trim per-frame Ethernet overhead; the `-SG` variant refills its
+//! window through the explicit `read_v`/`write_v` scatter/gather API.
 
 use clio_bench::drivers::{AccessMix, MemDriver};
-use clio_bench::setup::bench_cluster_clib;
+use clio_bench::setup::bench_cluster_tuned;
 use clio_bench::FigureReport;
 use clio_cn::CLibConfig;
+use clio_mn::CBoardConfig;
 use clio_proto::Pid;
 use clio_sim::stats::Series;
 
@@ -21,29 +24,53 @@ const THREADS: &[u64] = &[1, 2, 4, 8, 12, 16];
 const OPS_PER_THREAD: u64 = 600;
 const SIZE: u32 = 1024;
 
-fn goodput(threads: u64, mix: AccessMix, window: u32, clib: CLibConfig) -> f64 {
-    let mut cluster = bench_cluster_clib(1, 1, 80 + threads, clib);
+struct Run {
+    goodput_gbps: f64,
+    /// MN→CN wire frames per completed op (the response-framing cost).
+    resp_frames_per_op: f64,
+}
+
+fn goodput(
+    threads: u64,
+    mix: AccessMix,
+    window: u32,
+    clib: CLibConfig,
+    resp_batched: bool,
+    scatter_gather: bool,
+) -> Run {
+    let mut cluster = bench_cluster_tuned(1, 1, 80 + threads, clib, |board| {
+        if !resp_batched {
+            *board = CBoardConfig {
+                resp_batch_max_ops: 1,
+                egress_doorbell_delay: clio_sim::SimDuration::ZERO,
+                ..board.clone()
+            };
+        }
+    });
     for t in 0..threads {
-        cluster.add_driver(
-            0,
-            Pid(10 + t),
-            Box::new(MemDriver::new(SIZE, mix, OPS_PER_THREAD, window, 8, 4096, false, 20 + t)),
-        );
+        let d = MemDriver::new(SIZE, mix, OPS_PER_THREAD, window, 8, 4096, false, 20 + t);
+        let d = if scatter_gather { d.with_scatter_gather() } else { d };
+        cluster.add_driver(0, Pid(10 + t), Box::new(d));
     }
     cluster.start();
     cluster.run_until_idle();
     // Aggregate goodput: total measured payload over the whole run (the
     // short alloc/warm-up prologue is negligible against the run length).
     let mut bytes = 0u64;
+    let mut ops = 0u64;
     for t in 0..threads as usize {
         let d: &MemDriver = cluster.cn(0).driver(t);
         bytes += d.recorder.ops() * SIZE as u64;
+        ops += d.recorder.ops();
     }
     let elapsed = cluster.now().as_secs_f64();
     if elapsed == 0.0 {
-        return 0.0;
+        return Run { goodput_gbps: 0.0, resp_frames_per_op: 0.0 };
     }
-    bytes as f64 * 8.0 / elapsed / 1e9
+    Run {
+        goodput_gbps: bytes as f64 * 8.0 / elapsed / 1e9,
+        resp_frames_per_op: cluster.mn(0).stats().tx_frames as f64 / ops.max(1) as f64,
+    }
 }
 
 fn main() {
@@ -58,22 +85,33 @@ fn main() {
         max.push(t as f64, 10.0 * wire_eff);
     }
     report.push_series(max);
-    for (name, mix, window, clib) in [
-        ("Read-Sync", AccessMix::Reads, 1u32, CLibConfig::prototype_unbatched()),
-        ("Write-Sync", AccessMix::Writes, 1, CLibConfig::prototype_unbatched()),
-        ("Read-Async", AccessMix::Reads, 16, CLibConfig::prototype_unbatched()),
-        ("Write-Async", AccessMix::Writes, 16, CLibConfig::prototype_unbatched()),
-        ("Read-Async-Batched", AccessMix::Reads, 16, CLibConfig::prototype()),
-        ("Write-Async-Batched", AccessMix::Writes, 16, CLibConfig::prototype()),
+    let unbatched = CLibConfig::prototype_unbatched();
+    for (name, mix, window, clib, resp_batched, sg) in [
+        ("Read-Sync", AccessMix::Reads, 1u32, unbatched, false, false),
+        ("Write-Sync", AccessMix::Writes, 1, unbatched, false, false),
+        ("Read-Async", AccessMix::Reads, 16, unbatched, false, false),
+        ("Write-Async", AccessMix::Writes, 16, unbatched, false, false),
+        ("Read-Async-Batched", AccessMix::Reads, 16, CLibConfig::prototype(), true, false),
+        ("Write-Async-Batched", AccessMix::Writes, 16, CLibConfig::prototype(), true, false),
+        ("Write-Async-SG", AccessMix::Writes, 16, CLibConfig::prototype(), true, true),
     ] {
         let mut s = Series::new(name);
+        let mut last = 0.0;
         for &t in THREADS {
-            s.push(t as f64, goodput(t, mix, window, clib));
+            let run = goodput(t, mix, window, clib, resp_batched, sg);
+            s.push(t as f64, run.goodput_gbps);
+            last = run.resp_frames_per_op;
         }
+        report.metric(format!("frames/op [resp] {name} @16 threads"), last);
         report.push_series(s);
     }
     report
         .note("paper: async hits the 9.4 Gbps line rate almost immediately; sync needs ~8 threads");
-    report.note("batched variants coalesce same-instant async requests into shared wire frames");
+    report.note(
+        "batched variants coalesce async requests AND responses into shared wire frames \
+         (symmetric batching); 1 KB read replies stay one-per-frame (two don't fit an MTU), so \
+         the response win shows for writes, whose Done replies pack densely",
+    );
+    report.note("the -SG variant refills its window through the explicit read_v/write_v vectors");
     report.print();
 }

@@ -45,6 +45,9 @@ pub struct MemDriver {
     pub random: bool,
     /// Think time inserted before each op (models light offered load).
     pub think: SimDuration,
+    /// Refill the window through the scatter/gather API (`read_v`/
+    /// `write_v`) instead of per-op submissions.
+    pub scatter_gather: bool,
     /// Results.
     pub recorder: OpRecorder,
     // internal
@@ -79,6 +82,7 @@ impl MemDriver {
             page_size,
             random,
             think: SimDuration::ZERO,
+            scatter_gather: false,
             recorder: OpRecorder::new(SimTime::ZERO),
             va: 0,
             warm_left: 0,
@@ -88,6 +92,12 @@ impl MemDriver {
             rng: SimRng::new(seed),
             done: false,
         }
+    }
+
+    /// Switches the driver to the explicit scatter/gather submit path.
+    pub fn with_scatter_gather(mut self) -> Self {
+        self.scatter_gather = true;
+        self
     }
 
     /// True when all operations completed.
@@ -106,7 +116,10 @@ impl MemDriver {
         self.va + page * self.page_size + self.op_counter * 64 % max_off
     }
 
-    fn issue_one(&mut self, api: &mut ClientApi<'_, '_>) {
+    /// Picks the next operation's target and kind, advancing the op
+    /// counter — the single source of truth for both submit paths, so the
+    /// scalar and scatter/gather series measure the same workload.
+    fn next_op(&mut self) -> (u64, bool) {
         let va = self.target_va();
         self.op_counter += 1;
         let write = match self.mix {
@@ -114,12 +127,17 @@ impl MemDriver {
             AccessMix::Writes => true,
             AccessMix::Alternate => self.op_counter.is_multiple_of(2),
         };
+        self.issued += 1;
+        (va, write)
+    }
+
+    fn issue_one(&mut self, api: &mut ClientApi<'_, '_>) {
+        let (va, write) = self.next_op();
         if write {
             api.write(va, Bytes::from(vec![self.op_counter as u8; self.size as usize]));
         } else {
             api.read(va, self.size);
         }
-        self.issued += 1;
     }
 
     fn pump(&mut self, api: &mut ClientApi<'_, '_>) {
@@ -130,8 +148,39 @@ impl MemDriver {
             }
             return;
         }
+        if self.scatter_gather {
+            self.pump_scatter_gather(api);
+            return;
+        }
         while self.issued - self.completed < self.window as u64 && self.issued < self.ops {
             self.issue_one(api);
+        }
+    }
+
+    /// Refills the window as explicit `read_v`/`write_v` vectors (reads and
+    /// writes of one refill are grouped into at most one vector each).
+    fn pump_scatter_gather(&mut self, api: &mut ClientApi<'_, '_>) {
+        let refill = (self.window as u64)
+            .saturating_sub(self.issued - self.completed)
+            .min(self.ops - self.issued);
+        if refill == 0 {
+            return;
+        }
+        let mut reads: Vec<(u64, u32)> = Vec::new();
+        let mut writes: Vec<(u64, Bytes)> = Vec::new();
+        for _ in 0..refill {
+            let (va, write) = self.next_op();
+            if write {
+                writes.push((va, Bytes::from(vec![self.op_counter as u8; self.size as usize])));
+            } else {
+                reads.push((va, self.size));
+            }
+        }
+        if !reads.is_empty() {
+            api.read_v(&reads);
+        }
+        if !writes.is_empty() {
+            api.write_v(writes);
         }
     }
 }
@@ -202,6 +251,9 @@ pub struct BurstDriver {
     pub span_pages: u64,
     /// Page size.
     pub page_size: u64,
+    /// Submit each burst as one explicit `read_v` vector (the
+    /// scatter/gather API) instead of per-op async submissions.
+    pub scatter_gather: bool,
     /// Results (per-op latencies land here).
     pub recorder: OpRecorder,
     va: u64,
@@ -220,6 +272,7 @@ impl BurstDriver {
             bursts,
             span_pages: span_pages.max(burst.max(1)),
             page_size,
+            scatter_gather: false,
             recorder: OpRecorder::new(SimTime::ZERO),
             va: 0,
             warm_left: 0,
@@ -227,6 +280,12 @@ impl BurstDriver {
             bursts_done: 0,
             done: false,
         }
+    }
+
+    /// Switches the driver to the explicit scatter/gather submit path.
+    pub fn with_scatter_gather(mut self) -> Self {
+        self.scatter_gather = true;
+        self
     }
 
     /// True when all bursts completed.
@@ -238,9 +297,19 @@ impl BurstDriver {
         // Distinct pages inside one burst: no intra-burst dependencies, so
         // the whole burst dispatches (and coalesces) at one instant.
         let base = (self.bursts_done * self.burst) % self.span_pages;
-        for i in 0..self.burst {
-            let page = (base + i) % self.span_pages;
-            api.read(self.va + page * self.page_size, self.size);
+        if self.scatter_gather {
+            let reads: Vec<(u64, u32)> = (0..self.burst)
+                .map(|i| {
+                    let page = (base + i) % self.span_pages;
+                    (self.va + page * self.page_size, self.size)
+                })
+                .collect();
+            api.read_v(&reads);
+        } else {
+            for i in 0..self.burst {
+                let page = (base + i) % self.span_pages;
+                api.read(self.va + page * self.page_size, self.size);
+            }
         }
         self.outstanding = self.burst;
     }

@@ -14,6 +14,11 @@ pub struct FigureReport {
     pub x_label: &'static str,
     /// One series per line in the paper's plot.
     pub series: Vec<Series>,
+    /// Named scalar metrics (e.g. frames/op at default knobs) rendered as a
+    /// summary column under the table, so regressions in quantities not on
+    /// the plot's axes — framing efficiency above all — stay visible in
+    /// bench output.
+    pub metrics: Vec<(String, f64)>,
     /// Notes shown under the table.
     pub notes: Vec<String>,
 }
@@ -21,12 +26,31 @@ pub struct FigureReport {
 impl FigureReport {
     /// Creates an empty report.
     pub fn new(id: &'static str, title: &'static str, x_label: &'static str) -> Self {
-        FigureReport { id, title, x_label, series: Vec::new(), notes: Vec::new() }
+        FigureReport {
+            id,
+            title,
+            x_label,
+            series: Vec::new(),
+            metrics: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Adds a series (one plotted line).
     pub fn push_series(&mut self, s: Series) {
         self.series.push(s);
+    }
+
+    /// Adds a named scalar metric (summary column under the table).
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Convenience for the workhorse metric: wire frames per operation.
+    /// `direction` is e.g. `"req"` (CN→MN) or `"resp"` (MN→CN).
+    pub fn frames_per_op(&mut self, label: &str, direction: &str, frames: u64, ops: u64) {
+        let v = if ops == 0 { 0.0 } else { frames as f64 / ops as f64 };
+        self.metric(format!("frames/op [{direction}] {label}"), v);
     }
 
     /// Adds a note.
@@ -42,6 +66,9 @@ impl FigureReport {
         let _ = writeln!(out, "{}: {}", self.id, self.title);
         let _ = writeln!(out, "================================================================");
         out.push_str(&render_table(self.x_label, &self.series));
+        for (name, value) in &self.metrics {
+            let _ = writeln!(out, "  metric: {name} = {value:.4}");
+        }
         for n in &self.notes {
             let _ = writeln!(out, "  note: {n}");
         }
@@ -70,5 +97,17 @@ mod tests {
         assert!(text.contains("Test Figure"));
         assert!(text.contains("clio"));
         assert!(text.contains("note: calibrated"));
+    }
+
+    #[test]
+    fn render_includes_metrics() {
+        let mut r = FigureReport::new("figYY", "Metrics", "x");
+        r.frames_per_op("64-op burst", "resp", 4, 64);
+        r.frames_per_op("empty", "req", 1, 0);
+        r.metric("goodput Gbps", 9.4);
+        let text = r.render();
+        assert!(text.contains("metric: frames/op [resp] 64-op burst = 0.0625"));
+        assert!(text.contains("metric: frames/op [req] empty = 0.0000"));
+        assert!(text.contains("metric: goodput Gbps = 9.4000"));
     }
 }

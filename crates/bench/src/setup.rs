@@ -16,6 +16,19 @@ pub fn bench_cluster(cns: usize, mns: usize, seed: u64) -> Cluster {
 /// figures can pin transport knobs (e.g. `batch_max_ops = 1` reproduces the
 /// pre-batching wire behavior, larger windows expose batching headroom).
 pub fn bench_cluster_clib(cns: usize, mns: usize, seed: u64, clib: CLibConfig) -> Cluster {
+    bench_cluster_tuned(cns, mns, seed, clib, |_| {})
+}
+
+/// Like [`bench_cluster_clib`] but also lets the caller tune the board
+/// configuration (e.g. disable the MN's response batching to reproduce the
+/// pre-batching egress wire behavior).
+pub fn bench_cluster_tuned(
+    cns: usize,
+    mns: usize,
+    seed: u64,
+    clib: CLibConfig,
+    tune_board: impl FnOnce(&mut CBoardConfig),
+) -> Cluster {
     let mut cfg = ClusterConfig::testbed();
     cfg.cns = cns;
     cfg.mns = mns;
@@ -25,6 +38,7 @@ pub fn bench_cluster_clib(cns: usize, mns: usize, seed: u64, clib: CLibConfig) -
     // Give benches headroom: 64 MB per node, generous page table.
     cfg.board.hw.phys_mem_bytes = 64 << 20;
     cfg.board.hw.tlb_entries = 4096;
+    tune_board(&mut cfg.board);
     Cluster::build(&cfg)
 }
 

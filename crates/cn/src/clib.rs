@@ -306,6 +306,52 @@ impl CLib {
         thread: ThreadId,
         op: Op,
     ) -> (OpToken, Vec<Completion>) {
+        let mut completions = Vec::new();
+        let (token, dispatch) = self.admit(ctx, thread, op);
+        if dispatch {
+            self.dispatch(ctx, nic, token, &mut completions);
+        }
+        (token, completions)
+    }
+
+    /// Submits an explicit vector of operations on behalf of `thread` — the
+    /// scatter/gather path behind `rread_v`/`rwrite_v`. Every operation
+    /// passes the same per-thread dependency tracking as
+    /// [`submit`](Self::submit); all immediately-dispatchable entries are
+    /// then handed to the transport as one unit, bypassing the doorbell's
+    /// same-instant/adaptive-delay heuristics, so they coalesce into batch
+    /// frames regardless of submission timing. Entries held back by
+    /// dependencies dispatch later, exactly as sequentially-submitted ops
+    /// would.
+    pub fn submit_many(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        thread: ThreadId,
+        ops: Vec<Op>,
+    ) -> (Vec<OpToken>, Vec<Completion>) {
+        let mut tokens = Vec::with_capacity(ops.len());
+        let mut completions = Vec::new();
+        let mut sends = Vec::new();
+        for op in ops {
+            let (token, dispatch) = self.admit(ctx, thread, op);
+            tokens.push(token);
+            if dispatch {
+                match self.blueprint_of(token) {
+                    Some((target, pid, blueprint)) => {
+                        sends.push((XferToken(token.0), target, pid, blueprint));
+                    }
+                    None => self.finish_release(ctx, nic, token, &mut completions),
+                }
+            }
+        }
+        self.transport.send_many(ctx, nic, sends);
+        (tokens, completions)
+    }
+
+    /// Registers an op with its thread's dependency tracker. Returns its
+    /// token and whether it may dispatch now.
+    fn admit(&mut self, ctx: &mut Ctx<'_>, thread: ThreadId, op: Op) -> (OpToken, bool) {
         let token = OpToken(self.next_token);
         self.next_token += 1;
         let (class, vpns, barrier) = self.classify(&op);
@@ -326,22 +372,14 @@ impl CLib {
                 dispatch
             );
         }
-        let mut completions = Vec::new();
-        if dispatch {
-            self.dispatch(ctx, nic, token, &mut completions);
-        }
-        (token, completions)
+        (token, dispatch)
     }
 
-    fn dispatch(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        nic: &mut NicPort,
-        token: OpToken,
-        completions: &mut Vec<Completion>,
-    ) {
-        let Some(pending) = self.ops.get(&token) else { return };
-        let (target, pid, blueprint) = match &pending.op {
+    /// The transport target/blueprint of a pending op; `None` for
+    /// [`Op::Release`], which never reaches the wire.
+    fn blueprint_of(&self, token: OpToken) -> Option<(Mac, Pid, Blueprint)> {
+        let pending = self.ops.get(&token)?;
+        Some(match &pending.op {
             Op::Read { mn, pid, va, len } => (*mn, *pid, Blueprint::Read { va: *va, len: *len }),
             Op::Write { mn, pid, va, data } => {
                 (*mn, *pid, Blueprint::Write { va: *va, data: data.clone() })
@@ -375,19 +413,43 @@ impl CLib {
                 *pid,
                 Blueprint::Offload { offload: *offload, opcode: *opcode, arg: arg.clone() },
             ),
-            Op::Release => {
-                // Purely local barrier: completes as soon as it dispatches
-                // (i.e. the thread drained).
-                let done = XferDone {
-                    token: XferToken(token.0),
-                    result: Ok(XferValue::Done),
-                    rtt: SimDuration::ZERO,
-                };
-                self.finish(ctx, nic, done, completions);
-                return;
-            }
+            Op::Release => return None,
+        })
+    }
+
+    /// Completes a dispatched [`Op::Release`]: a purely local barrier that
+    /// finishes as soon as its thread drained.
+    fn finish_release(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        token: OpToken,
+        completions: &mut Vec<Completion>,
+    ) {
+        let done = XferDone {
+            token: XferToken(token.0),
+            result: Ok(XferValue::Done),
+            rtt: SimDuration::ZERO,
         };
-        self.transport.send(ctx, nic, XferToken(token.0), target, pid, blueprint);
+        self.finish(ctx, nic, done, completions);
+    }
+
+    fn dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        token: OpToken,
+        completions: &mut Vec<Completion>,
+    ) {
+        if !self.ops.contains_key(&token) {
+            return;
+        }
+        match self.blueprint_of(token) {
+            Some((target, pid, blueprint)) => {
+                self.transport.send(ctx, nic, XferToken(token.0), target, pid, blueprint);
+            }
+            None => self.finish_release(ctx, nic, token, completions),
+        }
     }
 
     /// Handles a frame delivered to the CN's NIC.

@@ -51,6 +51,15 @@ pub struct CLibConfig {
     /// values bound the serialization delay a batched request can add in
     /// front of its peers.
     pub batch_max_bytes: u32,
+    /// Latency budget for the load-adaptive doorbell hold. `ZERO` (the
+    /// default) keeps the zero-delay doorbell: only same-instant
+    /// submissions coalesce. A positive budget lets the doorbell wait for
+    /// near-simultaneous submissions — e.g. several closed-loop threads —
+    /// holding at most `min(budget, observed inter-submission gap × free
+    /// batch slots)`, and firing immediately when a full batch is queued,
+    /// so an idle transport never waits and a busy one never waits longer
+    /// than the budget.
+    pub doorbell_max_delay: SimDuration,
 }
 
 impl CLibConfig {
@@ -73,6 +82,7 @@ impl CLibConfig {
             iwnd_bytes: 512 << 10,
             batch_max_ops: 16,
             batch_max_bytes: clio_proto::MTU_BYTES as u32,
+            doorbell_max_delay: SimDuration::ZERO,
         }
     }
 
@@ -102,6 +112,7 @@ mod tests {
         assert!(c.request_timeout > c.target_rtt);
         assert!(c.batch_max_ops > 1, "batching is on by default");
         assert!(c.batch_max_bytes as usize <= clio_proto::MTU_BYTES);
+        assert!(c.doorbell_max_delay.is_zero(), "zero-delay doorbell is the default");
         assert_eq!(CLibConfig::prototype_unbatched().batch_max_ops, 1);
     }
 }

@@ -11,21 +11,41 @@
 //! # Request batching (doorbell coalescing)
 //!
 //! With batching enabled (`batch_max_ops > 1`, the default), [`send`]
-//! enqueues the request and rings a zero-delay *doorbell* instead of
-//! transmitting immediately; the doorbell fires after the current event
-//! finishes, so every request submitted at the same virtual instant — e.g.
-//! an async burst issued in one application callback — drains through a
-//! single pump. The pump packs admitted small same-MN requests
+//! enqueues the request and rings a *doorbell* instead of transmitting
+//! immediately; when the doorbell fires, every queued request drains
+//! through a single pump. The pump packs admitted small same-MN requests
 //! (single-packet reads, writes, and atomics) into [`ClioPacket::Batch`]
 //! frames under the `batch_max_ops`/`batch_max_bytes`/MTU budgets, saving
 //! one Ethernet framing overhead per coalesced request. Each batched
 //! request keeps its own request id, congestion/incast window slot, retry
 //! timer, and blueprint: timeouts, NACK retries (`retry_of` dedup), and
-//! completions are indistinguishable from the unbatched wire protocol, and
-//! retransmissions always go out unbatched. A lone admitted request is
-//! framed as a plain `Request`, byte-identical to `batch_max_ops = 1`.
+//! completions are indistinguishable from the unbatched wire protocol. A
+//! lone admitted request is framed as a plain `Request`, byte-identical to
+//! `batch_max_ops = 1`.
+//!
+//! The doorbell's delay is **load-adaptive**, bounded by
+//! `CLibConfig::doorbell_max_delay`. At the default budget of zero it fires
+//! after the current event finishes, so exactly the requests submitted at
+//! the same virtual instant — e.g. an async burst issued in one
+//! application callback — coalesce. With a positive budget the doorbell
+//! also waits for *near*-simultaneous submissions (several closed-loop
+//! threads): it holds for the observed inter-submission gap times the free
+//! batch slots, capped by the budget, and fires immediately when a full
+//! batch is queued or the transport has no recent-traffic history.
+//!
+//! Retransmissions re-coalesce too: retries queued in the same pump — e.g.
+//! several timers for one MN expiring at the same instant after a lost
+//! batch frame — share [`ClioPacket::Batch`] frames through a dedicated
+//! zero-delay retry doorbell that bypasses the window machinery (retries
+//! keep the slots of the requests they replace) while preserving each
+//! entry's `retry_of` dedup chain.
+//!
+//! [`send_many`] bypasses the doorbell heuristics entirely: the caller
+//! hands the transport an explicit op vector (CLib's `rread_v`/`rwrite_v`
+//! scatter/gather API) which is queued and pumped as one unit.
 //!
 //! [`send`]: Transport::send
+//! [`send_many`]: Transport::send_many
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -33,7 +53,7 @@ use bytes::Bytes;
 use clio_net::{Mac, NicPort};
 use clio_proto::{
     codec, split_write, BatchBuilder, ClioPacket, Perm, Pid, Reassembler, ReqHeader, ReqId,
-    RequestBody, ResponseBody, Status, ETH_OVERHEAD_BYTES, MAX_WRITE_FRAG_PAYLOAD,
+    RequestBody, RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES, MAX_WRITE_FRAG_PAYLOAD,
 };
 use clio_sim::{Ctx, EventId, Message, SimDuration, SimTime};
 
@@ -264,6 +284,8 @@ pub enum TransportTimer {
     Timeout(ReqId),
     /// A queued send may now fit the (paced) window.
     Pump(Mac),
+    /// Queued retransmissions toward an MN may now coalesce and ship.
+    RetryPump(Mac),
     /// Re-issue a request refused with `Conflict`.
     ConflictRetry(XferToken),
 }
@@ -303,8 +325,16 @@ pub struct Transport {
     cwnds: HashMap<Mac, CongestionWindow>,
     iwnd: IncastWindow,
     reassembler: Reassembler,
-    /// MNs with a zero-delay doorbell (pump) event already scheduled.
-    doorbells: HashSet<Mac>,
+    /// MNs with a doorbell (pump) event already scheduled.
+    doorbells: HashMap<Mac, EventId>,
+    /// Last submission time per MN (feeds the adaptive doorbell).
+    last_submit: HashMap<Mac, SimTime>,
+    /// EWMA of the inter-submission gap per MN, in nanoseconds.
+    submit_gap_ewma: HashMap<Mac, f64>,
+    /// Retransmissions queued for coalescing: `(new id, retry_of)`.
+    retry_queues: HashMap<Mac, Vec<(ReqId, Option<ReqId>)>>,
+    /// MNs with a zero-delay retry doorbell already scheduled.
+    retry_doorbells: HashSet<Mac>,
     /// Retries performed (for stats).
     pub retry_count: u64,
     /// Multi-request batch frames sent (for stats).
@@ -327,7 +357,11 @@ impl Transport {
             conflict_generations: HashMap::new(),
             cwnds: HashMap::new(),
             reassembler: Reassembler::new(),
-            doorbells: HashSet::new(),
+            doorbells: HashMap::new(),
+            last_submit: HashMap::new(),
+            submit_gap_ewma: HashMap::new(),
+            retry_queues: HashMap::new(),
+            retry_doorbells: HashSet::new(),
             retry_count: 0,
             batch_frames: 0,
             batched_ops: 0,
@@ -371,8 +405,8 @@ impl Transport {
 
     /// Submits a request. With batching disabled it is sent immediately if
     /// the congestion and incast windows allow (otherwise queued); with
-    /// batching enabled it is queued and a zero-delay doorbell coalesces
-    /// every same-instant submission into one pump of the send queue.
+    /// batching enabled it is queued and the (load-adaptive) doorbell
+    /// coalesces every submission sharing a pump into shared frames.
     pub fn send(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -382,19 +416,98 @@ impl Transport {
         pid: Pid,
         blueprint: Blueprint,
     ) {
+        self.note_submission(target, ctx.now());
         let q = QueuedSend { token, pid, blueprint, enqueued_at: ctx.now() };
         self.queues.entry(target).or_default().push_back(q);
         self.kick(ctx, nic, target);
     }
 
+    /// Submits an explicit vector of requests (the scatter/gather path):
+    /// all entries are queued first and then every touched MN is pumped
+    /// once, immediately — no doorbell heuristics involved — so the vector
+    /// coalesces into batch frames regardless of submission timing.
+    pub fn send_many(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        requests: Vec<(XferToken, Mac, Pid, Blueprint)>,
+    ) {
+        let now = ctx.now();
+        let mut targets: Vec<Mac> = Vec::new();
+        for (token, target, pid, blueprint) in requests {
+            self.note_submission(target, now);
+            let q = QueuedSend { token, pid, blueprint, enqueued_at: now };
+            self.queues.entry(target).or_default().push_back(q);
+            if !targets.contains(&target) {
+                targets.push(target);
+            }
+        }
+        for target in targets {
+            if let Some(ev) = self.doorbells.remove(&target) {
+                ctx.cancel(ev);
+            }
+            self.pump(ctx, nic, target);
+        }
+    }
+
+    /// Feeds the per-MN inter-submission-gap estimate (EWMA, α = 1/4) that
+    /// sizes the adaptive doorbell hold.
+    fn note_submission(&mut self, target: Mac, now: SimTime) {
+        if let Some(prev) = self.last_submit.insert(target, now) {
+            let gap = now.since(prev).as_nanos() as f64;
+            let ewma = self.submit_gap_ewma.entry(target).or_insert(gap);
+            *ewma = 0.75 * *ewma + 0.25 * gap;
+        }
+    }
+
+    /// How long the doorbell toward `target` may hold before pumping: zero
+    /// without a latency budget, recent-traffic history, or a full batch;
+    /// otherwise the time the observed submission rate needs to fill the
+    /// remaining batch slots, capped by the budget.
+    fn doorbell_delay(&self, target: Mac) -> SimDuration {
+        let budget = self.cfg.doorbell_max_delay;
+        if budget.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let queued = self.queues.get(&target).map_or(0, VecDeque::len);
+        let slots = (self.cfg.batch_max_ops as usize).saturating_sub(queued);
+        if slots == 0 {
+            return SimDuration::ZERO;
+        }
+        match self.submit_gap_ewma.get(&target) {
+            // Hold only when submissions come faster than the budget —
+            // waiting out a sparse stream delays the lone request for
+            // nothing (mirrors the MN's egress_hold guard).
+            Some(&gap) if gap > 0.0 && gap < budget.as_nanos() as f64 => {
+                SimDuration::from_nanos((gap * slots as f64) as u64).min(budget)
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
     /// Makes queued requests toward `target` progress: immediately when
-    /// batching is off, via a coalescing zero-delay doorbell when on.
+    /// batching is off, via the coalescing doorbell when on. A doorbell
+    /// already scheduled is left in place unless a full batch is waiting,
+    /// in which case it is re-rung to fire now.
     fn kick(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, target: Mac) {
         if !self.batching() {
             self.pump(ctx, nic, target);
-        } else if self.doorbells.insert(target) {
-            ctx.schedule(SimDuration::ZERO, Message::new(TransportTimer::Pump(target)));
+            return;
         }
+        let full =
+            self.queues.get(&target).map_or(0, VecDeque::len) >= self.cfg.batch_max_ops as usize;
+        if let Some(&ev) = self.doorbells.get(&target) {
+            if full {
+                ctx.cancel(ev);
+                let now_ev =
+                    ctx.schedule(SimDuration::ZERO, Message::new(TransportTimer::Pump(target)));
+                self.doorbells.insert(target, now_ev);
+            }
+            return;
+        }
+        let delay = if full { SimDuration::ZERO } else { self.doorbell_delay(target) };
+        let ev = ctx.schedule(delay, Message::new(TransportTimer::Pump(target)));
+        self.doorbells.insert(target, ev);
     }
 
     /// Kicks every queue (after a completion/failure freed window space).
@@ -422,7 +535,9 @@ impl Transport {
                 // pumped by the next completion.
                 let at = cwnd.next_opportunity(now);
                 if at > now {
-                    ctx.schedule(at.since(now), Message::new(TransportTimer::Pump(target)));
+                    let ev =
+                        ctx.schedule(at.since(now), Message::new(TransportTimer::Pump(target)));
+                    self.doorbells.insert(target, ev);
                 }
                 break;
             }
@@ -614,65 +729,24 @@ impl Transport {
         let mut done = Vec::new();
         match pkt {
             ClioPacket::Response { header, body } => {
-                if !self.outstanding.contains_key(&header.req_id) {
-                    return done; // stale/duplicate response
+                if self.handle_response(ctx, header, body, &mut done) {
+                    // A completion freed window space: drain every queue.
+                    self.kick_all(ctx, nic);
                 }
-                // Multi-packet read responses finish on the last fragment.
-                let value = match body {
-                    ResponseBody::DataFrag { offset, data } => {
-                        match self.reassembler.accept(header, offset, data) {
-                            Some(full) => XferValue::Data(full),
-                            None => return done,
-                        }
-                    }
-                    ResponseBody::Done => XferValue::Done,
-                    ResponseBody::Alloced { va } => XferValue::Va(va),
-                    ResponseBody::AtomicOld { old } => XferValue::Old(old),
-                    ResponseBody::OffloadReply { data } => XferValue::Data(data),
-                };
-                let o = self.outstanding.remove(&header.req_id).expect("checked");
-                if let Some(t) = o.timer {
-                    ctx.cancel(t);
+            }
+            ClioPacket::BatchResp { responses } => {
+                // Unbatch at ingress: every entry completes (ids, RTTs,
+                // window releases, conflict parking) exactly as if it had
+                // arrived in its own frame; only the framing was shared.
+                let mut completed = false;
+                for (header, body) in responses {
+                    completed |= self.handle_response(ctx, header, body, &mut done);
                 }
-                let now = ctx.now();
-                let rtt = now.since(o.attempt_sent_at);
-                self.release_windows(now, &o, Some(rtt));
-                match header.status {
-                    Status::Ok => {
-                        done.push(XferDone {
-                            token: o.token,
-                            result: Ok(value),
-                            rtt: now.since(o.first_sent_at) + self.cfg.recv_overhead,
-                        });
-                    }
-                    Status::Conflict => {
-                        // Region mid-migration: back off and re-issue.
-                        if o.conflict_retries >= self.cfg.max_conflict_retries {
-                            done.push(XferDone {
-                                token: o.token,
-                                result: Err(ClioError::Remote(Status::Conflict)),
-                                rtt: now.since(o.first_sent_at),
-                            });
-                        } else {
-                            let backoff =
-                                self.cfg.conflict_backoff * (1 + o.conflict_retries.min(16) as u64);
-                            ctx.schedule(
-                                backoff,
-                                Message::new(TransportTimer::ConflictRetry(o.token)),
-                            );
-                            self.parked_conflicts.insert(o.token, o);
-                        }
-                    }
-                    status => {
-                        done.push(XferDone {
-                            token: o.token,
-                            result: Err(ClioError::from(status)),
-                            rtt: now.since(o.first_sent_at),
-                        });
-                    }
+                if completed {
+                    // One drain for the whole frame: the first kick arms
+                    // the doorbells, further passes would no-op.
+                    self.kick_all(ctx, nic);
                 }
-                // A completion freed window space: drain every queue.
-                self.kick_all(ctx, nic);
             }
             ClioPacket::Nack { req_id } => {
                 // Corrupted on the wire: retry immediately (no congestion
@@ -697,8 +771,8 @@ impl Transport {
                     } else {
                         // Window slot stays held: this is the same logical
                         // request. Hand the slot bookkeeping over by not
-                        // releasing and re-transmitting directly.
-                        self.retransmit(ctx, nic, o, req_id);
+                        // releasing and queueing the retransmission.
+                        self.queue_retransmit(ctx, o, req_id);
                     }
                 }
             }
@@ -708,22 +782,134 @@ impl Transport {
         done
     }
 
-    fn retransmit(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, o: Outstanding, prev_id: ReqId) {
+    /// Completes one response entry — shared by plain `Response` frames and
+    /// unbatched `BatchResp` entries. Returns whether the entry finished a
+    /// request (and so freed window space the caller should re-drain).
+    fn handle_response(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        header: RespHeader,
+        body: ResponseBody,
+        done: &mut Vec<XferDone>,
+    ) -> bool {
+        if !self.outstanding.contains_key(&header.req_id) {
+            return false; // stale/duplicate response
+        }
+        // Multi-packet read responses finish on the last fragment.
+        let value = match body {
+            ResponseBody::DataFrag { offset, data } => {
+                match self.reassembler.accept(header, offset, data) {
+                    Some(full) => XferValue::Data(full),
+                    None => return false,
+                }
+            }
+            ResponseBody::Done => XferValue::Done,
+            ResponseBody::Alloced { va } => XferValue::Va(va),
+            ResponseBody::AtomicOld { old } => XferValue::Old(old),
+            ResponseBody::OffloadReply { data } => XferValue::Data(data),
+        };
+        let o = self.outstanding.remove(&header.req_id).expect("checked");
+        if let Some(t) = o.timer {
+            ctx.cancel(t);
+        }
+        let now = ctx.now();
+        let rtt = now.since(o.attempt_sent_at);
+        self.release_windows(now, &o, Some(rtt));
+        match header.status {
+            Status::Ok => {
+                done.push(XferDone {
+                    token: o.token,
+                    result: Ok(value),
+                    rtt: now.since(o.first_sent_at) + self.cfg.recv_overhead,
+                });
+            }
+            Status::Conflict => {
+                // Region mid-migration: back off and re-issue.
+                if o.conflict_retries >= self.cfg.max_conflict_retries {
+                    done.push(XferDone {
+                        token: o.token,
+                        result: Err(ClioError::Remote(Status::Conflict)),
+                        rtt: now.since(o.first_sent_at),
+                    });
+                } else {
+                    let backoff =
+                        self.cfg.conflict_backoff * (1 + o.conflict_retries.min(16) as u64);
+                    ctx.schedule(backoff, Message::new(TransportTimer::ConflictRetry(o.token)));
+                    self.parked_conflicts.insert(o.token, o);
+                }
+            }
+            status => {
+                done.push(XferDone {
+                    token: o.token,
+                    result: Err(ClioError::from(status)),
+                    rtt: now.since(o.first_sent_at),
+                });
+            }
+        }
+        true
+    }
+
+    /// Re-registers a timed-out/NACKed request under a fresh id and queues
+    /// its retransmission behind a zero-delay retry doorbell, so every
+    /// retry queued in the same pump — e.g. the timers of one lost batch
+    /// frame expiring together — re-coalesces through [`BatchBuilder`].
+    /// The retry keeps its window slots; `retry_of` chains stay intact.
+    fn queue_retransmit(&mut self, ctx: &mut Ctx<'_>, o: Outstanding, prev_id: ReqId) {
         let new_id = self.fresh_id();
         let retry_of = o.blueprint.is_non_idempotent().then_some(prev_id);
-        let packets = o.blueprint.build(new_id, retry_of, o.pid);
-        let send_start = ctx.now() + self.cfg.send_overhead;
-        for pkt in &packets {
-            let wire = (codec::wire_len(pkt) + ETH_OVERHEAD_BYTES) as u32;
-            nic.send_at(ctx, send_start, o.target, wire, Message::new(pkt.clone()));
-        }
         let timer = ctx.schedule(
             o.blueprint.timeout(self.cfg.request_timeout),
             Message::new(TransportTimer::Timeout(new_id)),
         );
         self.reassembler.forget(prev_id);
+        let target = o.target;
         self.outstanding
             .insert(new_id, Outstanding { attempt_sent_at: ctx.now(), timer: Some(timer), ..o });
+        self.retry_queues.entry(target).or_default().push((new_id, retry_of));
+        if self.retry_doorbells.insert(target) {
+            ctx.schedule(SimDuration::ZERO, Message::new(TransportTimer::RetryPump(target)));
+        }
+    }
+
+    /// Ships queued retransmissions toward `target`, packing batchable
+    /// single-packet retries into shared frames.
+    fn retry_pump(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, target: Mac) {
+        self.retry_doorbells.remove(&target);
+        let Some(entries) = self.retry_queues.remove(&target) else { return };
+        let mut batch =
+            BatchBuilder::new(self.cfg.batch_max_ops as usize, self.cfg.batch_max_bytes as usize);
+        let send_start = ctx.now() + self.cfg.send_overhead;
+        for (req_id, retry_of) in entries {
+            // A retry can only vanish between queue and pump if its own
+            // timer fired first; the timeout path re-queues it.
+            let Some(o) = self.outstanding.get(&req_id) else { continue };
+            let mut packets = o.blueprint.build(req_id, retry_of, o.pid);
+            if self.batching() && packets.len() == 1 && o.blueprint.is_batchable() {
+                let pkt = packets.pop().expect("single packet");
+                let entry_wire = codec::wire_len(&pkt);
+                if !batch.fits(entry_wire) {
+                    self.flush_batch(ctx, nic, target, &mut batch);
+                }
+                if batch.fits(entry_wire) {
+                    let ClioPacket::Request { header, body } = pkt else {
+                        unreachable!("blueprints build request packets")
+                    };
+                    batch.push(header, body);
+                } else {
+                    let wire = (entry_wire + ETH_OVERHEAD_BYTES) as u32;
+                    nic.send_at(ctx, send_start, target, wire, Message::new(pkt));
+                }
+            } else {
+                // Multi-packet or unbatchable retries flush the batch ahead
+                // of them (send order) and travel alone.
+                self.flush_batch(ctx, nic, target, &mut batch);
+                for pkt in &packets {
+                    let wire = (codec::wire_len(pkt) + ETH_OVERHEAD_BYTES) as u32;
+                    nic.send_at(ctx, send_start, target, wire, Message::new(pkt.clone()));
+                }
+            }
+        }
+        self.flush_batch(ctx, nic, target, &mut batch);
     }
 
     /// Handles a transport timer routed back by the host actor.
@@ -758,10 +944,11 @@ impl Transport {
                     let cwnd =
                         self.cwnds.entry(o.target).or_insert_with(|| CongestionWindow::new(cfg));
                     cwnd.on_congestion(now);
-                    self.retransmit(ctx, nic, o, req_id);
+                    self.queue_retransmit(ctx, o, req_id);
                 }
             }
             TransportTimer::Pump(mac) => self.pump(ctx, nic, mac),
+            TransportTimer::RetryPump(mac) => self.retry_pump(ctx, nic, mac),
             TransportTimer::ConflictRetry(token) => {
                 if let Some(o) = self.parked_conflicts.remove(&token) {
                     // Rejoin the send queue (at the front: it is the oldest

@@ -1,19 +1,28 @@
-//! Request batching end to end: CLib's doorbell-coalesced transport against
-//! a real CBoard over the simulated fabric. Verifies the acceptance bar —
-//! ≥ 4× fewer wire frames for a burst of small same-MN ops with identical
-//! completion results — plus unchanged retry/dedup semantics under
-//! corruption and the NACK-exhaustion queue-pump fix.
+//! Symmetric fast-path batching end to end: CLib's doorbell-coalesced
+//! transport against a real CBoard over the simulated fabric. Verifies the
+//! acceptance bars — ≥ 4× fewer wire frames in **both** directions for
+//! bursts of small same-MN ops with identical completion results, for
+//! same-instant bursts, adaptive-doorbell closed-loop bursts, and explicit
+//! scatter/gather submissions — plus unchanged retry/dedup semantics under
+//! corruption, coalesced retransmissions after same-instant timeouts, and
+//! the NACK-exhaustion queue-pump fix.
 
 use bytes::Bytes;
 use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, ThreadId};
 use clio_mn::{CBoard, CBoardConfig};
 use clio_net::{FaultInjector, Frame, Mac, Network, NetworkConfig};
 use clio_proto::{Perm, Pid};
-use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, Simulation};
+use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, SimDuration, Simulation};
 
 struct Submit {
     thread: ThreadId,
     op: Op,
+}
+
+/// Scatter/gather submission: the whole vector in one `submit_many`.
+struct SubmitV {
+    thread: ThreadId,
+    ops: Vec<Op>,
 }
 
 struct CnHost {
@@ -30,6 +39,14 @@ impl Actor for CnHost {
         let msg = match msg.downcast::<Submit>() {
             Ok(s) => {
                 let (_tok, comps) = self.clib.submit(ctx, &mut self.nic, s.thread, s.op);
+                self.completions.extend(comps);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SubmitV>() {
+            Ok(s) => {
+                let (_toks, comps) = self.clib.submit_many(ctx, &mut self.nic, s.thread, s.ops);
                 self.completions.extend(comps);
                 return;
             }
@@ -57,15 +74,14 @@ struct Rig {
     cn: ActorId,
 }
 
-fn rig(clib_cfg: CLibConfig) -> Rig {
-    let cfg = CBoardConfig::test_small();
+fn rig_full(clib_cfg: CLibConfig, board_cfg: CBoardConfig) -> Rig {
     let mut sim = Simulation::new(17);
     let mut net = Network::new(&mut sim, NetworkConfig::default());
-    let page = cfg.hw.page_size;
+    let page = board_cfg.hw.page_size;
 
     let bport = net.create_port(Bandwidth::from_gbps(10));
     let board_mac = bport.mac();
-    let board = sim.add_actor(CBoard::new("mn0", cfg, bport));
+    let board = sim.add_actor(CBoard::new("mn0", board_cfg, bport));
     net.attach(&mut sim, board_mac, board);
 
     let cport = net.create_port(Bandwidth::from_gbps(40));
@@ -78,6 +94,10 @@ fn rig(clib_cfg: CLibConfig) -> Rig {
     net.attach(&mut sim, cmac, cn);
 
     Rig { sim, net, board_mac, board, cn }
+}
+
+fn rig(clib_cfg: CLibConfig) -> Rig {
+    rig_full(clib_cfg, CBoardConfig::test_small())
 }
 
 impl Rig {
@@ -96,6 +116,10 @@ impl Rig {
 
     fn rx_frames(&self) -> u64 {
         self.sim.actor::<CBoard>(self.board).stats().rx_frames
+    }
+
+    fn tx_frames(&self) -> u64 {
+        self.sim.actor::<CBoard>(self.board).stats().tx_frames
     }
 
     fn alloc(&mut self, pid: u64, size: u64) -> u64 {
@@ -221,6 +245,175 @@ fn batched_requests_keep_retry_and_dedup_semantics_under_corruption() {
     assert!(host.completions.iter().all(|c| c.result.is_ok()), "an op failed");
     assert!(host.clib.retry_count() > 0, "corruption should have forced retries");
     assert!(host.clib.batched_ops() > 0, "the burst should actually have batched");
+}
+
+/// Runs a 64-op "closed-loop" burst — submissions staggered 50 ns apart,
+/// modeling many closed-loop clients landing near-simultaneously rather
+/// than at one virtual instant — and returns the wire frames used in each
+/// direction plus the read payloads.
+fn staggered_burst_run(clib_cfg: CLibConfig, board_cfg: CBoardConfig) -> (u64, u64, Vec<Bytes>) {
+    const OPS: u64 = 64;
+    let mut r = rig_full(clib_cfg, board_cfg);
+    let va = r.alloc(7, OPS * PAGE);
+    for p in 0..OPS {
+        r.submit(
+            0,
+            Op::Write {
+                mn: r.board_mac,
+                pid: Pid(7),
+                va: va + p * PAGE,
+                data: Bytes::from(vec![p as u8 + 1; OP_LEN as usize]),
+            },
+        );
+    }
+    let (rx0, tx0) = (r.rx_frames(), r.tx_frames());
+    let comps_before = r.completions().len();
+    for p in 0..OPS {
+        r.sim.post_in(
+            r.cn,
+            SimDuration::from_nanos(50 * p),
+            Message::new(Submit {
+                thread: ThreadId(p), // independent threads: no ordering edges
+                op: Op::Read { mn: r.board_mac, pid: Pid(7), va: va + p * PAGE, len: OP_LEN },
+            }),
+        );
+    }
+    r.sim.run_until_idle();
+    let frames = (r.rx_frames() - rx0, r.tx_frames() - tx0);
+    let mut data: Vec<(u64, Bytes)> = r.completions()[comps_before..]
+        .iter()
+        .map(|c| match &c.result {
+            Ok(CompletionValue::Data(d)) => (c.thread.0, d.clone()),
+            other => panic!("read failed: {other:?}"),
+        })
+        .collect();
+    data.sort_by_key(|(t, _)| *t);
+    (frames.0, frames.1, data.into_iter().map(|(_, d)| d).collect())
+}
+
+#[test]
+fn staggered_closed_loop_burst_coalesces_both_directions_under_doorbell_delay() {
+    // Baseline: zero doorbell budget on the CN and a zero egress hold on
+    // the MN — 50 ns-staggered submissions each pay their own frame, and so
+    // does every response.
+    let zero_hold = CBoardConfig {
+        resp_batch_max_ops: 1,
+        egress_doorbell_delay: SimDuration::ZERO,
+        ..CBoardConfig::test_small()
+    };
+    let wide = CLibConfig { cwnd_init: 128.0, cwnd_max: 256.0, ..CLibConfig::prototype() };
+    let (rx_plain, tx_plain, data_plain) = staggered_burst_run(wide, zero_hold);
+    assert_eq!(rx_plain, 64, "staggered submissions never share a zero-delay doorbell");
+    assert_eq!(tx_plain, 64, "unbatched egress pays one frame per response");
+
+    // Adaptive doorbell on the CN + default bounded egress hold on the MN.
+    let adaptive = CLibConfig {
+        doorbell_max_delay: SimDuration::from_micros(4),
+        cwnd_init: 128.0,
+        cwnd_max: 256.0,
+        ..CLibConfig::prototype()
+    };
+    let (rx_batched, tx_batched, data_batched) =
+        staggered_burst_run(adaptive, CBoardConfig::test_small());
+    assert!(
+        rx_batched * 4 <= rx_plain,
+        "expected >= 4x fewer CN->MN frames, got {rx_batched} vs {rx_plain}"
+    );
+    assert!(
+        tx_batched * 4 <= tx_plain,
+        "expected >= 4x fewer MN->CN frames, got {tx_batched} vs {tx_plain}"
+    );
+    assert_eq!(data_batched, data_plain, "coalescing must not change results");
+    for (p, d) in data_batched.iter().enumerate() {
+        assert!(d.iter().all(|&b| b == p as u8 + 1), "page {p} read back wrong data");
+    }
+}
+
+#[test]
+fn scatter_gather_vector_coalesces_without_doorbell_heuristics() {
+    // Zero doorbell budget and even zero-delay coalescing would not help a
+    // driver submitting from separate events; the explicit vector must
+    // still batch because it reaches the transport as one unit.
+    let mut r = rig(CLibConfig { cwnd_init: 64.0, ..CLibConfig::prototype() });
+    let va = r.alloc(7, PAGES * PAGE);
+    for p in 0..PAGES {
+        r.submit(
+            0,
+            Op::Write {
+                mn: r.board_mac,
+                pid: Pid(7),
+                va: va + p * PAGE,
+                data: Bytes::from(vec![p as u8 + 1; OP_LEN as usize]),
+            },
+        );
+    }
+    let rx0 = r.rx_frames();
+    let comps_before = r.completions().len();
+    let ops: Vec<Op> = (0..PAGES)
+        .map(|p| Op::Read { mn: r.board_mac, pid: Pid(7), va: va + p * PAGE, len: OP_LEN })
+        .collect();
+    r.sim.post(r.cn, Message::new(SubmitV { thread: ThreadId(0), ops }));
+    r.sim.run_until_idle();
+    let frames = r.rx_frames() - rx0;
+    assert!(frames * 4 <= PAGES, "a {PAGES}-op vector must share frames, got {frames} frames");
+    for (p, c) in r.completions()[comps_before..].iter().enumerate() {
+        match &c.result {
+            Ok(CompletionValue::Data(d)) => {
+                assert!(d.iter().all(|&b| b == p as u8 + 1), "page {p} wrong data")
+            }
+            other => panic!("read failed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn same_instant_timeouts_recoalesce_retries_into_batch_frames() {
+    // Drop every frame toward the board: a batched burst of reads times out
+    // together, and the simultaneous timer expiries must re-coalesce the
+    // retries through the batch builder instead of shipping each alone.
+    let mut r = rig(CLibConfig { cwnd_init: 32.0, max_retries: 8, ..CLibConfig::prototype() });
+    let va = r.alloc(7, 8 * PAGE);
+    for p in 0..8 {
+        r.submit(
+            0,
+            Op::Write {
+                mn: r.board_mac,
+                pid: Pid(7),
+                va: va + p * PAGE,
+                data: Bytes::from(vec![p as u8 + 1; 16]),
+            },
+        );
+    }
+    r.net.set_faults(
+        &mut r.sim,
+        r.board_mac,
+        FaultInjector { loss_prob: 1.0, ..FaultInjector::none() },
+    );
+    for p in 0..8u64 {
+        r.submit_nowait(0, Op::Read { mn: r.board_mac, pid: Pid(7), va: va + p * PAGE, len: 16 });
+    }
+    // Let the burst ship and its timers expire once, then heal the link.
+    r.sim.run_for(SimDuration::from_micros(40));
+    let frames_before_retry = {
+        let host = r.sim.actor::<CnHost>(r.cn);
+        (host.clib.batch_frames(), host.clib.batched_ops())
+    };
+    assert_eq!(frames_before_retry, (1, 8), "the initial burst shipped as one batch frame");
+    r.net.set_faults(&mut r.sim, r.board_mac, FaultInjector::none());
+    r.sim.run_until_idle();
+    let host = r.sim.actor::<CnHost>(r.cn);
+    assert!(host.completions.iter().all(|c| c.result.is_ok()), "an op failed");
+    assert!(host.clib.retry_count() >= 8, "every read should have retried");
+    assert!(
+        host.clib.batched_ops() >= 16,
+        "retries must re-coalesce: {} batched ops",
+        host.clib.batched_ops()
+    );
+    let retry_frames = host.clib.batch_frames() - 1;
+    assert!(
+        retry_frames <= 2,
+        "8 same-instant retries should share 1-2 frames, got {retry_frames}"
+    );
 }
 
 #[test]

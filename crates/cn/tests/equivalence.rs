@@ -1,0 +1,242 @@
+//! Property test: framing policy is invisible to applications.
+//!
+//! A random single-thread sequence of reads, writes, and atomics executes
+//! under three framing policies — unbatched (one frame per packet, both
+//! directions), fully batched (request + response coalescing with an
+//! adaptive doorbell hold), and explicit scatter/gather vectors — and the
+//! test asserts *observational equivalence*: every operation returns the
+//! same result in every mode, and the final remote memory is identical.
+//! This holds because `cn::ordering` serializes conflicting (same-page)
+//! operations in program order no matter how submissions are framed, and
+//! batching shares only wire frames, never reliability or ordering state.
+
+use bytes::Bytes;
+use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, ThreadId};
+use clio_mn::{CBoard, CBoardConfig};
+use clio_net::{Frame, Mac, Network, NetworkConfig};
+use clio_proto::{Perm, Pid};
+use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, SimDuration, Simulation};
+use proptest::prelude::*;
+
+const PAGES: u64 = 4;
+const PAGE: u64 = 4096;
+const PID: u64 = 7;
+
+#[derive(Debug, Clone, Copy)]
+enum TestOp {
+    Read { page: u64 },
+    Write { page: u64, val: u8 },
+    Faa { page: u64, delta: u64 },
+    Cas { page: u64, expected: u64, new: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = TestOp> {
+    (0u8..4, 0u64..PAGES, any::<u8>()).prop_map(|(kind, page, val)| match kind {
+        0 => TestOp::Read { page },
+        1 => TestOp::Write { page, val },
+        2 => TestOp::Faa { page, delta: val as u64 },
+        _ => TestOp::Cas { page, expected: val as u64 % 4, new: val as u64 },
+    })
+}
+
+struct Submit {
+    op: Op,
+}
+
+struct SubmitV {
+    ops: Vec<Op>,
+}
+
+struct CnHost {
+    nic: clio_net::NicPort,
+    clib: CLib,
+    completions: Vec<Completion>,
+}
+
+impl Actor for CnHost {
+    fn name(&self) -> &str {
+        "cn-host"
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let msg = match msg.downcast::<Submit>() {
+            Ok(s) => {
+                let (_t, comps) = self.clib.submit(ctx, &mut self.nic, ThreadId(0), s.op);
+                self.completions.extend(comps);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SubmitV>() {
+            Ok(s) => {
+                let (_t, comps) = self.clib.submit_many(ctx, &mut self.nic, ThreadId(0), s.ops);
+                self.completions.extend(comps);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Frame>() {
+            Ok(f) => {
+                let comps = self.clib.on_frame(ctx, &mut self.nic, f);
+                self.completions.extend(comps);
+                return;
+            }
+            Err(m) => m,
+        };
+        let (comps, leftover) = self.clib.on_timer(ctx, &mut self.nic, msg);
+        assert!(leftover.is_none(), "unexpected message at CN host");
+        self.completions.extend(comps);
+    }
+}
+
+struct Rig {
+    sim: Simulation,
+    board_mac: Mac,
+    cn: ActorId,
+}
+
+fn rig(clib_cfg: CLibConfig, board_cfg: CBoardConfig) -> Rig {
+    let mut sim = Simulation::new(23);
+    let mut net = Network::new(&mut sim, NetworkConfig::default());
+    let page = board_cfg.hw.page_size;
+    let bport = net.create_port(Bandwidth::from_gbps(10));
+    let board_mac = bport.mac();
+    let board = sim.add_actor(CBoard::new("mn0", board_cfg, bport));
+    net.attach(&mut sim, board_mac, board);
+    let cport = net.create_port(Bandwidth::from_gbps(40));
+    let cmac = cport.mac();
+    let cn = sim.add_actor(CnHost {
+        nic: cport,
+        clib: CLib::new(clib_cfg, 1, page),
+        completions: vec![],
+    });
+    net.attach(&mut sim, cmac, cn);
+    Rig { sim, board_mac, cn }
+}
+
+fn to_op(op: TestOp, mn: Mac, va: u64) -> Op {
+    let pid = Pid(PID);
+    match op {
+        TestOp::Read { page } => Op::Read { mn, pid, va: va + page * PAGE, len: 24 },
+        TestOp::Write { page, val } => {
+            Op::Write { mn, pid, va: va + page * PAGE, data: Bytes::from(vec![val; 16]) }
+        }
+        TestOp::Faa { page, delta } => Op::Faa { mn, pid, va: va + page * PAGE, delta },
+        TestOp::Cas { page, expected, new } => {
+            Op::Cas { mn, pid, va: va + page * PAGE, expected, new }
+        }
+    }
+}
+
+/// How a run frames its submissions.
+enum Mode {
+    /// One `submit` per op, staggered 100 ns apart, no coalescing anywhere.
+    Unbatched,
+    /// One `submit` per op, staggered 100 ns apart, adaptive doorbell +
+    /// response batching at defaults.
+    Batched,
+    /// The whole sequence as one `submit_many` vector at one instant.
+    ScatterGather,
+}
+
+/// Executes `ops` under `mode`; returns per-op results (in submission
+/// order) and the final bytes of every page.
+fn run_mode(ops: &[TestOp], mode: Mode) -> (Vec<Result<CompletionValue, ClioError>>, Vec<Bytes>) {
+    let (clib_cfg, board_cfg) = match mode {
+        Mode::Unbatched => (CLibConfig::prototype_unbatched(), CBoardConfig::prototype_unbatched()),
+        Mode::Batched | Mode::ScatterGather => (
+            CLibConfig {
+                doorbell_max_delay: SimDuration::from_micros(2),
+                ..CLibConfig::prototype()
+            },
+            CBoardConfig::test_small(),
+        ),
+    };
+    let board_cfg = CBoardConfig { hw: CBoardConfig::test_small().hw, ..board_cfg };
+    let mut r = rig(clib_cfg, board_cfg);
+    let mn = r.board_mac;
+
+    // Prologue: allocate and deterministically initialize every page.
+    r.sim.post(
+        r.cn,
+        Message::new(Submit {
+            op: Op::Alloc { mn, pid: Pid(PID), size: PAGES * PAGE, perm: Perm::RW, fixed_va: None },
+        }),
+    );
+    r.sim.run_until_idle();
+    let va = match &r.sim.actor::<CnHost>(r.cn).completions.last().expect("alloc").result {
+        Ok(CompletionValue::Va(va)) => *va,
+        other => panic!("alloc failed: {other:?}"),
+    };
+    for p in 0..PAGES {
+        r.sim.post(
+            r.cn,
+            Message::new(Submit {
+                op: Op::Write {
+                    mn,
+                    pid: Pid(PID),
+                    va: va + p * PAGE,
+                    data: Bytes::from(vec![p as u8; 24]),
+                },
+            }),
+        );
+        r.sim.run_until_idle();
+    }
+    let skip = r.sim.actor::<CnHost>(r.cn).completions.len();
+
+    match mode {
+        Mode::ScatterGather => {
+            let vec_ops: Vec<Op> = ops.iter().map(|&o| to_op(o, mn, va)).collect();
+            r.sim.post(r.cn, Message::new(SubmitV { ops: vec_ops }));
+        }
+        _ => {
+            for (i, &op) in ops.iter().enumerate() {
+                r.sim.post_in(
+                    r.cn,
+                    SimDuration::from_nanos(100 * i as u64),
+                    Message::new(Submit { op: to_op(op, mn, va) }),
+                );
+            }
+        }
+    }
+    r.sim.run_until_idle();
+
+    let mut measured: Vec<Completion> = r.sim.actor::<CnHost>(r.cn).completions[skip..].to_vec();
+    // Tokens increase in submission order; completion order may differ.
+    measured.sort_by_key(|c| c.token);
+    assert_eq!(measured.len(), ops.len(), "every op completes exactly once");
+    let results = measured.into_iter().map(|c| c.result).collect();
+
+    // Epilogue: read back every page synchronously.
+    let mut pages = Vec::new();
+    for p in 0..PAGES {
+        r.sim.post(
+            r.cn,
+            Message::new(Submit { op: Op::Read { mn, pid: Pid(PID), va: va + p * PAGE, len: 24 } }),
+        );
+        r.sim.run_until_idle();
+        match &r.sim.actor::<CnHost>(r.cn).completions.last().expect("read").result {
+            Ok(CompletionValue::Data(d)) => pages.push(d.clone()),
+            other => panic!("readback failed: {other:?}"),
+        }
+    }
+    (results, pages)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched, unbatched, and scatter/gather execution must be
+    /// observationally equivalent: same per-op results, same final memory.
+    #[test]
+    fn framing_policy_is_observationally_equivalent(
+        ops in proptest::collection::vec(arb_op(), 1..24),
+    ) {
+        let (res_plain, mem_plain) = run_mode(&ops, Mode::Unbatched);
+        let (res_batched, mem_batched) = run_mode(&ops, Mode::Batched);
+        let (res_sg, mem_sg) = run_mode(&ops, Mode::ScatterGather);
+        prop_assert_eq!(&res_batched, &res_plain, "batched results diverge");
+        prop_assert_eq!(&res_sg, &res_plain, "scatter/gather results diverge");
+        prop_assert_eq!(&mem_batched, &mem_plain, "batched memory diverges");
+        prop_assert_eq!(&mem_sg, &mem_plain, "scatter/gather memory diverges");
+    }
+}

@@ -299,6 +299,45 @@ impl NodeCore {
         }
     }
 
+    /// Issues a vector of routable data ops (reads/writes) as one
+    /// scatter/gather submission: every op is routed individually, then the
+    /// whole batch is handed to CLib's `submit_many`, which bypasses the
+    /// transport doorbell's same-instant heuristics. Unroutable entries
+    /// fail fast with `InvalidAddr` without sinking the rest.
+    fn dispatch_vec(&mut self, ctx: &mut Ctx<'_>, driver: usize, tokens: &[AppToken]) {
+        let thread = ThreadId(driver as u64);
+        let mut ops = Vec::with_capacity(tokens.len());
+        let mut routed = Vec::with_capacity(tokens.len());
+        for &token in tokens {
+            let Some(host_op) = self.app_ops.get(&token) else { continue };
+            let (pid, va) = host_op.spec.route_va().expect("vector ops address memory");
+            match self.router.lookup(pid, va) {
+                Some(mn) => {
+                    ops.push(host_op.spec.to_op(mn));
+                    routed.push(token);
+                }
+                None => {
+                    let issued_at = host_op.issued_at;
+                    self.events.push_back((
+                        driver,
+                        DriverEvent::Completion(AppCompletion {
+                            token,
+                            result: Err(ClioError::Remote(clio_proto::Status::InvalidAddr)),
+                            issued_at,
+                            completed_at: ctx.now(),
+                        }),
+                    ));
+                    self.app_ops.remove(&token);
+                }
+            }
+        }
+        let (clib_tokens, comps) = self.clib.submit_many(ctx, &mut self.nic, thread, ops);
+        for (t, app) in clib_tokens.into_iter().zip(routed) {
+            self.token_map.insert(t, app);
+        }
+        self.enqueue_clib_completions(ctx, comps);
+    }
+
     /// Converts CLib completions into driver events, handling Moved
     /// re-routing, alloc notifications and fence fan-in.
     fn enqueue_clib_completions(&mut self, ctx: &mut Ctx<'_>, comps: Vec<Completion>) {
@@ -416,6 +455,42 @@ impl ClientApi<'_, '_> {
     pub fn write(&mut self, va: u64, data: Bytes) -> AppToken {
         let pid = self.pid();
         self.issue(OpSpec::Write { pid, va, data })
+    }
+
+    /// `rread_v`: scatter/gather read — submits the whole vector to the
+    /// transport as one unit, so the reads coalesce into batch frames
+    /// regardless of doorbell timing. Returns one token per entry, in
+    /// order; each completes independently.
+    pub fn read_v(&mut self, reads: &[(u64, u32)]) -> Vec<AppToken> {
+        let pid = self.pid();
+        let specs = reads.iter().map(|&(va, len)| OpSpec::Read { pid, va, len }).collect();
+        self.issue_vec(specs)
+    }
+
+    /// `rwrite_v`: scatter/gather write, the mirror of
+    /// [`read_v`](Self::read_v).
+    pub fn write_v(&mut self, writes: Vec<(u64, Bytes)>) -> Vec<AppToken> {
+        let pid = self.pid();
+        let specs = writes.into_iter().map(|(va, data)| OpSpec::Write { pid, va, data }).collect();
+        self.issue_vec(specs)
+    }
+
+    fn issue_vec(&mut self, specs: Vec<OpSpec>) -> Vec<AppToken> {
+        let driver = self.driver;
+        let now = self.ctx.now();
+        let tokens: Vec<AppToken> = specs
+            .into_iter()
+            .map(|spec| {
+                let token = self.core.fresh_token();
+                self.core.app_ops.insert(
+                    token,
+                    HostOp { driver, spec, issued_at: now, moved_retries: 0, fanout: 1 },
+                );
+                token
+            })
+            .collect();
+        self.core.dispatch_vec(self.ctx, driver, &tokens);
+        tokens
     }
 
     /// `rlock` (completes when acquired).

@@ -35,18 +35,73 @@ pub struct AsyncHandle(u64);
 /// Calls a bridge thread can queue.
 #[derive(Debug, Clone)]
 enum CallSpec {
-    Alloc { size: u64, perm: Perm },
-    Free { va: u64, size: u64 },
-    Read { va: u64, len: u32 },
-    Write { va: u64, data: Bytes },
-    Lock { va: u64 },
-    Unlock { va: u64 },
-    Faa { va: u64, delta: u64 },
-    Cas { va: u64, expected: u64, new: u64 },
+    Alloc {
+        size: u64,
+        perm: Perm,
+    },
+    Free {
+        va: u64,
+        size: u64,
+    },
+    Read {
+        va: u64,
+        len: u32,
+    },
+    Write {
+        va: u64,
+        data: Bytes,
+    },
+    /// Scatter/gather read: one call, one completion per entry.
+    ReadV {
+        ops: Vec<(u64, u32)>,
+    },
+    /// Scatter/gather write: one call, one completion per entry.
+    WriteV {
+        ops: Vec<(u64, Bytes)>,
+    },
+    Lock {
+        va: u64,
+    },
+    Unlock {
+        va: u64,
+    },
+    Faa {
+        va: u64,
+        delta: u64,
+    },
+    Cas {
+        va: u64,
+        expected: u64,
+        new: u64,
+    },
     Fence,
     Release,
-    Offload { mn_index: usize, offload: u16, opcode: u16, arg: Bytes },
-    Sleep { dur: SimDuration },
+    Offload {
+        mn_index: usize,
+        offload: u16,
+        opcode: u16,
+        arg: Bytes,
+    },
+    Sleep {
+        dur: SimDuration,
+    },
+}
+
+impl CallSpec {
+    /// How many completion sequence numbers this call consumes (vector
+    /// calls reserve one consecutive seq per entry).
+    fn seq_span(&self) -> u64 {
+        match self {
+            CallSpec::ReadV { ops } => ops.len() as u64,
+            CallSpec::WriteV { ops } => ops.len() as u64,
+            _ => 1,
+        }
+    }
+
+    /// Whether the caller expects a vector of results even for one entry.
+    fn is_vector(&self) -> bool {
+        matches!(self, CallSpec::ReadV { .. } | CallSpec::WriteV { .. })
+    }
 }
 
 #[derive(Debug)]
@@ -98,6 +153,20 @@ impl ClientDriver for BridgeDriver {
             std::mem::take(&mut self.shared.lock().expect("bridge lock").queue);
         for (seq, call) in calls {
             let token = match call {
+                // Vector calls fan out into one token per entry, mapped to
+                // the consecutive seqs the caller reserved.
+                CallSpec::ReadV { ops } => {
+                    for (i, token) in api.read_v(&ops).into_iter().enumerate() {
+                        self.seq_of_token.insert(token, seq + i as u64);
+                    }
+                    continue;
+                }
+                CallSpec::WriteV { ops } => {
+                    for (i, token) in api.write_v(ops).into_iter().enumerate() {
+                        self.seq_of_token.insert(token, seq + i as u64);
+                    }
+                    continue;
+                }
                 CallSpec::Alloc { size, perm } => api.alloc(size, perm),
                 CallSpec::Free { va, size } => api.free(va, size),
                 CallSpec::Read { va, len } => api.read(va, len),
@@ -159,6 +228,39 @@ impl RemoteProcess {
         }
     }
 
+    /// Issues a vector call spanning `n` seqs and waits for all entries.
+    fn call_sync_vec(&mut self, call: CallSpec) -> Result<Vec<CompletionValue>, ClioError> {
+        let n = call.seq_span();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let base = self.next_seq + 1;
+        self.next_seq += n;
+        self.cmd_tx.send(Cmd::Call { seq: base, call, sync: true }).expect("runtime alive");
+        match self.resp_rx.recv().expect("runtime alive") {
+            Resp::Many(rs) => rs.into_iter().collect(),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    /// Issues a vector call asynchronously; one handle per entry, in order.
+    fn call_async_vec(&mut self, call: CallSpec) -> Vec<AsyncHandle> {
+        let n = call.seq_span();
+        if n == 0 {
+            return Vec::new();
+        }
+        let base = self.next_seq + 1;
+        self.next_seq += n;
+        self.cmd_tx.send(Cmd::Call { seq: base, call, sync: false }).expect("runtime alive");
+        match self.resp_rx.recv().expect("runtime alive") {
+            Resp::Token(t) => {
+                debug_assert_eq!(t, base, "vector call token is its base seq");
+                (base..base + n).map(AsyncHandle).collect()
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
     /// `ralloc`: allocates remote virtual memory, returning its address.
     ///
     /// # Errors
@@ -209,6 +311,50 @@ impl RemoteProcess {
     /// Asynchronous `rwrite`; poll with [`rpoll`](Self::rpoll).
     pub fn rwrite_async(&mut self, va: u64, data: &[u8]) -> AsyncHandle {
         self.call_async(CallSpec::Write { va, data: Bytes::copy_from_slice(data) })
+    }
+
+    /// `rread_v`: scatter/gather read. The whole vector reaches the
+    /// transport as one explicit submission (no reliance on same-instant
+    /// doorbell coalescing), so the reads share wire frames up to the batch
+    /// budgets. Blocks until every entry completes; results are in request
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error among the entries.
+    pub fn rread_v(&mut self, reads: &[(u64, u32)]) -> Result<Vec<Bytes>, ClioError> {
+        let values = self.call_sync_vec(CallSpec::ReadV { ops: reads.to_vec() })?;
+        Ok(values
+            .into_iter()
+            .map(|v| match v {
+                CompletionValue::Data(d) => d,
+                other => panic!("read returned {other:?}"),
+            })
+            .collect())
+    }
+
+    /// `rwrite_v`: scatter/gather write; the mirror of
+    /// [`rread_v`](Self::rread_v).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error among the entries.
+    pub fn rwrite_v(&mut self, writes: &[(u64, &[u8])]) -> Result<(), ClioError> {
+        let ops = writes.iter().map(|&(va, data)| (va, Bytes::copy_from_slice(data))).collect();
+        self.call_sync_vec(CallSpec::WriteV { ops }).map(|_| ())
+    }
+
+    /// Asynchronous [`rread_v`](Self::rread_v): returns one handle per
+    /// entry (in order) for later [`rpoll`](Self::rpoll).
+    pub fn rread_v_async(&mut self, reads: &[(u64, u32)]) -> Vec<AsyncHandle> {
+        self.call_async_vec(CallSpec::ReadV { ops: reads.to_vec() })
+    }
+
+    /// Asynchronous [`rwrite_v`](Self::rwrite_v): returns one handle per
+    /// entry (in order) for later [`rpoll`](Self::rpoll).
+    pub fn rwrite_v_async(&mut self, writes: &[(u64, &[u8])]) -> Vec<AsyncHandle> {
+        let ops = writes.iter().map(|&(va, data)| (va, Bytes::copy_from_slice(data))).collect();
+        self.call_async_vec(CallSpec::WriteV { ops })
     }
 
     /// `rpoll`: blocks until every handle completes; returns their results
@@ -327,6 +473,9 @@ struct Bridge {
     runnable: bool,
     finished: bool,
     waiting: Option<Vec<u64>>,
+    /// Whether the waiting call expects `Resp::Many` even for one seq
+    /// (vector calls and `rpoll`).
+    waiting_many: bool,
 }
 
 /// A cluster plus the blocking-thread machinery.
@@ -371,6 +520,7 @@ impl BlockingCluster {
             runnable: true,
             finished: false,
             waiting: None,
+            waiting_many: false,
         });
     }
 
@@ -400,11 +550,14 @@ impl BlockingCluster {
                     match b.cmd_rx.try_recv() {
                         Ok(Cmd::Call { seq, call, sync }) => {
                             progress = true;
+                            let span = call.seq_span();
+                            let many = call.is_vector();
                             b.shared.lock().expect("bridge lock").queue.push((seq, call));
                             pokes.push((b.cn, b.driver));
                             if sync {
                                 b.runnable = false;
-                                b.waiting = Some(vec![seq]);
+                                b.waiting = Some((seq..seq + span).collect());
+                                b.waiting_many = many;
                             } else {
                                 b.resp_tx.send(Resp::Token(seq)).expect("thread alive");
                             }
@@ -413,6 +566,7 @@ impl BlockingCluster {
                             progress = true;
                             b.runnable = false;
                             b.waiting = Some(seqs);
+                            b.waiting_many = true;
                         }
                         Ok(Cmd::Finish) => {
                             progress = true;
@@ -454,13 +608,15 @@ impl BlockingCluster {
                     }
                     drop(shared);
                     let single = b.waiting.as_ref().expect("waiting").len() == 1;
-                    let resp = if single {
+                    // Vector calls and rpoll get `Many` even for one seq.
+                    let resp = if single && !b.waiting_many {
                         Resp::One(results.into_iter().next().expect("one"))
                     } else {
                         Resp::Many(results)
                     };
                     b.resp_tx.send(resp).expect("thread alive");
                     b.waiting = None;
+                    b.waiting_many = false;
                     b.runnable = true;
                     progress = true;
                 }

@@ -115,6 +115,41 @@ fn blocking_runtime_figure1_style() {
 }
 
 #[test]
+fn blocking_runtime_scatter_gather() {
+    let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
+    bc.spawn(0, 42, |p| {
+        let va = p.ralloc(16 << 10).expect("ralloc");
+        // Blocking scatter/gather write: one explicit vector, one call.
+        let writes: Vec<(u64, Vec<u8>)> =
+            (0..16u64).map(|i| (va + i * 1024, vec![i as u8 + 1; 64])).collect();
+        let write_refs: Vec<(u64, &[u8])> =
+            writes.iter().map(|(a, d)| (*a, d.as_slice())).collect();
+        p.rwrite_v(&write_refs).expect("rwrite_v");
+        // Blocking scatter/gather read returns results in request order.
+        let reads: Vec<(u64, u32)> = (0..16u64).map(|i| (va + i * 1024, 64)).collect();
+        let data = p.rread_v(&reads).expect("rread_v");
+        assert_eq!(data.len(), 16);
+        for (i, d) in data.iter().enumerate() {
+            assert!(d.iter().all(|&b| b == i as u8 + 1), "entry {i} wrong data");
+        }
+        // Async variants hand back one handle per entry for rpoll.
+        let handles = p.rread_v_async(&reads);
+        assert_eq!(handles.len(), 16);
+        let polled = p.rpoll(&handles).expect("rpoll over vector handles");
+        assert_eq!(polled.len(), 16);
+        // Single-entry and empty vectors degenerate cleanly.
+        let one = p.rread_v(&reads[..1]).expect("single-entry rread_v");
+        assert_eq!(one.len(), 1);
+        assert!(p.rread_v(&[]).expect("empty rread_v").is_empty());
+        assert!(p.rwrite_v(&[]).is_ok());
+    });
+    bc.run();
+    // The vector reached the wire coalesced: the CN transport shipped
+    // multi-request frames.
+    assert!(bc.cluster.cn(0).clib().batched_ops() >= 16, "vector ops did not batch");
+}
+
+#[test]
 fn blocking_runtime_rpoll_accepts_duplicate_handles() {
     let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
     bc.spawn(0, 42, |p| {

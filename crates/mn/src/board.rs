@@ -15,9 +15,33 @@
 //! dedup via `retry_of`) is oblivious to how requests were framed. A
 //! corrupted batch frame is NACKed per entry.
 //!
+//! # Egress queue (response batching)
+//!
+//! Every packet the board sends — responses, fragments, NACKs — passes
+//! through a per-destination **egress queue** ordered by completion time,
+//! drained by a doorbell that fires at the earliest pending completion.
+//! When the doorbell fires, single-packet responses whose completion times
+//! fall within `CBoardConfig::egress_doorbell_delay` of the fire time are
+//! packed into `ClioPacket::BatchResp` frames under the
+//! `resp_batch_max_ops`/`resp_batch_max_bytes`/MTU budgets; coalescing
+//! never sends data before the datapath produced it (a frame leaves the
+//! NIC no earlier than its slowest member's completion). The doorbell's
+//! hold is **load-adaptive**: with no recent traffic, or completions
+//! arriving farther apart than the budget, it fires at the response's own
+//! completion time (zero added latency — the common case for synchronous
+//! clients); under sustained concurrent load it waits up to the budget so
+//! pipelined completions merge, which is the documented latency/goodput
+//! trade. Multi-fragment read responses and NACKs are never batched or
+//! held (§4.4 wants NACK retries immediate); they flush the frame being
+//! assembled so per-destination send order is preserved. This is the
+//! egress mirror of the CN's request batching: the `tx_frames` stat counts
+//! wire frames, `tx_packets` counts the packets inside them.
+//!
 //! The board holds exactly the bounded state the paper allows it (§4.5): the
 //! retry-dedup buffer, in-flight synchronization state (one fence barrier +
-//! the atomic unit), and a TTL-bounded tracker for multi-packet writes. It
+//! the atomic unit), a TTL-bounded tracker for multi-packet writes, and the
+//! egress queue above (bounded by in-flight requests plus a pruned
+//! gap-history working set of recently active destinations). It
 //! is connectionless: every response is routed by the source MAC of the
 //! request frame.
 
@@ -28,10 +52,10 @@ use clio_hw::dedup::DedupRecord;
 use clio_hw::silicon::{AtomicOp, Silicon};
 use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{
-    codec, split_read_response, ClioPacket, Pid, ReqHeader, ReqId, RequestBody, RespHeader,
-    ResponseBody, Status, ETH_OVERHEAD_BYTES,
+    codec, split_read_response, ClioPacket, Pid, ReqHeader, ReqId, RequestBody, RespBatchBuilder,
+    RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES,
 };
-use clio_sim::{Actor, ActorId, Ctx, Message, SimDuration, SimTime};
+use clio_sim::{Actor, ActorId, Ctx, EventId, Message, SimDuration, SimTime};
 
 use crate::config::CBoardConfig;
 use crate::extend::{Offload, OffloadEnv};
@@ -49,8 +73,14 @@ pub struct BoardStats {
     pub batched_requests: u64,
     /// Request packets received.
     pub rx_packets: u64,
-    /// Response packets sent.
+    /// Response packets sent (entries inside batch frames count
+    /// individually).
     pub tx_packets: u64,
+    /// Wire frames sent by the egress queue (a `BatchResp` frame counts
+    /// once).
+    pub tx_frames: u64,
+    /// Responses that left coalesced inside `BatchResp` frames.
+    pub batched_responses: u64,
     /// Link-layer NACKs sent for corrupted frames.
     pub nacks: u64,
     /// Retries answered from the dedup buffer without re-execution.
@@ -121,6 +151,20 @@ impl std::fmt::Debug for InstalledOffload {
     }
 }
 
+/// One packet awaiting egress: `ready` is the board timestamp at which the
+/// datapath finishes producing it (the earliest it may leave the NIC).
+#[derive(Debug)]
+struct EgressEntry {
+    ready: SimTime,
+    pkt: ClioPacket,
+}
+
+/// Self-addressed timer draining one destination's egress queue.
+#[derive(Debug, Clone, Copy)]
+struct EgressDoorbell {
+    dst: Mac,
+}
+
 #[derive(Debug)]
 struct OutMigration {
     dst: Mac,
@@ -146,6 +190,14 @@ pub struct CBoard {
     fence_until: SimTime,
     last_completion: SimTime,
     writes: WriteTracker,
+    /// Per-destination egress queue, ordered by `ready`.
+    egress: HashMap<Mac, VecDeque<EgressEntry>>,
+    /// The scheduled doorbell per destination: `(fire time, event)`.
+    egress_doorbells: HashMap<Mac, (SimTime, EventId)>,
+    /// Last response-ready time per destination (feeds the adaptive hold).
+    egress_last_ready: HashMap<Mac, SimTime>,
+    /// EWMA of the response inter-completion gap per destination, in ns.
+    egress_gap_ewma: HashMap<Mac, f64>,
     regions: RegionTable,
     out_migrations: HashMap<(Pid, u64), OutMigration>,
     in_migrations: HashMap<(Pid, u64), InMigration>,
@@ -171,6 +223,10 @@ impl CBoard {
             fence_until: SimTime::ZERO,
             last_completion: SimTime::ZERO,
             writes: WriteTracker::default(),
+            egress: HashMap::new(),
+            egress_doorbells: HashMap::new(),
+            egress_last_ready: HashMap::new(),
+            egress_gap_ewma: HashMap::new(),
             regions: RegionTable::new(),
             out_migrations: HashMap::new(),
             in_migrations: HashMap::new(),
@@ -246,10 +302,161 @@ impl CBoard {
         }
     }
 
+    /// Queues a packet for egress toward `dst`, ready (fully produced by the
+    /// datapath) at `at`. All board sends — responses, read fragments,
+    /// NACKs — pass through here so the egress doorbell can coalesce them
+    /// and `tx_frames`/`batched_responses` reflect what actually hits the
+    /// NIC.
     fn respond(&mut self, ctx: &mut Ctx<'_>, at: SimTime, dst: Mac, pkt: ClioPacket) {
-        let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
         self.stats.tx_packets += 1;
-        self.nic.send_at(ctx, at, dst, wire, Message::new(pkt));
+        let ready = at.max(ctx.now());
+        // Track the response inter-completion gap (EWMA, α = 1/4): the
+        // adaptive hold below only engages when completions come faster
+        // than the latency budget, i.e. when waiting will actually pay.
+        if let Some(prev) = self.egress_last_ready.insert(dst, ready) {
+            let gap = ready.since(prev.min(ready)).as_nanos() as f64;
+            let ewma = self.egress_gap_ewma.entry(dst).or_insert(gap);
+            *ewma = 0.75 * *ewma + 0.25 * gap;
+        }
+        self.prune_egress_history(ctx.now());
+        // NACKs and multi-fragment responses never batch, so holding them
+        // buys nothing and only delays recovery/delivery (§4.4 wants NACK
+        // retries immediate): their doorbell fires at their own ready time.
+        let holdable = matches!(&pkt, ClioPacket::Response { header, .. } if header.pkt_count <= 1);
+        let queue = self.egress.entry(dst).or_default();
+        // Completion times arrive mostly in order; insert from the back to
+        // keep the queue sorted by `ready`.
+        let pos = queue.iter().rposition(|e| e.ready <= ready).map_or(0, |i| i + 1);
+        queue.insert(pos, EgressEntry { ready, pkt });
+        let queued = queue.len();
+        let fire = if holdable { ready + self.egress_hold(dst, queued) } else { ready };
+        match self.egress_doorbells.get(&dst) {
+            Some(&(fire_at, _)) if fire_at <= fire => {}
+            prior => {
+                if let Some(&(_, ev)) = prior {
+                    ctx.cancel(ev);
+                }
+                let ev = ctx.schedule(fire.since(ctx.now()), Message::new(EgressDoorbell { dst }));
+                self.egress_doorbells.insert(dst, (fire, ev));
+            }
+        }
+    }
+
+    /// Keeps the per-destination gap-history maps bounded: once they exceed
+    /// a small working set, destinations idle for well over any plausible
+    /// hold window are forgotten (their next response simply starts a fresh
+    /// estimate). Egress queues and doorbells already vanish when drained,
+    /// so this keeps the board's *total* egress state bounded by active
+    /// destinations, not by every client ever seen.
+    fn prune_egress_history(&mut self, now: SimTime) {
+        const MAX_IDLE: SimDuration = SimDuration::from_millis(10);
+        if self.egress_last_ready.len() <= 64 {
+            return;
+        }
+        let last_ready = &mut self.egress_last_ready;
+        let gap_ewma = &mut self.egress_gap_ewma;
+        last_ready.retain(|dst, &mut last| {
+            let keep = now.since(last) <= MAX_IDLE;
+            if !keep {
+                gap_ewma.remove(dst);
+            }
+            keep
+        });
+    }
+
+    /// The load-adaptive egress hold (the MN mirror of the CN's doorbell
+    /// delay): zero without a budget, with a full frame already queued, or
+    /// when responses complete farther apart than the budget (a hold would
+    /// buy nothing); otherwise the time the observed completion rate needs
+    /// to fill the frame's free slots, capped by the budget.
+    fn egress_hold(&self, dst: Mac, queued: usize) -> SimDuration {
+        let budget = self.cfg.egress_doorbell_delay;
+        if budget.is_zero() || self.cfg.resp_batch_max_ops <= 1 {
+            return SimDuration::ZERO;
+        }
+        let slots = (self.cfg.resp_batch_max_ops as usize).saturating_sub(queued);
+        if slots == 0 {
+            return SimDuration::ZERO;
+        }
+        match self.egress_gap_ewma.get(&dst) {
+            Some(&gap) if gap > 0.0 && gap < budget.as_nanos() as f64 => {
+                SimDuration::from_nanos((gap * slots as f64) as u64).min(budget)
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Drains `dst`'s egress queue: packs eligible single-packet responses
+    /// into `BatchResp` frames, ships everything else alone, and re-arms the
+    /// doorbell for entries still in flight inside the datapath.
+    fn pump_egress(&mut self, ctx: &mut Ctx<'_>, dst: Mac) {
+        self.egress_doorbells.remove(&dst);
+        let now = ctx.now();
+        let horizon = now + self.cfg.egress_doorbell_delay;
+        let Some(queue) = self.egress.get_mut(&dst) else { return };
+        let mut batch = RespBatchBuilder::new(
+            self.cfg.resp_batch_max_ops as usize,
+            self.cfg.resp_batch_max_bytes as usize,
+        );
+        // The frame under assembly leaves when its slowest member is ready.
+        let mut frame_ready = now;
+        let mut shipped: Vec<(SimTime, ClioPacket, u64)> = Vec::new();
+        let flush = |batch: &mut RespBatchBuilder, frame_ready: SimTime, out: &mut Vec<_>| {
+            let ops = batch.len() as u64;
+            if let Some(pkt) = batch.take() {
+                out.push((frame_ready, pkt, ops));
+            }
+        };
+        while let Some(head) = queue.front() {
+            if head.ready > horizon {
+                break;
+            }
+            let entry = queue.pop_front().expect("peeked");
+            let batchable = matches!(
+                &entry.pkt,
+                ClioPacket::Response { header, .. } if header.pkt_count <= 1
+            );
+            if batchable && self.cfg.resp_batch_max_ops > 1 {
+                let ClioPacket::Response { header, body } = entry.pkt else {
+                    unreachable!("checked batchable")
+                };
+                let entry_wire = codec::response_wire_len(&body);
+                if !batch.fits(entry_wire) {
+                    flush(&mut batch, frame_ready, &mut shipped);
+                    frame_ready = now;
+                }
+                if batch.fits(entry_wire) {
+                    batch.push(header, body);
+                    frame_ready = frame_ready.max(entry.ready);
+                } else {
+                    // Oversized even for an empty batch: ship alone.
+                    shipped.push((entry.ready, ClioPacket::Response { header, body }, 1));
+                }
+            } else {
+                // NACKs, multi-fragment responses (and everything when
+                // response batching is disabled) flush the frame being
+                // assembled and travel alone, preserving send order.
+                flush(&mut batch, frame_ready, &mut shipped);
+                frame_ready = now;
+                shipped.push((entry.ready, entry.pkt, 1));
+            }
+        }
+        flush(&mut batch, frame_ready, &mut shipped);
+        if let Some(head) = queue.front() {
+            let at = head.ready;
+            let ev = ctx.schedule(at.since(now), Message::new(EgressDoorbell { dst }));
+            self.egress_doorbells.insert(dst, (at, ev));
+        } else {
+            self.egress.remove(&dst);
+        }
+        for (at, pkt, ops) in shipped {
+            self.stats.tx_frames += 1;
+            if ops > 1 {
+                self.stats.batched_responses += ops;
+            }
+            let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
+            self.nic.send_at(ctx, at, dst, wire, Message::new(pkt));
+        }
     }
 
     fn respond_status(
@@ -864,6 +1071,13 @@ impl Actor for CBoard {
             }
             Err(m) => m,
         };
+        let msg = match msg.downcast::<EgressDoorbell>() {
+            Ok(bell) => {
+                self.pump_egress(ctx, bell.dst);
+                return;
+            }
+            Err(m) => m,
+        };
         let frame = match msg.downcast::<Frame>() {
             Ok(f) => f,
             Err(other) => panic!("CBoard {} got unexpected message {other:?}", self.name),
@@ -918,7 +1132,9 @@ impl Actor for CBoard {
                 }
             }
             // MNs only respond; stray responses/NACKs are dropped.
-            ClioPacket::Response { .. } | ClioPacket::Nack { .. } => {}
+            ClioPacket::Response { .. }
+            | ClioPacket::BatchResp { .. }
+            | ClioPacket::Nack { .. } => {}
         }
     }
 }

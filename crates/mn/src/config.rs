@@ -68,6 +68,25 @@ pub struct CBoardConfig {
     /// controller hands each node a disjoint slice (§4.7). `None` = the
     /// whole space (single-MN deployments).
     pub va_window: Option<(u64, u64)>,
+    /// Maximum small responses coalesced into one `BatchResp` wire frame
+    /// toward a CN (the board's egress mirror of the CN's request
+    /// batching). `1` disables response batching: every response pays its
+    /// own frame, the pre-batching wire behavior.
+    pub resp_batch_max_ops: u32,
+    /// Maximum encoded bytes of a response-batch frame (clamped to the
+    /// MTU).
+    pub resp_batch_max_bytes: u32,
+    /// Latency budget for the egress doorbell's load-adaptive hold, and
+    /// the reach-ahead window for frame packing: a response becoming ready
+    /// within this span of an earlier one may share its frame, which
+    /// leaves no earlier than its slowest member's completion. The hold
+    /// engages only when responses complete faster than the budget
+    /// (otherwise waiting buys nothing), so an isolated response — the
+    /// synchronous-client case — ships at exactly its own completion time,
+    /// while sustained concurrent load pays at most the budget in exchange
+    /// for per-frame overhead. `ZERO` restricts coalescing to responses
+    /// completing at exactly the same board timestamp.
+    pub egress_doorbell_delay: SimDuration,
 }
 
 impl CBoardConfig {
@@ -79,12 +98,25 @@ impl CBoardConfig {
             port_rate: Bandwidth::from_gbps(10),
             request_timeout: SimDuration::from_micros(50),
             va_window: None,
+            resp_batch_max_ops: 16,
+            resp_batch_max_bytes: clio_proto::MTU_BYTES as u32,
+            egress_doorbell_delay: SimDuration::from_micros(2),
         }
     }
 
     /// Small configuration for tests (4 KB pages, little memory).
     pub fn test_small() -> Self {
         CBoardConfig { hw: CBoardHwConfig::test_small(), ..Self::prototype() }
+    }
+
+    /// Prototype board with response batching disabled (one frame per
+    /// response, the pre-batching wire behavior).
+    pub fn prototype_unbatched() -> Self {
+        CBoardConfig {
+            resp_batch_max_ops: 1,
+            egress_doorbell_delay: SimDuration::ZERO,
+            ..Self::prototype()
+        }
     }
 }
 
@@ -107,5 +139,11 @@ mod tests {
         let t = CBoardConfig::test_small();
         t.hw.validate();
         assert!(t.hw.phys_mem_bytes < c.hw.phys_mem_bytes);
+        assert!(c.resp_batch_max_ops > 1, "response batching is on by default");
+        assert!(c.resp_batch_max_bytes as usize <= clio_proto::MTU_BYTES);
+        assert!(!c.egress_doorbell_delay.is_zero(), "egress hold engages by default");
+        let u = CBoardConfig::prototype_unbatched();
+        assert_eq!(u.resp_batch_max_ops, 1);
+        assert!(u.egress_doorbell_delay.is_zero());
     }
 }

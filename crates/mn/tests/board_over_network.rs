@@ -58,13 +58,24 @@ impl Actor for RawClient {
         };
         let frame = msg.downcast::<Frame>().expect("frame");
         let pkt = frame.payload.downcast::<ClioPacket>().expect("clio packet");
-        if let ClioPacket::Response { header, body: ResponseBody::DataFrag { offset, data } } = &pkt
-        {
-            if let Some(full) = self.reassembler.accept(*header, *offset, data.clone()) {
-                self.reads.push((header.req_id, full));
+        // Unbatch coalesced egress frames so assertions see one recorded
+        // response per logical request, like the CN transport does.
+        let entries = match pkt {
+            ClioPacket::BatchResp { responses } => responses,
+            ClioPacket::Response { header, body } => vec![(header, body)],
+            other => {
+                self.responses.push((ctx.now(), other));
+                return;
             }
+        };
+        for (header, body) in entries {
+            if let ResponseBody::DataFrag { offset, data } = &body {
+                if let Some(full) = self.reassembler.accept(header, *offset, data.clone()) {
+                    self.reads.push((header.req_id, full));
+                }
+            }
+            self.responses.push((ctx.now(), ClioPacket::Response { header, body }));
         }
-        self.responses.push((ctx.now(), pkt));
     }
 }
 

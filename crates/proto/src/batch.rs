@@ -1,16 +1,21 @@
-//! MTU-bounded packing of small requests into [`ClioPacket::Batch`] frames.
+//! MTU-bounded packing of small packets into batch frames, in both
+//! directions: [`BatchBuilder`] packs requests into [`ClioPacket::Batch`]
+//! (CN → MN) and [`RespBatchBuilder`] packs responses into
+//! [`ClioPacket::BatchResp`] (MN → CN).
 //!
 //! Clio's asynchronous API (§4.5 T1) keeps many small requests in flight;
 //! sent one per frame, a 16–64 B operation pays ~38 B of Ethernet overhead
-//! plus a full Clio header of framing per op. [`BatchBuilder`] packs several
-//! same-destination single-packet requests into one wire frame under three
+//! plus a full Clio header of framing per op — and its reply pays the same
+//! again on the board's 10 Gbps egress port. Both builders pack several
+//! same-destination single-packet entries into one wire frame under three
 //! budgets: the link MTU (always), a caller-chosen byte budget, and a
-//! caller-chosen op-count budget. Every entry keeps its own [`ReqHeader`],
-//! so retries, deduplication and responses stay per logical request.
+//! caller-chosen op-count budget. Every entry keeps its own header
+//! ([`ReqHeader`] / [`RespHeader`]), so retries, deduplication, completion
+//! matching and window accounting stay per logical request.
 
-use crate::codec::{request_wire_len, BATCH_OVERHEAD_BYTES};
+use crate::codec::{request_wire_len, response_wire_len, BATCH_OVERHEAD_BYTES};
 use crate::mtu::MTU_BYTES;
-use crate::packet::{ClioPacket, ReqHeader, RequestBody};
+use crate::packet::{ClioPacket, ReqHeader, RequestBody, RespHeader, ResponseBody};
 
 /// Accumulates request entries into an MTU-bounded batch frame.
 ///
@@ -88,11 +93,88 @@ impl BatchBuilder {
     }
 }
 
+/// Accumulates response entries into an MTU-bounded batch frame — the
+/// egress mirror of [`BatchBuilder`], used by the board's per-destination
+/// egress queue.
+///
+/// `take` yields a plain [`ClioPacket::Response`] when only one entry
+/// accumulated, so a lone response's wire image is byte-identical to the
+/// unbatched protocol and response batching is a pure overlay.
+#[derive(Debug)]
+pub struct RespBatchBuilder {
+    entries: Vec<(RespHeader, ResponseBody)>,
+    wire: usize,
+    max_ops: usize,
+    max_bytes: usize,
+}
+
+impl RespBatchBuilder {
+    /// A builder admitting at most `max_ops` entries and at most
+    /// `max_bytes` of encoded batch frame (clamped to the MTU).
+    pub fn new(max_ops: usize, max_bytes: usize) -> Self {
+        RespBatchBuilder {
+            entries: Vec::new(),
+            wire: BATCH_OVERHEAD_BYTES,
+            max_ops: max_ops.max(1),
+            max_bytes: max_bytes.min(MTU_BYTES),
+        }
+    }
+
+    /// Entries accumulated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Encoded size of the batch frame built so far (tag + count + entries).
+    pub fn wire_len(&self) -> usize {
+        self.wire
+    }
+
+    /// Whether a response whose standalone encoding is `entry_wire` bytes
+    /// ([`response_wire_len`]) can join the current batch without busting
+    /// the op, byte, or MTU budget.
+    pub fn fits(&self, entry_wire: usize) -> bool {
+        self.entries.len() < self.max_ops && self.wire + entry_wire <= self.max_bytes
+    }
+
+    /// Appends an entry. Callers must check [`fits`](Self::fits) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the entry busts a budget.
+    pub fn push(&mut self, header: RespHeader, body: ResponseBody) {
+        let entry = response_wire_len(&body);
+        debug_assert!(self.fits(entry), "response of {entry} B pushed into a full batch");
+        self.wire += entry;
+        self.entries.push((header, body));
+    }
+
+    /// Takes the accumulated frame, leaving the builder empty for reuse.
+    /// Returns `None` when nothing accumulated; a single entry degenerates
+    /// to a plain [`ClioPacket::Response`] (no batch overhead on the wire).
+    pub fn take(&mut self) -> Option<ClioPacket> {
+        self.wire = BATCH_OVERHEAD_BYTES;
+        match self.entries.len() {
+            0 => None,
+            1 => {
+                let (header, body) = self.entries.pop().expect("one entry");
+                Some(ClioPacket::Response { header, body })
+            }
+            _ => Some(ClioPacket::BatchResp { responses: std::mem::take(&mut self.entries) }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::codec::wire_len;
-    use crate::types::{Pid, ReqId};
+    use crate::types::{Pid, ReqId, Status};
 
     fn read_entry(id: u64) -> (ReqHeader, RequestBody) {
         (ReqHeader::single(ReqId(id), Pid(1)), RequestBody::Read { va: id * 64, len: 32 })
@@ -146,6 +228,47 @@ mod tests {
         let predicted = b.wire_len();
         let pkt = b.take().expect("batch");
         assert!(matches!(pkt, ClioPacket::Batch { ref requests } if requests.len() == 5));
+        assert_eq!(wire_len(&pkt), predicted);
+    }
+
+    fn resp_entry(id: u64, n: usize) -> (RespHeader, ResponseBody) {
+        (
+            RespHeader::single(ReqId(id), Status::Ok),
+            ResponseBody::DataFrag { offset: 0, data: vec![0u8; n].into() },
+        )
+    }
+
+    #[test]
+    fn resp_builder_enforces_budgets_and_degenerates() {
+        let mut b = RespBatchBuilder::new(2, MTU_BYTES);
+        let (h0, b0) = resp_entry(1, 16);
+        let entry = response_wire_len(&b0);
+        assert!(b.fits(entry));
+        b.push(h0, b0.clone());
+        let pkt = b.take().expect("one entry");
+        assert_eq!(pkt, ClioPacket::Response { header: h0, body: b0 });
+        assert!(b.take().is_none(), "builder resets after take");
+        // Op budget.
+        for id in 0..2 {
+            let (h, body) = resp_entry(id, 16);
+            b.push(h, body);
+        }
+        assert!(!b.fits(entry), "third entry exceeds max_ops=2");
+        // Byte budget clamps to the MTU.
+        let clamped = RespBatchBuilder::new(64, 1 << 20);
+        assert!(!clamped.fits(MTU_BYTES + 1));
+    }
+
+    #[test]
+    fn multi_entry_resp_batch_wire_len_tracked_exactly() {
+        let mut b = RespBatchBuilder::new(16, MTU_BYTES);
+        for id in 0..5 {
+            let (h, body) = resp_entry(id, 32);
+            b.push(h, body);
+        }
+        let predicted = b.wire_len();
+        let pkt = b.take().expect("batch");
+        assert!(matches!(pkt, ClioPacket::BatchResp { ref responses } if responses.len() == 5));
         assert_eq!(wire_len(&pkt), predicted);
     }
 }

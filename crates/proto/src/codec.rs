@@ -43,6 +43,7 @@ const TAG_REQUEST: u8 = 0;
 const TAG_RESPONSE: u8 = 1;
 const TAG_NACK: u8 = 2;
 const TAG_BATCH: u8 = 3;
+const TAG_BATCH_RESP: u8 = 4;
 
 const BODY_READ: u8 = 0;
 const BODY_WRITE_FRAG: u8 = 1;
@@ -67,11 +68,11 @@ const RESP_OFFLOAD: u8 = 4;
 pub const REQ_HEADER_LEN: usize = 1 + 8 + 1 + 8 + 8 + 2 + 2;
 /// Encoded size of the packet tag plus a response header.
 pub const RESP_HEADER_LEN: usize = 1 + 8 + 1 + 2 + 2;
-/// Fixed framing cost of a batch packet (packet tag + u16 entry count).
-/// Each entry then costs exactly what the same request would cost as a
-/// standalone [`ClioPacket::Request`] ([`request_wire_len`]), so batching
-/// `n` small requests saves `(n - 1)` per-frame Ethernet overheads at the
-/// price of these 3 bytes.
+/// Fixed framing cost of a batch packet (packet tag + u16 entry count),
+/// shared by request batches and response batches. Each entry then costs
+/// exactly what the same packet would cost standalone ([`request_wire_len`]
+/// / [`response_wire_len`]), so batching `n` small packets saves `(n - 1)`
+/// per-frame Ethernet overheads at the price of these 3 bytes.
 pub const BATCH_OVERHEAD_BYTES: usize = 1 + 2;
 
 fn put_req_header(buf: &mut BytesMut, h: &ReqHeader) {
@@ -160,6 +161,34 @@ fn put_req_body(buf: &mut BytesMut, body: &RequestBody) {
     }
 }
 
+fn put_response(buf: &mut BytesMut, header: &RespHeader, body: &ResponseBody) {
+    buf.put_u8(TAG_RESPONSE);
+    buf.put_u64_le(header.req_id.0);
+    buf.put_u8(header.status.to_wire());
+    buf.put_u16_le(header.pkt_index);
+    buf.put_u16_le(header.pkt_count);
+    match body {
+        ResponseBody::DataFrag { offset, data } => {
+            buf.put_u8(RESP_DATA_FRAG);
+            buf.put_u32_le(*offset);
+            put_bytes(buf, data);
+        }
+        ResponseBody::Done => buf.put_u8(RESP_DONE),
+        ResponseBody::Alloced { va } => {
+            buf.put_u8(RESP_ALLOCED);
+            buf.put_u64_le(*va);
+        }
+        ResponseBody::AtomicOld { old } => {
+            buf.put_u8(RESP_ATOMIC_OLD);
+            buf.put_u64_le(*old);
+        }
+        ResponseBody::OffloadReply { data } => {
+            buf.put_u8(RESP_OFFLOAD);
+            put_bytes(buf, data);
+        }
+    }
+}
+
 /// Serializes a packet to its wire bytes.
 pub fn encode(pkt: &ClioPacket) -> Bytes {
     let mut buf = BytesMut::with_capacity(wire_len(pkt));
@@ -182,31 +211,16 @@ pub fn encode(pkt: &ClioPacket) -> Bytes {
                 put_req_body(&mut buf, body);
             }
         }
-        ClioPacket::Response { header, body } => {
-            buf.put_u8(TAG_RESPONSE);
-            buf.put_u64_le(header.req_id.0);
-            buf.put_u8(header.status.to_wire());
-            buf.put_u16_le(header.pkt_index);
-            buf.put_u16_le(header.pkt_count);
-            match body {
-                ResponseBody::DataFrag { offset, data } => {
-                    buf.put_u8(RESP_DATA_FRAG);
-                    buf.put_u32_le(*offset);
-                    put_bytes(&mut buf, data);
-                }
-                ResponseBody::Done => buf.put_u8(RESP_DONE),
-                ResponseBody::Alloced { va } => {
-                    buf.put_u8(RESP_ALLOCED);
-                    buf.put_u64_le(*va);
-                }
-                ResponseBody::AtomicOld { old } => {
-                    buf.put_u8(RESP_ATOMIC_OLD);
-                    buf.put_u64_le(*old);
-                }
-                ResponseBody::OffloadReply { data } => {
-                    buf.put_u8(RESP_OFFLOAD);
-                    put_bytes(&mut buf, data);
-                }
+        ClioPacket::Response { header, body } => put_response(&mut buf, header, body),
+        ClioPacket::BatchResp { responses } => {
+            debug_assert!(!responses.is_empty(), "batches must carry at least one response");
+            buf.put_u8(TAG_BATCH_RESP);
+            buf.put_u16_le(responses.len() as u16);
+            // As with request batches, each entry is a complete embedded
+            // response packet, so entry size is exactly `response_wire_len`
+            // and unbatching reuses the response parser.
+            for (header, body) in responses {
+                put_response(&mut buf, header, body);
             }
         }
         ClioPacket::Nack { req_id } => {
@@ -237,6 +251,22 @@ pub fn request_wire_len(body: &RequestBody) -> usize {
         }
 }
 
+/// The exact encoded size of one response (header + body) framed as a
+/// standalone [`ClioPacket::Response`]. A response-batch entry costs exactly
+/// this much, so the board's egress queue can pack response batches against
+/// the MTU analytically.
+pub fn response_wire_len(body: &ResponseBody) -> usize {
+    RESP_HEADER_LEN
+        + 1
+        + match body {
+            ResponseBody::DataFrag { data, .. } => 4 + 4 + data.len(),
+            ResponseBody::Done => 0,
+            ResponseBody::Alloced { .. } => 8,
+            ResponseBody::AtomicOld { .. } => 8,
+            ResponseBody::OffloadReply { data } => 4 + data.len(),
+        }
+}
+
 /// The exact number of bytes [`encode`] will produce, computed analytically
 /// (used by the timing model on every packet send).
 pub fn wire_len(pkt: &ClioPacket) -> usize {
@@ -246,16 +276,10 @@ pub fn wire_len(pkt: &ClioPacket) -> usize {
             BATCH_OVERHEAD_BYTES
                 + requests.iter().map(|(_, body)| request_wire_len(body)).sum::<usize>()
         }
-        ClioPacket::Response { body, .. } => {
-            RESP_HEADER_LEN
-                + 1
-                + match body {
-                    ResponseBody::DataFrag { data, .. } => 4 + 4 + data.len(),
-                    ResponseBody::Done => 0,
-                    ResponseBody::Alloced { .. } => 8,
-                    ResponseBody::AtomicOld { .. } => 8,
-                    ResponseBody::OffloadReply { data } => 4 + data.len(),
-                }
+        ClioPacket::Response { body, .. } => response_wire_len(body),
+        ClioPacket::BatchResp { responses } => {
+            BATCH_OVERHEAD_BYTES
+                + responses.iter().map(|(_, body)| response_wire_len(body)).sum::<usize>()
         }
         ClioPacket::Nack { .. } => 1 + 8,
     }
@@ -329,6 +353,25 @@ fn read_request(r: &mut Reader<'_>) -> Result<(ReqHeader, RequestBody), CodecErr
     Ok((header, body))
 }
 
+/// Parses one response (header + body, tag already consumed) from `r`.
+fn read_response(r: &mut Reader<'_>) -> Result<(RespHeader, ResponseBody), CodecError> {
+    let req_id = ReqId(r.u64()?);
+    let status_raw = r.u8()?;
+    let status = Status::from_wire(status_raw).ok_or(CodecError::BadStatus(status_raw))?;
+    let pkt_index = r.u16()?;
+    let pkt_count = r.u16()?;
+    let header = RespHeader { req_id, status, pkt_index, pkt_count };
+    let body = match r.u8()? {
+        RESP_DATA_FRAG => ResponseBody::DataFrag { offset: r.u32()?, data: r.bytes()? },
+        RESP_DONE => ResponseBody::Done,
+        RESP_ALLOCED => ResponseBody::Alloced { va: r.u64()? },
+        RESP_ATOMIC_OLD => ResponseBody::AtomicOld { old: r.u64()? },
+        RESP_OFFLOAD => ResponseBody::OffloadReply { data: r.bytes()? },
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok((header, body))
+}
+
 /// Parses a packet from wire bytes.
 ///
 /// # Errors
@@ -357,21 +400,22 @@ pub fn decode(bytes: &[u8]) -> Result<ClioPacket, CodecError> {
             ClioPacket::Batch { requests }
         }
         TAG_RESPONSE => {
-            let req_id = ReqId(r.u64()?);
-            let status_raw = r.u8()?;
-            let status = Status::from_wire(status_raw).ok_or(CodecError::BadStatus(status_raw))?;
-            let pkt_index = r.u16()?;
-            let pkt_count = r.u16()?;
-            let header = RespHeader { req_id, status, pkt_index, pkt_count };
-            let body = match r.u8()? {
-                RESP_DATA_FRAG => ResponseBody::DataFrag { offset: r.u32()?, data: r.bytes()? },
-                RESP_DONE => ResponseBody::Done,
-                RESP_ALLOCED => ResponseBody::Alloced { va: r.u64()? },
-                RESP_ATOMIC_OLD => ResponseBody::AtomicOld { old: r.u64()? },
-                RESP_OFFLOAD => ResponseBody::OffloadReply { data: r.bytes()? },
-                t => return Err(CodecError::BadTag(t)),
-            };
+            let (header, body) = read_response(&mut r)?;
             ClioPacket::Response { header, body }
+        }
+        TAG_BATCH_RESP => {
+            let count = r.u16()? as usize;
+            if count == 0 {
+                return Err(CodecError::EmptyBatch);
+            }
+            let mut responses = Vec::with_capacity(count);
+            for _ in 0..count {
+                match r.u8()? {
+                    TAG_RESPONSE => responses.push(read_response(&mut r)?),
+                    t => return Err(CodecError::BadTag(t)),
+                }
+            }
+            ClioPacket::BatchResp { responses }
         }
         TAG_NACK => ClioPacket::Nack { req_id: ReqId(r.u64()?) },
         t => return Err(CodecError::BadTag(t)),
@@ -477,10 +521,47 @@ mod tests {
     }
 
     #[test]
+    fn batch_resp_roundtrips() {
+        let responses = vec![
+            (
+                RespHeader::single(ReqId(1), Status::Ok),
+                ResponseBody::DataFrag { offset: 0, data: Bytes::from_static(b"abcd") },
+            ),
+            (RespHeader::single(ReqId(2), Status::Ok), ResponseBody::Done),
+            (RespHeader::single(ReqId(3), Status::PermDenied), ResponseBody::Done),
+            (RespHeader::single(ReqId(4), Status::Ok), ResponseBody::AtomicOld { old: 9 }),
+        ];
+        roundtrip(ClioPacket::BatchResp { responses });
+    }
+
+    #[test]
+    fn batch_resp_entry_costs_exactly_one_standalone_response() {
+        let header = RespHeader::single(ReqId(9), Status::Ok);
+        let body = ResponseBody::DataFrag { offset: 0, data: Bytes::from_static(b"xy") };
+        let single = wire_len(&ClioPacket::Response { header, body: body.clone() });
+        assert_eq!(single, response_wire_len(&body));
+        let batch = ClioPacket::BatchResp {
+            responses: vec![(header, body.clone()), (header, body.clone()), (header, body)],
+        };
+        assert_eq!(wire_len(&batch), BATCH_OVERHEAD_BYTES + 3 * single);
+    }
+
+    #[test]
     fn empty_batch_rejected() {
-        // tag + count 0.
+        // tag + count 0, for both batch directions.
         assert_eq!(decode(&[3, 0, 0]), Err(CodecError::EmptyBatch));
+        assert_eq!(decode(&[4, 0, 0]), Err(CodecError::EmptyBatch));
         assert!(CodecError::EmptyBatch.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn batch_resp_with_bad_entry_tag_rejected() {
+        let pkt = ClioPacket::BatchResp {
+            responses: vec![(RespHeader::single(ReqId(1), Status::Ok), ResponseBody::Done)],
+        };
+        let mut bytes = encode(&pkt).to_vec();
+        bytes[3] = 99; // the entry's embedded TAG_RESPONSE byte
+        assert_eq!(decode(&bytes), Err(CodecError::BadTag(99)));
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! * Responses double as ACKs; there are no transport-level ACKs at all, and
 //!   the only MN-generated control packet is a link-layer [`Nack`] for
 //!   corrupted frames (§4.4).
-//! * Small same-destination requests may be **coalesced** into one
-//!   [`Batch`] frame ([`BatchBuilder`] packs them under MTU/op/byte
-//!   budgets); every entry keeps its own header, so execution, dedup, and
-//!   responses remain per logical request.
+//! * Small same-destination packets may be **coalesced** in both
+//!   directions: requests into one [`Batch`] frame ([`BatchBuilder`]) and
+//!   responses into one [`BatchResp`] frame ([`RespBatchBuilder`]), packed
+//!   under MTU/op/byte budgets. Every entry keeps its own header, so
+//!   execution, dedup, completion matching and window accounting remain
+//!   per logical request.
 //!
 //! [`Batch`]: ClioPacket::Batch
+//! [`BatchResp`]: ClioPacket::BatchResp
 //!
 //! ```
 //! use clio_proto::{ClioPacket, ReqHeader, ReqId, Pid, RequestBody, codec};
@@ -43,7 +46,7 @@ mod mtu;
 mod packet;
 mod types;
 
-pub use batch::BatchBuilder;
+pub use batch::{BatchBuilder, RespBatchBuilder};
 pub use mtu::{
     split_read_response, split_write, Reassembler, CLIO_REQ_HEADER_BYTES, CLIO_RESP_HEADER_BYTES,
     ETH_OVERHEAD_BYTES, MAX_READ_FRAG_PAYLOAD, MAX_WRITE_FRAG_PAYLOAD, MTU_BYTES,

@@ -256,6 +256,16 @@ pub enum ClioPacket {
         /// Result payload.
         body: ResponseBody,
     },
+    /// MN → CN batch: several small single-packet responses coalesced into
+    /// one wire frame — the egress mirror of [`Batch`](Self::Batch). The
+    /// board's per-destination egress queue packs responses that complete
+    /// within one doorbell hold; every entry keeps its own [`RespHeader`]
+    /// (request id, status), so the CN transport completes, retries, and
+    /// accounts for each entry exactly as if it had arrived alone.
+    BatchResp {
+        /// The coalesced responses.
+        responses: Vec<(RespHeader, ResponseBody)>,
+    },
     /// MN → CN link-layer NACK: the named request had a corrupted packet and
     /// should be retried immediately (§4.4).
     Nack {
@@ -265,8 +275,9 @@ pub enum ClioPacket {
 }
 
 impl ClioPacket {
-    /// The request id this packet concerns. For a [`Batch`](Self::Batch)
-    /// this is the first entry's id (batches are never empty on the wire).
+    /// The request id this packet concerns. For a [`Batch`](Self::Batch) or
+    /// [`BatchResp`](Self::BatchResp) this is the first entry's id (batches
+    /// are never empty on the wire).
     pub fn req_id(&self) -> ReqId {
         match self {
             ClioPacket::Request { header, .. } => header.req_id,
@@ -274,6 +285,9 @@ impl ClioPacket {
                 requests.first().map(|(h, _)| h.req_id).unwrap_or(ReqId(0))
             }
             ClioPacket::Response { header, .. } => header.req_id,
+            ClioPacket::BatchResp { responses } => {
+                responses.first().map(|(h, _)| h.req_id).unwrap_or(ReqId(0))
+            }
             ClioPacket::Nack { req_id } => *req_id,
         }
     }
