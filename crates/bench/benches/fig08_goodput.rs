@@ -42,7 +42,7 @@ fn goodput(
         if !resp_batched {
             *board = CBoardConfig {
                 resp_batch_max_ops: 1,
-                egress_doorbell_delay: clio_sim::SimDuration::ZERO,
+                egress_doorbell_delay: Some(clio_sim::SimDuration::ZERO),
                 ..board.clone()
             };
         }

@@ -260,6 +260,12 @@ impl CLib {
         self.transport.batched_ops
     }
 
+    /// Wire frames the retry doorbell has shipped (coalesced retries share
+    /// one frame).
+    pub fn retry_frames(&self) -> u64 {
+        self.transport.retry_frames
+    }
+
     /// Operations in flight across all threads.
     pub fn in_flight(&self) -> usize {
         self.ops.len()

@@ -18,6 +18,10 @@ pub struct CongestionWindow {
     outstanding: u64,
     next_paced_send: SimTime,
     last_decrease: SimTime,
+    /// EWMA-smoothed RTT of data-plane responses (TCP-style α = 1/8), in
+    /// nanoseconds; `None` until the first sample. Feeds the RTT-derived
+    /// doorbell budget (hold ≤ srtt/4).
+    srtt_ns: Option<f64>,
     cfg: CwndParams,
 }
 
@@ -39,6 +43,7 @@ impl CongestionWindow {
             outstanding: 0,
             next_paced_send: SimTime::ZERO,
             last_decrease: SimTime::ZERO,
+            srtt_ns: None,
             cfg: CwndParams {
                 init: cfg.cwnd_init,
                 max: cfg.cwnd_max,
@@ -58,6 +63,14 @@ impl CongestionWindow {
     /// Requests currently in flight to this MN.
     pub fn outstanding(&self) -> u64 {
         self.outstanding
+    }
+
+    /// The smoothed RTT of data-plane responses toward this MN (EWMA,
+    /// α = 1/8), or `None` before the first sample or after a
+    /// [`reset`](Self::reset). The transport derives its doorbell latency
+    /// budget from this when no static budget is configured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt_ns.map(|ns| SimDuration::from_nanos(ns as u64))
     }
 
     /// Whether a new request may be sent at `now`; if so, the in-flight
@@ -94,6 +107,11 @@ impl CongestionWindow {
     /// serialization times longer than a 16 B one.
     pub fn on_response_sized(&mut self, now: SimTime, rtt: SimDuration, bytes: u64) {
         self.outstanding = self.outstanding.saturating_sub(1);
+        let sample = rtt.as_nanos() as f64;
+        self.srtt_ns = Some(match self.srtt_ns {
+            Some(srtt) => srtt + (sample - srtt) / 8.0,
+            None => sample,
+        });
         let target = self.cfg.target_rtt + SimDuration::from_nanos(bytes * 10);
         if rtt <= target {
             // Additive increase: +ai per window's worth of ACKs.
@@ -146,12 +164,15 @@ impl CongestionWindow {
 
     /// Resets to the initial window (new epoch; used by tests). Clears the
     /// decrease rate-limit stamp too, so the fresh epoch does not inherit
-    /// the old epoch's "recently decreased" suppression.
+    /// the old epoch's "recently decreased" suppression, and forgets the
+    /// smoothed RTT so the RTT-derived doorbell budget falls back to its
+    /// pre-warm-up default instead of holding on stale measurements.
     pub fn reset(&mut self) {
         self.cwnd = self.cfg.init;
         self.outstanding = 0;
         self.next_paced_send = SimTime::ZERO;
         self.last_decrease = SimTime::ZERO;
+        self.srtt_ns = None;
     }
 }
 
@@ -274,6 +295,21 @@ mod tests {
         w.on_response(t(100), d(100));
         assert!(w.window() < 2.0, "fresh epoch suppressed its first decrease");
         assert_eq!(w.outstanding(), 0);
+    }
+
+    #[test]
+    fn srtt_tracks_responses_and_clears_on_reset() {
+        let mut w = cwnd();
+        assert_eq!(w.srtt(), None, "no sample before the first response");
+        assert!(w.try_acquire(t(0)));
+        w.on_response(t(8), d(8));
+        assert_eq!(w.srtt(), Some(d(8)), "first sample seeds the EWMA");
+        assert!(w.try_acquire(t(20)));
+        w.on_response(t(36), d(16));
+        // EWMA with alpha = 1/8: 8 + (16 - 8)/8 = 9 us.
+        assert_eq!(w.srtt(), Some(d(9)));
+        w.reset();
+        assert_eq!(w.srtt(), None, "reset forgets the smoothed RTT");
     }
 
     #[test]

@@ -23,22 +23,26 @@
 //! lone admitted request is framed as a plain `Request`, byte-identical to
 //! `batch_max_ops = 1`.
 //!
-//! The doorbell's delay is **load-adaptive**, bounded by
-//! `CLibConfig::doorbell_max_delay`. At the default budget of zero it fires
-//! after the current event finishes, so exactly the requests submitted at
-//! the same virtual instant — e.g. an async burst issued in one
-//! application callback — coalesce. With a positive budget the doorbell
-//! also waits for *near*-simultaneous submissions (several closed-loop
-//! threads): it holds for the observed inter-submission gap times the free
-//! batch slots, capped by the budget, and fires immediately when a full
-//! batch is queued or the transport has no recent-traffic history.
+//! The doorbell's delay is **load-adaptive**, bounded by a latency budget
+//! that is itself **RTT-derived** by default: with
+//! `CLibConfig::doorbell_max_delay = None` the budget is `srtt / 4` of the
+//! congestion window's EWMA-smoothed RTT toward that MN (capped by
+//! `CLibConfig::DOORBELL_DERIVED_CAP`, zero before the first RTT sample),
+//! so the hold self-calibrates: always a small fraction of what the
+//! application already waits per request. A `Some(budget)` config is an
+//! explicit static override. Within the budget the doorbell holds for the
+//! observed inter-submission gap times the free batch slots, and fires
+//! immediately when a full batch is queued or the transport has no
+//! recent-traffic history.
 //!
 //! Retransmissions re-coalesce too: retries queued in the same pump — e.g.
 //! several timers for one MN expiring at the same instant after a lost
-//! batch frame — share [`ClioPacket::Batch`] frames through a dedicated
-//! zero-delay retry doorbell that bypasses the window machinery (retries
-//! keep the slots of the requests they replace) while preserving each
-//! entry's `retry_of` dedup chain.
+//! batch frame, or the entries of one [`ClioPacket::BatchNack`] — share
+//! [`ClioPacket::Batch`] frames through a dedicated zero-delay retry
+//! doorbell that bypasses the window machinery (retries keep the slots of
+//! the requests they replace) while preserving each entry's `retry_of`
+//! dedup chain. A corrupted batch frame therefore recovers symmetrically:
+//! one `BatchNack` frame back, one coalesced retry frame forward.
 //!
 //! [`send_many`] bypasses the doorbell heuristics entirely: the caller
 //! hands the transport an explicit op vector (CLib's `rread_v`/`rwrite_v`
@@ -341,6 +345,10 @@ pub struct Transport {
     pub batch_frames: u64,
     /// Requests that traveled inside a multi-request batch frame.
     pub batched_ops: u64,
+    /// Wire frames shipped by the retry doorbell (coalesced or not). With
+    /// NACK coalescing, a corrupted 16-entry batch should cost one retry
+    /// frame here, not sixteen.
+    pub retry_frames: u64,
 }
 
 impl Transport {
@@ -365,6 +373,7 @@ impl Transport {
             retry_count: 0,
             batch_frames: 0,
             batched_ops: 0,
+            retry_frames: 0,
         }
     }
 
@@ -460,12 +469,31 @@ impl Transport {
         }
     }
 
+    /// The doorbell's latency budget toward `target`: the static override
+    /// when one is configured, otherwise a quarter of the congestion
+    /// window's smoothed RTT — capped by
+    /// [`CLibConfig::DOORBELL_DERIVED_CAP`], and
+    /// [`CLibConfig::DOORBELL_FALLBACK_DELAY`] (zero) before the first RTT
+    /// sample or after a window reset, so the transport never holds
+    /// requests on an unmeasured fabric.
+    pub fn doorbell_budget(&self, target: Mac) -> SimDuration {
+        match self.cfg.doorbell_max_delay {
+            Some(budget) => budget,
+            None => self
+                .cwnds
+                .get(&target)
+                .and_then(CongestionWindow::srtt)
+                .map(|srtt| (srtt / 4).min(CLibConfig::DOORBELL_DERIVED_CAP))
+                .unwrap_or(CLibConfig::DOORBELL_FALLBACK_DELAY),
+        }
+    }
+
     /// How long the doorbell toward `target` may hold before pumping: zero
     /// without a latency budget, recent-traffic history, or a full batch;
     /// otherwise the time the observed submission rate needs to fill the
     /// remaining batch slots, capped by the budget.
     fn doorbell_delay(&self, target: Mac) -> SimDuration {
-        let budget = self.cfg.doorbell_max_delay;
+        let budget = self.doorbell_budget(target);
         if budget.is_zero() {
             return SimDuration::ZERO;
         }
@@ -640,22 +668,24 @@ impl Transport {
         );
     }
 
-    /// Ships the accumulated batch (if any) as one wire frame.
+    /// Ships the accumulated batch (if any) as one wire frame. Returns
+    /// whether a frame actually left.
     fn flush_batch(
         &mut self,
         ctx: &mut Ctx<'_>,
         nic: &mut NicPort,
         target: Mac,
         batch: &mut BatchBuilder,
-    ) {
+    ) -> bool {
         let ops = batch.len() as u64;
-        let Some(pkt) = batch.take() else { return };
+        let Some(pkt) = batch.take() else { return false };
         if ops > 1 {
             self.batch_frames += 1;
             self.batched_ops += ops;
         }
         let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
         nic.send_at(ctx, ctx.now() + self.cfg.send_overhead, target, wire, Message::new(pkt));
+        true
     }
 
     #[allow(clippy::too_many_arguments)] // internal send/retry core
@@ -749,37 +779,63 @@ impl Transport {
                 }
             }
             ClioPacket::Nack { req_id } => {
-                // Corrupted on the wire: retry immediately (no congestion
-                // signal; corruption is not loss).
-                if let Some(mut o) = self.outstanding.remove(&req_id) {
-                    if let Some(t) = o.timer.take() {
-                        ctx.cancel(t);
-                    }
-                    self.retry_count += 1;
-                    o.retries += 1;
-                    if o.retries > self.cfg.max_retries {
-                        self.release_windows(ctx.now(), &o, None);
-                        done.push(XferDone {
-                            token: o.token,
-                            result: Err(ClioError::TimedOut),
-                            rtt: ctx.now().since(o.first_sent_at),
-                        });
-                        // The failure freed window space just like a
-                        // completion: drain queued requests now instead of
-                        // stalling them until an unrelated completion.
-                        self.kick_all(ctx, nic);
-                    } else {
-                        // Window slot stays held: this is the same logical
-                        // request. Hand the slot bookkeeping over by not
-                        // releasing and queueing the retransmission.
-                        self.queue_retransmit(ctx, o, req_id);
-                    }
+                if self.handle_nack(ctx, req_id, &mut done) {
+                    // The failure freed window space just like a
+                    // completion: drain queued requests now instead of
+                    // stalling them until an unrelated completion.
+                    self.kick_all(ctx, nic);
+                }
+            }
+            ClioPacket::BatchNack { req_ids } => {
+                // Unbatch the coalesced NACKs of one corrupted batch frame:
+                // each entry retries exactly as if its NACK had arrived
+                // alone, and because every retry is queued in this same
+                // event, the retry doorbell re-coalesces them into shared
+                // `Batch` frames — recovery stays at one frame per
+                // direction per corrupted frame.
+                let mut failed = false;
+                for req_id in req_ids {
+                    failed |= self.handle_nack(ctx, req_id, &mut done);
+                }
+                if failed {
+                    self.kick_all(ctx, nic);
                 }
             }
             // CNs never receive requests (batched or not).
             ClioPacket::Request { .. } | ClioPacket::Batch { .. } => {}
         }
         done
+    }
+
+    /// Handles one link-layer NACK — shared by plain `Nack` frames and
+    /// unbatched `BatchNack` entries. The corrupted request is retried
+    /// immediately (no congestion signal; corruption is not loss). Returns
+    /// whether the entry *failed* the request (exhausted retries) and so
+    /// freed window space the caller should re-drain.
+    fn handle_nack(&mut self, ctx: &mut Ctx<'_>, req_id: ReqId, done: &mut Vec<XferDone>) -> bool {
+        let Some(mut o) = self.outstanding.remove(&req_id) else {
+            return false; // stale/duplicate NACK
+        };
+        if let Some(t) = o.timer.take() {
+            ctx.cancel(t);
+        }
+        self.retry_count += 1;
+        o.retries += 1;
+        if o.retries > self.cfg.max_retries {
+            self.release_windows(ctx.now(), &o, None);
+            done.push(XferDone {
+                token: o.token,
+                result: Err(ClioError::TimedOut),
+                rtt: ctx.now().since(o.first_sent_at),
+            });
+            true
+        } else {
+            // Window slot stays held: this is the same logical request.
+            // Hand the slot bookkeeping over by not releasing and queueing
+            // the retransmission.
+            self.queue_retransmit(ctx, o, req_id);
+            false
+        }
     }
 
     /// Completes one response entry — shared by plain `Response` frames and
@@ -887,8 +943,8 @@ impl Transport {
             if self.batching() && packets.len() == 1 && o.blueprint.is_batchable() {
                 let pkt = packets.pop().expect("single packet");
                 let entry_wire = codec::wire_len(&pkt);
-                if !batch.fits(entry_wire) {
-                    self.flush_batch(ctx, nic, target, &mut batch);
+                if !batch.fits(entry_wire) && self.flush_batch(ctx, nic, target, &mut batch) {
+                    self.retry_frames += 1;
                 }
                 if batch.fits(entry_wire) {
                     let ClioPacket::Request { header, body } = pkt else {
@@ -898,18 +954,24 @@ impl Transport {
                 } else {
                     let wire = (entry_wire + ETH_OVERHEAD_BYTES) as u32;
                     nic.send_at(ctx, send_start, target, wire, Message::new(pkt));
+                    self.retry_frames += 1;
                 }
             } else {
                 // Multi-packet or unbatchable retries flush the batch ahead
                 // of them (send order) and travel alone.
-                self.flush_batch(ctx, nic, target, &mut batch);
+                if self.flush_batch(ctx, nic, target, &mut batch) {
+                    self.retry_frames += 1;
+                }
                 for pkt in &packets {
                     let wire = (codec::wire_len(pkt) + ETH_OVERHEAD_BYTES) as u32;
                     nic.send_at(ctx, send_start, target, wire, Message::new(pkt.clone()));
+                    self.retry_frames += 1;
                 }
             }
         }
-        self.flush_batch(ctx, nic, target, &mut batch);
+        if self.flush_batch(ctx, nic, target, &mut batch) {
+            self.retry_frames += 1;
+        }
     }
 
     /// Handles a transport timer routed back by the host actor.

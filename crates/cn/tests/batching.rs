@@ -298,17 +298,24 @@ fn staggered_closed_loop_burst_coalesces_both_directions_under_doorbell_delay() 
     // does every response.
     let zero_hold = CBoardConfig {
         resp_batch_max_ops: 1,
-        egress_doorbell_delay: SimDuration::ZERO,
+        egress_doorbell_delay: Some(SimDuration::ZERO),
         ..CBoardConfig::test_small()
     };
-    let wide = CLibConfig { cwnd_init: 128.0, cwnd_max: 256.0, ..CLibConfig::prototype() };
+    // An explicit zero doorbell budget: the RTT-derived default would start
+    // holding once warmed up, and this baseline wants the bare wire.
+    let wide = CLibConfig {
+        doorbell_max_delay: Some(SimDuration::ZERO),
+        cwnd_init: 128.0,
+        cwnd_max: 256.0,
+        ..CLibConfig::prototype()
+    };
     let (rx_plain, tx_plain, data_plain) = staggered_burst_run(wide, zero_hold);
     assert_eq!(rx_plain, 64, "staggered submissions never share a zero-delay doorbell");
     assert_eq!(tx_plain, 64, "unbatched egress pays one frame per response");
 
     // Adaptive doorbell on the CN + default bounded egress hold on the MN.
     let adaptive = CLibConfig {
-        doorbell_max_delay: SimDuration::from_micros(4),
+        doorbell_max_delay: Some(SimDuration::from_micros(4)),
         cwnd_init: 128.0,
         cwnd_max: 256.0,
         ..CLibConfig::prototype()
@@ -414,6 +421,111 @@ fn same_instant_timeouts_recoalesce_retries_into_batch_frames() {
         retry_frames <= 2,
         "8 same-instant retries should share 1-2 frames, got {retry_frames}"
     );
+}
+
+#[test]
+fn corrupted_64_op_burst_recovers_in_ceil_frames_per_direction() {
+    // Acceptance bar for the coalesced error path: a 64-op burst ships in
+    // ceil(64/16) = 4 batch frames; corrupting all four must produce at
+    // most 4 NACK frames back (one BatchNack per corrupted frame) and at
+    // most 4 coalesced retry frames forward — recovery never exceeds
+    // ceil(n / batch_max_ops) frames per direction.
+    const OPS: u64 = 64;
+    let mut r = rig(CLibConfig { cwnd_init: 128.0, cwnd_max: 256.0, ..CLibConfig::prototype() });
+    let va = r.alloc(7, OPS * PAGE);
+    for p in 0..OPS {
+        r.submit(
+            0,
+            Op::Write {
+                mn: r.board_mac,
+                pid: Pid(7),
+                va: va + p * PAGE,
+                data: Bytes::from(vec![p as u8 + 1; OP_LEN as usize]),
+            },
+        );
+    }
+    let stats0 = r.sim.actor::<CBoard>(r.board).stats();
+    let comps_before = r.completions().len();
+    // Deterministically corrupt exactly the burst's four batch frames.
+    r.net.set_faults(
+        &mut r.sim,
+        r.board_mac,
+        FaultInjector { corrupt_next: 4, ..FaultInjector::none() },
+    );
+    for p in 0..OPS {
+        r.submit_nowait(
+            0,
+            Op::Read { mn: r.board_mac, pid: Pid(7), va: va + p * PAGE, len: OP_LEN },
+        );
+    }
+    r.sim.run_until_idle();
+
+    // Every read recovered with the right data.
+    let reads = &r.completions()[comps_before..];
+    assert_eq!(reads.len() as u64, OPS);
+    for (p, c) in reads.iter().enumerate() {
+        match &c.result {
+            Ok(CompletionValue::Data(d)) => {
+                assert!(d.iter().all(|&b| b == p as u8 + 1), "page {p} wrong data after recovery")
+            }
+            other => panic!("read {p} failed to recover: {other:?}"),
+        }
+    }
+
+    let stats = r.sim.actor::<CBoard>(r.board).stats();
+    let ceil_frames = OPS.div_ceil(CLibConfig::prototype().batch_max_ops as u64);
+    assert_eq!(stats.nacks - stats0.nacks, OPS, "every entry of every corrupted frame NACKed");
+    let nack_frames = stats.nack_frames - stats0.nack_frames;
+    assert!(
+        nack_frames <= ceil_frames,
+        "NACKs must coalesce: {nack_frames} NACK frames > ceil(64/16) = {ceil_frames}"
+    );
+    let host = r.sim.actor::<CnHost>(r.cn);
+    assert_eq!(host.clib.retry_count(), OPS, "each read retried exactly once");
+    assert!(
+        host.clib.retry_frames() <= ceil_frames,
+        "retries must coalesce: {} retry frames > {ceil_frames}",
+        host.clib.retry_frames()
+    );
+    // Per direction: 4 original + <=4 retry frames in, <=4 NACK frames plus
+    // the (batched) responses out.
+    let rx = stats.rx_frames - stats0.rx_frames;
+    assert!(rx <= 2 * ceil_frames, "CN->MN took {rx} frames, bound {}", 2 * ceil_frames);
+}
+
+#[test]
+fn nack_coalescing_with_sub_entry_byte_budget_falls_back_to_plain_nacks() {
+    // Regression: a resp_batch_max_bytes below even one BatchNack entry
+    // (3 B framing + 8 B id) used to panic the board on the corrupted-batch
+    // path; it must degrade to one plain Nack frame per entry instead.
+    let board_cfg = CBoardConfig { resp_batch_max_bytes: 8, ..CBoardConfig::test_small() };
+    let mut r = rig_full(CLibConfig { cwnd_init: 32.0, ..CLibConfig::prototype() }, board_cfg);
+    let va = r.alloc(7, 8 * PAGE);
+    for p in 0..8u64 {
+        r.submit(
+            0,
+            Op::Write {
+                mn: r.board_mac,
+                pid: Pid(7),
+                va: va + p * PAGE,
+                data: Bytes::from(vec![p as u8 + 1; 16]),
+            },
+        );
+    }
+    r.net.set_faults(
+        &mut r.sim,
+        r.board_mac,
+        FaultInjector { corrupt_next: 1, ..FaultInjector::none() },
+    );
+    for p in 0..8u64 {
+        r.submit_nowait(0, Op::Read { mn: r.board_mac, pid: Pid(7), va: va + p * PAGE, len: 16 });
+    }
+    r.sim.run_until_idle();
+    let stats = r.sim.actor::<CBoard>(r.board).stats();
+    assert_eq!(stats.nacks, 8, "the whole corrupted batch was NACKed");
+    assert_eq!(stats.nack_frames, 8, "sub-entry byte budget: one plain Nack frame per entry");
+    let host = r.sim.actor::<CnHost>(r.cn);
+    assert!(host.completions.iter().all(|c| c.result.is_ok()), "an op failed to recover");
 }
 
 #[test]

@@ -9,6 +9,14 @@
 //! This holds because `cn::ordering` serializes conflicting (same-page)
 //! operations in program order no matter how submissions are framed, and
 //! batching shares only wire frames, never reliability or ordering state.
+//!
+//! A second property extends the equivalence to the **error path**: with a
+//! script of frame corruptions and drops injected between CN and MN, a
+//! board that NACKs a corrupted batch frame with one coalesced `BatchNack`
+//! must be observationally equivalent to a board that NACKs every entry in
+//! its own frame — same per-op results, same final memory (so `retry_of`
+//! dedup suppressed the same double executions), and all CN-side windows
+//! drained — across arbitrary corruption/timeout interleavings.
 
 use bytes::Bytes;
 use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, ThreadId};
@@ -145,7 +153,7 @@ fn run_mode(ops: &[TestOp], mode: Mode) -> (Vec<Result<CompletionValue, ClioErro
         Mode::Unbatched => (CLibConfig::prototype_unbatched(), CBoardConfig::prototype_unbatched()),
         Mode::Batched | Mode::ScatterGather => (
             CLibConfig {
-                doorbell_max_delay: SimDuration::from_micros(2),
+                doorbell_max_delay: Some(SimDuration::from_micros(2)),
                 ..CLibConfig::prototype()
             },
             CBoardConfig::test_small(),
@@ -238,5 +246,218 @@ proptest! {
         prop_assert_eq!(&res_sg, &res_plain, "scatter/gather results diverge");
         prop_assert_eq!(&mem_batched, &mem_plain, "batched memory diverges");
         prop_assert_eq!(&mem_sg, &mem_plain, "scatter/gather memory diverges");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame-corruption injection: coalesced vs per-entry NACK recovery
+// ---------------------------------------------------------------------
+
+/// What the corruption proxy does with one CN → MN request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameFate {
+    Deliver,
+    /// Delivered with a failing integrity check: the board NACKs every
+    /// request the frame carried.
+    Corrupt,
+    /// Silently dropped: every request the frame carried times out.
+    Drop,
+}
+
+impl FrameFate {
+    fn from_byte(b: u8) -> Self {
+        // Bias toward delivery so scripts rarely exhaust retry budgets.
+        match b % 8 {
+            0 | 1 => FrameFate::Corrupt,
+            2 => FrameFate::Drop,
+            _ => FrameFate::Deliver,
+        }
+    }
+}
+
+/// Sits on the wire between the CN and the board: forwards frames by
+/// destination MAC, applying the scripted fate to each CN → MN frame once
+/// `armed` (the setup prologue runs fault-free). MN → CN frames pass
+/// untouched.
+struct CorruptProxy {
+    cn: Option<clio_sim::ActorId>,
+    board: Option<clio_sim::ActorId>,
+    board_mac: Mac,
+    script: Vec<FrameFate>,
+    next: usize,
+    armed: bool,
+}
+
+impl Actor for CorruptProxy {
+    fn name(&self) -> &str {
+        "corrupt-proxy"
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let mut frame = msg.downcast::<Frame>().expect("frame");
+        let dst = if frame.dst == self.board_mac {
+            if self.armed {
+                let fate = self.script.get(self.next).copied().unwrap_or(FrameFate::Deliver);
+                self.next += 1;
+                match fate {
+                    FrameFate::Deliver => {}
+                    FrameFate::Corrupt => frame.corrupted = true,
+                    FrameFate::Drop => return,
+                }
+            }
+            self.board.expect("wired")
+        } else {
+            self.cn.expect("wired")
+        };
+        ctx.send(dst, SimDuration::from_nanos(300), Message::new(frame));
+    }
+}
+
+/// Executes `ops` against a real CBoard behind the corruption proxy and
+/// returns per-op results plus the final bytes of every page. `coalesced`
+/// selects the board's NACK framing: `true` packs a corrupted batch
+/// frame's NACKs into one `BatchNack`, `false` keeps one `Nack` frame per
+/// entry (response batching disabled).
+fn run_corrupted(
+    ops: &[TestOp],
+    script: &[FrameFate],
+    coalesced: bool,
+) -> (Vec<Result<CompletionValue, ClioError>>, Vec<Bytes>) {
+    use clio_net::NicPort;
+    use clio_sim::Bandwidth;
+
+    let clib_cfg = CLibConfig {
+        // Generous retry budget: scripts may corrupt or drop several
+        // frames in a row and every op must still eventually succeed, so
+        // equivalence compares values, not failure timing.
+        max_retries: 24,
+        request_timeout: SimDuration::from_micros(30),
+        ..CLibConfig::prototype()
+    };
+    let board_cfg = if coalesced {
+        CBoardConfig::test_small()
+    } else {
+        CBoardConfig { hw: CBoardConfig::test_small().hw, ..CBoardConfig::prototype_unbatched() }
+    };
+    let page = board_cfg.hw.page_size;
+
+    let mut sim = Simulation::new(31);
+    let cn_mac = Mac(1);
+    let board_mac = Mac(2);
+    let proxy = sim.add_actor(CorruptProxy {
+        cn: None,
+        board: None,
+        board_mac,
+        script: script.to_vec(),
+        next: 0,
+        armed: false,
+    });
+    let bport =
+        NicPort::new(board_mac, Bandwidth::from_gbps(10), proxy, SimDuration::from_nanos(50));
+    let board = sim.add_actor(CBoard::new("mn0", board_cfg, bport));
+    let cport = NicPort::new(cn_mac, Bandwidth::from_gbps(40), proxy, SimDuration::from_nanos(50));
+    let cn = sim.add_actor(CnHost {
+        nic: cport,
+        clib: CLib::new(clib_cfg, 1, page),
+        completions: vec![],
+    });
+    sim.actor_mut::<CorruptProxy>(proxy).cn = Some(cn);
+    sim.actor_mut::<CorruptProxy>(proxy).board = Some(board);
+
+    // Fault-free prologue: allocate and initialize every page.
+    sim.post(
+        cn,
+        Message::new(Submit {
+            op: Op::Alloc {
+                mn: board_mac,
+                pid: Pid(PID),
+                size: PAGES * PAGE,
+                perm: Perm::RW,
+                fixed_va: None,
+            },
+        }),
+    );
+    sim.run_until_idle();
+    let va = match &sim.actor::<CnHost>(cn).completions.last().expect("alloc").result {
+        Ok(CompletionValue::Va(va)) => *va,
+        other => panic!("alloc failed: {other:?}"),
+    };
+    for p in 0..PAGES {
+        sim.post(
+            cn,
+            Message::new(Submit {
+                op: Op::Write {
+                    mn: board_mac,
+                    pid: Pid(PID),
+                    va: va + p * PAGE,
+                    data: Bytes::from(vec![p as u8; 24]),
+                },
+            }),
+        );
+        sim.run_until_idle();
+    }
+    let skip = sim.actor::<CnHost>(cn).completions.len();
+
+    // Arm the fault script and fire the workload as same-instant bursts so
+    // multi-entry batch frames actually form and get corrupted wholesale.
+    sim.actor_mut::<CorruptProxy>(proxy).armed = true;
+    for (i, &op) in ops.iter().enumerate() {
+        sim.post_in(
+            cn,
+            SimDuration::from_nanos(20 * i as u64),
+            Message::new(Submit { op: to_op(op, board_mac, va) }),
+        );
+    }
+    sim.run_until_idle();
+
+    let host = sim.actor::<CnHost>(cn);
+    assert_eq!(host.clib.in_flight(), 0, "an op never completed");
+    let mut measured: Vec<Completion> = host.completions[skip..].to_vec();
+    measured.sort_by_key(|c| c.token);
+    assert_eq!(measured.len(), ops.len(), "every op completes exactly once");
+    let results = measured.into_iter().map(|c| c.result).collect();
+
+    // Fault-free epilogue: read back every page.
+    sim.actor_mut::<CorruptProxy>(proxy).armed = false;
+    let mut pages = Vec::new();
+    for p in 0..PAGES {
+        sim.post(
+            cn,
+            Message::new(Submit {
+                op: Op::Read { mn: board_mac, pid: Pid(PID), va: va + p * PAGE, len: 24 },
+            }),
+        );
+        sim.run_until_idle();
+        match &sim.actor::<CnHost>(cn).completions.last().expect("read").result {
+            Ok(CompletionValue::Data(d)) => pages.push(d.clone()),
+            other => panic!("readback failed: {other:?}"),
+        }
+    }
+    (results, pages)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Coalesced-NACK recovery must be observationally equivalent to
+    /// per-entry NACK recovery: same per-op results, same final memory
+    /// (same dedup decisions — a double-executed FAA or write would show
+    /// up in both), windows drained, across arbitrary corruption and
+    /// timeout interleavings.
+    #[test]
+    fn batched_nack_recovery_is_observationally_equivalent(
+        ops in proptest::collection::vec(arb_op(), 1..20),
+        script_bytes in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let script: Vec<FrameFate> =
+            script_bytes.iter().map(|&b| FrameFate::from_byte(b)).collect();
+        let (res_batched, mem_batched) = run_corrupted(&ops, &script, true);
+        let (res_per_entry, mem_per_entry) = run_corrupted(&ops, &script, false);
+        prop_assert_eq!(&res_batched, &res_per_entry, "coalesced-NACK results diverge");
+        prop_assert_eq!(&mem_batched, &mem_per_entry, "coalesced-NACK memory diverges");
+        // And recovery is lossless: every op must have succeeded (the
+        // retry budget is sized above any script this strategy generates).
+        for (i, r) in res_batched.iter().enumerate() {
+            prop_assert!(r.is_ok(), "op {} failed to recover: {:?}", i, r);
+        }
     }
 }

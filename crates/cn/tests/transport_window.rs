@@ -6,14 +6,23 @@
 //! that once every submitted request has completed or failed, all three
 //! window accounts drain to zero: transport `outstanding`, the congestion
 //! window's in-flight count, and the incast window's in-flight bytes. Runs
-//! with batching both off and on, so batched sends share the invariant.
+//! with batching both off and on, so batched sends share the invariant;
+//! when several entries of one batch frame draw the NACK fate, their NACKs
+//! travel coalesced as a `BatchNack`, covering the batched error path too.
+//!
+//! Also pins the RTT-derived doorbell budget: `doorbell_max_delay = None`
+//! derives the hold budget from the congestion window's smoothed RTT
+//! (≤ srtt/4), never exceeds the static cap, falls back to the static
+//! default (zero) before the first RTT sample, and forgets the derivation
+//! on `CongestionWindow::reset`.
 
 use bytes::Bytes;
 use clio_cn::config::CLibConfig;
 use clio_cn::transport::{AtomicKind, Blueprint, Transport, TransportTimer, XferDone, XferToken};
 use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{
-    codec, ClioPacket, ReqHeader, RequestBody, RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES,
+    codec, ClioPacket, ReqHeader, ReqId, RequestBody, RespHeader, ResponseBody, Status,
+    ETH_OVERHEAD_BYTES,
 };
 use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, SimDuration, Simulation};
 use proptest::prelude::*;
@@ -110,7 +119,10 @@ impl ScriptedMn {
         ctx.send(self.cn.expect("wired up"), SimDuration::from_micros(1), Message::new(frame));
     }
 
-    fn serve(&mut self, ctx: &mut Ctx<'_>, header: ReqHeader, body: RequestBody) {
+    /// Serves one request; NACK fates are returned to the caller instead of
+    /// being sent, so the entries of one batch frame can coalesce into a
+    /// single `BatchNack` (mirroring the board's corrupted-frame path).
+    fn serve(&mut self, ctx: &mut Ctx<'_>, header: ReqHeader, body: RequestBody) -> Option<ReqId> {
         match self.fate() {
             Fate::Ok => {
                 let resp = match &body {
@@ -146,9 +158,10 @@ impl ScriptedMn {
                     body: ResponseBody::Done,
                 },
             ),
-            Fate::Nack => self.reply(ctx, ClioPacket::Nack { req_id: header.req_id }),
+            Fate::Nack => return Some(header.req_id),
             Fate::Drop => {}
         }
+        None
     }
 }
 
@@ -159,10 +172,24 @@ impl Actor for ScriptedMn {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         let frame = msg.downcast::<Frame>().expect("frame");
         match frame.payload.downcast::<ClioPacket>().expect("clio packet") {
-            ClioPacket::Request { header, body } => self.serve(ctx, header, body),
+            ClioPacket::Request { header, body } => {
+                if let Some(req_id) = self.serve(ctx, header, body) {
+                    self.reply(ctx, ClioPacket::Nack { req_id });
+                }
+            }
             ClioPacket::Batch { requests } => {
+                // NACK-fated entries of one frame ship as one BatchNack,
+                // like the board's corrupted-batch path.
+                let mut nacked = Vec::new();
                 for (header, body) in requests {
-                    self.serve(ctx, header, body);
+                    if let Some(req_id) = self.serve(ctx, header, body) {
+                        nacked.push(req_id);
+                    }
+                }
+                match nacked.len() {
+                    0 => {}
+                    1 => self.reply(ctx, ClioPacket::Nack { req_id: nacked[0] }),
+                    _ => self.reply(ctx, ClioPacket::BatchNack { req_ids: nacked }),
                 }
             }
             other => panic!("MN got {other:?}"),
@@ -231,4 +258,80 @@ proptest! {
     ) {
         run_case(&op_kinds, &script, if batched { 8 } else { 1 }, seed);
     }
+}
+
+// ---------------------------------------------------------------------
+// RTT-derived doorbell budget (doorbell_max_delay = None)
+// ---------------------------------------------------------------------
+
+use clio_sim::{SimDuration as D, SimTime};
+
+/// Drives a bare transport's congestion window with synthetic RTT samples
+/// and checks every clause of the derivation contract.
+#[test]
+fn rtt_derived_budget_caps_falls_back_and_resets() {
+    let cfg = CLibConfig { doorbell_max_delay: None, ..CLibConfig::prototype() };
+    let mut t = Transport::new(cfg, 1);
+
+    // Before any RTT sample: the static default (zero) — never hold blind.
+    assert_eq!(t.doorbell_budget(MN_MAC), CLibConfig::DOORBELL_FALLBACK_DELAY);
+    assert_eq!(t.doorbell_budget(MN_MAC), D::ZERO);
+
+    // One 8 µs response: srtt = 8 µs, budget = srtt/4 = 2 µs (< cap).
+    let now = SimTime::from_nanos(1000);
+    assert!(t.cwnd(MN_MAC).try_acquire(now));
+    t.cwnd(MN_MAC).on_response(now, D::from_micros(8));
+    assert_eq!(t.cwnd(MN_MAC).srtt(), Some(D::from_micros(8)));
+    assert_eq!(t.doorbell_budget(MN_MAC), D::from_micros(2));
+
+    // Hammer huge RTTs: srtt grows, but the budget never exceeds the cap.
+    for i in 0..64u64 {
+        let at = SimTime::from_nanos(10_000 + i * 1000);
+        if t.cwnd(MN_MAC).try_acquire(at) {
+            t.cwnd(MN_MAC).on_response(at, D::from_micros(400));
+        }
+    }
+    let srtt = t.cwnd(MN_MAC).srtt().expect("warmed up");
+    assert!(srtt / 4 > CLibConfig::DOORBELL_DERIVED_CAP, "srtt grew past the cap threshold");
+    assert_eq!(t.doorbell_budget(MN_MAC), CLibConfig::DOORBELL_DERIVED_CAP);
+
+    // A window reset forgets the derivation: back to the fallback.
+    t.cwnd(MN_MAC).reset();
+    assert_eq!(t.cwnd(MN_MAC).srtt(), None);
+    assert_eq!(t.doorbell_budget(MN_MAC), CLibConfig::DOORBELL_FALLBACK_DELAY);
+}
+
+#[test]
+fn static_budget_overrides_derivation() {
+    let cfg = CLibConfig { doorbell_max_delay: Some(D::from_micros(1)), ..CLibConfig::prototype() };
+    let mut t = Transport::new(cfg, 1);
+    assert_eq!(t.doorbell_budget(MN_MAC), D::from_micros(1), "override before warm-up");
+    let now = SimTime::from_nanos(1000);
+    assert!(t.cwnd(MN_MAC).try_acquire(now));
+    t.cwnd(MN_MAC).on_response(now, D::from_micros(100));
+    assert_eq!(t.doorbell_budget(MN_MAC), D::from_micros(1), "override after warm-up too");
+}
+
+/// End to end: after real traffic against the scripted MN (all-Ok fates)
+/// with no static delay configured, the hold budget is derived from the
+/// measured RTT and stays at or under srtt/4.
+#[test]
+fn doorbell_budget_derives_from_measured_rtt_after_warmup() {
+    let cfg = CLibConfig { doorbell_max_delay: None, ..CLibConfig::prototype() };
+    let mut sim = Simulation::new(11);
+    let mn_id = sim.add_actor(ScriptedMn { cn: None, script: vec![], next: 0 });
+    let nic = NicPort::new(CN_MAC, Bandwidth::from_gbps(40), mn_id, SimDuration::from_nanos(50));
+    let cn_id = sim.add_actor(Host { nic, transport: Transport::new(cfg, 1), done: vec![] });
+    sim.actor_mut::<ScriptedMn>(mn_id).cn = Some(cn_id);
+    let ops: Vec<Blueprint> = (0..24).map(|k| blueprint_of(k as u8)).collect();
+    sim.post(cn_id, Message::new(Go { ops }));
+    sim.run_until_idle();
+    let host = sim.actor_mut::<Host>(cn_id);
+    assert_eq!(host.done.len(), 24, "warm-up traffic completed");
+    let srtt = host.transport.cwnd(MN_MAC).srtt().expect("RTT measured");
+    let budget = host.transport.doorbell_budget(MN_MAC);
+    assert!(!budget.is_zero(), "warmed-up derived budget engages");
+    assert!(budget <= srtt / 4, "hold budget {budget} exceeds srtt/4 ({})", srtt / 4);
+    assert!(budget <= CLibConfig::DOORBELL_DERIVED_CAP);
+    assert_eq!(budget, (srtt / 4).min(CLibConfig::DOORBELL_DERIVED_CAP));
 }

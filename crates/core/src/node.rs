@@ -597,6 +597,11 @@ impl ComputeNode {
         &self.core.clib
     }
 
+    /// This node's link-layer address (per-port fabric stats lookups).
+    pub fn mac(&self) -> Mac {
+        self.core.nic.mac()
+    }
+
     /// Borrows a driver's concrete state (harvesting measurements).
     ///
     /// # Panics

@@ -132,6 +132,11 @@ pub struct Silicon {
     atomic_unit: SerialResource,
     dedup: DedupBuffer,
     internal_access: bool,
+    /// `Some(paid)` while executing the entries of one batched ingress
+    /// frame: the frame's MAC/PHY ingress crossing is charged to the first
+    /// entry only (`paid` flips to `true` after it), so a 16-entry batch
+    /// frame pays ingress MAC once and per-entry parse sixteen times.
+    ingress_frame: Option<bool>,
     stats: SiliconStats,
 }
 
@@ -148,6 +153,7 @@ impl Silicon {
             atomic_unit: SerialResource::new(),
             dedup: DedupBuffer::with_byte_budget(cfg.dedup_buffer_bytes, cfg.dedup_entry_bytes),
             internal_access: false,
+            ingress_frame: None,
             stats: SiliconStats::default(),
             cfg,
         }
@@ -195,8 +201,24 @@ impl Silicon {
 
     /// Common front-end: MAC/PHY ingress, II-gate admission, parse cycles.
     /// Returns (time at translate stage, partial breakdown, arrival).
+    ///
+    /// Ingress MAC/PHY is charged per **frame**, not per request: inside a
+    /// [`begin_ingress_frame`](Self::begin_ingress_frame) bracket only the
+    /// first entry pays it — the rest of the batch already crossed the MAC
+    /// in the same Ethernet frame and pays per-entry parse only.
     fn front_end(&mut self, now: SimTime, payload_bytes: u64) -> (SimTime, Breakdown) {
-        let mac = if self.internal_access { SimDuration::ZERO } else { self.cfg.mac_phy_latency };
+        let mac = if self.internal_access {
+            SimDuration::ZERO
+        } else {
+            match &mut self.ingress_frame {
+                Some(paid @ false) => {
+                    *paid = true;
+                    self.cfg.mac_phy_latency
+                }
+                Some(true) => SimDuration::ZERO,
+                None => self.cfg.mac_phy_latency,
+            }
+        };
         let mut b = Breakdown::default();
         let at_pipeline = now + mac;
         b.mac_phy += mac;
@@ -222,6 +244,23 @@ impl Silicon {
     /// MAT, on-chip — §4.6). Returns the previous mode.
     pub fn set_internal_access(&mut self, internal: bool) -> bool {
         std::mem::replace(&mut self.internal_access, internal)
+    }
+
+    /// Begins a batched ingress frame: until
+    /// [`end_ingress_frame`](Self::end_ingress_frame), the MAC/PHY ingress
+    /// crossing is charged to the first fast-path access only — the
+    /// remaining entries of the batch arrived in the same Ethernet frame,
+    /// so they pay per-entry parse (and egress) but not ingress MAC again.
+    /// Internal (extend-path) accesses inside the bracket stay free and do
+    /// not consume the frame's ingress charge.
+    pub fn begin_ingress_frame(&mut self) {
+        self.ingress_frame = Some(false);
+    }
+
+    /// Ends the current batched ingress frame (see
+    /// [`begin_ingress_frame`](Self::begin_ingress_frame)).
+    pub fn end_ingress_frame(&mut self) {
+        self.ingress_frame = None;
     }
 
     /// Translates every page a `[va, va+len)` access touches, accumulating

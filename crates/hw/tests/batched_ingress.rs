@@ -1,0 +1,122 @@
+//! Per-frame MAC/PHY accounting for batched ingress.
+//!
+//! A batch frame crosses the board's MAC/PHY once, however many requests it
+//! carries; only parsing is per entry. These tests pin the `Silicon` timing
+//! contract the CBoard relies on when it unbatches `ClioPacket::Batch`
+//! frames: inside a `begin_ingress_frame`/`end_ingress_frame` bracket the
+//! ingress MAC latency is charged to the first entry only, per-entry parse
+//! and response cycles are unchanged, and extend-path internal accesses
+//! keep charging zero MAC either way.
+
+use clio_hw::pagetable::Pte;
+use clio_hw::silicon::Breakdown;
+use clio_hw::{CBoardHwConfig, Silicon};
+use clio_proto::{Perm, Pid};
+use clio_sim::{SimDuration, SimTime};
+
+const ENTRIES: u64 = 16;
+
+fn warm_board() -> Silicon {
+    let mut s = Silicon::new(CBoardHwConfig::test_small());
+    // test_small's async buffer holds 8 pages: keep it topped up while the
+    // warm-up loop faults one page per write.
+    for ppn in 1..=8 {
+        s.vm_mut().async_buffer_mut().push(ppn);
+    }
+    for vpn in 0..ENTRIES {
+        s.vm_mut()
+            .install_pte(Pte { pid: Pid(1), vpn, ppn: 0, perm: Perm::RW, valid: false })
+            .expect("install");
+        // Fault the page in and warm the TLB so every later read is a pure
+        // hit with deterministic per-stage costs.
+        s.write(SimTime::ZERO, Pid(1), vpn * 4096, &[vpn as u8; 8]).0.expect("warm");
+        s.vm_mut().async_buffer_mut().push(9 + vpn);
+    }
+    s
+}
+
+/// Runs 16 one-page reads at the same arrival instant, optionally bracketed
+/// as one ingress frame, and returns the per-entry breakdowns.
+fn run_reads(s: &mut Silicon, t: SimTime, framed: bool) -> Vec<Breakdown> {
+    if framed {
+        s.begin_ingress_frame();
+    }
+    let breakdowns: Vec<Breakdown> = (0..ENTRIES)
+        .map(|i| {
+            let (res, timing) = s.read(t, Pid(1), i * 4096, 16);
+            res.expect("read");
+            timing.breakdown
+        })
+        .collect();
+    if framed {
+        s.end_ingress_frame();
+    }
+    breakdowns
+}
+
+#[test]
+fn batched_frame_charges_ingress_mac_once_and_parse_per_entry() {
+    let mut s = warm_board();
+    let mac = s.config().mac_phy_latency;
+    let parse = s.config().clock.cycles(s.config().parse_cycles);
+    let respond = s.config().clock.cycles(s.config().response_cycles);
+
+    let framed = run_reads(&mut s, SimTime::from_nanos(100_000), true);
+    assert_eq!(framed.len() as u64, ENTRIES);
+    // The frame's single ingress crossing lands on the first entry; every
+    // entry still pays its own egress MAC.
+    assert_eq!(framed[0].mac_phy, mac * 2, "first entry pays ingress + egress");
+    for (i, b) in framed.iter().enumerate().skip(1) {
+        assert_eq!(b.mac_phy, mac, "entry {i} must pay egress MAC only");
+    }
+    let total_mac: SimDuration =
+        framed.iter().map(|b| b.mac_phy).fold(SimDuration::ZERO, |a, d| a + d);
+    assert_eq!(total_mac, mac * (1 + ENTRIES), "one ingress charge + 16 egress charges");
+    // Per-entry parse/response cycles are untouched by the frame bracket.
+    let total_pipeline: SimDuration =
+        framed.iter().map(|b| b.pipeline_cycles).fold(SimDuration::ZERO, |a, d| a + d);
+    assert_eq!(total_pipeline, (parse + respond) * ENTRIES, "16 parse costs stay per entry");
+}
+
+#[test]
+fn unbatched_ingress_still_charges_mac_per_request() {
+    let mut s = warm_board();
+    let mac = s.config().mac_phy_latency;
+    let plain = run_reads(&mut s, SimTime::from_nanos(100_000), false);
+    for (i, b) in plain.iter().enumerate() {
+        assert_eq!(b.mac_phy, mac * 2, "standalone request {i} pays MAC both ways");
+    }
+}
+
+#[test]
+fn frame_bracket_resets_between_frames() {
+    let mut s = warm_board();
+    let mac = s.config().mac_phy_latency;
+    let first = run_reads(&mut s, SimTime::from_nanos(100_000), true);
+    let second = run_reads(&mut s, SimTime::from_nanos(200_000), true);
+    assert_eq!(first[0].mac_phy, mac * 2);
+    assert_eq!(second[0].mac_phy, mac * 2, "a new frame pays ingress again");
+    // And a plain request after the bracket is back to the standalone cost.
+    let (_, t) = s.read(SimTime::from_nanos(300_000), Pid(1), 0, 16);
+    assert_eq!(t.breakdown.mac_phy, mac * 2);
+}
+
+#[test]
+fn internal_access_still_charges_zero_mac_inside_a_frame() {
+    let mut s = warm_board();
+    let mac = s.config().mac_phy_latency;
+    s.begin_ingress_frame();
+    // Extend-path accesses sit behind the MAT (§4.6): no MAC/PHY at all,
+    // and they must not consume the frame's single ingress charge.
+    s.set_internal_access(true);
+    let (_, internal) = s.read(SimTime::from_nanos(100_000), Pid(1), 0, 16);
+    assert_eq!(internal.breakdown.mac_phy, SimDuration::ZERO, "internal access charges zero");
+    s.set_internal_access(false);
+    let (_, external) = s.read(SimTime::from_nanos(100_000), Pid(1), 4096, 16);
+    assert_eq!(
+        external.breakdown.mac_phy,
+        mac * 2,
+        "the frame's ingress charge goes to the first *external* entry"
+    );
+    s.end_ingress_frame();
+}

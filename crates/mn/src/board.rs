@@ -12,8 +12,13 @@
 //! Batch frames (`ClioPacket::Batch`) are unbatched at ingress: every entry
 //! dispatches through the same match-and-action table in batch order and
 //! responds independently, so the CN's per-request reliability (retries,
-//! dedup via `retry_of`) is oblivious to how requests were framed. A
-//! corrupted batch frame is NACKed per entry.
+//! dedup via `retry_of`) is oblivious to how requests were framed. The
+//! frame's MAC/PHY ingress crossing is charged **once per frame** in the
+//! [`Silicon`] timing model (per-entry parse only) — a batched frame pays
+//! framing where framing happens. A corrupted batch frame NACKs every
+//! entry it carried in one coalesced `ClioPacket::BatchNack` frame (per
+//! entry only when response batching is disabled), so the error path is as
+//! frame-efficient as the fast path.
 //!
 //! # Egress queue (response batching)
 //!
@@ -31,11 +36,17 @@
 //! completion time (zero added latency — the common case for synchronous
 //! clients); under sustained concurrent load it waits up to the budget so
 //! pipelined completions merge, which is the documented latency/goodput
-//! trade. Multi-fragment read responses and NACKs are never batched or
-//! held (§4.4 wants NACK retries immediate); they flush the frame being
-//! assembled so per-destination send order is preserved. This is the
-//! egress mirror of the CN's request batching: the `tx_frames` stat counts
-//! wire frames, `tx_packets` counts the packets inside them.
+//! trade. The hold's budget is **derived** by default
+//! (`egress_doorbell_delay = None`): a quarter of the destination's
+//! measured request-turnaround EWMA, capped at
+//! `CBoardConfig::EGRESS_DERIVED_CAP` — the MN mirror of the CN's
+//! RTT-derived doorbell budget. Multi-fragment read responses and NACK
+//! frames are never batched *with responses* or held (§4.4 wants NACK
+//! retries immediate); they flush the frame being assembled so
+//! per-destination send order is preserved — but the NACKs of one
+//! corrupted batch frame already travel coalesced as a single `BatchNack`.
+//! This is the egress mirror of the CN's request batching: the `tx_frames`
+//! stat counts wire frames, `tx_packets` counts the packets inside them.
 //!
 //! The board holds exactly the bounded state the paper allows it (§4.5): the
 //! retry-dedup buffer, in-flight synchronization state (one fence barrier +
@@ -52,8 +63,8 @@ use clio_hw::dedup::DedupRecord;
 use clio_hw::silicon::{AtomicOp, Silicon};
 use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{
-    codec, split_read_response, ClioPacket, Pid, ReqHeader, ReqId, RequestBody, RespBatchBuilder,
-    RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES,
+    codec, split_read_response, ClioPacket, NackBatchBuilder, Pid, ReqHeader, ReqId, RequestBody,
+    RespBatchBuilder, RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES,
 };
 use clio_sim::{Actor, ActorId, Ctx, EventId, Message, SimDuration, SimTime};
 
@@ -81,8 +92,12 @@ pub struct BoardStats {
     pub tx_frames: u64,
     /// Responses that left coalesced inside `BatchResp` frames.
     pub batched_responses: u64,
-    /// Link-layer NACKs sent for corrupted frames.
+    /// Link-layer NACKs sent for corrupted frames (one per corrupted
+    /// request, however they were framed).
     pub nacks: u64,
+    /// Wire frames that carried NACKs (a `BatchNack` frame counts once, so
+    /// `nacks / nack_frames` is the error path's coalescing factor).
+    pub nack_frames: u64,
     /// Retries answered from the dedup buffer without re-execution.
     pub dedup_replays: u64,
     /// Slow-path operations served.
@@ -198,6 +213,10 @@ pub struct CBoard {
     egress_last_ready: HashMap<Mac, SimTime>,
     /// EWMA of the response inter-completion gap per destination, in ns.
     egress_gap_ewma: HashMap<Mac, f64>,
+    /// EWMA of the request turnaround (arrival → response ready) per
+    /// destination, in ns: the board-visible component of that CN's RTT,
+    /// from which the derived egress hold budget is computed.
+    egress_turnaround_ewma: HashMap<Mac, f64>,
     regions: RegionTable,
     out_migrations: HashMap<(Pid, u64), OutMigration>,
     in_migrations: HashMap<(Pid, u64), InMigration>,
@@ -227,6 +246,7 @@ impl CBoard {
             egress_doorbells: HashMap::new(),
             egress_last_ready: HashMap::new(),
             egress_gap_ewma: HashMap::new(),
+            egress_turnaround_ewma: HashMap::new(),
             regions: RegionTable::new(),
             out_migrations: HashMap::new(),
             in_migrations: HashMap::new(),
@@ -308,8 +328,31 @@ impl CBoard {
     /// and `tx_frames`/`batched_responses` reflect what actually hits the
     /// NIC.
     fn respond(&mut self, ctx: &mut Ctx<'_>, at: SimTime, dst: Mac, pkt: ClioPacket) {
-        self.stats.tx_packets += 1;
+        self.stats.tx_packets += match &pkt {
+            // A coalesced NACK frame carries one logical NACK per entry.
+            ClioPacket::BatchNack { req_ids } => req_ids.len() as u64,
+            _ => 1,
+        };
         let ready = at.max(ctx.now());
+        // NACK frames and multi-fragment responses never batch with
+        // responses, so holding them buys nothing and only delays
+        // recovery/delivery (§4.4 wants NACK retries immediate): their
+        // doorbell fires at their own ready time. (A `BatchNack` is already
+        // the coalesced form of a whole corrupted frame's NACKs.)
+        let holdable = matches!(&pkt, ClioPacket::Response { header, .. } if header.pkt_count <= 1);
+        // Track the request turnaround (EWMA, α = 1/4): how long this
+        // destination's requests spend on the board before their response
+        // is ready — the board-visible share of the RTT its CN measures,
+        // and the signal the derived egress hold budget is computed from.
+        // Sampled for holdable responses only: NACKs ready after bare
+        // control latency (exactly during a corruption storm) and repeated
+        // read fragments would otherwise drag the estimate — and with it
+        // the derived budget — toward zero when coalescing matters most.
+        if holdable {
+            let turnaround = ready.since(ctx.now()).as_nanos() as f64;
+            let tewma = self.egress_turnaround_ewma.entry(dst).or_insert(turnaround);
+            *tewma = 0.75 * *tewma + 0.25 * turnaround;
+        }
         // Track the response inter-completion gap (EWMA, α = 1/4): the
         // adaptive hold below only engages when completions come faster
         // than the latency budget, i.e. when waiting will actually pay.
@@ -319,10 +362,6 @@ impl CBoard {
             *ewma = 0.75 * *ewma + 0.25 * gap;
         }
         self.prune_egress_history(ctx.now());
-        // NACKs and multi-fragment responses never batch, so holding them
-        // buys nothing and only delays recovery/delivery (§4.4 wants NACK
-        // retries immediate): their doorbell fires at their own ready time.
-        let holdable = matches!(&pkt, ClioPacket::Response { header, .. } if header.pkt_count <= 1);
         let queue = self.egress.entry(dst).or_default();
         // Completion times arrive mostly in order; insert from the back to
         // keep the queue sorted by `ready`.
@@ -355,13 +394,34 @@ impl CBoard {
         }
         let last_ready = &mut self.egress_last_ready;
         let gap_ewma = &mut self.egress_gap_ewma;
+        let turnaround_ewma = &mut self.egress_turnaround_ewma;
         last_ready.retain(|dst, &mut last| {
             let keep = now.since(last) <= MAX_IDLE;
             if !keep {
                 gap_ewma.remove(dst);
+                turnaround_ewma.remove(dst);
             }
             keep
         });
+    }
+
+    /// The egress doorbell's latency budget toward `dst`: the static
+    /// override when one is configured, otherwise a quarter of the
+    /// destination's smoothed request turnaround — capped by
+    /// [`CBoardConfig::EGRESS_DERIVED_CAP`], and
+    /// [`CBoardConfig::EGRESS_FALLBACK_DELAY`] (zero) before the first
+    /// sample, so an uncalibrated destination's responses are never held.
+    fn egress_budget(&self, dst: Mac) -> SimDuration {
+        match self.cfg.egress_doorbell_delay {
+            Some(budget) => budget,
+            None => self
+                .egress_turnaround_ewma
+                .get(&dst)
+                .map(|&t| {
+                    (SimDuration::from_nanos(t as u64) / 4).min(CBoardConfig::EGRESS_DERIVED_CAP)
+                })
+                .unwrap_or(CBoardConfig::EGRESS_FALLBACK_DELAY),
+        }
     }
 
     /// The load-adaptive egress hold (the MN mirror of the CN's doorbell
@@ -370,7 +430,7 @@ impl CBoard {
     /// buy nothing); otherwise the time the observed completion rate needs
     /// to fill the frame's free slots, capped by the budget.
     fn egress_hold(&self, dst: Mac, queued: usize) -> SimDuration {
-        let budget = self.cfg.egress_doorbell_delay;
+        let budget = self.egress_budget(dst);
         if budget.is_zero() || self.cfg.resp_batch_max_ops <= 1 {
             return SimDuration::ZERO;
         }
@@ -392,7 +452,7 @@ impl CBoard {
     fn pump_egress(&mut self, ctx: &mut Ctx<'_>, dst: Mac) {
         self.egress_doorbells.remove(&dst);
         let now = ctx.now();
-        let horizon = now + self.cfg.egress_doorbell_delay;
+        let horizon = now + self.egress_budget(dst);
         let Some(queue) = self.egress.get_mut(&dst) else { return };
         let mut batch = RespBatchBuilder::new(
             self.cfg.resp_batch_max_ops as usize,
@@ -453,6 +513,9 @@ impl CBoard {
             self.stats.tx_frames += 1;
             if ops > 1 {
                 self.stats.batched_responses += ops;
+            }
+            if matches!(&pkt, ClioPacket::Nack { .. } | ClioPacket::BatchNack { .. }) {
+                self.stats.nack_frames += 1;
             }
             let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
             self.nic.send_at(ctx, at, dst, wire, Message::new(pkt));
@@ -1085,8 +1148,13 @@ impl Actor for CBoard {
         let src = frame.src;
         if frame.corrupted {
             // Link-layer integrity failure: NACK the request (§4.4). A
-            // corrupted batch frame NACKs every request it carried — each is
-            // an independent logical request the CN retries on its own.
+            // corrupted batch frame NACKs every request it carried — each
+            // is an independent logical request the CN retries on its own —
+            // but the NACKs ship **coalesced**: the whole frame's ids pack
+            // into `BatchNack` frames under the egress batch budgets, so a
+            // corrupted 16-entry batch costs one recovery frame, not
+            // sixteen. With response batching disabled the board keeps the
+            // pre-coalescing wire behavior: one `Nack` frame per entry.
             match frame.payload.downcast_ref::<ClioPacket>() {
                 Some(ClioPacket::Request { header, .. }) => {
                     let req_id = header.req_id;
@@ -1096,9 +1164,38 @@ impl Actor for CBoard {
                 }
                 Some(ClioPacket::Batch { requests }) => {
                     let at = ctx.now() + self.control_latency();
-                    for (header, _) in requests {
-                        self.stats.nacks += 1;
-                        self.respond(ctx, at, src, ClioPacket::Nack { req_id: header.req_id });
+                    self.stats.nacks += requests.len() as u64;
+                    if self.cfg.resp_batch_max_ops > 1 {
+                        let mut batch = NackBatchBuilder::new(
+                            self.cfg.resp_batch_max_ops as usize,
+                            self.cfg.resp_batch_max_bytes as usize,
+                        );
+                        for (header, _) in requests {
+                            if !batch.fits() {
+                                if let Some(pkt) = batch.take() {
+                                    self.respond(ctx, at, src, pkt);
+                                }
+                            }
+                            if batch.fits() {
+                                batch.push(header.req_id);
+                            } else {
+                                // A byte budget below even one coalesced
+                                // entry: fall back to a plain NACK frame.
+                                self.respond(
+                                    ctx,
+                                    at,
+                                    src,
+                                    ClioPacket::Nack { req_id: header.req_id },
+                                );
+                            }
+                        }
+                        if let Some(pkt) = batch.take() {
+                            self.respond(ctx, at, src, pkt);
+                        }
+                    } else {
+                        for (header, _) in requests {
+                            self.respond(ctx, at, src, ClioPacket::Nack { req_id: header.req_id });
+                        }
                     }
                 }
                 _ => {}
@@ -1123,18 +1220,23 @@ impl Actor for CBoard {
             }
             ClioPacket::Batch { requests } => {
                 // Unbatch: each entry executes (and responds) exactly as if
-                // it had arrived in its own frame, in batch order.
+                // it had arrived in its own frame, in batch order — except
+                // that the frame's MAC/PHY ingress crossing is charged only
+                // once (to the first entry); the rest pay per-entry parse.
                 self.stats.rx_frames += 1;
                 self.stats.rx_packets += requests.len() as u64;
                 self.stats.batched_requests += requests.len() as u64;
+                self.silicon.begin_ingress_frame();
                 for (header, body) in requests {
                     self.handle_request(ctx, src, header, body);
                 }
+                self.silicon.end_ingress_frame();
             }
             // MNs only respond; stray responses/NACKs are dropped.
             ClioPacket::Response { .. }
             | ClioPacket::BatchResp { .. }
-            | ClioPacket::Nack { .. } => {}
+            | ClioPacket::Nack { .. }
+            | ClioPacket::BatchNack { .. } => {}
         }
     }
 }

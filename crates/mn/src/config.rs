@@ -84,12 +84,32 @@ pub struct CBoardConfig {
     /// (otherwise waiting buys nothing), so an isolated response — the
     /// synchronous-client case — ships at exactly its own completion time,
     /// while sustained concurrent load pays at most the budget in exchange
-    /// for per-frame overhead. `ZERO` restricts coalescing to responses
-    /// completing at exactly the same board timestamp.
-    pub egress_doorbell_delay: SimDuration,
+    /// for per-frame overhead.
+    ///
+    /// `None` (the default) derives the budget per destination from the
+    /// board's measured request turnaround (EWMA of time-on-board, the
+    /// board-visible component of the RTT the CN's congestion window
+    /// measures): hold ≤ turnaround / 4, capped by
+    /// [`Self::EGRESS_DERIVED_CAP`] and falling back to
+    /// [`Self::EGRESS_FALLBACK_DELAY`] before the first sample — the MN
+    /// mirror of the CN's RTT-derived doorbell budget, so neither end needs
+    /// hand-tuned latency budgets. `Some(budget)` is an explicit static
+    /// override; `Some(ZERO)` restricts coalescing to responses completing
+    /// at exactly the same board timestamp.
+    pub egress_doorbell_delay: Option<SimDuration>,
 }
 
 impl CBoardConfig {
+    /// Hard cap on the turnaround-derived egress hold: matches the old
+    /// static default of 2 µs, so derivation can only *lower* the latency
+    /// cost of response coalescing relative to the hand-tuned budget.
+    pub const EGRESS_DERIVED_CAP: SimDuration = SimDuration::from_micros(2);
+
+    /// Budget the derived egress hold uses for a destination whose
+    /// turnaround the board has not measured yet: zero — never hold a
+    /// response for a client the board knows nothing about.
+    pub const EGRESS_FALLBACK_DELAY: SimDuration = SimDuration::ZERO;
+
     /// The paper's prototype board.
     pub fn prototype() -> Self {
         CBoardConfig {
@@ -100,7 +120,7 @@ impl CBoardConfig {
             va_window: None,
             resp_batch_max_ops: 16,
             resp_batch_max_bytes: clio_proto::MTU_BYTES as u32,
-            egress_doorbell_delay: SimDuration::from_micros(2),
+            egress_doorbell_delay: None,
         }
     }
 
@@ -114,7 +134,7 @@ impl CBoardConfig {
     pub fn prototype_unbatched() -> Self {
         CBoardConfig {
             resp_batch_max_ops: 1,
-            egress_doorbell_delay: SimDuration::ZERO,
+            egress_doorbell_delay: Some(SimDuration::ZERO),
             ..Self::prototype()
         }
     }
@@ -141,9 +161,11 @@ mod tests {
         assert!(t.hw.phys_mem_bytes < c.hw.phys_mem_bytes);
         assert!(c.resp_batch_max_ops > 1, "response batching is on by default");
         assert!(c.resp_batch_max_bytes as usize <= clio_proto::MTU_BYTES);
-        assert!(!c.egress_doorbell_delay.is_zero(), "egress hold engages by default");
+        assert!(c.egress_doorbell_delay.is_none(), "derived egress hold is the default");
+        assert!(!CBoardConfig::EGRESS_DERIVED_CAP.is_zero());
+        assert!(CBoardConfig::EGRESS_FALLBACK_DELAY.is_zero(), "never hold before calibration");
         let u = CBoardConfig::prototype_unbatched();
         assert_eq!(u.resp_batch_max_ops, 1);
-        assert!(u.egress_doorbell_delay.is_zero());
+        assert_eq!(u.egress_doorbell_delay, Some(SimDuration::ZERO));
     }
 }

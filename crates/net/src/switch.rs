@@ -21,7 +21,9 @@ pub enum QueueDiscipline {
     },
 }
 
-/// Probabilistic frame fault injection applied at a port's egress.
+/// Frame fault injection applied at a port's egress: probabilistic loss,
+/// corruption and jitter, plus a deterministic "corrupt the next N frames"
+/// counter for tests that need a reproducible corruption burst.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultInjector {
     /// Probability a frame is silently dropped.
@@ -31,6 +33,11 @@ pub struct FaultInjector {
     /// Extra uniformly-random delivery delay in `[0, jitter]`; non-zero
     /// jitter reorders frames.
     pub jitter: SimDuration,
+    /// Deterministically corrupt the next this-many frames through the
+    /// port (decremented as they pass, independent of `corrupt_prob` and
+    /// the RNG). Tests use it to force a corruption storm on an exact,
+    /// reproducible window of frames.
+    pub corrupt_next: u32,
 }
 
 impl FaultInjector {
@@ -181,7 +188,11 @@ impl Actor for Switch {
             port.stats.dropped_fault += 1;
             return;
         }
-        if ctx.rng().chance(port.faults.corrupt_prob) {
+        if port.faults.corrupt_next > 0 {
+            port.faults.corrupt_next -= 1;
+            frame.corrupted = true;
+            port.stats.corrupted += 1;
+        } else if ctx.rng().chance(port.faults.corrupt_prob) {
             frame.corrupted = true;
             port.stats.corrupted += 1;
         }
@@ -305,6 +316,23 @@ mod tests {
         sim.run_until_idle();
         let n = sim.actor::<Sink>(sink).got.len();
         assert!((800..1200).contains(&n), "lossy delivery count {n}");
+    }
+
+    #[test]
+    fn corrupt_next_is_deterministic_and_self_clearing() {
+        let (mut sim, sw, sink) = build(
+            QueueDiscipline::Lossless,
+            FaultInjector { corrupt_next: 2, ..FaultInjector::none() },
+        );
+        for _ in 0..5 {
+            sim.post(sw, frame(100));
+        }
+        sim.run_until_idle();
+        let got = &sim.actor::<Sink>(sink).got;
+        assert_eq!(got.len(), 5);
+        let corrupted: Vec<bool> = got.iter().map(|(_, _, c)| *c).collect();
+        assert_eq!(corrupted, [true, true, false, false, false], "exactly the next 2 frames");
+        assert_eq!(sim.actor::<Switch>(sw).port_stats(Mac(2)).corrupted, 2);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! MTU-bounded packing of small packets into batch frames, in both
 //! directions: [`BatchBuilder`] packs requests into [`ClioPacket::Batch`]
-//! (CN → MN) and [`RespBatchBuilder`] packs responses into
-//! [`ClioPacket::BatchResp`] (MN → CN).
+//! (CN → MN), [`RespBatchBuilder`] packs responses into
+//! [`ClioPacket::BatchResp`] (MN → CN), and [`NackBatchBuilder`] packs the
+//! link-layer NACKs of one corrupted batch frame into
+//! [`ClioPacket::BatchNack`] (MN → CN, the error-path mirror).
 //!
 //! Clio's asynchronous API (§4.5 T1) keeps many small requests in flight;
 //! sent one per frame, a 16–64 B operation pays ~38 B of Ethernet overhead
@@ -13,9 +15,10 @@
 //! ([`ReqHeader`] / [`RespHeader`]), so retries, deduplication, completion
 //! matching and window accounting stay per logical request.
 
-use crate::codec::{request_wire_len, response_wire_len, BATCH_OVERHEAD_BYTES};
+use crate::codec::{request_wire_len, response_wire_len, BATCH_OVERHEAD_BYTES, NACK_ENTRY_BYTES};
 use crate::mtu::MTU_BYTES;
 use crate::packet::{ClioPacket, ReqHeader, RequestBody, RespHeader, ResponseBody};
+use crate::types::ReqId;
 
 /// Accumulates request entries into an MTU-bounded batch frame.
 ///
@@ -170,11 +173,82 @@ impl RespBatchBuilder {
     }
 }
 
+/// Accumulates request ids into an MTU-bounded [`ClioPacket::BatchNack`]
+/// frame — the error-path mirror of [`RespBatchBuilder`], used by the board
+/// when a corrupted batch frame must NACK every entry it carried.
+///
+/// `take` yields a plain [`ClioPacket::Nack`] when only one id accumulated,
+/// so a lone NACK's wire image is byte-identical to the unbatched protocol
+/// and NACK coalescing is a pure overlay.
+#[derive(Debug)]
+pub struct NackBatchBuilder {
+    req_ids: Vec<ReqId>,
+    max_ops: usize,
+    max_bytes: usize,
+}
+
+impl NackBatchBuilder {
+    /// A builder admitting at most `max_ops` ids and at most `max_bytes` of
+    /// encoded batch frame (clamped to the MTU).
+    pub fn new(max_ops: usize, max_bytes: usize) -> Self {
+        NackBatchBuilder {
+            req_ids: Vec::new(),
+            max_ops: max_ops.max(1),
+            max_bytes: max_bytes.min(MTU_BYTES),
+        }
+    }
+
+    /// Ids accumulated so far.
+    pub fn len(&self) -> usize {
+        self.req_ids.len()
+    }
+
+    /// True when no id has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.req_ids.is_empty()
+    }
+
+    /// Encoded size of the batch frame built so far (tag + count + ids).
+    pub fn wire_len(&self) -> usize {
+        BATCH_OVERHEAD_BYTES + self.req_ids.len() * NACK_ENTRY_BYTES
+    }
+
+    /// Whether another id can join the current batch without busting the
+    /// op, byte, or MTU budget.
+    pub fn fits(&self) -> bool {
+        self.req_ids.len() < self.max_ops && self.wire_len() + NACK_ENTRY_BYTES <= self.max_bytes
+    }
+
+    /// Appends an id. Callers must check [`fits`](Self::fits) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the id busts a budget.
+    pub fn push(&mut self, req_id: ReqId) {
+        debug_assert!(self.fits(), "NACK id pushed into a full batch");
+        self.req_ids.push(req_id);
+    }
+
+    /// Takes the accumulated frame, leaving the builder empty for reuse.
+    /// Returns `None` when nothing accumulated; a single id degenerates to a
+    /// plain [`ClioPacket::Nack`] (no batch overhead on the wire).
+    pub fn take(&mut self) -> Option<ClioPacket> {
+        match self.req_ids.len() {
+            0 => None,
+            1 => {
+                let req_id = self.req_ids.pop().expect("one id");
+                Some(ClioPacket::Nack { req_id })
+            }
+            _ => Some(ClioPacket::BatchNack { req_ids: std::mem::take(&mut self.req_ids) }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::codec::wire_len;
-    use crate::types::{Pid, ReqId, Status};
+    use crate::types::{Pid, Status};
 
     fn read_entry(id: u64) -> (ReqHeader, RequestBody) {
         (ReqHeader::single(ReqId(id), Pid(1)), RequestBody::Read { va: id * 64, len: 32 })
@@ -257,6 +331,32 @@ mod tests {
         // Byte budget clamps to the MTU.
         let clamped = RespBatchBuilder::new(64, 1 << 20);
         assert!(!clamped.fits(MTU_BYTES + 1));
+    }
+
+    #[test]
+    fn nack_builder_budgets_and_degeneration() {
+        let mut b = NackBatchBuilder::new(2, MTU_BYTES);
+        assert!(b.is_empty() && b.take().is_none());
+        b.push(ReqId(1));
+        let pkt = b.take().expect("one id");
+        assert_eq!(pkt, ClioPacket::Nack { req_id: ReqId(1) }, "lone NACK stays plain");
+        // Op budget.
+        b.push(ReqId(1));
+        b.push(ReqId(2));
+        assert!(!b.fits(), "third id exceeds max_ops=2");
+        let predicted = b.wire_len();
+        let pkt = b.take().expect("batch");
+        assert!(matches!(pkt, ClioPacket::BatchNack { ref req_ids } if req_ids.len() == 2));
+        assert_eq!(wire_len(&pkt), predicted);
+        assert!(b.is_empty(), "builder resets after take");
+        // Byte budget: room for exactly three ids.
+        let tight = NackBatchBuilder::new(64, BATCH_OVERHEAD_BYTES + 3 * NACK_ENTRY_BYTES);
+        let mut tight = tight;
+        for id in 0..3 {
+            assert!(tight.fits());
+            tight.push(ReqId(id));
+        }
+        assert!(!tight.fits(), "fourth id exceeds the byte budget");
     }
 
     #[test]

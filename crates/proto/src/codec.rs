@@ -44,6 +44,7 @@ const TAG_RESPONSE: u8 = 1;
 const TAG_NACK: u8 = 2;
 const TAG_BATCH: u8 = 3;
 const TAG_BATCH_RESP: u8 = 4;
+const TAG_BATCH_NACK: u8 = 5;
 
 const BODY_READ: u8 = 0;
 const BODY_WRITE_FRAG: u8 = 1;
@@ -74,6 +75,12 @@ pub const RESP_HEADER_LEN: usize = 1 + 8 + 1 + 2 + 2;
 /// / [`response_wire_len`]), so batching `n` small packets saves `(n - 1)`
 /// per-frame Ethernet overheads at the price of these 3 bytes.
 pub const BATCH_OVERHEAD_BYTES: usize = 1 + 2;
+/// Encoded size of a standalone NACK (packet tag + request id). A
+/// batched-NACK entry costs [`NACK_ENTRY_BYTES`]; the id travels without the
+/// per-entry tag byte because a NACK *is* just an id.
+pub const NACK_WIRE_LEN: usize = 1 + 8;
+/// Encoded size of one [`ClioPacket::BatchNack`] entry (a bare request id).
+pub const NACK_ENTRY_BYTES: usize = 8;
 
 fn put_req_header(buf: &mut BytesMut, h: &ReqHeader) {
     buf.put_u64_le(h.req_id.0);
@@ -227,6 +234,16 @@ pub fn encode(pkt: &ClioPacket) -> Bytes {
             buf.put_u8(TAG_NACK);
             buf.put_u64_le(req_id.0);
         }
+        ClioPacket::BatchNack { req_ids } => {
+            debug_assert!(!req_ids.is_empty(), "batches must carry at least one NACK");
+            buf.put_u8(TAG_BATCH_NACK);
+            buf.put_u16_le(req_ids.len() as u16);
+            // Entries are bare ids (no embedded tag): a NACK carries nothing
+            // but the request id, so `NACK_ENTRY_BYTES` is the whole entry.
+            for id in req_ids {
+                buf.put_u64_le(id.0);
+            }
+        }
     }
     buf.freeze()
 }
@@ -281,7 +298,10 @@ pub fn wire_len(pkt: &ClioPacket) -> usize {
             BATCH_OVERHEAD_BYTES
                 + responses.iter().map(|(_, body)| response_wire_len(body)).sum::<usize>()
         }
-        ClioPacket::Nack { .. } => 1 + 8,
+        ClioPacket::Nack { .. } => NACK_WIRE_LEN,
+        ClioPacket::BatchNack { req_ids } => {
+            BATCH_OVERHEAD_BYTES + req_ids.len() * NACK_ENTRY_BYTES
+        }
     }
 }
 
@@ -418,6 +438,17 @@ pub fn decode(bytes: &[u8]) -> Result<ClioPacket, CodecError> {
             ClioPacket::BatchResp { responses }
         }
         TAG_NACK => ClioPacket::Nack { req_id: ReqId(r.u64()?) },
+        TAG_BATCH_NACK => {
+            let count = r.u16()? as usize;
+            if count == 0 {
+                return Err(CodecError::EmptyBatch);
+            }
+            let mut req_ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                req_ids.push(ReqId(r.u64()?));
+            }
+            ClioPacket::BatchNack { req_ids }
+        }
         t => return Err(CodecError::BadTag(t)),
     };
     if r.pos != bytes.len() {
@@ -493,6 +524,22 @@ mod tests {
     #[test]
     fn nack_roundtrips() {
         roundtrip(ClioPacket::Nack { req_id: ReqId(u64::MAX) });
+    }
+
+    #[test]
+    fn batch_nack_roundtrips_and_costs_entries_exactly() {
+        let pkt = ClioPacket::BatchNack { req_ids: (1..=16).map(ReqId).collect() };
+        roundtrip(pkt.clone());
+        assert_eq!(wire_len(&pkt), BATCH_OVERHEAD_BYTES + 16 * NACK_ENTRY_BYTES);
+        // A coalesced 16-entry NACK frame is far cheaper than 16 standalone
+        // NACK frames' payloads, before even counting Ethernet overheads.
+        assert!(wire_len(&pkt) < 16 * NACK_WIRE_LEN);
+    }
+
+    #[test]
+    fn empty_batch_nack_rejected() {
+        // tag + count 0.
+        assert_eq!(decode(&[5, 0, 0]), Err(CodecError::EmptyBatch));
     }
 
     #[test]

@@ -15,17 +15,20 @@
 //!   write carries the absolute virtual address it targets, so the MN can
 //!   execute fragments in any arrival order (§4.5 T1).
 //! * Responses double as ACKs; there are no transport-level ACKs at all, and
-//!   the only MN-generated control packet is a link-layer [`Nack`] for
-//!   corrupted frames (§4.4).
+//!   the only MN-generated control packets are link-layer NACKs for
+//!   corrupted frames (§4.4) — a single [`Nack`], or one [`BatchNack`]
+//!   covering every entry of a corrupted batch frame.
 //! * Small same-destination packets may be **coalesced** in both
-//!   directions: requests into one [`Batch`] frame ([`BatchBuilder`]) and
-//!   responses into one [`BatchResp`] frame ([`RespBatchBuilder`]), packed
-//!   under MTU/op/byte budgets. Every entry keeps its own header, so
-//!   execution, dedup, completion matching and window accounting remain
-//!   per logical request.
+//!   directions: requests into one [`Batch`] frame ([`BatchBuilder`]),
+//!   responses into one [`BatchResp`] frame ([`RespBatchBuilder`]), and the
+//!   NACKs of one corrupted batch into a [`BatchNack`] frame
+//!   ([`NackBatchBuilder`]), packed under MTU/op/byte budgets. Every entry
+//!   keeps its own header, so execution, dedup, completion matching and
+//!   window accounting remain per logical request.
 //!
 //! [`Batch`]: ClioPacket::Batch
 //! [`BatchResp`]: ClioPacket::BatchResp
+//! [`BatchNack`]: ClioPacket::BatchNack
 //!
 //! ```
 //! use clio_proto::{ClioPacket, ReqHeader, ReqId, Pid, RequestBody, codec};
@@ -46,7 +49,7 @@ mod mtu;
 mod packet;
 mod types;
 
-pub use batch::{BatchBuilder, RespBatchBuilder};
+pub use batch::{BatchBuilder, NackBatchBuilder, RespBatchBuilder};
 pub use mtu::{
     split_read_response, split_write, Reassembler, CLIO_REQ_HEADER_BYTES, CLIO_RESP_HEADER_BYTES,
     ETH_OVERHEAD_BYTES, MAX_READ_FRAG_PAYLOAD, MAX_WRITE_FRAG_PAYLOAD, MTU_BYTES,

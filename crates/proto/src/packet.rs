@@ -272,12 +272,23 @@ pub enum ClioPacket {
         /// The corrupted request.
         req_id: ReqId,
     },
+    /// MN → CN batched link-layer NACK: one corrupted [`Batch`](Self::Batch)
+    /// frame NACKs **all** of its entries in a single frame, so the error
+    /// path stays as frame-efficient as the fast path — a corrupted
+    /// 16-entry batch costs one recovery frame, not sixteen. The CN
+    /// transport unbatches at ingress and retries each entry exactly as if
+    /// its NACK had arrived alone (and the resulting same-cause retries
+    /// re-coalesce through the retry doorbell).
+    BatchNack {
+        /// The corrupted requests, in batch order.
+        req_ids: Vec<ReqId>,
+    },
 }
 
 impl ClioPacket {
-    /// The request id this packet concerns. For a [`Batch`](Self::Batch) or
-    /// [`BatchResp`](Self::BatchResp) this is the first entry's id (batches
-    /// are never empty on the wire).
+    /// The request id this packet concerns. For a [`Batch`](Self::Batch),
+    /// [`BatchResp`](Self::BatchResp) or [`BatchNack`](Self::BatchNack) this
+    /// is the first entry's id (batches are never empty on the wire).
     pub fn req_id(&self) -> ReqId {
         match self {
             ClioPacket::Request { header, .. } => header.req_id,
@@ -289,6 +300,7 @@ impl ClioPacket {
                 responses.first().map(|(h, _)| h.req_id).unwrap_or(ReqId(0))
             }
             ClioPacket::Nack { req_id } => *req_id,
+            ClioPacket::BatchNack { req_ids } => req_ids.first().copied().unwrap_or(ReqId(0)),
         }
     }
 }
@@ -335,6 +347,8 @@ mod tests {
     fn req_id_extraction() {
         let p = ClioPacket::Nack { req_id: ReqId(42) };
         assert_eq!(p.req_id(), ReqId(42));
+        let b = ClioPacket::BatchNack { req_ids: vec![ReqId(9), ReqId(10)] };
+        assert_eq!(b.req_id(), ReqId(9));
     }
 
     #[test]

@@ -24,11 +24,14 @@ fn main() {
         // /* Alloc one remote page. Define a remote lock */
         let remote_addr = p.ralloc(PAGE_SIZE).expect("ralloc");
         let lock = p.ralloc(8).expect("ralloc lock");
-        tx.send((remote_addr, lock)).expect("publish addresses");
 
         // /* Acquire lock to enter critical section.
         //    Do two ASYNC writes then poll completion. */
+        // Enter the critical section BEFORE publishing the addresses:
+        // thread 2 must not be able to win the lock race and read the page
+        // before it is written.
         p.rlock(lock).expect("rlock");
+        tx.send((remote_addr, lock)).expect("publish addresses");
         let e0 = p.rwrite_async(remote_addr, b"hello ");
         let e1 = p.rwrite_async(remote_addr + 6, b"remote world!");
         p.runlock(lock).expect("runlock");

@@ -7,6 +7,7 @@ use clio::cn::CompletionValue;
 use clio::mn::CBoardConfig;
 use clio::proto::{Pid, Status};
 use clio::sim::SimDuration;
+use clio::system::node::{PokeDriver, POKE_TAG};
 use clio::system::runtime::BlockingCluster;
 use clio::system::{AppCompletion, ClientApi, ClientDriver, Cluster, ClusterConfig};
 
@@ -132,11 +133,172 @@ fn lossy_network_preserves_correctness_end_to_end() {
             loss_prob: 0.10,
             corrupt_prob: 0.05,
             jitter: SimDuration::from_micros(30),
+            ..clio::net::FaultInjector::none()
         },
     );
     cluster.run();
     let retries = cluster.cn_of_bridge(0).clib().retry_count();
     assert!(retries > 0, "faults should have caused retries (got {retries})");
+}
+
+/// Tier-2 scenario: incast corruption storm. 8 CNs fire 64 small reads
+/// each at one MN and every batch frame of the first wave is corrupted
+/// (deterministically, via `corrupt_next`). Recovery must complete with
+/// the same data as a clean run, and the error path must stay coalesced:
+/// NACKs ship as `BatchNack` frames and retries re-batch, so NACK and
+/// retry frame counts stay within 2 × ceil(n / batch_max_ops) per
+/// direction.
+#[test]
+fn incast_corruption_storm_recovers_with_coalesced_frames() {
+    const CNS: usize = 8;
+    const READS: u64 = 64;
+    const OP: u64 = 64; // bytes per read; 64 x 64 B = one 4 KiB page
+
+    /// Allocates + initializes a page on start, then waits for a poke to
+    /// fire its 64-read burst through the scatter/gather API.
+    struct IncastReader {
+        va: u64,
+        burst_fired: bool,
+        data: Vec<(u64, bytes::Bytes)>,
+    }
+    impl ClientDriver for IncastReader {
+        fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+            api.alloc(READS * OP, clio::proto::Perm::RW);
+        }
+        fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, c: AppCompletion) {
+            if self.va == 0 {
+                self.va = c.va();
+                let pattern: Vec<u8> = (0..READS * OP).map(|i| (i / OP) as u8).collect();
+                api.write(self.va, bytes::Bytes::from(pattern));
+                return;
+            }
+            if self.burst_fired {
+                self.data.push((c.token.0, c.data().clone()));
+            }
+        }
+        fn on_wake(&mut self, api: &mut ClientApi<'_, '_>, tag: u64) {
+            if tag == POKE_TAG && !self.burst_fired {
+                self.burst_fired = true;
+                let reads: Vec<(u64, u32)> =
+                    (0..READS).map(|i| (self.va + i * OP, OP as u32)).collect();
+                api.read_v(&reads);
+            }
+        }
+    }
+
+    let run_storm = |corrupt: bool| {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.cns = CNS;
+        cfg.board = CBoardConfig::test_small();
+        // Window wide enough that the whole burst ships at once: the frame
+        // counts then measure framing policy, not the congestion window.
+        cfg.clib.cwnd_init = 128.0;
+        cfg.clib.cwnd_max = 256.0;
+        let mut cluster = Cluster::build(&cfg);
+        for cn in 0..CNS {
+            cluster.add_driver(
+                cn,
+                Pid(100 + cn as u64),
+                Box::new(IncastReader { va: 0, burst_fired: false, data: vec![] }),
+            );
+        }
+        // Phase 1 (fault-free): allocations + pattern writes drain.
+        cluster.start();
+        cluster.run_until_idle();
+
+        let mn_mac = cluster.mn_macs()[0];
+        let stats0 = cluster.mn(0).stats();
+        let retries0: u64 = (0..CNS).map(|i| cluster.cn(i).clib().retry_frames()).sum();
+        if corrupt {
+            // Corrupt exactly the first wave: 8 CNs x ceil(64/16) frames.
+            let frames = CNS as u32 * (READS as u32).div_ceil(cfg.clib.batch_max_ops);
+            cluster.net.set_faults(
+                &mut cluster.sim,
+                mn_mac,
+                clio::net::FaultInjector {
+                    corrupt_next: frames,
+                    ..clio::net::FaultInjector::none()
+                },
+            );
+        }
+        // Phase 2: every CN fires its burst at the same instant (incast).
+        let cn_ids: Vec<_> = cluster.cn_ids().to_vec();
+        for cn in cn_ids {
+            cluster.sim.post(cn, clio::sim::Message::new(PokeDriver { driver: 0 }));
+        }
+        cluster.run_until_idle();
+
+        let mut per_cn: Vec<Vec<bytes::Bytes>> = Vec::new();
+        let mut per_cn_rx_frames: Vec<u64> = Vec::new();
+        for cn in 0..CNS {
+            let d: &IncastReader = cluster.cn(cn).driver(0);
+            assert!(d.burst_fired, "cn{cn} never fired its burst");
+            let mut data = d.data.clone();
+            assert_eq!(data.len() as u64, READS, "cn{cn}: a read never completed");
+            data.sort_by_key(|(t, _)| *t);
+            per_cn.push(data.into_iter().map(|(_, b)| b).collect());
+            // Frames delivered to this CN (responses + NACKs), per port.
+            let mac = cluster.cn(cn).mac();
+            per_cn_rx_frames.push(cluster.net.port_stats(&cluster.sim, mac).tx_frames);
+        }
+        let stats = cluster.mn(0).stats();
+        let retry_frames: u64 =
+            (0..CNS).map(|i| cluster.cn(i).clib().retry_frames()).sum::<u64>() - retries0;
+        (
+            per_cn,
+            stats.rx_frames - stats0.rx_frames,
+            stats.nacks - stats0.nacks,
+            stats.nack_frames - stats0.nack_frames,
+            retry_frames,
+            per_cn_rx_frames,
+        )
+    };
+
+    let (clean_data, clean_rx, clean_nacks, _, _, clean_cn_rx) = run_storm(false);
+    let (storm_data, storm_rx, storm_nacks, storm_nack_frames, storm_retry_frames, storm_cn_rx) =
+        run_storm(true);
+
+    // Recovery is complete and observationally clean.
+    assert_eq!(clean_nacks, 0, "clean run must not NACK");
+    assert_eq!(storm_data, clean_data, "storm results diverge from the clean run");
+    for (cn, data) in storm_data.iter().enumerate() {
+        for (i, d) in data.iter().enumerate() {
+            assert!(
+                d.iter().all(|&b| b == i as u8),
+                "cn{cn} read {i} returned corrupted data after recovery"
+            );
+        }
+    }
+
+    // Frame-efficiency bars: ceil(64/16) = 4 frames per CN per wave.
+    let ceil_frames = READS.div_ceil(16);
+    assert_eq!(clean_rx, CNS as u64 * ceil_frames, "clean bursts batch fully");
+    assert_eq!(storm_nacks, CNS as u64 * READS, "every entry of every corrupted frame NACKed");
+    assert!(
+        storm_nack_frames <= CNS as u64 * 2 * ceil_frames,
+        "NACKs must coalesce: {storm_nack_frames} frames for {CNS} CNs (bound {})",
+        CNS as u64 * 2 * ceil_frames
+    );
+    assert!(
+        storm_retry_frames <= CNS as u64 * 2 * ceil_frames,
+        "retries must coalesce: {storm_retry_frames} frames (bound {})",
+        CNS as u64 * 2 * ceil_frames
+    );
+    assert!(
+        storm_rx <= 2 * clean_rx,
+        "request direction doubled at worst: {storm_rx} vs clean {clean_rx}"
+    );
+    // Per-CN response direction: the storm adds at most the coalesced NACK
+    // frames on top of what the clean run delivered to that CN's port.
+    for cn in 0..CNS {
+        assert!(
+            storm_cn_rx[cn] <= clean_cn_rx[cn] + 2 * ceil_frames,
+            "cn{cn}: {} frames delivered during the storm vs {} clean (NACK bound {})",
+            storm_cn_rx[cn],
+            clean_cn_rx[cn],
+            2 * ceil_frames
+        );
+    }
 }
 
 #[test]
