@@ -271,6 +271,18 @@ impl CLib {
         self.ops.len()
     }
 
+    /// The underlying transport, read-only — the model checker fingerprints
+    /// and invariant-checks the transport through this.
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
+    /// The underlying transport, mutable — the model checker plants
+    /// [`McMutation`](crate::transport::McMutation)s through this.
+    pub fn transport_mut(&mut self) -> &mut Transport {
+        &mut self.transport
+    }
+
     fn vpns_of(&self, va: u64, len: u64) -> Vec<u64> {
         if len == 0 {
             return vec![va / self.page_size];

@@ -31,3 +31,4 @@ pub mod transport;
 pub use clib::{CLib, Completion, CompletionValue, Op, OpToken, ThreadId};
 pub use config::CLibConfig;
 pub use error::ClioError;
+pub use transport::McMutation;

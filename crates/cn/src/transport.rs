@@ -48,6 +48,40 @@
 //! hands the transport an explicit op vector (CLib's `rread_v`/`rwrite_v`
 //! scatter/gather API) which is queued and pumped as one unit.
 //!
+//! # Invariants
+//!
+//! The following hold at every event boundary (between any two messages
+//! the host actor delivers to the transport) and are checked exhaustively
+//! by the `clio_mc` bounded model checker via
+//! [`Transport::check_invariants`], plus sampled by the proptests in
+//! `tests/equivalence.rs` and `tests/transport_window.rs`:
+//!
+//! 1. **Window accounting.** The incast window's in-flight byte count
+//!    equals the sum of `expected_bytes` over all outstanding requests,
+//!    and each MN's congestion window holds exactly one slot per
+//!    outstanding request toward that MN. Retries keep the slots of the
+//!    requests they replace; parked conflicts hold **no** window slots
+//!    (both windows are released before parking and re-acquired when the
+//!    request rejoins the send queue).
+//! 2. **Request-id freshness.** Every transmission — first attempt or
+//!    retry — uses a fresh id from a strictly monotonic per-CN counter;
+//!    no id is ever reused on the wire. Retries of non-idempotent
+//!    requests carry `retry_of` naming the chain's **first** id (the
+//!    original attempt), never an intermediate retry: an intermediate
+//!    attempt may be lost before the MN sees it, and only the first id is
+//!    guaranteed to be in the MN's dedup buffer if the original executed.
+//!    (The model checker caught the predecessor-linked variant of this
+//!    re-executing an atomic; see `tests/mc_regressions.rs`.)
+//! 3. **Single completion.** Each submitted token completes exactly once
+//!    (success, remote error, or `TimedOut` after `max_retries`
+//!    exhausted attempts), regardless of how many duplicates, stale
+//!    responses or stale NACKs arrive afterwards — those are dropped by
+//!    the outstanding-id lookup.
+//! 4. **Quiescence drains everything.** Once every token has completed
+//!    and no frame or timer is in flight, `in_flight`, `queued`,
+//!    `parked` and `incast_in_flight` are all zero: no orphaned window
+//!    slots, queued sends, or parked conflicts survive.
+//!
 //! [`send`]: Transport::send
 //! [`send_many`]: Transport::send_many
 
@@ -301,6 +335,13 @@ struct Outstanding {
     pid: Pid,
     blueprint: Blueprint,
     expected_bytes: u64,
+    /// Id of the request's FIRST attempt — the root of the `retry_of`
+    /// chain. Every retry's `retry_of` points here, never at an
+    /// intermediate attempt: an intermediate retry can be lost or
+    /// corrupted before the MN sees it, so a predecessor-linked chain
+    /// would leave the MN's dedup record (keyed by the ids it has actually
+    /// seen) unreachable and a non-idempotent op would re-execute.
+    origin: ReqId,
     attempt_sent_at: SimTime,
     first_sent_at: SimTime,
     retries: u32,
@@ -316,8 +357,108 @@ struct QueuedSend {
     enqueued_at: SimTime,
 }
 
+/// A deliberately planted transport bug, used **only** by the model
+/// checker's self-test: `clio_mc` must demonstrate it can catch a window
+/// leak before its clean-search result means anything. Production code
+/// paths never set anything but [`McMutation::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum McMutation {
+    /// The correct transport (the default).
+    #[default]
+    None,
+    /// Skips `Transport::release_windows` when a NACK exhausts the retry
+    /// budget: the failed request's congestion-window slot and incast
+    /// bytes are never returned, violating invariant 1 (window
+    /// accounting) immediately and invariant 4 (quiescence drains
+    /// everything) at the end of the run.
+    LeakWindowOnNack,
+}
+
+/// FNV-1a step over one `u64`.
+fn fnv_mix(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Folds a **sorted** list of element digests into `h` under a section tag,
+/// so differently-keyed sections with equal content still hash apart.
+fn fnv_fold(mut h: u64, tag: u64, elems: &[u64]) -> u64 {
+    h = fnv_mix(h, tag);
+    h = fnv_mix(h, elems.len() as u64);
+    for &e in elems {
+        h = fnv_mix(h, e);
+    }
+    h
+}
+
+/// Content digest of a blueprint (shape + addresses + payload bytes).
+fn blueprint_digest(bp: &Blueprint) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    match bp {
+        Blueprint::Read { va, len } => {
+            h = fnv_mix(h, 1);
+            h = fnv_mix(h, *va);
+            h = fnv_mix(h, *len as u64);
+        }
+        Blueprint::Write { va, data } => {
+            h = fnv_mix(h, 2);
+            h = fnv_mix(h, *va);
+            h = fnv_mix(h, data.len() as u64);
+            for chunk in data.chunks(8) {
+                let mut v = [0u8; 8];
+                v[..chunk.len()].copy_from_slice(chunk);
+                h = fnv_mix(h, u64::from_le_bytes(v));
+            }
+        }
+        Blueprint::Atomic { va, op } => {
+            h = fnv_mix(h, 3);
+            h = fnv_mix(h, *va);
+            h = fnv_mix(
+                h,
+                match op {
+                    AtomicKind::Tas => 1,
+                    AtomicKind::Store(v) => fnv_mix(2, *v),
+                    AtomicKind::Cas { expected, new } => fnv_mix(fnv_mix(3, *expected), *new),
+                    AtomicKind::Faa(d) => fnv_mix(4, *d),
+                },
+            );
+        }
+        Blueprint::Fence => h = fnv_mix(h, 4),
+        Blueprint::Alloc { size, fixed_va, .. } => {
+            h = fnv_mix(h, 5);
+            h = fnv_mix(h, *size);
+            h = fnv_mix(h, fixed_va.map_or(u64::MAX, |v| v));
+        }
+        Blueprint::Free { va, size } => {
+            h = fnv_mix(h, 6);
+            h = fnv_mix(h, *va);
+            h = fnv_mix(h, *size);
+        }
+        Blueprint::CreateAs => h = fnv_mix(h, 7),
+        Blueprint::DestroyAs => h = fnv_mix(h, 8),
+        Blueprint::Offload { offload, opcode, arg } => {
+            h = fnv_mix(h, 9);
+            h = fnv_mix(h, *offload as u64);
+            h = fnv_mix(h, *opcode as u64);
+            h = fnv_mix(h, arg.len() as u64);
+        }
+    }
+    h
+}
+
 /// Per-CN transport instance (shared by all processes on the CN, like the
 /// kernel-bypass driver in §5).
+///
+/// # Invariants
+///
+/// See the [module docs](self) for the four transport invariants (window
+/// accounting, request-id freshness, single completion, quiescence drains
+/// everything); [`Transport::check_invariants`] verifies the first
+/// mechanically and the `clio_mc` model checker enforces all four over
+/// every bounded fault interleaving.
 #[derive(Debug)]
 pub struct Transport {
     cfg: CLibConfig,
@@ -349,6 +490,8 @@ pub struct Transport {
     /// NACK coalescing, a corrupted 16-entry batch should cost one retry
     /// frame here, not sixteen.
     pub retry_frames: u64,
+    /// Planted bug for the model checker's self-test (see [`McMutation`]).
+    mutation: McMutation,
 }
 
 impl Transport {
@@ -374,7 +517,14 @@ impl Transport {
             batch_frames: 0,
             batched_ops: 0,
             retry_frames: 0,
+            mutation: McMutation::None,
         }
+    }
+
+    /// Plants (or clears) a deliberate bug for the model checker's
+    /// self-test. See [`McMutation`]; production code never calls this.
+    pub fn set_mc_mutation(&mut self, mutation: McMutation) {
+        self.mutation = mutation;
     }
 
     fn fresh_id(&mut self) -> ReqId {
@@ -400,6 +550,128 @@ impl Transport {
     /// Expected response bytes currently held by the incast window.
     pub fn incast_in_flight(&self) -> u64 {
         self.iwnd.in_flight()
+    }
+
+    /// Checks the window-accounting invariants (invariant 1 of the
+    /// [module docs](self)) that must hold at every event boundary:
+    ///
+    /// * incast in-flight bytes == Σ `expected_bytes` over outstanding
+    ///   requests (parked conflicts and queued sends hold no bytes),
+    /// * each MN's congestion window holds exactly one slot per
+    ///   outstanding request toward it,
+    /// * no token is simultaneously parked and outstanding.
+    ///
+    /// Returns a human-readable description of the first violation. Called
+    /// by the `clio_mc` explorer at every settled state; cheap enough for
+    /// tests to call after every delivery.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let expected: u64 = self.outstanding.values().map(|o| o.expected_bytes).sum();
+        if self.iwnd.in_flight() != expected {
+            return Err(format!(
+                "incast window holds {} bytes but outstanding requests expect {} \
+                 (leaked or double-released incast slots)",
+                self.iwnd.in_flight(),
+                expected
+            ));
+        }
+        let mut per_mn: HashMap<Mac, u64> = HashMap::new();
+        for o in self.outstanding.values() {
+            *per_mn.entry(o.target).or_insert(0) += 1;
+        }
+        for (mac, cwnd) in &self.cwnds {
+            let want = per_mn.get(mac).copied().unwrap_or(0);
+            if cwnd.outstanding() != want {
+                return Err(format!(
+                    "congestion window toward {mac} holds {} slots but {} requests \
+                     are outstanding (leaked or double-released cwnd slots)",
+                    cwnd.outstanding(),
+                    want
+                ));
+            }
+        }
+        for token in self.parked_conflicts.keys() {
+            if self.outstanding.values().any(|o| o.token == *token) {
+                return Err(format!(
+                    "token {token:?} is parked awaiting a conflict retry AND still \
+                     outstanding (double-registered request)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// An order-insensitive FNV-1a digest of the transport's **logical**
+    /// state: outstanding requests (id, token, target, retry counts,
+    /// expected bytes, blueprint shape), queued and parked sends, retry
+    /// queues, window slot/byte counts, and the id counter.
+    ///
+    /// Absolute times (timer deadlines, RTT/gap EWMAs, fractional window
+    /// sizes) are deliberately **excluded**: the model checker prunes
+    /// states on this digest, and timing-continuous controller state would
+    /// make every interleaving hash distinct, defeating pruning. Two
+    /// states with equal fingerprints can differ in timing, never in
+    /// protocol-visible structure.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut outstanding: Vec<u64> = self
+            .outstanding
+            .iter()
+            .map(|(id, o)| {
+                let mut e = fnv_mix(0xcbf2_9ce4_8422_2325, id.0);
+                e = fnv_mix(e, o.token.0);
+                e = fnv_mix(e, o.target.0 as u64);
+                e = fnv_mix(e, o.retries as u64);
+                e = fnv_mix(e, o.conflict_retries as u64);
+                e = fnv_mix(e, o.expected_bytes);
+                fnv_mix(e, blueprint_digest(&o.blueprint))
+            })
+            .collect();
+        outstanding.sort_unstable();
+        h = fnv_fold(h, 1, &outstanding);
+        let mut queued: Vec<u64> = self
+            .queues
+            .iter()
+            .flat_map(|(mac, q)| {
+                q.iter().enumerate().map(move |(i, s)| {
+                    let mut e = fnv_mix(0xcbf2_9ce4_8422_2325, mac.0 as u64);
+                    e = fnv_mix(e, i as u64); // queue order matters
+                    e = fnv_mix(e, s.token.0);
+                    fnv_mix(e, blueprint_digest(&s.blueprint))
+                })
+            })
+            .collect();
+        queued.sort_unstable();
+        h = fnv_fold(h, 2, &queued);
+        let mut parked: Vec<u64> = self
+            .parked_conflicts
+            .iter()
+            .map(|(t, o)| fnv_mix(fnv_mix(0xcbf2_9ce4_8422_2325, t.0), o.conflict_retries as u64))
+            .collect();
+        parked.sort_unstable();
+        h = fnv_fold(h, 3, &parked);
+        let mut retries: Vec<u64> = self
+            .retry_queues
+            .iter()
+            .flat_map(|(mac, q)| {
+                q.iter().map(move |(id, retry_of)| {
+                    let mut e = fnv_mix(0xcbf2_9ce4_8422_2325, mac.0 as u64);
+                    e = fnv_mix(e, id.0);
+                    fnv_mix(e, retry_of.map_or(0, |r| r.0))
+                })
+            })
+            .collect();
+        retries.sort_unstable();
+        h = fnv_fold(h, 4, &retries);
+        let mut windows: Vec<u64> = self
+            .cwnds
+            .iter()
+            .map(|(mac, w)| fnv_mix(fnv_mix(0xcbf2_9ce4_8422_2325, mac.0 as u64), w.outstanding()))
+            .collect();
+        windows.sort_unstable();
+        h = fnv_fold(h, 5, &windows);
+        h = fnv_mix(h, self.iwnd.in_flight());
+        h = fnv_mix(h, self.next_req);
+        h
     }
 
     fn batching(&self) -> bool {
@@ -659,6 +931,7 @@ impl Transport {
                 pid,
                 blueprint,
                 expected_bytes,
+                origin: req_id,
                 attempt_sent_at: ctx.now(),
                 first_sent_at,
                 retries: 0,
@@ -722,6 +995,7 @@ impl Transport {
                 pid,
                 blueprint,
                 expected_bytes: 0, // filled below
+                origin: req_id,
                 attempt_sent_at: ctx.now(),
                 first_sent_at,
                 retries,
@@ -750,6 +1024,19 @@ impl Transport {
     /// Handles a frame payload (a [`ClioPacket`]) delivered to this CN.
     /// Returns completions to surface and the MACs whose queues may now
     /// drain (the caller should keep forwarding frames in).
+    ///
+    /// # Invariants
+    ///
+    /// * A response or NACK whose id is not outstanding (stale duplicate,
+    ///   or a late original overtaken by its own retry) is dropped without
+    ///   touching windows — double releases are structurally impossible.
+    /// * Completing entries release both window slots exactly once;
+    ///   `Conflict` responses release windows **before** parking, so a
+    ///   parked request holds no window state.
+    /// * A NACK within the retry budget keeps both window slots and moves
+    ///   the request to a fresh id (`retry_of` set for non-idempotent
+    ///   ops); past the budget it releases the slots and reports
+    ///   `TimedOut`.
     pub fn on_packet(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -822,7 +1109,9 @@ impl Transport {
         self.retry_count += 1;
         o.retries += 1;
         if o.retries > self.cfg.max_retries {
-            self.release_windows(ctx.now(), &o, None);
+            if self.mutation != McMutation::LeakWindowOnNack {
+                self.release_windows(ctx.now(), &o, None);
+            }
             done.push(XferDone {
                 token: o.token,
                 result: Err(ClioError::TimedOut),
@@ -909,10 +1198,16 @@ impl Transport {
     /// its retransmission behind a zero-delay retry doorbell, so every
     /// retry queued in the same pump — e.g. the timers of one lost batch
     /// frame expiring together — re-coalesces through [`BatchBuilder`].
-    /// The retry keeps its window slots; `retry_of` chains stay intact.
+    /// The retry keeps its window slots. `retry_of` always names the
+    /// chain's FIRST id (`Outstanding::origin`), never the immediately
+    /// preceding attempt: the predecessor may itself have been lost before
+    /// the MN saw it, and a dedup lookup keyed on an id the MN never
+    /// recorded would re-execute a non-idempotent original that did land.
+    /// (Found by the `clio_mc` model checker; pinned in
+    /// `crates/cn/tests/mc_regressions.rs`.)
     fn queue_retransmit(&mut self, ctx: &mut Ctx<'_>, o: Outstanding, prev_id: ReqId) {
         let new_id = self.fresh_id();
-        let retry_of = o.blueprint.is_non_idempotent().then_some(prev_id);
+        let retry_of = o.blueprint.is_non_idempotent().then_some(o.origin);
         let timer = ctx.schedule(
             o.blueprint.timeout(self.cfg.request_timeout),
             Message::new(TransportTimer::Timeout(new_id)),
@@ -975,6 +1270,18 @@ impl Transport {
     }
 
     /// Handles a transport timer routed back by the host actor.
+    ///
+    /// # Invariants
+    ///
+    /// * A `Timeout` for an id no longer outstanding (the response won the
+    ///   race) is a no-op.
+    /// * A `Timeout` within the retry budget shrinks the congestion window
+    ///   (timeout = congestion) but keeps both window slots for the
+    ///   retransmission, which is the same logical request under a fresh
+    ///   id; past the budget it releases the slots and reports `TimedOut`.
+    /// * `ConflictRetry` moves a parked request (which holds no window
+    ///   slots) to the **front** of its send queue, so it re-acquires
+    ///   windows through the same admission path as a first send.
     pub fn on_timer(
         &mut self,
         ctx: &mut Ctx<'_>,

@@ -137,6 +137,12 @@ pub struct Silicon {
     /// entry only (`paid` flips to `true` after it), so a 16-entry batch
     /// frame pays ingress MAC once and per-entry parse sixteen times.
     ingress_frame: Option<bool>,
+    /// `true` while the responses being produced will leave coalesced in
+    /// one egress frame: they skip the MAC/PHY egress crossing, which is
+    /// charged to the **last** response of the batch (handled after the
+    /// bracket ends) — the frame's tail crosses the MAC once, and charging
+    /// the tail rather than the head keeps completion order intact.
+    egress_frame: bool,
     stats: SiliconStats,
 }
 
@@ -154,6 +160,7 @@ impl Silicon {
             dedup: DedupBuffer::with_byte_budget(cfg.dedup_buffer_bytes, cfg.dedup_entry_bytes),
             internal_access: false,
             ingress_frame: None,
+            egress_frame: false,
             stats: SiliconStats::default(),
             cfg,
         }
@@ -178,6 +185,11 @@ impl Silicon {
     /// The retry-dedup buffer.
     pub fn dedup_mut(&mut self) -> &mut DedupBuffer {
         &mut self.dedup
+    }
+
+    /// The retry-dedup buffer, read-only.
+    pub fn dedup(&self) -> &DedupBuffer {
+        &self.dedup
     }
 
     /// Raw physical memory (offloads and migration use physical access).
@@ -231,8 +243,20 @@ impl Silicon {
     }
 
     /// Common back-end: response generation + MAC/PHY egress.
-    fn back_end(&self, t: SimTime, b: &mut Breakdown) -> SimTime {
-        let mac = if self.internal_access { SimDuration::ZERO } else { self.cfg.mac_phy_latency };
+    ///
+    /// Egress MAC/PHY mirrors the ingress rule — one crossing per wire
+    /// frame: inside a [`begin_egress_frame`](Self::begin_egress_frame)
+    /// bracket responses skip the crossing entirely; the board closes the
+    /// bracket before the batch's **last** entry, which pays the frame's
+    /// single crossing. Charging the tail (not the head) keeps the batch's
+    /// completion order intact: no entry can overtake an earlier one by
+    /// dodging a MAC charge the earlier one paid.
+    fn back_end(&mut self, t: SimTime, b: &mut Breakdown) -> SimTime {
+        let mac = if self.internal_access || self.egress_frame {
+            SimDuration::ZERO
+        } else {
+            self.cfg.mac_phy_latency
+        };
         let resp = self.cycles(self.cfg.response_cycles);
         b.pipeline_cycles += resp;
         b.mac_phy += mac;
@@ -261,6 +285,25 @@ impl Silicon {
     /// [`begin_ingress_frame`](Self::begin_ingress_frame)).
     pub fn end_ingress_frame(&mut self) {
         self.ingress_frame = None;
+    }
+
+    /// Begins a batched egress frame: until
+    /// [`end_egress_frame`](Self::end_egress_frame), fast-path responses
+    /// skip the MAC/PHY egress crossing — they will leave coalesced in one
+    /// `BatchResp` Ethernet frame, which crosses the MAC once. The caller
+    /// closes the bracket **before the batch's last entry**, so the last
+    /// response pays the frame's single crossing (the frame's tail through
+    /// the MAC); charging the tail keeps the batch's per-destination
+    /// completion order intact.
+    pub fn begin_egress_frame(&mut self) {
+        self.egress_frame = true;
+    }
+
+    /// Ends the current batched egress frame (see
+    /// [`begin_egress_frame`](Self::begin_egress_frame)); the next
+    /// response pays egress MAC/PHY normally.
+    pub fn end_egress_frame(&mut self) {
+        self.egress_frame = false;
     }
 
     /// Translates every page a `[va, va+len)` access touches, accumulating

@@ -1,4 +1,4 @@
-//! Per-frame MAC/PHY accounting for batched ingress.
+//! Per-frame MAC/PHY accounting for batched ingress **and egress**.
 //!
 //! A batch frame crosses the board's MAC/PHY once, however many requests it
 //! carries; only parsing is per entry. These tests pin the `Silicon` timing
@@ -6,7 +6,13 @@
 //! frames: inside a `begin_ingress_frame`/`end_ingress_frame` bracket the
 //! ingress MAC latency is charged to the first entry only, per-entry parse
 //! and response cycles are unchanged, and extend-path internal accesses
-//! keep charging zero MAC either way.
+//! keep charging zero MAC either way. Symmetrically, when the responses
+//! will leave coalesced in one `BatchResp` frame, a
+//! `begin_egress_frame`/`end_egress_frame` bracket suppresses the egress
+//! crossing for all but the **last** entry (the bracket closes before it),
+//! which pays the frame's single egress MAC — charging the tail keeps
+//! completion order intact, so a 16-entry batch pays MAC/PHY once per
+//! direction instead of sixteen times.
 
 use clio_hw::pagetable::Pte;
 use clio_hw::silicon::Breakdown;
@@ -36,22 +42,36 @@ fn warm_board() -> Silicon {
 }
 
 /// Runs 16 one-page reads at the same arrival instant, optionally bracketed
-/// as one ingress frame, and returns the per-entry breakdowns.
-fn run_reads(s: &mut Silicon, t: SimTime, framed: bool) -> Vec<Breakdown> {
-    if framed {
+/// as one ingress frame and/or one coalesced egress frame, and returns the
+/// per-entry breakdowns. The egress bracket closes before the last read —
+/// exactly how `CBoard` drives it — so the last entry pays the response
+/// frame's single egress crossing.
+fn run_reads_framed(s: &mut Silicon, t: SimTime, ingress: bool, egress: bool) -> Vec<Breakdown> {
+    if ingress {
         s.begin_ingress_frame();
+    }
+    if egress {
+        s.begin_egress_frame();
     }
     let breakdowns: Vec<Breakdown> = (0..ENTRIES)
         .map(|i| {
+            if egress && i + 1 == ENTRIES {
+                s.end_egress_frame();
+            }
             let (res, timing) = s.read(t, Pid(1), i * 4096, 16);
             res.expect("read");
             timing.breakdown
         })
         .collect();
-    if framed {
+    if ingress {
         s.end_ingress_frame();
     }
     breakdowns
+}
+
+/// Ingress-only framing (the pre-egress-batching configurations).
+fn run_reads(s: &mut Silicon, t: SimTime, framed: bool) -> Vec<Breakdown> {
+    run_reads_framed(s, t, framed, false)
 }
 
 #[test]
@@ -99,6 +119,85 @@ fn frame_bracket_resets_between_frames() {
     // And a plain request after the bracket is back to the standalone cost.
     let (_, t) = s.read(SimTime::from_nanos(300_000), Pid(1), 0, 16);
     assert_eq!(t.breakdown.mac_phy, mac * 2);
+}
+
+#[test]
+fn batched_responses_charge_egress_mac_once_on_the_last_entry() {
+    let mut s = warm_board();
+    let mac = s.config().mac_phy_latency;
+    // Egress coalescing only: every entry still pays its own ingress MAC
+    // (they arrived in separate frames), but the responses leave in one
+    // BatchResp frame whose single egress crossing lands on the last entry.
+    let framed = run_reads_framed(&mut s, SimTime::from_nanos(100_000), false, true);
+    for (i, b) in framed.iter().enumerate().take(ENTRIES as usize - 1) {
+        assert_eq!(b.mac_phy, mac, "entry {i} must pay ingress MAC only");
+    }
+    assert_eq!(
+        framed[ENTRIES as usize - 1].mac_phy,
+        mac * 2,
+        "the last entry pays ingress plus the response frame's egress crossing"
+    );
+    let total_mac: SimDuration =
+        framed.iter().map(|b| b.mac_phy).fold(SimDuration::ZERO, |a, d| a + d);
+    assert_eq!(total_mac, mac * (ENTRIES + 1), "16 ingress charges + one egress charge");
+}
+
+#[test]
+fn fully_batched_frame_pays_one_mac_each_way() {
+    let mut s = warm_board();
+    let mac = s.config().mac_phy_latency;
+    // Batch request in, BatchResp out: one ingress crossing (first entry),
+    // one egress crossing (last entry), nothing in between — the regression
+    // the egress-MAC double-count fix pins down.
+    let framed = run_reads_framed(&mut s, SimTime::from_nanos(100_000), true, true);
+    assert_eq!(framed[0].mac_phy, mac, "first entry pays the frame's ingress crossing");
+    for (i, b) in framed.iter().enumerate().take(ENTRIES as usize - 1).skip(1) {
+        assert_eq!(b.mac_phy, SimDuration::ZERO, "middle entry {i} pays no MAC at all");
+    }
+    assert_eq!(
+        framed[ENTRIES as usize - 1].mac_phy,
+        mac,
+        "last entry pays the response frame's egress crossing"
+    );
+    let total_mac: SimDuration =
+        framed.iter().map(|b| b.mac_phy).fold(SimDuration::ZERO, |a, d| a + d);
+    assert_eq!(total_mac, mac * 2, "a 16-entry exchange pays MAC/PHY once per direction");
+}
+
+#[test]
+fn egress_bracket_resets_between_frames() {
+    let mut s = warm_board();
+    let mac = s.config().mac_phy_latency;
+    let first = run_reads_framed(&mut s, SimTime::from_nanos(100_000), false, true);
+    let second = run_reads_framed(&mut s, SimTime::from_nanos(200_000), false, true);
+    assert_eq!(first[ENTRIES as usize - 1].mac_phy, mac * 2);
+    assert_eq!(
+        second[ENTRIES as usize - 1].mac_phy,
+        mac * 2,
+        "a new response frame pays egress again"
+    );
+    // A standalone request after both brackets is back to full cost.
+    let (_, t) = s.read(SimTime::from_nanos(300_000), Pid(1), 0, 16);
+    assert_eq!(t.breakdown.mac_phy, mac * 2);
+}
+
+#[test]
+fn internal_access_charges_zero_mac_inside_an_egress_frame() {
+    let mut s = warm_board();
+    let mac = s.config().mac_phy_latency;
+    s.begin_egress_frame();
+    s.set_internal_access(true);
+    let (_, internal) = s.read(SimTime::from_nanos(100_000), Pid(1), 0, 16);
+    assert_eq!(internal.breakdown.mac_phy, SimDuration::ZERO, "internal access charges zero");
+    s.set_internal_access(false);
+    let (_, coalesced) = s.read(SimTime::from_nanos(100_000), Pid(1), 4096, 16);
+    assert_eq!(
+        coalesced.breakdown.mac_phy, mac,
+        "a coalesced response inside the bracket pays ingress MAC only"
+    );
+    s.end_egress_frame();
+    let (_, tail) = s.read(SimTime::from_nanos(100_000), Pid(1), 2 * 4096, 16);
+    assert_eq!(tail.breakdown.mac_phy, mac * 2, "after the bracket the full cost returns");
 }
 
 #[test]

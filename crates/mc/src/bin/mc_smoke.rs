@@ -1,0 +1,49 @@
+//! CI smoke run of the bounded model checker.
+//!
+//! Explores the two-op scenario at the default bounds (override with
+//! `MC_DEPTH` / `MC_FAULTS` / `MC_RETRIES`), prints the search statistics,
+//! and exits nonzero on any invariant violation — printing the replayable
+//! counterexample schedule first.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use clio_mc::{explore, McConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let defaults = McConfig::default();
+    let cfg = McConfig {
+        max_depth: env_usize("MC_DEPTH", defaults.max_depth),
+        fault_budget: env_usize("MC_FAULTS", defaults.fault_budget as usize) as u32,
+        max_retries: env_usize("MC_RETRIES", defaults.max_retries as usize) as u32,
+        ..defaults
+    };
+    println!(
+        "clio_mc smoke: depth {} / fault budget {} / retries {}",
+        cfg.max_depth, cfg.fault_budget, cfg.max_retries
+    );
+    let started = Instant::now();
+    let report = explore(&cfg);
+    println!(
+        "explored {} nodes / {} distinct states / {} quiescent runs in {:.1?}{}",
+        report.nodes,
+        report.distinct_states,
+        report.quiescent_runs,
+        started.elapsed(),
+        if report.truncated { " (TRUNCATED at node cap)" } else { "" },
+    );
+    match report.violation {
+        None => {
+            println!("no invariant violations");
+            ExitCode::SUCCESS
+        }
+        Some(v) => {
+            println!("{v}");
+            ExitCode::FAILURE
+        }
+    }
+}

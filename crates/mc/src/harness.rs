@@ -1,0 +1,275 @@
+//! The model-checked scenario: a real CN (CLib + transport) and a real
+//! CBoard joined by a [`VirtualWire`], with every other source of
+//! nondeterminism removed.
+//!
+//! The scenario is deliberately tiny — two operations (a read and a
+//! fetch-and-add on **disjoint** pages) submitted at the same instant — so
+//! the interesting state space is the transport's, not the workload's:
+//! the two ops coalesce into one `Batch` frame, their responses into one
+//! `BatchResp`, and every fault the explorer injects exercises the NACK /
+//! timeout / retry / `retry_of`-dedup machinery on both ends. Disjoint
+//! pages keep the ops commutative, so the baseline outcome is unique no
+//! matter how the explorer interleaves deliveries.
+//!
+//! Everything protocol-independent is pre-seeded directly into the board's
+//! silicon (page tables, page contents), so the wire carries *only* the
+//! two fast-path operations under test and the explorer's bounded depth is
+//! spent where it matters.
+
+use bytes::Bytes;
+use clio_cn::transport::McMutation;
+use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, ThreadId};
+use clio_hw::pagetable::Pte;
+use clio_mn::{CBoard, CBoardConfig};
+use clio_net::{Frame, Mac, NicPort, VirtualWire};
+use clio_proto::{Perm, Pid};
+use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, SimDuration, SimTime, Simulation};
+
+/// Protection domain the scenario's operations run in.
+pub const PID: Pid = Pid(7);
+/// Page size of the scenario board (`CBoardConfig::test_small`).
+pub const PAGE: u64 = 4096;
+/// Virtual address of the page the read targets.
+pub const VA_READ: u64 = 16 * PAGE;
+/// Virtual address of the cell the fetch-and-add targets (a different
+/// page, so the two ops commute and the expected outcome is unique).
+pub const VA_FAA: u64 = 17 * PAGE;
+/// Bytes the read fetches.
+pub const READ_LEN: u32 = 32;
+/// Fill byte pre-seeded into the read page.
+pub const READ_SEED: u8 = 0xA5;
+/// Initial value pre-seeded into the fetch-and-add cell.
+pub const FAA_SEED: u64 = 40;
+/// Delta the fetch-and-add applies — exactly once, whatever the network
+/// does, or the checker reports a violation.
+pub const FAA_DELTA: u64 = 2;
+
+/// The CN's MAC on the virtual wire.
+pub const CN_MAC: Mac = Mac(1);
+/// The board's MAC on the virtual wire.
+pub const MN_MAC: Mac = Mac(2);
+
+/// Which framing policy the scenario runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// Request + response batching on — the explored configuration, where
+    /// the two ops travel as one `Batch` frame.
+    Batched,
+    /// One frame per packet in both directions — the fault-free baseline
+    /// the explored runs must be observationally equivalent to.
+    Unbatched,
+}
+
+/// Submission message for the CN host actor.
+struct Submit {
+    op: Op,
+}
+
+/// The CN host actor under test: owns the NIC and the real [`CLib`]
+/// (ordering + transport), collects completions.
+pub struct McCnHost {
+    nic: NicPort,
+    clib: CLib,
+    completions: Vec<Completion>,
+}
+
+impl McCnHost {
+    /// The CLib under test (the explorer fingerprints and invariant-checks
+    /// its transport through this).
+    pub fn clib(&self) -> &CLib {
+        &self.clib
+    }
+
+    /// Completions collected so far, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+}
+
+impl Actor for McCnHost {
+    fn name(&self) -> &str {
+        "mc-cn-host"
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let msg = match msg.downcast::<Submit>() {
+            Ok(s) => {
+                let (_t, comps) = self.clib.submit(ctx, &mut self.nic, ThreadId(0), s.op);
+                self.completions.extend(comps);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Frame>() {
+            Ok(f) => {
+                let comps = self.clib.on_frame(ctx, &mut self.nic, f);
+                self.completions.extend(comps);
+                return;
+            }
+            Err(m) => m,
+        };
+        let (comps, leftover) = self.clib.on_timer(ctx, &mut self.nic, msg);
+        assert!(leftover.is_none(), "unexpected message at mc CN host");
+        self.completions.extend(comps);
+    }
+}
+
+/// One scenario instance: the simulation plus the actor ids the explorer
+/// steers.
+pub struct Scenario {
+    /// The simulation under exploration.
+    pub sim: Simulation,
+    /// The [`VirtualWire`] actor.
+    pub wire: ActorId,
+    /// The CN host actor ([`McCnHost`]).
+    pub cn: ActorId,
+    /// The CBoard actor.
+    pub board: ActorId,
+}
+
+impl Scenario {
+    /// Builds the two-op scenario: board with pre-installed page tables and
+    /// pre-seeded page contents, CN with both operations submitted at
+    /// `t = 0` (so they coalesce under the batched framing), everything
+    /// wired through a [`VirtualWire`]. Nothing has executed yet — the
+    /// caller settles the simulation to materialize the first frames.
+    pub fn new(framing: Framing, mutation: McMutation, max_retries: u32) -> Self {
+        let mut sim = Simulation::new(1);
+        let wire = sim.add_actor(VirtualWire::new());
+
+        let board_cfg = match framing {
+            Framing::Batched => CBoardConfig::test_small(),
+            Framing::Unbatched => CBoardConfig {
+                hw: CBoardConfig::test_small().hw,
+                ..CBoardConfig::prototype_unbatched()
+            },
+        };
+        let bport =
+            NicPort::new(MN_MAC, Bandwidth::from_gbps(10), wire, SimDuration::from_nanos(5));
+        let mut board = CBoard::new("mc-mn", board_cfg, bport);
+        seed_board(&mut board);
+        let board = sim.add_actor(board);
+        sim.actor_mut::<VirtualWire>(wire).attach(MN_MAC, board);
+
+        let clib_cfg = match framing {
+            Framing::Batched => CLibConfig { max_retries, ..CLibConfig::prototype() },
+            Framing::Unbatched => CLibConfig { max_retries, ..CLibConfig::prototype_unbatched() },
+        };
+        let cport =
+            NicPort::new(CN_MAC, Bandwidth::from_gbps(40), wire, SimDuration::from_nanos(5));
+        let mut clib = CLib::new(clib_cfg, 1, PAGE);
+        clib.transport_mut().set_mc_mutation(mutation);
+        let cn = sim.add_actor(McCnHost { nic: cport, clib, completions: vec![] });
+        sim.actor_mut::<VirtualWire>(wire).attach(CN_MAC, cn);
+
+        // Both ops at the same instant: the doorbell coalesces them into
+        // one Batch frame under the batched framing.
+        sim.post(
+            cn,
+            Message::new(Submit {
+                op: Op::Read { mn: MN_MAC, pid: PID, va: VA_READ, len: READ_LEN },
+            }),
+        );
+        sim.post(
+            cn,
+            Message::new(Submit {
+                op: Op::Faa { mn: MN_MAC, pid: PID, va: VA_FAA, delta: FAA_DELTA },
+            }),
+        );
+        Scenario { sim, wire, cn, board }
+    }
+
+    /// The wire, read-only.
+    pub fn wire(&self) -> &VirtualWire {
+        self.sim.actor::<VirtualWire>(self.wire)
+    }
+
+    /// The wire, mutable (the explorer corrupts/takes/injects through
+    /// this).
+    pub fn wire_mut(&mut self) -> &mut VirtualWire {
+        self.sim.actor_mut::<VirtualWire>(self.wire)
+    }
+
+    /// The CN host, read-only.
+    pub fn host(&self) -> &McCnHost {
+        self.sim.actor::<McCnHost>(self.cn)
+    }
+
+    /// The board, read-only.
+    pub fn cboard(&self) -> &CBoard {
+        self.sim.actor::<CBoard>(self.board)
+    }
+
+    /// Removes pending frame `index` from the wire and posts it to its
+    /// destination actor (delivery happens when the simulation next runs).
+    pub fn deliver(&mut self, index: usize) {
+        let frame = self.wire_mut().take(index);
+        let dst = self.wire().endpoint(frame.dst).expect("destination attached");
+        self.sim.post(dst, Message::new(frame));
+    }
+
+    /// True when the run is over: no frame in flight, no operation in
+    /// flight, and no simulation event pending.
+    pub fn quiescent(&mut self) -> bool {
+        self.wire().is_empty()
+            && self.host().clib().in_flight() == 0
+            && self.sim.peek_next_event_time().is_none()
+    }
+
+    /// Extracts the observable outcome of a finished run: per-op results
+    /// in token order, plus the final contents of both touched pages read
+    /// back directly from silicon (no protocol traffic).
+    pub fn outcome(&mut self) -> Outcome {
+        let mut results: Vec<(u64, Result<CompletionValue, ClioError>)> =
+            self.host().completions().iter().map(|c| (c.token.0, c.result.clone())).collect();
+        results.sort_by_key(|(t, _)| *t);
+        let now = self.sim.now();
+        let silicon = self.sim.actor_mut::<CBoard>(self.board).silicon_mut();
+        let was = silicon.set_internal_access(true);
+        let (read_page, _) = silicon.read(now, PID, VA_READ, READ_LEN);
+        let (faa_cell, _) = silicon.read(now, PID, VA_FAA, 8);
+        silicon.set_internal_access(was);
+        let faa_bytes = faa_cell.expect("faa cell readable");
+        let mut le = [0u8; 8];
+        le.copy_from_slice(&faa_bytes);
+        Outcome {
+            results,
+            read_page: read_page.expect("read page readable"),
+            faa_cell: u64::from_le_bytes(le),
+        }
+    }
+}
+
+/// The observable outcome of a finished run: what the application saw plus
+/// what the memory ended up holding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Per-op `(token, result)` in token (= submission) order.
+    pub results: Vec<(u64, Result<CompletionValue, ClioError>)>,
+    /// Final bytes of the read-target page slice.
+    pub read_page: Bytes,
+    /// Final value of the fetch-and-add cell (seed + delta if the add took
+    /// effect exactly once).
+    pub faa_cell: u64,
+}
+
+/// Installs page tables and seeds page contents for both target pages, so
+/// the explored wire traffic is exactly the two ops under test.
+fn seed_board(board: &mut CBoard) {
+    // The board constructor pre-fills the async free-page buffer, so
+    // first-touch faults during seeding are served without slow-path help.
+    let silicon = board.silicon_mut();
+    for vpn in [VA_READ / PAGE, VA_FAA / PAGE] {
+        silicon
+            .vm_mut()
+            .install_pte(Pte { pid: PID, vpn, ppn: 0, perm: Perm::RW, valid: false })
+            .expect("install pte");
+    }
+    let was = silicon.set_internal_access(true);
+    silicon
+        .write(SimTime::ZERO, PID, VA_READ, &[READ_SEED; READ_LEN as usize])
+        .0
+        .expect("seed read page");
+    silicon.write(SimTime::ZERO, PID, VA_FAA, &FAA_SEED.to_le_bytes()).0.expect("seed faa cell");
+    silicon.set_internal_access(was);
+}

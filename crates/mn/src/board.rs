@@ -55,6 +55,30 @@
 //! gap-history working set of recently active destinations). It
 //! is connectionless: every response is routed by the source MAC of the
 //! request frame.
+//!
+//! # Invariants
+//!
+//! The board-side half of the transport contract, checked exhaustively by
+//! the `clio_mc` bounded model checker (see `clio_cn::transport` for the
+//! CN-side half):
+//!
+//! 1. **At-most-once effects.** A retry of a non-idempotent request
+//!    (`retry_of` set) whose original already executed is answered from the
+//!    retry-dedup buffer without re-execution — the CN may retry freely and
+//!    each logical operation still takes effect at most once.
+//! 2. **Every request is answered.** Each well-formed, uncorrupted request
+//!    packet produces exactly one response packet (possibly coalesced into
+//!    a `BatchResp` frame); each corrupted frame produces a NACK per
+//!    request it carried (possibly coalesced into `BatchNack`). The board
+//!    never silently consumes a request.
+//! 3. **Egress drains.** Every packet placed on an egress queue has a
+//!    doorbell scheduled at (or before) its ready time; at quiescence every
+//!    egress queue is empty. A packet is never sent before the datapath
+//!    produced it.
+//! 4. **Statelessness.** Outside a request's execution window the board
+//!    keeps no per-CN connection state: response routing is derived solely
+//!    from the request frame's source MAC, and the write tracker / dedup
+//!    buffer are TTL- and capacity-bounded.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -288,6 +312,61 @@ impl CBoard {
     /// Board statistics.
     pub fn stats(&self) -> BoardStats {
         self.stats
+    }
+
+    /// A hash of the board's **logical** protocol state, for model-checker
+    /// state pruning.
+    ///
+    /// Covers the multi-packet write tracker (request ids, remaining
+    /// fragments, failure status), the per-destination egress queues
+    /// (destination, packet kind, request id), the retry-dedup buffer
+    /// occupancy, and migration bookkeeping. Absolute times, EWMAs and
+    /// timing state are deliberately **excluded**: two states that differ
+    /// only in when things happened are behaviorally equivalent for the
+    /// safety properties the checker enforces, and folding timestamps in
+    /// would make every state unique and pruning useless.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        let mut writes: Vec<u64> = self
+            .writes
+            .pending
+            .iter()
+            .map(|(id, w)| {
+                let mut e = fnv_mix(0xcbf2_9ce4_8422_2325, id.0);
+                e = fnv_mix(e, w.remaining as u64);
+                e = fnv_mix(e, w.src.0 as u64);
+                e = fnv_mix(e, w.retry_of.map_or(0, |r| r.0 ^ 1));
+                fnv_mix(e, w.failed.is_some() as u64)
+            })
+            .collect();
+        writes.sort_unstable();
+        h = fnv_fold(h, 1, &writes);
+        let mut egress: Vec<u64> = self
+            .egress
+            .iter()
+            .map(|(dst, q)| {
+                let mut e = fnv_mix(0xcbf2_9ce4_8422_2325, dst.0 as u64);
+                for entry in q {
+                    let tag = match &entry.pkt {
+                        ClioPacket::Request { .. } => 1,
+                        ClioPacket::Batch { .. } => 2,
+                        ClioPacket::Response { .. } => 3,
+                        ClioPacket::BatchResp { .. } => 4,
+                        ClioPacket::Nack { .. } => 5,
+                        ClioPacket::BatchNack { .. } => 6,
+                    };
+                    e = fnv_mix(e, tag);
+                    e = fnv_mix(e, entry.pkt.req_id().0);
+                }
+                e
+            })
+            .collect();
+        egress.sort_unstable();
+        h = fnv_fold(h, 2, &egress);
+        h = fnv_mix(h, self.silicon.dedup().len() as u64);
+        h = fnv_mix(h, self.out_migrations.len() as u64);
+        h = fnv_mix(h, self.in_migrations.len() as u64);
+        h
     }
 
     /// The fast-path silicon (tests/harnesses inspect TLB, page table, ...).
@@ -1121,6 +1200,26 @@ impl CBoard {
     }
 }
 
+/// FNV-1a step over one `u64`.
+fn fnv_mix(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Folds a **sorted** list of element digests into `h` under a section tag,
+/// so differently-keyed sections with equal content still hash apart.
+fn fnv_fold(mut h: u64, tag: u64, elems: &[u64]) -> u64 {
+    h = fnv_mix(h, tag);
+    h = fnv_mix(h, elems.len() as u64);
+    for &e in elems {
+        h = fnv_mix(h, e);
+    }
+    h
+}
+
 impl Actor for CBoard {
     fn name(&self) -> &str {
         &self.name
@@ -1223,13 +1322,30 @@ impl Actor for CBoard {
                 // it had arrived in its own frame, in batch order — except
                 // that the frame's MAC/PHY ingress crossing is charged only
                 // once (to the first entry); the rest pay per-entry parse.
+                // When response batching is on, the entries' responses are
+                // expected to leave coalesced too (the egress doorbell packs
+                // same-destination completions), so their egress MAC is
+                // likewise charged once per frame: entries inside the egress
+                // bracket skip the crossing, and the bracket closes before
+                // the last entry, which pays it (the coalesced frame's tail
+                // through the MAC — charging the tail preserves completion
+                // order). The documented approximation is that a batch
+                // frame's responses coalesce into one reply frame.
                 self.stats.rx_frames += 1;
                 self.stats.rx_packets += requests.len() as u64;
                 self.stats.batched_requests += requests.len() as u64;
                 self.silicon.begin_ingress_frame();
-                for (header, body) in requests {
+                if self.cfg.resp_batch_max_ops > 1 {
+                    self.silicon.begin_egress_frame();
+                }
+                let last = requests.len().saturating_sub(1);
+                for (i, (header, body)) in requests.into_iter().enumerate() {
+                    if i == last {
+                        self.silicon.end_egress_frame();
+                    }
                     self.handle_request(ctx, src, header, body);
                 }
+                self.silicon.end_egress_frame();
                 self.silicon.end_ingress_frame();
             }
             // MNs only respond; stray responses/NACKs are dropped.

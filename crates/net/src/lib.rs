@@ -16,6 +16,12 @@
 //!   lossless Ethernet; [`QueueDiscipline`] selects between an unbounded
 //!   (PFC-style backpressure-free) queue and a bounded drop-tail queue.
 //!
+//! For exhaustive (rather than sampled) fault exploration, [`VirtualWire`]
+//! replaces the stochastic injector with an explorer-chosen schedule: it
+//! captures every in-flight frame, and an external scheduler (the `clio_mc`
+//! bounded model checker) decides each delivery, reorder, corruption, drop
+//! or duplication as an explicit, replayable choice.
+//!
 //! Frames carry a type-erased payload ([`clio_sim::Message`]) plus an
 //! explicit wire size, so upper layers (clio-proto packets, RDMA verbs, ...)
 //! share one fabric.
@@ -24,8 +30,10 @@ mod frame;
 mod nic;
 mod switch;
 mod topology;
+mod wire;
 
 pub use frame::{Frame, Mac};
 pub use nic::NicPort;
 pub use switch::{FaultInjector, PortStats, QueueDiscipline, Switch, SwitchConfig};
 pub use topology::{Network, NetworkConfig};
+pub use wire::{CapturedFrame, VirtualWire};

@@ -262,6 +262,27 @@ impl Simulation {
         self.core.cancelled.insert(id);
     }
 
+    /// The delivery time of the next pending (non-cancelled) event, or
+    /// `None` when the simulation is quiescent.
+    ///
+    /// Cancelled events sitting at the head of the queue are discarded as a
+    /// side effect (exactly as [`step`](Self::step) would skip them), which
+    /// is why this takes `&mut self`. This is the settle/decision hook the
+    /// model checker builds on: "run until the next event is further than a
+    /// horizon away" identifies the points where all internal cascades
+    /// (doorbells, NIC serialization, datapath completions) have drained
+    /// and only long timers or explorer-controlled deliveries remain.
+    pub fn peek_next_event_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(ev)) = self.core.queue.peek() {
+            if !self.core.cancelled.contains(&ev.id) {
+                return Some(ev.at);
+            }
+            let Some(Reverse(ev)) = self.core.queue.pop() else { unreachable!("peeked") };
+            self.core.cancelled.remove(&ev.id);
+        }
+        None
+    }
+
     /// Delivers the next pending event. Returns `false` if the queue is empty.
     ///
     /// # Panics
@@ -315,8 +336,10 @@ impl Simulation {
     /// are delivered). Later events remain queued; the clock is advanced to
     /// `deadline` if it ran idle before then.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(ev)) = self.core.queue.peek() {
-            if ev.at > deadline {
+        // Peek past cancelled heads: a cancelled event at the queue head
+        // must not cause `step` to deliver a live event beyond `deadline`.
+        while let Some(at) = self.peek_next_event_time() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -476,6 +499,36 @@ mod tests {
         sim.post(t, Message::new("arm"));
         sim.run_until_idle();
         assert_eq!(sim.actor::<Timer>(t).fired_at, Some(SimTime::from_nanos(1000)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_and_reports_quiescence() {
+        let mut sim = Simulation::new(1);
+        let r = sim.add_actor(Recorder { seen: vec![] });
+        let first = sim.post_in(r, SimDuration::from_nanos(5), Message::new(1u64));
+        sim.post_in(r, SimDuration::from_nanos(9), Message::new(2u64));
+        sim.cancel(first);
+        // The cancelled head is skipped: the next live event is at 9 ns.
+        assert_eq!(sim.peek_next_event_time(), Some(SimTime::from_nanos(9)));
+        assert!(sim.step());
+        assert_eq!(sim.actor::<Recorder>(r).seen, vec![(SimTime::from_nanos(9), 2)]);
+        assert_eq!(sim.peek_next_event_time(), None, "quiescent after last delivery");
+    }
+
+    #[test]
+    fn run_until_does_not_overshoot_past_cancelled_head() {
+        let mut sim = Simulation::new(1);
+        let r = sim.add_actor(Recorder { seen: vec![] });
+        let head = sim.post_in(r, SimDuration::from_nanos(5), Message::new(1u64));
+        sim.post_in(r, SimDuration::from_nanos(50), Message::new(2u64));
+        sim.cancel(head);
+        // Only a cancelled event lies within the deadline: nothing may be
+        // delivered, and the event at 50 ns must stay queued.
+        sim.run_until(SimTime::from_nanos(10));
+        assert_eq!(sim.actor::<Recorder>(r).seen.len(), 0);
+        assert_eq!(sim.now(), SimTime::from_nanos(10));
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Recorder>(r).seen, vec![(SimTime::from_nanos(50), 2)]);
     }
 
     #[test]

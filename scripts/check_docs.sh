@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Grep-based docs link check: every backticked crate, path, type, config
+# knob, or env var referenced in docs/ARCHITECTURE.md must still exist in
+# the tree. Fails listing the stale references, so the architecture tour
+# cannot silently rot as the code moves.
+set -u
+cd "$(dirname "$0")/.."
+
+DOC="docs/ARCHITECTURE.md"
+[ -f "$DOC" ] || { echo "missing $DOC"; exit 1; }
+
+fail=0
+declare -A checked
+
+# All single-backtick tokens. Fenced code blocks are diagrams/examples,
+# not references, so strip them first.
+tokens=$(sed '/^```/,/^```/d' "$DOC" | grep -o '`[^`]*`' | tr -d '`' | sort -u)
+
+while IFS= read -r tok; do
+  [ -n "$tok" ] || continue
+  [ -n "${checked[$tok]:-}" ] && continue
+  checked[$tok]=1
+
+  # Skip prose-ish tokens: spaces, shell lines, comparisons.
+  case "$tok" in
+    *" "*|*"|"*|"-"*) continue ;;
+  esac
+
+  # Paths: must exist (a trailing component may name one of several
+  # files, e.g. `crates/cn/tests/...` — check the literal path).
+  if [[ "$tok" == */* ]]; then
+    if [ ! -e "$tok" ]; then
+      echo "stale path reference: \`$tok\`"
+      fail=1
+    fi
+    continue
+  fi
+
+  # Crate names: clio_foo -> crates/foo must exist ("clio" is the root
+  # facade). "vendor" is a directory.
+  if [[ "$tok" =~ ^clio(_[a-z0-9_]+)?$ ]]; then
+    if [ "$tok" = "clio" ]; then continue; fi
+    dir="crates/${tok#clio_}"
+    if [ ! -d "$dir" ]; then
+      echo "stale crate reference: \`$tok\` (no $dir)"
+      fail=1
+    fi
+    continue
+  fi
+
+  # Everything else: identifiers (types, methods, config knobs, env
+  # vars). Take the last path-ish component and require it to appear
+  # somewhere in the sources as a whole word.
+  ident="${tok##*::}"          # Transport::check_invariants -> check_invariants
+  ident="${ident%%(*}"         # rread() -> rread
+  ident="${ident#.}"           # .field -> field
+  [[ "$ident" =~ ^[A-Za-z_][A-Za-z0-9_]*$ ]] || continue
+  if ! grep -rqw --include='*.rs' --include='*.toml' "$ident" crates src vendor 2>/dev/null; then
+    echo "stale identifier reference: \`$tok\` (\"$ident\" not found in sources)"
+    fail=1
+  fi
+done <<< "$tokens"
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs/ARCHITECTURE.md references things that no longer exist (see above)"
+  exit 1
+fi
+echo "docs link check: OK"

@@ -9,6 +9,7 @@
 //! * [`hw`] — CBoard hardware fast path (page table, TLB, pipeline, ...)
 //! * [`mn`] — the memory node (slow path, extend path, migration)
 //! * [`cn`] — CLib, the compute-node library
+//! * [`mc`] — bounded model checker for the transport state machine
 //! * [`system`] — cluster assembly, controller, client runtimes
 //! * [`baselines`] — RDMA / Clover / HERD / LegoOS comparison models
 //! * [`apps`] — the five paper applications + YCSB
@@ -18,6 +19,7 @@ pub use clio_baselines as baselines;
 pub use clio_cn as cn;
 pub use clio_core as system;
 pub use clio_hw as hw;
+pub use clio_mc as mc;
 pub use clio_mn as mn;
 pub use clio_net as net;
 pub use clio_proto as proto;
