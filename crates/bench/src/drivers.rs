@@ -224,7 +224,7 @@ impl ClientDriver for MemDriver {
         }
         match &c.result {
             Ok(_) => self.recorder.record(c.completed_at, c.latency(), self.size as u64),
-            Err(_) => self.recorder.record_error(),
+            Err(_) => self.recorder.record_error(c.completed_at),
         }
         self.completed += 1;
         if self.completed >= self.ops {
@@ -344,7 +344,7 @@ impl ClientDriver for BurstDriver {
         }
         match &c.result {
             Ok(_) => self.recorder.record(c.completed_at, c.latency(), self.size as u64),
-            Err(_) => self.recorder.record_error(),
+            Err(_) => self.recorder.record_error(c.completed_at),
         }
         self.outstanding -= 1;
         if self.outstanding > 0 {
@@ -470,7 +470,7 @@ impl ClientDriver for KvDriver {
         }
         match &c.result {
             Ok(_) => self.recorder.record(c.completed_at, c.latency(), self.value_size),
-            Err(_) => self.recorder.record_error(),
+            Err(_) => self.recorder.record_error(c.completed_at),
         }
         self.completed += 1;
         if self.completed >= self.ops {

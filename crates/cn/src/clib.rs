@@ -21,6 +21,8 @@ use bytes::Bytes;
 use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{Perm, Pid};
 use clio_sim::{Ctx, Message, SimDuration, SimTime};
+use clio_trace::metrics::{Counter, Registry};
+use clio_trace::{TraceCtx, Tracer, Track};
 
 use crate::config::CLibConfig;
 use crate::error::ClioError;
@@ -202,6 +204,10 @@ struct PendingOp {
     thread: ThreadId,
     op: Op,
     issued_at: SimTime,
+    /// Observability context, begun at admission so the trace's end-to-end
+    /// span equals the completion's `completed_at - issued_at`. Survives
+    /// lock-spin re-issues: every TAS attempt extends the same op timeline.
+    trace: Option<TraceCtx>,
 }
 
 /// Timer message for lock-acquisition backoff; hosts route it to
@@ -221,7 +227,9 @@ pub struct CLib {
     ops: HashMap<OpToken, PendingOp>,
     next_token: u64,
     /// Latency histogram source: completions carry issue/finish times.
-    completed_count: u64,
+    completed_count: Counter,
+    tracer: Tracer,
+    track: Track,
 }
 
 impl CLib {
@@ -236,34 +244,52 @@ impl CLib {
             trackers: HashMap::new(),
             ops: HashMap::new(),
             next_token: 1,
-            completed_count: 0,
+            completed_count: Counter::new(),
+            tracer: Tracer::disabled(),
+            track: Track::Cn(0),
         }
+    }
+
+    /// Injects the tracer and the CN track this CLib (and its transport)
+    /// stitch spans onto. Called by the cluster layer after construction;
+    /// without it tracing stays disabled at zero cost.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        self.tracer = tracer.clone();
+        self.track = track;
+        self.transport.set_tracer(tracer, track);
+    }
+
+    /// Registers this CLib's and its transport's counters into `registry`
+    /// under `<prefix>.*`.
+    pub fn register_metrics(&self, registry: &mut Registry, prefix: &str) {
+        registry.register_counter(format!("{prefix}.clib.completed"), self.completed_count.clone());
+        self.transport.register_metrics(registry, prefix);
     }
 
     /// Total operations completed (success or failure).
     pub fn completed_count(&self) -> u64 {
-        self.completed_count
+        self.completed_count.get()
     }
 
     /// Transport-level retry count.
     pub fn retry_count(&self) -> u64 {
-        self.transport.retry_count
+        self.transport.retry_count.get()
     }
 
     /// Multi-request batch frames the transport has sent.
     pub fn batch_frames(&self) -> u64 {
-        self.transport.batch_frames
+        self.transport.batch_frames.get()
     }
 
     /// Requests that traveled inside a multi-request batch frame.
     pub fn batched_ops(&self) -> u64 {
-        self.transport.batched_ops
+        self.transport.batched_ops.get()
     }
 
     /// Wire frames the retry doorbell has shipped (coalesced retries share
     /// one frame).
     pub fn retry_frames(&self) -> u64 {
-        self.transport.retry_frames
+        self.transport.retry_frames.get()
     }
 
     /// Operations in flight across all threads.
@@ -357,7 +383,8 @@ impl CLib {
             if dispatch {
                 match self.blueprint_of(token) {
                     Some((target, pid, blueprint)) => {
-                        sends.push((XferToken(token.0), target, pid, blueprint));
+                        let trace = self.ops.get(&token).and_then(|p| p.trace);
+                        sends.push((XferToken(token.0), target, pid, blueprint, trace));
                     }
                     None => self.finish_release(ctx, nic, token, &mut completions),
                 }
@@ -373,7 +400,14 @@ impl CLib {
         let token = OpToken(self.next_token);
         self.next_token += 1;
         let (class, vpns, barrier) = self.classify(&op);
-        self.ops.insert(token, PendingOp { thread, op, issued_at: ctx.now() });
+        // Releases are purely local barriers and never reach the wire, so
+        // they get no trace timeline.
+        let trace = if matches!(op, Op::Release) {
+            None
+        } else {
+            self.tracer.begin(op_kind_dbg(&op), ctx.now())
+        };
+        self.ops.insert(token, PendingOp { thread, op, issued_at: ctx.now(), trace });
         let tracker = self.trackers.entry(thread).or_default();
         let dispatch = if barrier {
             tracker.submit_barrier(token)
@@ -464,7 +498,8 @@ impl CLib {
         }
         match self.blueprint_of(token) {
             Some((target, pid, blueprint)) => {
-                self.transport.send(ctx, nic, XferToken(token.0), target, pid, blueprint);
+                let trace = self.ops.get(&token).and_then(|p| p.trace);
+                self.transport.send(ctx, nic, XferToken(token.0), target, pid, blueprint, trace);
             }
             None => self.finish_release(ctx, nic, token, completions),
         }
@@ -514,6 +549,7 @@ impl CLib {
                 // Re-issue the TAS for a still-pending lock.
                 if let Some(p) = self.ops.get(&token) {
                     if let Op::Lock { mn, pid, va } = p.op {
+                        let trace = p.trace;
                         self.transport.send(
                             ctx,
                             nic,
@@ -521,6 +557,7 @@ impl CLib {
                             mn,
                             pid,
                             Blueprint::Atomic { va, op: AtomicKind::Tas },
+                            trace,
                         );
                     }
                 }
@@ -559,7 +596,8 @@ impl CLib {
             (_, XferValue::Old(o)) => CompletionValue::Old(o),
             (_, XferValue::Done) => CompletionValue::Done,
         });
-        self.completed_count += 1;
+        self.completed_count.inc();
+        self.tracer.finish(pending.trace, self.track, ctx.now());
         if std::env::var_os("CLIO_DEBUG").is_some() {
             eprintln!(
                 "[clib t={}] finish tok={:?} kind={} ok={}",

@@ -94,6 +94,8 @@ use clio_proto::{
     RequestBody, RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES, MAX_WRITE_FRAG_PAYLOAD,
 };
 use clio_sim::{Ctx, EventId, Message, SimDuration, SimTime};
+use clio_trace::metrics::{Counter, Registry};
+use clio_trace::{Stage, TraceCtx, Tracer, Track};
 
 use crate::config::CLibConfig;
 use crate::congestion::{CongestionWindow, IncastWindow};
@@ -184,7 +186,17 @@ impl Blueprint {
     fn build(&self, req_id: ReqId, retry_of: Option<ReqId>, pid: Pid) -> Vec<ClioPacket> {
         let single = |body: RequestBody| {
             vec![ClioPacket::Request {
-                header: ReqHeader { req_id, retry_of, pid, pkt_index: 0, pkt_count: 1 },
+                // Trace and srtt echo are stamped post-build by
+                // `Transport::annotate`.
+                header: ReqHeader {
+                    req_id,
+                    retry_of,
+                    pid,
+                    pkt_index: 0,
+                    pkt_count: 1,
+                    trace: None,
+                    srtt_echo_ns: None,
+                },
                 body,
             }]
         };
@@ -347,6 +359,9 @@ struct Outstanding {
     retries: u32,
     conflict_retries: u32,
     timer: Option<EventId>,
+    /// Observability context for this op (attempt number advances on every
+    /// retry). `None` when tracing is disabled or the op was not sampled.
+    trace: Option<TraceCtx>,
 }
 
 #[derive(Debug)]
@@ -355,6 +370,7 @@ struct QueuedSend {
     pid: Pid,
     blueprint: Blueprint,
     enqueued_at: SimTime,
+    trace: Option<TraceCtx>,
 }
 
 /// A deliberately planted transport bug, used **only** by the model
@@ -481,17 +497,23 @@ pub struct Transport {
     /// MNs with a zero-delay retry doorbell already scheduled.
     retry_doorbells: HashSet<Mac>,
     /// Retries performed (for stats).
-    pub retry_count: u64,
+    pub retry_count: Counter,
     /// Multi-request batch frames sent (for stats).
-    pub batch_frames: u64,
+    pub batch_frames: Counter,
     /// Requests that traveled inside a multi-request batch frame.
-    pub batched_ops: u64,
+    pub batched_ops: Counter,
     /// Wire frames shipped by the retry doorbell (coalesced or not). With
     /// NACK coalescing, a corrupted 16-entry batch should cost one retry
     /// frame here, not sixteen.
-    pub retry_frames: u64,
+    pub retry_frames: Counter,
     /// Planted bug for the model checker's self-test (see [`McMutation`]).
     mutation: McMutation,
+    /// Stage-span recorder (disabled by default; see
+    /// [`set_tracer`](Self::set_tracer)). Stitching is pure observation: it
+    /// never changes what or when the transport sends.
+    tracer: Tracer,
+    /// The Perfetto track CN-side spans land on.
+    track: Track,
 }
 
 impl Transport {
@@ -513,12 +535,39 @@ impl Transport {
             submit_gap_ewma: HashMap::new(),
             retry_queues: HashMap::new(),
             retry_doorbells: HashSet::new(),
-            retry_count: 0,
-            batch_frames: 0,
-            batched_ops: 0,
-            retry_frames: 0,
+            retry_count: Counter::new(),
+            batch_frames: Counter::new(),
+            batched_ops: Counter::new(),
+            retry_frames: Counter::new(),
             mutation: McMutation::None,
+            tracer: Tracer::disabled(),
+            track: Track::Cn(0),
         }
+    }
+
+    /// Injects the tracer and the CN track this transport stitches spans
+    /// onto. Leaving the default ([`Tracer::disabled`]) keeps every stitch
+    /// a no-op.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        self.tracer = tracer;
+        self.track = track;
+    }
+
+    /// Registers the transport's counters into `registry` under
+    /// `<prefix>.transport.*`. The registry shares the live handles, so
+    /// snapshots and resets stay in lockstep with the public fields.
+    pub fn register_metrics(&self, registry: &mut Registry, prefix: &str) {
+        registry.register_counter(format!("{prefix}.transport.retries"), self.retry_count.clone());
+        registry.register_counter(
+            format!("{prefix}.transport.batch_frames"),
+            self.batch_frames.clone(),
+        );
+        registry
+            .register_counter(format!("{prefix}.transport.batched_ops"), self.batched_ops.clone());
+        registry.register_counter(
+            format!("{prefix}.transport.retry_frames"),
+            self.retry_frames.clone(),
+        );
     }
 
     /// Plants (or clears) a deliberate bug for the model checker's
@@ -688,6 +737,7 @@ impl Transport {
     /// the congestion and incast windows allow (otherwise queued); with
     /// batching enabled it is queued and the (load-adaptive) doorbell
     /// coalesces every submission sharing a pump into shared frames.
+    #[allow(clippy::too_many_arguments)] // the op's full identity travels together
     pub fn send(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -696,9 +746,11 @@ impl Transport {
         target: Mac,
         pid: Pid,
         blueprint: Blueprint,
+        trace: Option<TraceCtx>,
     ) {
         self.note_submission(target, ctx.now());
-        let q = QueuedSend { token, pid, blueprint, enqueued_at: ctx.now() };
+        self.tracer.stitch(trace, self.track, Stage::Submit, ctx.now());
+        let q = QueuedSend { token, pid, blueprint, enqueued_at: ctx.now(), trace };
         self.queues.entry(target).or_default().push_back(q);
         self.kick(ctx, nic, target);
     }
@@ -711,13 +763,14 @@ impl Transport {
         &mut self,
         ctx: &mut Ctx<'_>,
         nic: &mut NicPort,
-        requests: Vec<(XferToken, Mac, Pid, Blueprint)>,
+        requests: Vec<(XferToken, Mac, Pid, Blueprint, Option<TraceCtx>)>,
     ) {
         let now = ctx.now();
         let mut targets: Vec<Mac> = Vec::new();
-        for (token, target, pid, blueprint) in requests {
+        for (token, target, pid, blueprint, trace) in requests {
             self.note_submission(target, now);
-            let q = QueuedSend { token, pid, blueprint, enqueued_at: now };
+            self.tracer.stitch(trace, self.track, Stage::Submit, now);
+            let q = QueuedSend { token, pid, blueprint, enqueued_at: now, trace };
             self.queues.entry(target).or_default().push_back(q);
             if !targets.contains(&target) {
                 targets.push(target);
@@ -824,6 +877,10 @@ impl Transport {
         self.doorbells.remove(&target);
         let mut batch =
             BatchBuilder::new(self.cfg.batch_max_ops as usize, self.cfg.batch_max_bytes as usize);
+        // Trace contexts of the requests currently packed in `batch`, in
+        // push order: their NIC-serialization spans are stitched when the
+        // shared frame actually leaves (flush_batch).
+        let mut batch_traces: Vec<Option<TraceCtx>> = Vec::new();
         loop {
             let now = ctx.now();
             let Some(queue) = self.queues.get_mut(&target) else { break };
@@ -852,22 +909,25 @@ impl Transport {
                 .pop_front()
                 .expect("checked above");
             let conflict_gen = self.conflict_generations.remove(&q.token).unwrap_or(0);
+            self.tracer.stitch(q.trace, self.track, Stage::DoorbellHold, now);
             if self.batching() && q.blueprint.is_batchable() {
                 self.transmit_batched(
                     ctx,
                     nic,
                     &mut batch,
+                    &mut batch_traces,
                     q.token,
                     target,
                     q.pid,
                     q.blueprint,
                     conflict_gen,
                     q.enqueued_at,
+                    q.trace,
                 );
             } else {
                 // Flush first so the MN still sees requests in send order
                 // (fences must not overtake the batch in front of them).
-                self.flush_batch(ctx, nic, target, &mut batch);
+                self.flush_batch(ctx, nic, target, &mut batch, &mut batch_traces);
                 self.transmit(
                     ctx,
                     nic,
@@ -879,10 +939,11 @@ impl Transport {
                     0,
                     conflict_gen,
                     q.enqueued_at,
+                    q.trace,
                 );
             }
         }
-        self.flush_batch(ctx, nic, target, &mut batch);
+        self.flush_batch(ctx, nic, target, &mut batch, &mut batch_traces);
     }
 
     /// Registers a batchable request as outstanding and adds its single
@@ -894,29 +955,36 @@ impl Transport {
         ctx: &mut Ctx<'_>,
         nic: &mut NicPort,
         batch: &mut BatchBuilder,
+        batch_traces: &mut Vec<Option<TraceCtx>>,
         token: XferToken,
         target: Mac,
         pid: Pid,
         blueprint: Blueprint,
         conflict_retries: u32,
         first_sent_at: SimTime,
+        trace: Option<TraceCtx>,
     ) {
         let req_id = self.fresh_id();
         let mut packets = blueprint.build(req_id, None, pid);
         debug_assert_eq!(packets.len(), 1, "batchable requests are single-packet");
+        self.annotate(&mut packets, target, trace);
         let pkt = packets.pop().expect("single packet");
         let entry_wire = codec::wire_len(&pkt);
         if !batch.fits(entry_wire) {
-            self.flush_batch(ctx, nic, target, batch);
+            self.flush_batch(ctx, nic, target, batch, batch_traces);
         }
         if batch.fits(entry_wire) {
             let ClioPacket::Request { header, body } = pkt else {
                 unreachable!("blueprints build request packets")
             };
             batch.push(header, body);
+            batch_traces.push(trace);
         } else {
             let wire = (entry_wire + ETH_OVERHEAD_BYTES) as u32;
-            nic.send_at(ctx, ctx.now() + self.cfg.send_overhead, target, wire, Message::new(pkt));
+            let send_start = ctx.now() + self.cfg.send_overhead;
+            let tx_end = nic.send_at(ctx, send_start, target, wire, Message::new(pkt));
+            self.tracer.stitch(trace, self.track, Stage::Pack, send_start);
+            self.tracer.stitch(trace, self.track, Stage::NicSerialize, tx_end);
         }
         let timer = ctx.schedule(
             blueprint.timeout(self.cfg.request_timeout),
@@ -937,28 +1005,58 @@ impl Transport {
                 retries: 0,
                 conflict_retries,
                 timer: Some(timer),
+                trace,
             },
         );
     }
 
-    /// Ships the accumulated batch (if any) as one wire frame. Returns
-    /// whether a frame actually left.
+    /// Ships the accumulated batch (if any) as one wire frame, stitching
+    /// every member's pack + NIC-serialization spans to the frame's actual
+    /// transmit window. Returns whether a frame actually left.
     fn flush_batch(
         &mut self,
         ctx: &mut Ctx<'_>,
         nic: &mut NicPort,
         target: Mac,
         batch: &mut BatchBuilder,
+        batch_traces: &mut Vec<Option<TraceCtx>>,
     ) -> bool {
         let ops = batch.len() as u64;
-        let Some(pkt) = batch.take() else { return false };
+        let Some(pkt) = batch.take() else {
+            batch_traces.clear();
+            return false;
+        };
         if ops > 1 {
-            self.batch_frames += 1;
-            self.batched_ops += ops;
+            self.batch_frames.inc();
+            self.batched_ops.add(ops);
         }
         let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
-        nic.send_at(ctx, ctx.now() + self.cfg.send_overhead, target, wire, Message::new(pkt));
+        let send_start = ctx.now() + self.cfg.send_overhead;
+        let tx_end = nic.send_at(ctx, send_start, target, wire, Message::new(pkt));
+        for trace in batch_traces.drain(..) {
+            self.tracer.stitch(trace, self.track, Stage::Pack, send_start);
+            self.tracer.stitch(trace, self.track, Stage::NicSerialize, tx_end);
+        }
         true
+    }
+
+    /// Stamps freshly built request packets with the op's trace context and
+    /// the CN's current smoothed RTT toward `target` (the srtt echo the MN
+    /// derives its egress doorbell budget from). The trace rides in
+    /// reserved header bits (zero wire bytes); the echo is always encoded,
+    /// tracing on or off, so the wire image never depends on observability.
+    fn annotate(&self, packets: &mut [ClioPacket], target: Mac, trace: Option<TraceCtx>) {
+        let echo = self
+            .cwnds
+            .get(&target)
+            .and_then(CongestionWindow::srtt)
+            .map(|s| s.as_nanos().min(u32::MAX as u64) as u32);
+        for pkt in packets {
+            if let ClioPacket::Request { header, .. } = pkt {
+                header.trace = trace;
+                header.srtt_echo_ns = echo;
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)] // internal send/retry core
@@ -974,15 +1072,21 @@ impl Transport {
         retries: u32,
         conflict_retries: u32,
         first_sent_at: SimTime,
+        trace: Option<TraceCtx>,
     ) {
         let req_id = self.fresh_id();
         let retry_of = retry_of.filter(|_| blueprint.is_non_idempotent());
-        let packets = blueprint.build(req_id, retry_of, pid);
+        let mut packets = blueprint.build(req_id, retry_of, pid);
+        self.annotate(&mut packets, target, trace);
         let send_start = ctx.now() + self.cfg.send_overhead;
+        let mut tx_end = send_start;
         for pkt in &packets {
             let wire = (codec::wire_len(pkt) + ETH_OVERHEAD_BYTES) as u32;
-            nic.send_at(ctx, send_start, target, wire, Message::new(pkt.clone()));
+            tx_end =
+                tx_end.max(nic.send_at(ctx, send_start, target, wire, Message::new(pkt.clone())));
         }
+        self.tracer.stitch(trace, self.track, Stage::Pack, send_start);
+        self.tracer.stitch(trace, self.track, Stage::NicSerialize, tx_end);
         let timer = ctx.schedule(
             blueprint.timeout(self.cfg.request_timeout),
             Message::new(TransportTimer::Timeout(req_id)),
@@ -1001,6 +1105,7 @@ impl Transport {
                 retries,
                 conflict_retries,
                 timer: Some(timer),
+                trace,
             },
         );
         let bytes = self.outstanding[&req_id].blueprint.expected_response_bytes();
@@ -1106,8 +1211,13 @@ impl Transport {
         if let Some(t) = o.timer.take() {
             ctx.cancel(t);
         }
-        self.retry_count += 1;
+        self.retry_count.inc();
         o.retries += 1;
+        // The corrupted attempt's wire + MN time is unattributable (the MN
+        // executes nothing for it); the turnaround span from the attempt's
+        // last stitch to the NACK's arrival absorbs it, keeping the op's
+        // timeline gap-free.
+        self.tracer.stitch(o.trace, self.track, Stage::NackTurnaround, ctx.now());
         if o.retries > self.cfg.max_retries {
             if self.mutation != McMutation::LeakWindowOnNack {
                 self.release_windows(ctx.now(), &o, None);
@@ -1119,6 +1229,7 @@ impl Transport {
             });
             true
         } else {
+            o.trace = self.tracer.retry(o.trace, ctx.now());
             // Window slot stays held: this is the same logical request.
             // Hand the slot bookkeeping over by not releasing and queueing
             // the retransmission.
@@ -1158,6 +1269,11 @@ impl Transport {
             ctx.cancel(t);
         }
         let now = ctx.now();
+        // Response wire time: from the MN's last stitch (egress NIC
+        // serialization) to delivery here. For multi-fragment reads this
+        // covers the whole reassembly window, attributed once on
+        // completion of the final fragment.
+        self.tracer.stitch(o.trace, Track::Wire, Stage::Wire, now);
         let rtt = now.since(o.attempt_sent_at);
         self.release_windows(now, &o, Some(rtt));
         match header.status {
@@ -1229,43 +1345,62 @@ impl Transport {
         let Some(entries) = self.retry_queues.remove(&target) else { return };
         let mut batch =
             BatchBuilder::new(self.cfg.batch_max_ops as usize, self.cfg.batch_max_bytes as usize);
+        let mut batch_traces: Vec<Option<TraceCtx>> = Vec::new();
         let send_start = ctx.now() + self.cfg.send_overhead;
         for (req_id, retry_of) in entries {
             // A retry can only vanish between queue and pump if its own
             // timer fired first; the timeout path re-queues it.
             let Some(o) = self.outstanding.get(&req_id) else { continue };
+            let trace = o.trace;
+            self.tracer.stitch(trace, self.track, Stage::RetryDoorbell, ctx.now());
             let mut packets = o.blueprint.build(req_id, retry_of, o.pid);
-            if self.batching() && packets.len() == 1 && o.blueprint.is_batchable() {
+            let batchable = self.batching() && packets.len() == 1 && o.blueprint.is_batchable();
+            self.annotate(&mut packets, target, trace);
+            if batchable {
                 let pkt = packets.pop().expect("single packet");
                 let entry_wire = codec::wire_len(&pkt);
-                if !batch.fits(entry_wire) && self.flush_batch(ctx, nic, target, &mut batch) {
-                    self.retry_frames += 1;
+                if !batch.fits(entry_wire)
+                    && self.flush_batch(ctx, nic, target, &mut batch, &mut batch_traces)
+                {
+                    self.retry_frames.inc();
                 }
                 if batch.fits(entry_wire) {
                     let ClioPacket::Request { header, body } = pkt else {
                         unreachable!("blueprints build request packets")
                     };
                     batch.push(header, body);
+                    batch_traces.push(trace);
                 } else {
                     let wire = (entry_wire + ETH_OVERHEAD_BYTES) as u32;
-                    nic.send_at(ctx, send_start, target, wire, Message::new(pkt));
-                    self.retry_frames += 1;
+                    let tx_end = nic.send_at(ctx, send_start, target, wire, Message::new(pkt));
+                    self.tracer.stitch(trace, self.track, Stage::Pack, send_start);
+                    self.tracer.stitch(trace, self.track, Stage::NicSerialize, tx_end);
+                    self.retry_frames.inc();
                 }
             } else {
                 // Multi-packet or unbatchable retries flush the batch ahead
                 // of them (send order) and travel alone.
-                if self.flush_batch(ctx, nic, target, &mut batch) {
-                    self.retry_frames += 1;
+                if self.flush_batch(ctx, nic, target, &mut batch, &mut batch_traces) {
+                    self.retry_frames.inc();
                 }
+                let mut tx_end = send_start;
                 for pkt in &packets {
                     let wire = (codec::wire_len(pkt) + ETH_OVERHEAD_BYTES) as u32;
-                    nic.send_at(ctx, send_start, target, wire, Message::new(pkt.clone()));
-                    self.retry_frames += 1;
+                    tx_end = tx_end.max(nic.send_at(
+                        ctx,
+                        send_start,
+                        target,
+                        wire,
+                        Message::new(pkt.clone()),
+                    ));
+                    self.retry_frames.inc();
                 }
+                self.tracer.stitch(trace, self.track, Stage::Pack, send_start);
+                self.tracer.stitch(trace, self.track, Stage::NicSerialize, tx_end);
             }
         }
-        if self.flush_batch(ctx, nic, target, &mut batch) {
-            self.retry_frames += 1;
+        if self.flush_batch(ctx, nic, target, &mut batch, &mut batch_traces) {
+            self.retry_frames.inc();
         }
     }
 
@@ -1295,9 +1430,13 @@ impl Transport {
                     return done; // completed already
                 };
                 o.timer = None;
-                self.retry_count += 1;
+                self.retry_count.inc();
                 o.retries += 1;
                 let now = ctx.now();
+                // The lost attempt left no response to attribute; the wait
+                // span from its last stitch to the timer firing absorbs the
+                // whole silent interval.
+                self.tracer.stitch(o.trace, self.track, Stage::TimeoutWait, now);
                 if o.retries > self.cfg.max_retries {
                     self.release_windows(now, &o, None);
                     done.push(XferDone {
@@ -1307,6 +1446,7 @@ impl Transport {
                     });
                     self.kick_all(ctx, nic);
                 } else {
+                    o.trace = self.tracer.retry(o.trace, now);
                     // Timeout is a congestion signal; shrink but keep the
                     // slot for the retransmission (same logical request).
                     let cfg = &self.cfg;
@@ -1323,11 +1463,13 @@ impl Transport {
                     // Rejoin the send queue (at the front: it is the oldest
                     // logical request) so window accounting stays uniform.
                     let target = o.target;
+                    self.tracer.stitch(o.trace, self.track, Stage::ConflictBackoff, ctx.now());
                     self.queues.entry(target).or_default().push_front(QueuedSend {
                         token: o.token,
                         pid: o.pid,
                         blueprint: o.blueprint,
                         enqueued_at: o.first_sent_at,
+                        trace: o.trace,
                     });
                     self.conflict_generations.insert(o.token, o.conflict_retries + 1);
                     self.kick(ctx, nic, target);

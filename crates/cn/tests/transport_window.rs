@@ -79,6 +79,7 @@ impl Actor for Host {
                         MN_MAC,
                         clio_proto::Pid(7),
                         bp,
+                        None,
                     );
                 }
                 return;

@@ -5,6 +5,8 @@ use clio_mn::{CBoard, CBoardConfig, Offload};
 use clio_net::{Mac, Network, NetworkConfig};
 use clio_proto::Pid;
 use clio_sim::{ActorId, Bandwidth, SimDuration, SimTime, Simulation};
+use clio_trace::metrics::Registry;
+use clio_trace::{OpTrace, Tracer, Track};
 
 use crate::controller::Controller;
 use crate::node::{ClientDriver, ComputeNode, StartClients};
@@ -30,6 +32,12 @@ pub struct ClusterConfig {
     pub mn_slice_span: u64,
     /// Physical-memory utilization at which boards report pressure.
     pub pressure_threshold: f64,
+    /// Cross-layer op tracing: `Some(n)` records per-stage latency spans
+    /// for every `n`-th op begun on each CN (`1` = every op), exportable
+    /// via [`Cluster::take_traces`]; `None` (the default) disables tracing
+    /// entirely — op headers and wire timing are identical either way, so
+    /// a traced run's `Simulation::digest` matches the untraced one.
+    pub trace_sample_every: Option<u64>,
 }
 
 impl ClusterConfig {
@@ -45,7 +53,15 @@ impl ClusterConfig {
             cn_nic_rate: Bandwidth::from_gbps(40),
             mn_slice_span: 1 << 40,
             pressure_threshold: 0.9,
+            trace_sample_every: None,
         }
+    }
+
+    /// `self` with tracing enabled at the given sampling rate (`1` traces
+    /// every op).
+    pub fn with_tracing(mut self, sample_every: u64) -> Self {
+        self.trace_sample_every = Some(sample_every);
+        self
     }
 
     /// A small single-CN/single-MN configuration for tests.
@@ -65,6 +81,8 @@ pub struct Cluster {
     mns: Vec<ActorId>,
     mn_macs: Vec<Mac>,
     started: bool,
+    tracer: Tracer,
+    registry: Registry,
 }
 
 impl Cluster {
@@ -130,7 +148,58 @@ impl Cluster {
             cns.push(id);
         }
 
-        Cluster { sim, net, controller: controller_id, cns, mns, mn_macs, started: false }
+        // Observability wiring: one tracer + one registry span the whole
+        // deployment, injected post-build so constructors stay unchanged.
+        let tracer = match cfg.trace_sample_every {
+            Some(n) => Tracer::enabled(n),
+            None => Tracer::disabled(),
+        };
+        let mut registry = Registry::new();
+        for (i, &cn) in cns.iter().enumerate() {
+            let node = sim.actor_mut::<ComputeNode>(cn);
+            node.set_tracer(tracer.clone(), Track::Cn(i as u32));
+            node.register_metrics(&mut registry, &format!("cn{i}"));
+        }
+        for (i, &mn) in mns.iter().enumerate() {
+            let board = sim.actor_mut::<CBoard>(mn);
+            board.set_tracer(tracer.clone(), Track::Mn(i as u32));
+            board.register_metrics(&mut registry, &format!("mn{i}"));
+        }
+
+        Cluster {
+            sim,
+            net,
+            controller: controller_id,
+            cns,
+            mns,
+            mn_macs,
+            started: false,
+            tracer,
+            registry,
+        }
+    }
+
+    /// The cluster-wide span collector (disabled unless
+    /// [`ClusterConfig::trace_sample_every`] was set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Drains the completed op traces collected so far (each one checked
+    /// against the stage-tiling invariant by `clio_trace::check_trace`).
+    pub fn take_traces(&mut self) -> Vec<OpTrace> {
+        self.tracer.take_finished()
+    }
+
+    /// The unified metrics registry: every CN's CLib/transport counters and
+    /// every MN's board/silicon counters, live, under `cn<i>.*` / `mn<i>.*`.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access (snapshot-then-reset windows).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
     }
 
     /// The controller actor id.

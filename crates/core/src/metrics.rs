@@ -34,8 +34,13 @@ impl OpRecorder {
         self.meter.record(completed, payload_bytes);
     }
 
-    /// Records a failed op.
-    pub fn record_error(&mut self) {
+    /// Records a failed op finishing at `completed`. Pre-warm-up failures
+    /// are discarded under the same window as [`record`](Self::record), so
+    /// error rates and op counts describe the same measurement interval.
+    pub fn record_error(&mut self, completed: SimTime) {
+        if completed < self.warmup_until {
+            return;
+        }
         self.errors += 1;
     }
 
@@ -88,8 +93,18 @@ mod tests {
     #[test]
     fn errors_counted_separately() {
         let mut r = OpRecorder::new(SimTime::ZERO);
-        r.record_error();
+        r.record_error(SimTime::from_nanos(1));
         assert_eq!(r.errors(), 1);
         assert_eq!(r.ops(), 0);
+    }
+
+    #[test]
+    fn errors_respect_the_warmup_window() {
+        let warm = SimTime::from_nanos(1000);
+        let mut r = OpRecorder::new(warm);
+        r.record_error(SimTime::from_nanos(500));
+        assert_eq!(r.errors(), 0, "pre-warm-up error discarded like samples");
+        r.record_error(SimTime::from_nanos(1500));
+        assert_eq!(r.errors(), 1);
     }
 }

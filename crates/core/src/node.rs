@@ -16,6 +16,8 @@ use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, OpTo
 use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{Perm, Pid};
 use clio_sim::{Actor, ActorId, Ctx, Message, SimDuration, SimTime};
+use clio_trace::metrics::Registry;
+use clio_trace::{Tracer, Track};
 
 use crate::controller::{
     AllocNotify, FreeNotify, PlaceAlloc, PlacementReply, RouteQuery, RouteReply,
@@ -595,6 +597,18 @@ impl ComputeNode {
     /// The CLib instance (stats inspection).
     pub fn clib(&self) -> &CLib {
         &self.core.clib
+    }
+
+    /// Injects a live span collector into this node's CLib and transport;
+    /// subsequent ops stitch their host-side stages onto `track`.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        self.core.clib.set_tracer(tracer, track);
+    }
+
+    /// Shares the node's live CLib/transport counters with `registry`
+    /// under `<prefix>.clib.*` / `<prefix>.transport.*`.
+    pub fn register_metrics(&self, registry: &mut Registry, prefix: &str) {
+        self.core.clib.register_metrics(registry, prefix);
     }
 
     /// This node's link-layer address (per-port fabric stats lookups).

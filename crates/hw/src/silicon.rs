@@ -16,6 +16,8 @@ use bytes::Bytes;
 use clio_proto::{Perm, Pid, Status};
 use clio_sim::resource::{PipelineGate, SerialResource};
 use clio_sim::{Cycles, SimDuration, SimTime};
+use clio_trace::metrics::{Counter, Registry};
+use clio_trace::Stage;
 
 use crate::config::CBoardHwConfig;
 use crate::dedup::DedupBuffer;
@@ -74,6 +76,25 @@ impl Breakdown {
             + self.data_dram
             + self.dma
     }
+
+    /// The breakdown as typed trace stages, in the canonical stitch order
+    /// used by the observability layer. Components sum to [`total`]
+    /// (zero-width components are skipped by the tracer), so tiling these
+    /// onto an op's timeline reproduces the board-resident latency exactly.
+    ///
+    /// [`total`]: Breakdown::total
+    pub fn stage_components(&self) -> [(Stage, SimDuration); 8] {
+        [
+            (Stage::IngressMac, self.mac_phy),
+            (Stage::PipelineWait, self.admission_wait),
+            (Stage::Parse, self.pipeline_cycles),
+            (Stage::Tlb, self.tlb),
+            (Stage::PtWalk, self.pt_dram),
+            (Stage::Interconnect, self.interconnect),
+            (Stage::Dram, self.data_dram),
+            (Stage::Dma, self.dma),
+        ]
+    }
 }
 
 /// When a request entered and left the board, with its stage attribution.
@@ -98,7 +119,8 @@ impl AccessTiming {
     }
 }
 
-/// Counters exposed for the harness.
+/// Counters exposed for the harness: a plain snapshot of the board's
+/// live [`Counter`] metrics, taken by [`Silicon::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SiliconStats {
     /// Fast-path read requests served.
@@ -111,6 +133,18 @@ pub struct SiliconStats {
     pub read_bytes: u64,
     /// Payload bytes written.
     pub write_bytes: u64,
+}
+
+/// The live counter handles behind [`SiliconStats`]. Shared with any
+/// [`Registry`] the board is registered into, so a registry snapshot and
+/// [`Silicon::stats`] always agree.
+#[derive(Debug, Default)]
+struct SiliconMetrics {
+    reads: Counter,
+    writes: Counter,
+    atomics: Counter,
+    read_bytes: Counter,
+    write_bytes: Counter,
 }
 
 /// Out-params shared by the per-page translation walk.
@@ -143,7 +177,7 @@ pub struct Silicon {
     /// bracket ends) — the frame's tail crosses the MAC once, and charging
     /// the tail rather than the head keeps completion order intact.
     egress_frame: bool,
-    stats: SiliconStats,
+    stats: SiliconMetrics,
 }
 
 impl Silicon {
@@ -161,7 +195,7 @@ impl Silicon {
             internal_access: false,
             ingress_frame: None,
             egress_frame: false,
-            stats: SiliconStats::default(),
+            stats: SiliconMetrics::default(),
             cfg,
         }
     }
@@ -202,9 +236,32 @@ impl Silicon {
         &self.mem
     }
 
-    /// Request counters.
+    /// Request counters (a point-in-time snapshot of the live metrics).
     pub fn stats(&self) -> SiliconStats {
-        self.stats
+        SiliconStats {
+            reads: self.stats.reads.get(),
+            writes: self.stats.writes.get(),
+            atomics: self.stats.atomics.get(),
+            read_bytes: self.stats.read_bytes.get(),
+            write_bytes: self.stats.write_bytes.get(),
+        }
+    }
+
+    /// Registers the board's counters into `registry` under
+    /// `<prefix>.silicon.*`. The registry shares the live handles, so its
+    /// snapshots and resets stay in lockstep with [`stats`](Self::stats).
+    pub fn register_metrics(&self, registry: &mut Registry, prefix: &str) {
+        registry.register_counter(format!("{prefix}.silicon.reads"), self.stats.reads.clone());
+        registry.register_counter(format!("{prefix}.silicon.writes"), self.stats.writes.clone());
+        registry.register_counter(format!("{prefix}.silicon.atomics"), self.stats.atomics.clone());
+        registry.register_counter(
+            format!("{prefix}.silicon.read_bytes"),
+            self.stats.read_bytes.clone(),
+        );
+        registry.register_counter(
+            format!("{prefix}.silicon.write_bytes"),
+            self.stats.write_bytes.clone(),
+        );
     }
 
     fn cycles(&self, c: Cycles) -> SimDuration {
@@ -392,8 +449,8 @@ impl Silicon {
                 let dma = self.dma.reserve(dram_done, occupancy);
                 b.dma += dma.end.since(dram_done);
                 t = dma.end + self.cfg.interconnect_latency;
-                self.stats.reads += 1;
-                self.stats.read_bytes += len as u64;
+                self.stats.reads.inc();
+                self.stats.read_bytes.add(len as u64);
                 (data.freeze(), t)
             });
         let (result, t_end) = match result {
@@ -445,8 +502,8 @@ impl Silicon {
                     off += seg_len as usize;
                 }
                 b.data_dram += dram_done.since(t);
-                self.stats.writes += 1;
-                self.stats.write_bytes += data.len() as u64;
+                self.stats.writes.inc();
+                self.stats.write_bytes.add(data.len() as u64);
                 dram_done
             });
         let (result, t_end) = match result {
@@ -509,7 +566,7 @@ impl Silicon {
                     AtomicOp::Faa(d) => old.wrapping_add(d),
                 };
                 self.mem.write_u64(pa, new);
-                self.stats.atomics += 1;
+                self.stats.atomics.inc();
                 (old, unit.end + self.cfg.interconnect_latency)
             });
         let (result, t_end) = match result {
@@ -711,6 +768,39 @@ mod tests {
         let (r, t) = s.read(t0(), Pid(1), 0, 13);
         assert!(t.page_fault);
         assert!(r.expect("ok").iter().all(|&b| b == 0), "faulted page must be zeroed");
+    }
+
+    #[test]
+    fn stage_components_tile_the_breakdown_exactly() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        for (label, t) in [
+            ("write", s.write(t0(), Pid(1), 0, b"abcd").1),
+            ("read", s.read(SimTime::from_nanos(50_000), Pid(1), 0, 4).1),
+            ("atomic", s.atomic(SimTime::from_nanos(100_000), Pid(1), 8, AtomicOp::Faa(1)).1),
+        ] {
+            let sum: SimDuration = t.breakdown.stage_components().iter().map(|&(_, d)| d).sum();
+            assert_eq!(sum, t.breakdown.total(), "{label}: components must sum to total");
+            assert_eq!(
+                t.breakdown.total(),
+                t.latency(),
+                "{label}: breakdown must account for the full board-resident latency"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_sees_live_counters() {
+        let mut s = board();
+        map(&mut s, 1, 0, Perm::RW);
+        let mut reg = Registry::new();
+        s.register_metrics(&mut reg, "mn0");
+        s.write(t0(), Pid(1), 0, b"abcd").0.expect("w");
+        s.read(t0(), Pid(1), 0, 4).0.expect("r");
+        assert_eq!(reg.counter("mn0.silicon.writes"), Some(1));
+        assert_eq!(reg.counter("mn0.silicon.read_bytes"), Some(4));
+        reg.reset();
+        assert_eq!(s.stats().writes, 0, "reset must reach the board's own handles");
     }
 
     #[test]

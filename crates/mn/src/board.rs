@@ -84,13 +84,15 @@ use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 use clio_hw::dedup::DedupRecord;
-use clio_hw::silicon::{AtomicOp, Silicon};
+use clio_hw::silicon::{AccessTiming, AtomicOp, Silicon};
 use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{
     codec, split_read_response, ClioPacket, NackBatchBuilder, Pid, ReqHeader, ReqId, RequestBody,
     RespBatchBuilder, RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES,
 };
 use clio_sim::{Actor, ActorId, Ctx, EventId, Message, SimDuration, SimTime};
+use clio_trace::metrics::{Counter, Gauge, Registry};
+use clio_trace::{Stage, TraceCtx, Tracer, Track};
 
 use crate::config::CBoardConfig;
 use crate::extend::{Offload, OffloadEnv};
@@ -132,6 +134,26 @@ pub struct BoardStats {
     pub conflicts: u64,
     /// Requests answered with `Moved`.
     pub moved: u64,
+}
+
+/// The board's live counters: shared [`Counter`] handles so a metrics
+/// [`Registry`] observes every increment without a copy step.
+/// [`CBoard::stats`] snapshots them into the plain [`BoardStats`].
+#[derive(Debug, Default)]
+struct BoardMetrics {
+    rx_frames: Counter,
+    batched_requests: Counter,
+    rx_packets: Counter,
+    tx_packets: Counter,
+    tx_frames: Counter,
+    batched_responses: Counter,
+    nacks: Counter,
+    nack_frames: Counter,
+    dedup_replays: Counter,
+    slow_ops: Counter,
+    offload_calls: Counter,
+    conflicts: Counter,
+    moved: Counter,
 }
 
 #[derive(Debug)]
@@ -196,6 +218,11 @@ impl std::fmt::Debug for InstalledOffload {
 struct EgressEntry {
     ready: SimTime,
     pkt: ClioPacket,
+    /// Trace of the op this packet completes (final fragment only for
+    /// multi-fragment reads), for the egress-hold / NIC-serialize spans.
+    /// Excluded from [`CBoard::fingerprint`]: tracing is observability,
+    /// not protocol state.
+    trace: Option<TraceCtx>,
 }
 
 /// Self-addressed timer draining one destination's egress queue.
@@ -247,7 +274,21 @@ pub struct CBoard {
     controller: Option<ActorId>,
     pressure_threshold: f64,
     pressure_reported: bool,
-    stats: BoardStats,
+    stats: BoardMetrics,
+    /// Span collector (disabled by default; the cluster injects a live one).
+    tracer: Tracer,
+    /// The Perfetto track this board's spans land on.
+    track: Track,
+    /// Trace of the request currently executing, consumed by [`Self::respond`]
+    /// so the response's egress spans attach to the right op.
+    cur_trace: Option<TraceCtx>,
+    /// Last CN-measured smoothed RTT echoed in a request header, per
+    /// destination: when present, the derived egress hold budget uses the
+    /// *same* signal as the CN's doorbell budget (srtt / 4, capped) instead
+    /// of the board-local turnaround EWMA.
+    peer_srtt: HashMap<Mac, u32>,
+    /// Most recent echoed srtt (ns), exported for harness observability.
+    peer_srtt_ns: Gauge,
 }
 
 impl CBoard {
@@ -277,7 +318,12 @@ impl CBoard {
             controller: None,
             pressure_threshold: 0.9,
             pressure_reported: false,
-            stats: BoardStats::default(),
+            stats: BoardMetrics::default(),
+            tracer: Tracer::disabled(),
+            track: Track::Mn(0),
+            cur_trace: None,
+            peer_srtt: HashMap::new(),
+            peer_srtt_ns: Gauge::default(),
         };
         board.refill_async_buffer();
         board
@@ -309,9 +355,57 @@ impl CBoard {
         self.pressure_threshold = pressure_threshold;
     }
 
-    /// Board statistics.
+    /// Board statistics (a point-in-time snapshot of the live counters).
     pub fn stats(&self) -> BoardStats {
-        self.stats
+        BoardStats {
+            rx_frames: self.stats.rx_frames.get(),
+            batched_requests: self.stats.batched_requests.get(),
+            rx_packets: self.stats.rx_packets.get(),
+            tx_packets: self.stats.tx_packets.get(),
+            tx_frames: self.stats.tx_frames.get(),
+            batched_responses: self.stats.batched_responses.get(),
+            nacks: self.stats.nacks.get(),
+            nack_frames: self.stats.nack_frames.get(),
+            dedup_replays: self.stats.dedup_replays.get(),
+            slow_ops: self.stats.slow_ops.get(),
+            offload_calls: self.stats.offload_calls.get(),
+            conflicts: self.stats.conflicts.get(),
+            moved: self.stats.moved.get(),
+        }
+    }
+
+    /// Injects a live span collector; subsequent requests stitch their
+    /// board-resident stages onto `track`.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        self.tracer = tracer;
+        self.track = track;
+    }
+
+    /// Shares the board's live counters (and the fast-path silicon's) with
+    /// `registry` under `<prefix>.board.*` / `<prefix>.silicon.*`.
+    pub fn register_metrics(&self, registry: &mut Registry, prefix: &str) {
+        let m = &self.stats;
+        registry.register_counter(format!("{prefix}.board.rx_frames"), m.rx_frames.clone());
+        registry.register_counter(
+            format!("{prefix}.board.batched_requests"),
+            m.batched_requests.clone(),
+        );
+        registry.register_counter(format!("{prefix}.board.rx_packets"), m.rx_packets.clone());
+        registry.register_counter(format!("{prefix}.board.tx_packets"), m.tx_packets.clone());
+        registry.register_counter(format!("{prefix}.board.tx_frames"), m.tx_frames.clone());
+        registry.register_counter(
+            format!("{prefix}.board.batched_responses"),
+            m.batched_responses.clone(),
+        );
+        registry.register_counter(format!("{prefix}.board.nacks"), m.nacks.clone());
+        registry.register_counter(format!("{prefix}.board.nack_frames"), m.nack_frames.clone());
+        registry.register_counter(format!("{prefix}.board.dedup_replays"), m.dedup_replays.clone());
+        registry.register_counter(format!("{prefix}.board.slow_ops"), m.slow_ops.clone());
+        registry.register_counter(format!("{prefix}.board.offload_calls"), m.offload_calls.clone());
+        registry.register_counter(format!("{prefix}.board.conflicts"), m.conflicts.clone());
+        registry.register_counter(format!("{prefix}.board.moved"), m.moved.clone());
+        registry.register_gauge(format!("{prefix}.board.peer_srtt_ns"), self.peer_srtt_ns.clone());
+        self.silicon.register_metrics(registry, prefix);
     }
 
     /// A hash of the board's **logical** protocol state, for model-checker
@@ -407,11 +501,12 @@ impl CBoard {
     /// and `tx_frames`/`batched_responses` reflect what actually hits the
     /// NIC.
     fn respond(&mut self, ctx: &mut Ctx<'_>, at: SimTime, dst: Mac, pkt: ClioPacket) {
-        self.stats.tx_packets += match &pkt {
+        let trace = self.cur_trace.take();
+        self.stats.tx_packets.add(match &pkt {
             // A coalesced NACK frame carries one logical NACK per entry.
             ClioPacket::BatchNack { req_ids } => req_ids.len() as u64,
             _ => 1,
-        };
+        });
         let ready = at.max(ctx.now());
         // NACK frames and multi-fragment responses never batch with
         // responses, so holding them buys nothing and only delays
@@ -445,7 +540,7 @@ impl CBoard {
         // Completion times arrive mostly in order; insert from the back to
         // keep the queue sorted by `ready`.
         let pos = queue.iter().rposition(|e| e.ready <= ready).map_or(0, |i| i + 1);
-        queue.insert(pos, EgressEntry { ready, pkt });
+        queue.insert(pos, EgressEntry { ready, pkt, trace });
         let queued = queue.len();
         let fire = if holdable { ready + self.egress_hold(dst, queued) } else { ready };
         match self.egress_doorbells.get(&dst) {
@@ -474,32 +569,43 @@ impl CBoard {
         let last_ready = &mut self.egress_last_ready;
         let gap_ewma = &mut self.egress_gap_ewma;
         let turnaround_ewma = &mut self.egress_turnaround_ewma;
+        let peer_srtt = &mut self.peer_srtt;
         last_ready.retain(|dst, &mut last| {
             let keep = now.since(last) <= MAX_IDLE;
             if !keep {
                 gap_ewma.remove(dst);
                 turnaround_ewma.remove(dst);
+                peer_srtt.remove(dst);
             }
             keep
         });
     }
 
     /// The egress doorbell's latency budget toward `dst`: the static
-    /// override when one is configured, otherwise a quarter of the
-    /// destination's smoothed request turnaround — capped by
+    /// override when one is configured; otherwise a quarter of the CN's
+    /// **echoed** smoothed RTT when this destination has echoed one in a
+    /// request header (so both ends of the link derive their doorbell
+    /// budgets from the same signal), falling back to a quarter of the
+    /// destination's board-measured request turnaround — both capped by
     /// [`CBoardConfig::EGRESS_DERIVED_CAP`], and
     /// [`CBoardConfig::EGRESS_FALLBACK_DELAY`] (zero) before the first
     /// sample, so an uncalibrated destination's responses are never held.
     fn egress_budget(&self, dst: Mac) -> SimDuration {
         match self.cfg.egress_doorbell_delay {
             Some(budget) => budget,
-            None => self
-                .egress_turnaround_ewma
-                .get(&dst)
-                .map(|&t| {
-                    (SimDuration::from_nanos(t as u64) / 4).min(CBoardConfig::EGRESS_DERIVED_CAP)
-                })
-                .unwrap_or(CBoardConfig::EGRESS_FALLBACK_DELAY),
+            None => {
+                if let Some(&srtt) = self.peer_srtt.get(&dst) {
+                    return (SimDuration::from_nanos(srtt as u64) / 4)
+                        .min(CBoardConfig::EGRESS_DERIVED_CAP);
+                }
+                self.egress_turnaround_ewma
+                    .get(&dst)
+                    .map(|&t| {
+                        (SimDuration::from_nanos(t as u64) / 4)
+                            .min(CBoardConfig::EGRESS_DERIVED_CAP)
+                    })
+                    .unwrap_or(CBoardConfig::EGRESS_FALLBACK_DELAY)
+            }
         }
     }
 
@@ -539,11 +645,15 @@ impl CBoard {
         );
         // The frame under assembly leaves when its slowest member is ready.
         let mut frame_ready = now;
-        let mut shipped: Vec<(SimTime, ClioPacket, u64)> = Vec::new();
-        let flush = |batch: &mut RespBatchBuilder, frame_ready: SimTime, out: &mut Vec<_>| {
+        let mut batch_traces: Vec<TraceCtx> = Vec::new();
+        let mut shipped: Vec<(SimTime, ClioPacket, u64, Vec<TraceCtx>)> = Vec::new();
+        let flush = |batch: &mut RespBatchBuilder,
+                     traces: &mut Vec<TraceCtx>,
+                     frame_ready: SimTime,
+                     out: &mut Vec<_>| {
             let ops = batch.len() as u64;
             if let Some(pkt) = batch.take() {
-                out.push((frame_ready, pkt, ops));
+                out.push((frame_ready, pkt, ops, std::mem::take(traces)));
             }
         };
         while let Some(head) = queue.front() {
@@ -556,31 +666,35 @@ impl CBoard {
                 ClioPacket::Response { header, .. } if header.pkt_count <= 1
             );
             if batchable && self.cfg.resp_batch_max_ops > 1 {
-                let ClioPacket::Response { header, body } = entry.pkt else {
+                let EgressEntry { ready, pkt, trace } = entry;
+                let ClioPacket::Response { header, body } = pkt else {
                     unreachable!("checked batchable")
                 };
                 let entry_wire = codec::response_wire_len(&body);
                 if !batch.fits(entry_wire) {
-                    flush(&mut batch, frame_ready, &mut shipped);
+                    flush(&mut batch, &mut batch_traces, frame_ready, &mut shipped);
                     frame_ready = now;
                 }
                 if batch.fits(entry_wire) {
                     batch.push(header, body);
-                    frame_ready = frame_ready.max(entry.ready);
+                    batch_traces.extend(trace);
+                    frame_ready = frame_ready.max(ready);
                 } else {
                     // Oversized even for an empty batch: ship alone.
-                    shipped.push((entry.ready, ClioPacket::Response { header, body }, 1));
+                    let traces: Vec<TraceCtx> = trace.into_iter().collect();
+                    shipped.push((ready, ClioPacket::Response { header, body }, 1, traces));
                 }
             } else {
                 // NACKs, multi-fragment responses (and everything when
                 // response batching is disabled) flush the frame being
                 // assembled and travel alone, preserving send order.
-                flush(&mut batch, frame_ready, &mut shipped);
+                flush(&mut batch, &mut batch_traces, frame_ready, &mut shipped);
                 frame_ready = now;
-                shipped.push((entry.ready, entry.pkt, 1));
+                let traces: Vec<TraceCtx> = entry.trace.into_iter().collect();
+                shipped.push((entry.ready, entry.pkt, 1, traces));
             }
         }
-        flush(&mut batch, frame_ready, &mut shipped);
+        flush(&mut batch, &mut batch_traces, frame_ready, &mut shipped);
         if let Some(head) = queue.front() {
             let at = head.ready;
             let ev = ctx.schedule(at.since(now), Message::new(EgressDoorbell { dst }));
@@ -588,16 +702,23 @@ impl CBoard {
         } else {
             self.egress.remove(&dst);
         }
-        for (at, pkt, ops) in shipped {
-            self.stats.tx_frames += 1;
+        for (at, pkt, ops, traces) in shipped {
+            self.stats.tx_frames.inc();
             if ops > 1 {
-                self.stats.batched_responses += ops;
+                self.stats.batched_responses.add(ops);
             }
             if matches!(&pkt, ClioPacket::Nack { .. } | ClioPacket::BatchNack { .. }) {
-                self.stats.nack_frames += 1;
+                self.stats.nack_frames.inc();
             }
             let wire = (codec::wire_len(&pkt) + ETH_OVERHEAD_BYTES) as u32;
-            self.nic.send_at(ctx, at, dst, wire, Message::new(pkt));
+            let ship = at.max(now);
+            let tx_end = self.nic.send_at(ctx, at, dst, wire, Message::new(pkt));
+            // Each member waited on the egress queue from its completion to
+            // the frame's departure, then the frame serialized as one unit.
+            for tr in traces {
+                self.tracer.stitch(Some(tr), self.track, Stage::EgressHold, ship);
+                self.tracer.stitch(Some(tr), self.track, Stage::NicSerialize, tx_end);
+            }
         }
     }
 
@@ -665,14 +786,32 @@ impl CBoard {
     fn region_refusal(&mut self, pid: Pid, va: u64) -> Option<Status> {
         match self.regions.phase_of(pid, va)? {
             RegionPhase::Migrating => {
-                self.stats.conflicts += 1;
+                self.stats.conflicts.inc();
                 Some(Status::Conflict)
             }
             RegionPhase::Moved { .. } => {
-                self.stats.moved += 1;
+                self.stats.moved.inc();
                 Some(Status::Moved)
             }
         }
+    }
+
+    /// Tiles the op's board-resident time with the datapath's measured
+    /// stage attribution ([`clio_hw::silicon::Breakdown::stage_components`]
+    /// sums to the access's total exactly), then closes with an
+    /// `ExecuteTail` span to `done` that absorbs any residue — e.g. the
+    /// first pass of a stall-retried access, whose timing the second
+    /// pass's breakdown does not cover.
+    fn tile_breakdown(&self, trace: Option<TraceCtx>, timing: &AccessTiming) {
+        if trace.is_none() {
+            return;
+        }
+        let mut t = timing.arrived;
+        for (stage, d) in timing.breakdown.stage_components() {
+            t += d;
+            self.tracer.stitch(trace, self.track, stage, t);
+        }
+        self.tracer.stitch(trace, self.track, Stage::ExecuteTail, timing.done);
     }
 
     fn handle_request(
@@ -683,6 +822,18 @@ impl CBoard {
         body: RequestBody,
     ) {
         let now = ctx.now();
+        // Close the op's wire span: flight time since the CN finished
+        // serializing the frame. Each fragment of a multi-packet write
+        // advances the same op's wire span (the cursor makes overlapping
+        // fragment flights collapse instead of double-counting).
+        self.tracer.stitch(header.trace, Track::Wire, Stage::Wire, now);
+        self.cur_trace = header.trace;
+        // An echoed CN srtt re-anchors this destination's derived egress
+        // hold budget on the signal the CN's own doorbell budget uses.
+        if let Some(echo) = header.srtt_echo_ns {
+            self.peer_srtt.insert(src, echo);
+            self.peer_srtt_ns.set(echo as u64);
+        }
         // Fences block all later requests (§4.5 T3): nothing starts before
         // the barrier.
         let start = now.max(self.fence_until);
@@ -692,20 +843,30 @@ impl CBoard {
             RequestBody::Read { va, len } => {
                 if let Some(status) = self.region_refusal(pid, va) {
                     let at = now + self.control_latency();
+                    self.tracer.stitch(header.trace, self.track, Stage::Control, at);
                     self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
                     return;
                 }
+                self.tracer.stitch(header.trace, self.track, Stage::FenceHold, start);
                 let (res, timing) = self.read_with_stall_retry(start, pid, va, len);
-                self.note_completion(timing);
+                self.note_completion(timing.done);
+                self.tile_breakdown(header.trace, &timing);
                 match res {
                     Ok(data) => {
-                        for pkt in split_read_response(header.req_id, Status::Ok, data) {
-                            self.respond(ctx, timing, src, pkt);
+                        let pkts = split_read_response(header.req_id, Status::Ok, data);
+                        let last = pkts.len().saturating_sub(1);
+                        for (i, pkt) in pkts.into_iter().enumerate() {
+                            // Only the final fragment carries the trace: the
+                            // CN closes its wire span at reassembly
+                            // completion, and the last fragment's NIC
+                            // serialization is the op's egress tail.
+                            self.cur_trace = if i == last { header.trace } else { None };
+                            self.respond(ctx, timing.done, src, pkt);
                         }
                     }
                     Err(status) => self.respond_status(
                         ctx,
-                        timing,
+                        timing.done,
                         src,
                         header.req_id,
                         status,
@@ -716,15 +877,17 @@ impl CBoard {
             RequestBody::WriteFrag { va, data } => {
                 if let Some(status) = self.region_refusal(pid, va) {
                     let at = now + self.control_latency();
+                    self.tracer.stitch(header.trace, self.track, Stage::Control, at);
                     self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
                     return;
                 }
                 if let Some(rec) = self.dedup_hit(&header) {
-                    self.stats.dedup_replays += 1;
+                    self.stats.dedup_replays.inc();
                     // Keep the retry chain alive: a retry of THIS retry must
                     // also find a record.
                     self.record_dedup(&header, rec);
                     let at = now + self.control_latency();
+                    self.tracer.stitch(header.trace, self.track, Stage::Control, at);
                     debug_assert!(matches!(rec, DedupRecord::Write));
                     self.respond_status(
                         ctx,
@@ -736,9 +899,13 @@ impl CBoard {
                     );
                     return;
                 }
-                let (res, done) = self.write_with_stall_retry(start, pid, va, &data);
-                self.note_completion(done);
-                self.finish_write_fragment(ctx, src, header, res.err(), done);
+                self.tracer.stitch(header.trace, self.track, Stage::FenceHold, start);
+                let (res, timing) = self.write_with_stall_retry(start, pid, va, &data);
+                self.note_completion(timing.done);
+                if header.pkt_count <= 1 {
+                    self.tile_breakdown(header.trace, &timing);
+                }
+                self.finish_write_fragment(ctx, src, header, res.err(), timing.done);
             }
             RequestBody::AtomicTas { va } => {
                 self.run_atomic(ctx, src, header, start, va, AtomicOp::Tas)
@@ -757,6 +924,8 @@ impl CBoard {
                 let barrier = self.last_completion.max(now);
                 self.fence_until = self.fence_until.max(barrier);
                 let at = barrier.max(now) + self.control_latency();
+                self.tracer.stitch(header.trace, self.track, Stage::FenceHold, barrier);
+                self.tracer.stitch(header.trace, self.track, Stage::Control, at);
                 self.respond_status(ctx, at, src, header.req_id, Status::Ok, ResponseBody::Done);
             }
             RequestBody::Alloc { size, perm, fixed_va } => {
@@ -766,7 +935,8 @@ impl CBoard {
             RequestBody::CreateAs => {
                 let service = self.slow.create_as(pid);
                 let at = self.slow_path_completion(now, service);
-                self.stats.slow_ops += 1;
+                self.stats.slow_ops.inc();
+                self.tracer.stitch(header.trace, self.track, Stage::SlowPath, at);
                 self.respond_status(ctx, at, src, header.req_id, Status::Ok, ResponseBody::Done);
             }
             RequestBody::DestroyAs => {
@@ -781,7 +951,8 @@ impl CBoard {
                 }
                 self.slow.palloc_mut().free_many(freed);
                 let at = self.slow_path_completion(now, service);
-                self.stats.slow_ops += 1;
+                self.stats.slow_ops.inc();
+                self.tracer.stitch(header.trace, self.track, Stage::SlowPath, at);
                 self.respond_status(ctx, at, src, header.req_id, Status::Ok, ResponseBody::Done);
             }
             RequestBody::OffloadCall { offload, opcode, arg } => {
@@ -800,14 +971,14 @@ impl CBoard {
         pid: Pid,
         va: u64,
         len: u32,
-    ) -> (Result<Bytes, Status>, SimTime) {
+    ) -> (Result<Bytes, Status>, AccessTiming) {
         let (res, t) = self.silicon.read(start, pid, va, len);
         if res.as_ref().err() == Some(&Status::OutOfPhysicalMemory) {
             self.refill_async_buffer();
             let (res2, t2) = self.silicon.read(t.done, pid, va, len);
-            return (res2, t2.done);
+            return (res2, t2);
         }
-        (res, t.done)
+        (res, t)
     }
 
     fn write_with_stall_retry(
@@ -816,14 +987,14 @@ impl CBoard {
         pid: Pid,
         va: u64,
         data: &[u8],
-    ) -> (Result<(), Status>, SimTime) {
+    ) -> (Result<(), Status>, AccessTiming) {
         let (res, t) = self.silicon.write(start, pid, va, data);
         if res.as_ref().err() == Some(&Status::OutOfPhysicalMemory) {
             self.refill_async_buffer();
             let (res2, t2) = self.silicon.write(t.done, pid, va, data);
-            return (res2, t2.done);
+            return (res2, t2);
         }
-        (res, t.done)
+        (res, t)
     }
 
     /// Tracks fragment completion of a (possibly multi-packet) write and
@@ -868,6 +1039,13 @@ impl CBoard {
                     DedupRecord::Write,
                 );
             }
+            if header.pkt_count > 1 {
+                // A multi-packet write's fragments interleave on the
+                // datapath, so per-stage attribution is not well defined;
+                // one `Execute` span covers the whole occupancy (the
+                // fragments' wire spans were stitched as they arrived).
+                self.tracer.stitch(header.trace, self.track, Stage::Execute, p.done);
+            }
             self.respond_status(ctx, p.done, p.src, header.req_id, status, ResponseBody::Done);
         }
     }
@@ -883,13 +1061,15 @@ impl CBoard {
     ) {
         if let Some(status) = self.region_refusal(header.pid, va) {
             let at = ctx.now() + self.control_latency();
+            self.tracer.stitch(header.trace, self.track, Stage::Control, at);
             self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
             return;
         }
         if let Some(rec) = self.dedup_hit(&header) {
-            self.stats.dedup_replays += 1;
+            self.stats.dedup_replays.inc();
             self.record_dedup(&header, rec);
             let at = ctx.now() + self.control_latency();
+            self.tracer.stitch(header.trace, self.track, Stage::Control, at);
             let old = match rec {
                 DedupRecord::Atomic { old } => old,
                 DedupRecord::Write => 0,
@@ -904,9 +1084,11 @@ impl CBoard {
             );
             return;
         }
+        self.tracer.stitch(header.trace, self.track, Stage::FenceHold, start);
         let (res, t) = self.silicon.atomic(start, header.pid, va, op);
         let done = t.done;
         self.note_completion(done);
+        self.tile_breakdown(header.trace, &t);
         match res {
             Ok(old) => {
                 self.record_dedup(&header, DedupRecord::Atomic { old });
@@ -944,7 +1126,7 @@ impl CBoard {
         fixed_va: Option<u64>,
     ) {
         let now = ctx.now();
-        self.stats.slow_ops += 1;
+        self.stats.slow_ops.inc();
         if !self.slow.has_pid(header.pid) {
             // Implicit address-space creation on first allocation keeps the
             // client API simple (CreateAs remains available explicitly).
@@ -959,6 +1141,7 @@ impl CBoard {
                         .expect("allocator pre-checked bucket capacity");
                 }
                 let at = self.slow_path_completion(now, out.service);
+                self.tracer.stitch(header.trace, self.track, Stage::SlowPath, at);
                 self.respond_status(
                     ctx,
                     at,
@@ -970,6 +1153,7 @@ impl CBoard {
             }
             Err((status, service)) => {
                 let at = self.slow_path_completion(now, service);
+                self.tracer.stitch(header.trace, self.track, Stage::SlowPath, at);
                 self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
             }
         }
@@ -977,7 +1161,7 @@ impl CBoard {
 
     fn run_slow_free(&mut self, ctx: &mut Ctx<'_>, src: Mac, header: ReqHeader, va: u64) {
         let now = ctx.now();
-        self.stats.slow_ops += 1;
+        self.stats.slow_ops.inc();
         match self.slow.free(header.pid, va) {
             Ok(out) => {
                 let mut freed = Vec::new();
@@ -990,10 +1174,12 @@ impl CBoard {
                 }
                 self.slow.palloc_mut().free_many(freed);
                 let at = self.slow_path_completion(now, out.service);
+                self.tracer.stitch(header.trace, self.track, Stage::SlowPath, at);
                 self.respond_status(ctx, at, src, header.req_id, Status::Ok, ResponseBody::Done);
             }
             Err((status, service)) => {
                 let at = self.slow_path_completion(now, service);
+                self.tracer.stitch(header.trace, self.track, Stage::SlowPath, at);
                 self.respond_status(ctx, at, src, header.req_id, status, ResponseBody::Done);
             }
         }
@@ -1012,6 +1198,7 @@ impl CBoard {
     ) {
         let Some(mut installed) = self.offloads.remove(&offload) else {
             let at = ctx.now() + self.control_latency();
+            self.tracer.stitch(header.trace, self.track, Stage::Control, at);
             self.respond_status(
                 ctx,
                 at,
@@ -1022,7 +1209,8 @@ impl CBoard {
             );
             return;
         };
-        self.stats.offload_calls += 1;
+        self.stats.offload_calls.inc();
+        self.tracer.stitch(header.trace, self.track, Stage::FenceHold, start);
         let hw = &self.cfg.hw;
         let begin = start + hw.mac_phy_latency + hw.clock.cycles(hw.parse_cycles);
         // Offload accesses are on-chip, behind the MAT: no MAC/PHY on
@@ -1037,6 +1225,7 @@ impl CBoard {
         let done = env_done + hw.clock.cycles(hw.response_cycles) + hw.mac_phy_latency;
         self.offloads.insert(offload, installed);
         self.note_completion(done);
+        self.tracer.stitch(header.trace, self.track, Stage::Execute, done);
         self.respond(
             ctx,
             done,
@@ -1246,6 +1435,11 @@ impl Actor for CBoard {
         };
         let src = frame.src;
         if frame.corrupted {
+            // Fault-path rule: a corrupted frame contributes NO board-side
+            // spans — its header (and trace context) is untrustworthy. The
+            // CN's `NackTurnaround` span absorbs the wire + board time, so
+            // the op's trace still tiles exactly.
+            self.cur_trace = None;
             // Link-layer integrity failure: NACK the request (§4.4). A
             // corrupted batch frame NACKs every request it carried — each
             // is an independent logical request the CN retries on its own —
@@ -1257,13 +1451,13 @@ impl Actor for CBoard {
             match frame.payload.downcast_ref::<ClioPacket>() {
                 Some(ClioPacket::Request { header, .. }) => {
                     let req_id = header.req_id;
-                    self.stats.nacks += 1;
+                    self.stats.nacks.inc();
                     let at = ctx.now() + self.control_latency();
                     self.respond(ctx, at, src, ClioPacket::Nack { req_id });
                 }
                 Some(ClioPacket::Batch { requests }) => {
                     let at = ctx.now() + self.control_latency();
-                    self.stats.nacks += requests.len() as u64;
+                    self.stats.nacks.add(requests.len() as u64);
                     if self.cfg.resp_batch_max_ops > 1 {
                         let mut batch = NackBatchBuilder::new(
                             self.cfg.resp_batch_max_ops as usize,
@@ -1313,8 +1507,8 @@ impl Actor for CBoard {
         };
         match payload {
             ClioPacket::Request { header, body } => {
-                self.stats.rx_frames += 1;
-                self.stats.rx_packets += 1;
+                self.stats.rx_frames.inc();
+                self.stats.rx_packets.inc();
                 self.handle_request(ctx, src, header, body);
             }
             ClioPacket::Batch { requests } => {
@@ -1331,9 +1525,9 @@ impl Actor for CBoard {
                 // through the MAC — charging the tail preserves completion
                 // order). The documented approximation is that a batch
                 // frame's responses coalesce into one reply frame.
-                self.stats.rx_frames += 1;
-                self.stats.rx_packets += requests.len() as u64;
-                self.stats.batched_requests += requests.len() as u64;
+                self.stats.rx_frames.inc();
+                self.stats.rx_packets.add(requests.len() as u64);
+                self.stats.batched_requests.add(requests.len() as u64);
                 self.silicon.begin_ingress_frame();
                 if self.cfg.resp_batch_max_ops > 1 {
                     self.silicon.begin_egress_frame();

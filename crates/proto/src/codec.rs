@@ -65,8 +65,11 @@ const RESP_ALLOCED: u8 = 2;
 const RESP_ATOMIC_OLD: u8 = 3;
 const RESP_OFFLOAD: u8 = 4;
 
-/// Encoded size of the packet tag plus a request header.
-pub const REQ_HEADER_LEN: usize = 1 + 8 + 1 + 8 + 8 + 2 + 2;
+/// Encoded size of the packet tag plus a request header. The trailing
+/// `1 + 4` is the srtt-echo flag byte plus value ([`ReqHeader::srtt_echo_ns`]);
+/// the header's trace context intentionally contributes nothing — it models
+/// reserved header bits and never costs modeled wire bytes.
+pub const REQ_HEADER_LEN: usize = 1 + 8 + 1 + 8 + 8 + 2 + 2 + 1 + 4;
 /// Encoded size of the packet tag plus a response header.
 pub const RESP_HEADER_LEN: usize = 1 + 8 + 1 + 2 + 2;
 /// Fixed framing cost of a batch packet (packet tag + u16 entry count),
@@ -97,6 +100,17 @@ fn put_req_header(buf: &mut BytesMut, h: &ReqHeader) {
     buf.put_u64_le(h.pid.0);
     buf.put_u16_le(h.pkt_index);
     buf.put_u16_le(h.pkt_count);
+    match h.srtt_echo_ns {
+        Some(ns) => {
+            buf.put_u8(1);
+            buf.put_u32_le(ns);
+        }
+        None => {
+            buf.put_u8(0);
+            buf.put_u32_le(0);
+        }
+    }
+    // `h.trace` is deliberately not encoded (zero modeled wire bytes).
 }
 
 fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
@@ -346,7 +360,17 @@ fn read_request(r: &mut Reader<'_>) -> Result<(ReqHeader, RequestBody), CodecErr
     let pid = Pid(r.u64()?);
     let pkt_index = r.u16()?;
     let pkt_count = r.u16()?;
-    let header = ReqHeader { req_id, retry_of, pid, pkt_index, pkt_count };
+    let has_echo = r.u8()? != 0;
+    let echo_raw = r.u32()?;
+    let header = ReqHeader {
+        req_id,
+        retry_of,
+        pid,
+        pkt_index,
+        pkt_count,
+        trace: None,
+        srtt_echo_ns: has_echo.then_some(echo_raw),
+    };
     let body = match r.u8()? {
         BODY_READ => RequestBody::Read { va: r.u64()?, len: r.u32()? },
         BODY_WRITE_FRAG => RequestBody::WriteFrag { va: r.u64()?, data: r.bytes()? },
@@ -475,6 +499,8 @@ mod tests {
             pid: Pid(12),
             pkt_index: 3,
             pkt_count: 9,
+            trace: None,
+            srtt_echo_ns: Some(42_500),
         };
         let bodies = vec![
             RequestBody::Read { va: 0x4000_0000, len: 4096 },

@@ -67,6 +67,8 @@ pub fn split_write(
                 pid,
                 pkt_index: i as u16,
                 pkt_count: count as u16,
+                trace: None,
+                srtt_echo_ns: None,
             },
             body: RequestBody::WriteFrag { va: va + lo as u64, data: data.slice(lo..hi) },
         });

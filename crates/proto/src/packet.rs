@@ -1,6 +1,7 @@
 //! Packet layouts: headers, request bodies and response bodies.
 
 use bytes::Bytes;
+use clio_trace::TraceCtx;
 
 use crate::types::{Perm, Pid, ReqId, Status};
 
@@ -22,12 +23,28 @@ pub struct ReqHeader {
     pub pkt_index: u16,
     /// Total packets in the request.
     pub pkt_count: u16,
+    /// Observability trace context. Models metadata carried in reserved
+    /// header bits: it crosses the wire with the request but costs **zero**
+    /// modeled bytes and is not serialized by the codec.
+    pub trace: Option<TraceCtx>,
+    /// The CN's smoothed RTT toward this MN, in nanoseconds, echoed so the
+    /// MN's egress doorbell budget can derive from the same signal as the
+    /// CN's request doorbell (5 encoded bytes; see `codec`).
+    pub srtt_echo_ns: Option<u32>,
 }
 
 impl ReqHeader {
     /// Header for a single-packet request.
     pub fn single(req_id: ReqId, pid: Pid) -> Self {
-        ReqHeader { req_id, retry_of: None, pid, pkt_index: 0, pkt_count: 1 }
+        ReqHeader {
+            req_id,
+            retry_of: None,
+            pid,
+            pkt_index: 0,
+            pkt_count: 1,
+            trace: None,
+            srtt_echo_ns: None,
+        }
     }
 
     /// Marks this header as a retry of `orig`.

@@ -65,4 +65,21 @@ if [ "$fail" -ne 0 ]; then
   echo "docs/ARCHITECTURE.md references things that no longer exist (see above)"
   exit 1
 fi
+
+# Stage-taxonomy completeness: every variant of clio_trace's `Stage` enum
+# must appear in the doc's taxonomy table (and vice versa the table rows
+# were already validated as identifiers above), so the observability tour
+# cannot drift from the actual stage set.
+stages=$(sed -n '/^pub enum Stage {/,/^}/p' crates/trace/src/span.rs \
+  | grep -o '^    [A-Z][A-Za-z]*' | tr -d ' ')
+for s in $stages; do
+  if ! grep -q "^| \`$s\` |" "$DOC"; then
+    echo "stage taxonomy table is missing Stage::$s"
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "docs/ARCHITECTURE.md stage taxonomy does not match clio_trace::Stage"
+  exit 1
+fi
 echo "docs link check: OK"

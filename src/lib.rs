@@ -4,6 +4,7 @@
 //! crates for details:
 //!
 //! * [`sim`] — deterministic discrete-event simulation substrate
+//! * [`trace`] — cross-layer op tracing, metrics registry, Perfetto export
 //! * [`net`] — Ethernet fabric simulation
 //! * [`proto`] — the Clio wire protocol
 //! * [`hw`] — CBoard hardware fast path (page table, TLB, pipeline, ...)
@@ -24,3 +25,4 @@ pub use clio_mn as mn;
 pub use clio_net as net;
 pub use clio_proto as proto;
 pub use clio_sim as sim;
+pub use clio_trace as trace;
