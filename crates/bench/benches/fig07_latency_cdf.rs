@@ -4,10 +4,14 @@
 //! RDMA's host-side interference produces the long tail the paper plots
 //! (its p99 stretches several times the median).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use clio_baselines::rdma::{RdmaNic, RnicParams, Verb};
 use clio_bench::drivers::{AccessMix, RangeDriver};
 use clio_bench::setup::{alias_ptes, bench_cluster};
 use clio_bench::FigureReport;
+use clio_core::exec::openloop::{ArrivalGen, ArrivalProcess};
 use clio_proto::Pid;
 use clio_sim::stats::{Histogram, Series};
 use clio_sim::{SimDuration, SimRng, SimTime};
@@ -22,6 +26,33 @@ fn clio_hist(mix: AccessMix) -> Histogram {
     cluster.run_until_idle();
     let d: &RangeDriver = cluster.cn(0).driver(0);
     d.recorder.histogram().clone()
+}
+
+/// Open-loop variant: 16 B reads arrive as a Poisson process at
+/// `rate_per_sec` regardless of completions (async tasks on the executor),
+/// so the CDF includes real submission queueing instead of the closed
+/// loop's completion-throttled view.
+fn clio_openloop_hist(rate_per_sec: f64) -> Histogram {
+    let mut cluster = bench_cluster(1, 1, 70);
+    let va = alias_ptes(&mut cluster, 0, Pid(3), 64);
+    let hist: Rc<RefCell<Histogram>> = Rc::new(RefCell::new(Histogram::new()));
+    let out = hist.clone();
+    cluster.spawn(0, Pid(3), move |h| async move {
+        let mut arrivals = ArrivalGen::new(ArrivalProcess::poisson(rate_per_sec), 70);
+        for i in 0..OPS {
+            h.sleep(arrivals.next_gap()).await;
+            let (h2, out) = (h.clone(), out.clone());
+            h.spawn(async move {
+                let c = h2.rread(va + (i % 64) * 4096, 16).await;
+                c.result.as_ref().expect("open-loop read failed");
+                out.borrow_mut().record(c.latency().as_nanos());
+            });
+        }
+    });
+    cluster.start();
+    cluster.run_until_idle();
+    let hist = hist.borrow().clone();
+    hist
 }
 
 fn rdma_hist(verb: Verb) -> Histogram {
@@ -56,6 +87,8 @@ fn main() {
     report.push_series(cdf_series("Clio-Write-16B", &clio_hist(AccessMix::Writes)));
     report.push_series(cdf_series("RDMA-Read-16B", &rdma_hist(Verb::Read)));
     report.push_series(cdf_series("RDMA-Write-16B", &rdma_hist(Verb::Write)));
+    report.push_series(cdf_series("Clio-Read-16B-open-1Mops", &clio_openloop_hist(1e6)));
     report.note("paper: Clio ~2.5us median / 3.2us p99; RDMA's tail runs far past its median");
+    report.note("open-loop series: Poisson arrivals at 1 Mops/s, latency includes queueing");
     report.print();
 }

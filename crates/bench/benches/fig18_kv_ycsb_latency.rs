@@ -5,7 +5,10 @@
 //! Paper: Clio-KV best; Clover suffers on write-heavy A (≥2 RTT writes);
 //! HERD-BF worst across the board.
 
-use clio_apps::kv::ClioKv;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use clio_apps::kv::{partition_of, ClioKv, KvRequest};
 use clio_apps::ycsb::{YcsbGenerator, YcsbMix, YcsbOp};
 use clio_baselines::clover::CloverModel;
 use clio_baselines::herd::{HerdModel, HerdParams};
@@ -13,6 +16,7 @@ use clio_baselines::rdma::RnicParams;
 use clio_bench::drivers::KvDriver;
 use clio_bench::setup::bench_cluster;
 use clio_bench::FigureReport;
+use clio_core::exec::openloop::{ArrivalGen, ArrivalProcess};
 use clio_proto::Pid;
 use clio_sim::stats::Series;
 use clio_sim::{SimDuration, SimRng, SimTime};
@@ -38,6 +42,67 @@ pub fn clio_kv(mix: YcsbMix) -> f64 {
     for cn in 0..2 {
         let d: &KvDriver = cluster.cn(cn).driver(0);
         mean += d.recorder.latency().mean_ns / 2.0;
+    }
+    mean / 1000.0
+}
+
+fn req_key(req: &KvRequest) -> &[u8] {
+    match req {
+        KvRequest::Put { key, .. } | KvRequest::Get { key } | KvRequest::Delete { key } => key,
+    }
+}
+
+/// Open-loop Clio-KV variant: YCSB ops arrive as a Poisson process at
+/// `rate_per_sec` per CN (async tasks on the executor, one offload call
+/// each), so the mean includes submission queueing the closed-loop window
+/// hides. Returns mean latency in us.
+pub fn clio_kv_openloop(mix: YcsbMix, rate_per_sec: f64) -> f64 {
+    let mut cluster = bench_cluster(2, 1, 181);
+    cluster.install_offload(0, 1, Pid(9000), Box::new(ClioKv::new(4096)));
+    let macs = cluster.mn_macs().to_vec();
+    let hists: Vec<Rc<RefCell<clio_sim::stats::Histogram>>> =
+        (0..2).map(|_| Rc::new(RefCell::new(clio_sim::stats::Histogram::new()))).collect();
+    for (cn, hist) in hists.iter().enumerate() {
+        let out = hist.clone();
+        let macs = macs.clone();
+        cluster.spawn(cn, Pid(300 + cn as u64), move |h| async move {
+            let mut gen = YcsbGenerator::new(mix, 5_000, VALUE, 33 + cn as u64);
+            // Preload sequentially (same records the closed-loop driver loads).
+            for key in 0..5_000u64 {
+                let req = KvRequest::Put {
+                    key: format!("user{key:012}").into_bytes(),
+                    value: gen.value_for(key, 0),
+                };
+                let mn = macs[partition_of(req_key(&req), macs.len())];
+                h.roffload(mn, 1, req.opcode(), req.encode()).await.result.unwrap();
+            }
+            let mut arrivals =
+                ArrivalGen::new(ArrivalProcess::poisson(rate_per_sec), 181 + cn as u64);
+            for _ in 0..OPS / 2 {
+                h.sleep(arrivals.next_gap()).await;
+                let req = match gen.next_op() {
+                    YcsbOp::Get { key } => {
+                        KvRequest::Get { key: format!("user{key:012}").into_bytes() }
+                    }
+                    YcsbOp::Set { key, value } => {
+                        KvRequest::Put { key: format!("user{key:012}").into_bytes(), value }
+                    }
+                };
+                let mn = macs[partition_of(req_key(&req), macs.len())];
+                let (h2, out) = (h.clone(), out.clone());
+                h.spawn(async move {
+                    let c = h2.roffload(mn, 1, req.opcode(), req.encode()).await;
+                    c.result.as_ref().expect("kv op failed");
+                    out.borrow_mut().record(c.latency().as_nanos());
+                });
+            }
+        });
+    }
+    cluster.start();
+    cluster.run_until_idle();
+    let mut mean = 0f64;
+    for h in &hists {
+        mean += h.borrow().mean() / 2.0;
     }
     mean / 1000.0
 }
@@ -98,19 +163,24 @@ fn main() {
     );
     let mixes = [YcsbMix::A, YcsbMix::B, YcsbMix::C];
     let mut clio_s = Series::new("Clio");
+    let mut clio_open_s = Series::new("Clio-open-100kops");
     let mut clover_s = Series::new("Clover");
     let mut herd_s = Series::new("HERD");
     let mut bf_s = Series::new("HERD-BF");
     for (i, mix) in mixes.iter().enumerate() {
         clio_s.push(i as f64, clio_kv(*mix));
+        clio_open_s.push(i as f64, clio_kv_openloop(*mix, 1e5));
         clover_s.push(i as f64, clover(*mix));
         herd_s.push(i as f64, herd(*mix, false));
         bf_s.push(i as f64, herd(*mix, true));
     }
     report.push_series(clio_s);
+    report.push_series(clio_open_s);
     report.push_series(clover_s);
     report.push_series(herd_s);
     report.push_series(bf_s);
     report.note("paper: Clio-KV best; Clover degrades on write-heavy A; HERD-BF worst");
+    report
+        .note("open-loop series: Poisson arrivals at 100 kops/s per CN, latency includes queueing");
     report.print();
 }

@@ -22,7 +22,7 @@ use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{Perm, Pid};
 use clio_sim::{Ctx, Message, SimDuration, SimTime};
 use clio_trace::metrics::{Counter, Registry};
-use clio_trace::{TraceCtx, Tracer, Track};
+use clio_trace::{Stage, TraceCtx, Tracer, Track};
 
 use crate::config::CLibConfig;
 use crate::error::ClioError;
@@ -225,6 +225,14 @@ pub struct CLib {
     transport: Transport,
     trackers: HashMap<ThreadId, DependencyTracker<OpToken>>,
     ops: HashMap<OpToken, PendingOp>,
+    /// Per-op wakers fired exactly once when the op completes — the
+    /// poll-free completion path used by the async executor.
+    wakers: HashMap<OpToken, std::task::Waker>,
+    /// Arrival-time override for the next submission call: ops admitted
+    /// while this is set begin their trace (and report `issued_at`) at the
+    /// earlier arrival time, with the gap stitched as a
+    /// [`Stage::SubmitQueued`] backpressure span.
+    queued_since: Option<SimTime>,
     next_token: u64,
     /// Latency histogram source: completions carry issue/finish times.
     completed_count: Counter,
@@ -243,6 +251,8 @@ impl CLib {
             page_size,
             trackers: HashMap::new(),
             ops: HashMap::new(),
+            wakers: HashMap::new(),
+            queued_since: None,
             next_token: 1,
             completed_count: Counter::new(),
             tracer: Tracer::disabled(),
@@ -295,6 +305,30 @@ impl CLib {
     /// Operations in flight across all threads.
     pub fn in_flight(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Sets the arrival time the next [`submit`](Self::submit)/
+    /// [`submit_many`](Self::submit_many) call attributes its ops to. When
+    /// the arrival predates the submission instant (the op waited under a
+    /// runtime in-flight budget), the gap becomes a
+    /// [`Stage::SubmitQueued`] span at the head of the op's trace and
+    /// `issued_at` reports the arrival, so end-to-end latency includes the
+    /// backpressure wait. Cleared after the next submission call.
+    pub fn set_queued_since(&mut self, at: Option<SimTime>) {
+        self.queued_since = at;
+    }
+
+    /// Registers a waker fired when `token` completes — the poll-free
+    /// completion path: instead of scanning for finished ops, an executor
+    /// parks a task waker here and CLib wakes it when the op finishes.
+    /// At most one waker per op (later
+    /// registrations replace earlier ones); a token that is not pending
+    /// (already completed, or never existed) is ignored — its completion
+    /// has already been handed to the host.
+    pub fn register_waker(&mut self, token: OpToken, waker: std::task::Waker) {
+        if self.ops.contains_key(&token) {
+            self.wakers.insert(token, waker);
+        }
     }
 
     /// The underlying transport, read-only — the model checker fingerprints
@@ -352,6 +386,7 @@ impl CLib {
     ) -> (OpToken, Vec<Completion>) {
         let mut completions = Vec::new();
         let (token, dispatch) = self.admit(ctx, thread, op);
+        self.queued_since = None;
         if dispatch {
             self.dispatch(ctx, nic, token, &mut completions);
         }
@@ -390,6 +425,7 @@ impl CLib {
                 }
             }
         }
+        self.queued_since = None;
         self.transport.send_many(ctx, nic, sends);
         (tokens, completions)
     }
@@ -400,14 +436,21 @@ impl CLib {
         let token = OpToken(self.next_token);
         self.next_token += 1;
         let (class, vpns, barrier) = self.classify(&op);
+        // Ops held back by a runtime in-flight budget are attributed to
+        // their arrival time; the wait surfaces as a SubmitQueued span.
+        let arrival = self.queued_since.unwrap_or_else(|| ctx.now()).min(ctx.now());
         // Releases are purely local barriers and never reach the wire, so
         // they get no trace timeline.
         let trace = if matches!(op, Op::Release) {
             None
         } else {
-            self.tracer.begin(op_kind_dbg(&op), ctx.now())
+            let trace = self.tracer.begin(op_kind_dbg(&op), arrival);
+            if arrival < ctx.now() {
+                self.tracer.stitch(trace, self.track, Stage::SubmitQueued, ctx.now());
+            }
+            trace
         };
-        self.ops.insert(token, PendingOp { thread, op, issued_at: ctx.now(), trace });
+        self.ops.insert(token, PendingOp { thread, op, issued_at: arrival, trace });
         let tracker = self.trackers.entry(thread).or_default();
         let dispatch = if barrier {
             tracker.submit_barrier(token)
@@ -588,6 +631,12 @@ impl CLib {
         }
 
         let pending = self.ops.remove(&token).expect("checked above");
+        // Poll-free completion path: wake the executor task (if any) parked
+        // on this op. Fires only on real completion — the lock-spin early
+        // return above keeps the waker armed across TAS retries.
+        if let Some(waker) = self.wakers.remove(&token) {
+            waker.wake();
+        }
         let value = done.result.map(|v| match (&pending.op, v) {
             (_, XferValue::Data(d)) => CompletionValue::Data(d),
             (_, XferValue::Va(va)) => CompletionValue::Va(va),

@@ -14,6 +14,9 @@ pub enum ClioError {
     /// The target region moved to another MN; the caller should refresh its
     /// routing (handled transparently by the cluster runtime).
     Moved,
+    /// An async handle was polled by a process that did not issue it (or
+    /// after its issuing process released it).
+    InvalidHandle,
 }
 
 impl std::fmt::Display for ClioError {
@@ -22,6 +25,9 @@ impl std::fmt::Display for ClioError {
             ClioError::Remote(s) => write!(f, "remote error: {s}"),
             ClioError::TimedOut => write!(f, "request timed out after all retries"),
             ClioError::Moved => write!(f, "region moved to another memory node"),
+            ClioError::InvalidHandle => {
+                write!(f, "async handle does not belong to this process")
+            }
         }
     }
 }
@@ -47,5 +53,6 @@ mod tests {
         assert_eq!(ClioError::from(Status::PermDenied), ClioError::Remote(Status::PermDenied));
         assert!(ClioError::TimedOut.to_string().contains("timed out"));
         assert!(ClioError::Remote(Status::InvalidAddr).to_string().contains("invalid"));
+        assert!(ClioError::InvalidHandle.to_string().contains("does not belong"));
     }
 }

@@ -38,6 +38,10 @@ pub struct ClusterConfig {
     /// entirely — op headers and wire timing are identical either way, so
     /// a traced run's `Simulation::digest` matches the untraced one.
     pub trace_sample_every: Option<u64>,
+    /// Per-process in-flight submission budget for executor drivers: once
+    /// this many ops are outstanding, further submissions park (surfaced as
+    /// `cn<i>.runtime.parked`) until window credit frees.
+    pub runtime_inflight_budget: usize,
 }
 
 impl ClusterConfig {
@@ -54,6 +58,7 @@ impl ClusterConfig {
             mn_slice_span: 1 << 40,
             pressure_threshold: 0.9,
             trace_sample_every: None,
+            runtime_inflight_budget: crate::node::DEFAULT_INFLIGHT_BUDGET,
         }
     }
 
@@ -158,6 +163,7 @@ impl Cluster {
         for (i, &cn) in cns.iter().enumerate() {
             let node = sim.actor_mut::<ComputeNode>(cn);
             node.set_tracer(tracer.clone(), Track::Cn(i as u32));
+            node.set_runtime_budget(cfg.runtime_inflight_budget);
             node.register_metrics(&mut registry, &format!("cn{i}"));
         }
         for (i, &mn) in mns.iter().enumerate() {
@@ -231,6 +237,27 @@ impl Cluster {
     pub fn add_driver(&mut self, cn: usize, pid: Pid, driver: Box<dyn ClientDriver>) -> usize {
         assert!(!self.started, "add drivers before starting the cluster");
         self.sim.actor_mut::<ComputeNode>(self.cns[cn]).add_driver(pid, driver)
+    }
+
+    /// Spawns an async client program as process `pid` on compute node
+    /// `cn`: builds a fresh [`ExecDriver`](crate::exec::ExecDriver), seeds
+    /// it with the task `f` returns, and registers it. The task starts at
+    /// [`start`](Self::start); clone the [`ProcHandle`](crate::exec::ProcHandle)
+    /// it receives to spawn further tasks. Returns the driver's index on
+    /// that CN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`start`](Self::start) or with a bad index.
+    pub fn spawn<F, Fut>(&mut self, cn: usize, pid: Pid, f: F) -> usize
+    where
+        F: FnOnce(crate::exec::ProcHandle) -> Fut,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        let driver = crate::exec::ExecDriver::new();
+        let handle = driver.handle();
+        handle.spawn(f(handle.clone()));
+        self.add_driver(cn, pid, Box::new(driver))
     }
 
     /// Installs an offload module on memory node `mn`.

@@ -1,0 +1,844 @@
+//! # Deterministic async executor for client programs
+//!
+//! The third way to program a [`Cluster`](crate::Cluster), between raw
+//! event-driven [`ClientDriver`]s and the OS-thread blocking runtime:
+//! cooperative tasks whose remote operations are real `Future`s —
+//!
+//! ```ignore
+//! cluster.spawn(0, pid, |h| async move {
+//!     let va = h.ralloc(4096, Perm::RW).await.va();
+//!     h.rwrite(va, payload).await;
+//!     let echo = h.rread(va, 64).await;
+//! });
+//! ```
+//!
+//! One [`ExecDriver`] hosts any number of tasks on a compute node; tasks
+//! run *inside* the simulation's event loop (no OS threads on the hot
+//! path), so a single simulated CN sustains tens of thousands of
+//! concurrent outstanding ops. Determinism is absolute: tasks are only
+//! polled from sim callbacks, ready/submission queues are FIFO, and every
+//! wake-up is carried by a sim event — same program + same seed ⇒ the
+//! same virtual-time schedule and `Simulation::digest`.
+//!
+//! ## Waker path
+//!
+//! Awaiting an [`OpFuture`] reserves one unit of the process's in-flight
+//! budget and queues a submission; the driver flushes queued submissions
+//! through [`ClientApi`] in program order. Each issued op carries the
+//! task's [`Waker`] down into CLib ([`ClientApi::register_waker`]), so the
+//! completion path — CLib `finish()` — wakes the exact task that awaits
+//! it, with no `rpoll` scanning anywhere. Ops that die before reaching
+//! CLib (fail-fast routing errors) are caught by a fallback wake when the
+//! driver receives the completion event.
+//!
+//! ## Backpressure
+//!
+//! Submission is backpressure-aware: once `inflight == budget`
+//! ([`ClusterConfig::runtime_inflight_budget`](crate::ClusterConfig)),
+//! further submitters *park* — their wakers queue FIFO and each completion
+//! wakes exactly one. The wait is visible twice: live, via the
+//! `cn<i>.runtime.inflight` / `.parked` / `.tasks` registry gauges, and
+//! per-op, as a `SubmitQueued` trace stage covering [arrival, submit].
+//! Vector ops ([`ProcHandle::rread_v`] / [`rwrite_v`](ProcHandle::rwrite_v))
+//! deliberately bypass parking — a scatter/gather batch is one atomic
+//! submission — but still debit the budget, so following scalar ops park.
+//!
+//! ## Open-loop load
+//!
+//! [`openloop`] generates seeded Poisson/uniform arrival schedules;
+//! [`OpFuture::arriving_at`] back-dates an op to its generated arrival so
+//! latency measurements include queueing delay, the way an open-loop
+//! client would experience it.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use bytes::Bytes;
+use clio_net::Mac;
+use clio_proto::Perm;
+use clio_sim::{SimDuration, SimTime};
+
+use crate::node::{AppCompletion, AppToken, ClientApi, ClientDriver, RuntimeGauges, POKE_TAG};
+
+pub mod openloop;
+
+type TaskId = u64;
+type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Wakes a task by pushing its id onto the executor's ready queue.
+///
+/// `std::task::Waker` demands `Send + Sync`, so the ready queue is the one
+/// `Arc<Mutex<_>>` in an otherwise single-threaded executor (uncontended:
+/// everything runs on the sim thread).
+struct TaskWaker {
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    task: TaskId,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().expect("executor ready queue").push_back(self.task);
+    }
+}
+
+/// One outstanding op's mailbox, shared between its [`OpFuture`] and the
+/// driver's token → slot map.
+struct OpSlot {
+    result: Option<AppCompletion>,
+    waker: Option<Waker>,
+}
+
+impl OpSlot {
+    fn armed(waker: Waker) -> Rc<RefCell<OpSlot>> {
+        Rc::new(RefCell::new(OpSlot { result: None, waker: Some(waker) }))
+    }
+}
+
+/// A remote op awaiting submission (mirrors [`ClientApi`]'s issue methods;
+/// `pid` is implied by the hosting driver).
+#[derive(Debug, Clone)]
+enum OpRequest {
+    Read { va: u64, len: u32 },
+    Write { va: u64, data: Bytes },
+    Alloc { size: u64, perm: Perm },
+    Free { va: u64, size: u64 },
+    Lock { va: u64 },
+    Unlock { va: u64 },
+    Faa { va: u64, delta: u64 },
+    Cas { va: u64, expected: u64, new: u64 },
+    Fence,
+    Release,
+    Offload { mn: Mac, offload: u16, opcode: u16, arg: Bytes },
+}
+
+#[derive(Debug, Clone)]
+enum VecRequest {
+    Read(Vec<(u64, u32)>),
+    Write(Vec<(u64, Bytes)>),
+}
+
+/// Work queued by task polls, flushed through [`ClientApi`] in FIFO
+/// (program) order by the driver.
+enum Submission {
+    Op { req: OpRequest, arrival: SimTime, slot: Rc<RefCell<OpSlot>>, waker: Waker },
+    Vec { req: VecRequest, arrival: SimTime, slots: Vec<Rc<RefCell<OpSlot>>>, waker: Waker },
+    Timer { tag: u64, dur: SimDuration },
+}
+
+struct TimerEntry {
+    fired: bool,
+    waker: Option<Waker>,
+}
+
+struct ExecInner {
+    /// False until `on_start`: pre-start spawns queue instead of polling
+    /// inline (no budget/gauges yet, and nothing can race them).
+    running: bool,
+    tasks: HashMap<TaskId, BoxedTask>,
+    next_task: TaskId,
+    live_tasks: usize,
+    submit_q: VecDeque<Submission>,
+    /// Submitters waiting for window credit, woken FIFO one-per-completion.
+    parked: VecDeque<Waker>,
+    inflight: usize,
+    peak_inflight: u64,
+    budget: usize,
+    /// CN-shared gauges (`None` until `on_start`); updated by delta so
+    /// several drivers on one node aggregate correctly.
+    gauges: Option<RuntimeGauges>,
+    op_slots: HashMap<AppToken, Rc<RefCell<OpSlot>>>,
+    timers: HashMap<u64, TimerEntry>,
+    next_timer_tag: u64,
+    /// Pokes delivered while nobody awaited one (level-triggered count).
+    poke_pending: u64,
+    poke_waiters: Vec<Waker>,
+}
+
+impl ExecInner {
+    fn bump_gauge(&self, pick: impl Fn(&RuntimeGauges) -> &clio_trace::metrics::Gauge, d: i64) {
+        if let Some(g) = &self.gauges {
+            RuntimeGauges::bump(pick(g), d);
+        }
+    }
+}
+
+struct ExecShared {
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    inner: RefCell<ExecInner>,
+    /// Virtual time mirror, refreshed on every driver callback so futures
+    /// can timestamp without a `Ctx`.
+    now: Cell<SimTime>,
+}
+
+impl ExecShared {
+    fn pop_ready(&self) -> Option<TaskId> {
+        self.ready.lock().expect("executor ready queue").pop_front()
+    }
+}
+
+/// Polls task `tid` once with its own waker; drops it when it finishes.
+/// The future is taken out of the map for the duration of the poll, so
+/// tasks can spawn (and inline-poll) other tasks reentrantly.
+fn poll_one(shared: &Rc<ExecShared>, tid: TaskId) {
+    let fut = shared.inner.borrow_mut().tasks.remove(&tid);
+    let Some(mut fut) = fut else { return }; // finished earlier; spurious wake
+    let waker = Waker::from(Arc::new(TaskWaker { ready: shared.ready.clone(), task: tid }));
+    let mut cx = Context::from_waker(&waker);
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Pending => {
+            shared.inner.borrow_mut().tasks.insert(tid, fut);
+        }
+        Poll::Ready(()) => {
+            let mut inner = shared.inner.borrow_mut();
+            inner.live_tasks -= 1;
+            inner.bump_gauge(|g| &g.tasks, -1);
+        }
+    }
+}
+
+/// The cooperative executor, hosted on a compute node as one
+/// [`ClientDriver`]. Build one per simulated process with
+/// [`Cluster::spawn`](crate::Cluster::spawn) (or construct directly and
+/// [`add_driver`](crate::Cluster::add_driver) it to seed multiple root
+/// tasks).
+pub struct ExecDriver {
+    shared: Rc<ExecShared>,
+}
+
+impl Default for ExecDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecDriver {
+    /// A fresh executor with no tasks.
+    pub fn new() -> Self {
+        ExecDriver {
+            shared: Rc::new(ExecShared {
+                ready: Arc::new(Mutex::new(VecDeque::new())),
+                inner: RefCell::new(ExecInner {
+                    running: false,
+                    tasks: HashMap::new(),
+                    next_task: 0,
+                    live_tasks: 0,
+                    submit_q: VecDeque::new(),
+                    parked: VecDeque::new(),
+                    inflight: 0,
+                    peak_inflight: 0,
+                    budget: usize::MAX,
+                    gauges: None,
+                    op_slots: HashMap::new(),
+                    timers: HashMap::new(),
+                    next_timer_tag: 0,
+                    poke_pending: 0,
+                    poke_waiters: Vec::new(),
+                }),
+                now: Cell::new(SimTime::ZERO),
+            }),
+        }
+    }
+
+    /// A handle for spawning tasks and issuing ops on this executor.
+    pub fn handle(&self) -> ProcHandle {
+        ProcHandle { shared: self.shared.clone() }
+    }
+
+    /// Highest concurrent in-flight op count this executor ever reached.
+    pub fn peak_inflight(&self) -> u64 {
+        self.shared.inner.borrow().peak_inflight
+    }
+
+    /// Tasks spawned and not yet finished.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.inner.borrow().live_tasks
+    }
+
+    /// Issues every queued submission through the node API, in program
+    /// order, registering the awaiting task's waker with each op.
+    fn flush(&mut self, api: &mut ClientApi<'_, '_>) {
+        loop {
+            let sub = self.shared.inner.borrow_mut().submit_q.pop_front();
+            let Some(sub) = sub else { break };
+            match sub {
+                Submission::Op { req, arrival, slot, waker } => {
+                    api.arrive_at(arrival);
+                    let token = match req {
+                        OpRequest::Read { va, len } => api.read(va, len),
+                        OpRequest::Write { va, data } => api.write(va, data),
+                        OpRequest::Alloc { size, perm } => api.alloc(size, perm),
+                        OpRequest::Free { va, size } => api.free(va, size),
+                        OpRequest::Lock { va } => api.lock(va),
+                        OpRequest::Unlock { va } => api.unlock(va),
+                        OpRequest::Faa { va, delta } => api.faa(va, delta),
+                        OpRequest::Cas { va, expected, new } => api.cas(va, expected, new),
+                        OpRequest::Fence => api.fence(),
+                        OpRequest::Release => api.release(),
+                        OpRequest::Offload { mn, offload, opcode, arg } => {
+                            api.offload(mn, offload, opcode, arg)
+                        }
+                    };
+                    api.register_waker(token, waker);
+                    self.shared.inner.borrow_mut().op_slots.insert(token, slot);
+                }
+                Submission::Vec { req, arrival, slots, waker } => {
+                    api.arrive_at(arrival);
+                    let tokens = match req {
+                        VecRequest::Read(reads) => api.read_v(&reads),
+                        VecRequest::Write(writes) => api.write_v(writes),
+                    };
+                    for (token, slot) in tokens.into_iter().zip(slots) {
+                        api.register_waker(token, waker.clone());
+                        self.shared.inner.borrow_mut().op_slots.insert(token, slot);
+                    }
+                }
+                Submission::Timer { tag, dur } => api.wake_in(dur, tag),
+            }
+        }
+    }
+
+    /// Runs the executor to quiescence: flush submissions, poll every
+    /// ready task, repeat until both queues drain.
+    fn drain(&mut self, api: &mut ClientApi<'_, '_>) {
+        self.shared.now.set(api.now());
+        loop {
+            self.flush(api);
+            match self.shared.pop_ready() {
+                Some(tid) => poll_one(&self.shared.clone(), tid),
+                None if self.shared.inner.borrow().submit_q.is_empty() => break,
+                None => continue,
+            }
+        }
+    }
+}
+
+impl ClientDriver for ExecDriver {
+    fn name(&self) -> &str {
+        "exec"
+    }
+
+    fn on_start(&mut self, api: &mut ClientApi<'_, '_>) {
+        {
+            let mut inner = self.shared.inner.borrow_mut();
+            inner.running = true;
+            inner.budget = api.inflight_budget();
+            let gauges = api.runtime_gauges();
+            RuntimeGauges::bump(&gauges.tasks, inner.live_tasks as i64);
+            inner.gauges = Some(gauges);
+        }
+        self.drain(api);
+    }
+
+    fn on_completion(&mut self, api: &mut ClientApi<'_, '_>, completion: AppCompletion) {
+        let (slot_waker, unparked) = {
+            let mut inner = self.shared.inner.borrow_mut();
+            match inner.op_slots.remove(&completion.token) {
+                Some(slot) => {
+                    inner.inflight -= 1;
+                    inner.bump_gauge(|g| &g.inflight, -1);
+                    let slot_waker = {
+                        let mut s = slot.borrow_mut();
+                        s.result = Some(completion);
+                        s.waker.take()
+                    };
+                    let unparked = inner.parked.pop_front();
+                    if unparked.is_some() {
+                        inner.bump_gauge(|g| &g.parked, -1);
+                    }
+                    (slot_waker, unparked)
+                }
+                None => (None, None),
+            }
+        };
+        // Fallback wake: covers ops that failed before reaching CLib (the
+        // CLib-registered waker is the primary path).
+        if let Some(w) = slot_waker {
+            w.wake();
+        }
+        if let Some(w) = unparked {
+            w.wake();
+        }
+        self.drain(api);
+    }
+
+    fn on_wake(&mut self, api: &mut ClientApi<'_, '_>, tag: u64) {
+        if tag == POKE_TAG {
+            let waiters = {
+                let mut inner = self.shared.inner.borrow_mut();
+                // Record the poke even when waiters exist: a woken waiter
+                // re-polls its PokeFuture, which resolves by consuming
+                // `poke_pending` — skipping the increment would leave it
+                // parked forever.
+                inner.poke_pending += 1;
+                std::mem::take(&mut inner.poke_waiters)
+            };
+            for w in waiters {
+                w.wake();
+            }
+        } else {
+            let waker = {
+                let mut inner = self.shared.inner.borrow_mut();
+                match inner.timers.get_mut(&tag) {
+                    Some(t) => {
+                        t.fired = true;
+                        t.waker.take()
+                    }
+                    None => None,
+                }
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+        self.drain(api);
+    }
+}
+
+/// A cloneable handle onto one executor: spawn tasks, issue awaitable
+/// remote ops, sleep in virtual time. The async mirror of [`ClientApi`].
+#[derive(Clone)]
+pub struct ProcHandle {
+    shared: Rc<ExecShared>,
+}
+
+impl ProcHandle {
+    /// Current virtual time (as of the executor's last activation).
+    pub fn now(&self) -> SimTime {
+        self.shared.now.get()
+    }
+
+    /// Ops currently holding an in-flight credit.
+    pub fn inflight(&self) -> usize {
+        self.shared.inner.borrow().inflight
+    }
+
+    /// Spawns a task. While the executor runs, the task is polled inline
+    /// (before `spawn` returns) so its first submissions keep program
+    /// order with the spawner's subsequent ops; pre-start spawns queue and
+    /// run at cluster start.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        let (tid, running) = {
+            let mut inner = self.shared.inner.borrow_mut();
+            inner.next_task += 1;
+            let tid = inner.next_task;
+            inner.tasks.insert(tid, Box::pin(fut));
+            inner.live_tasks += 1;
+            inner.bump_gauge(|g| &g.tasks, 1);
+            (tid, inner.running)
+        };
+        if running {
+            poll_one(&self.shared, tid);
+        } else {
+            self.shared.ready.lock().expect("executor ready queue").push_back(tid);
+        }
+    }
+
+    fn op(&self, req: OpRequest) -> OpFuture {
+        OpFuture {
+            shared: self.shared.clone(),
+            state: OpState::Start { req: Some(req), arrival: self.now() },
+        }
+    }
+
+    /// `ralloc`: allocate remote memory (await yields a VA completion).
+    pub fn ralloc(&self, size: u64, perm: Perm) -> OpFuture {
+        self.op(OpRequest::Alloc { size, perm })
+    }
+
+    /// `rfree`.
+    pub fn rfree(&self, va: u64, size: u64) -> OpFuture {
+        self.op(OpRequest::Free { va, size })
+    }
+
+    /// `rread`: await yields the data completion.
+    pub fn rread(&self, va: u64, len: u32) -> OpFuture {
+        self.op(OpRequest::Read { va, len })
+    }
+
+    /// `rwrite`.
+    pub fn rwrite(&self, va: u64, data: Bytes) -> OpFuture {
+        self.op(OpRequest::Write { va, data })
+    }
+
+    /// `rlock` (resolves when acquired).
+    pub fn rlock(&self, va: u64) -> OpFuture {
+        self.op(OpRequest::Lock { va })
+    }
+
+    /// `runlock`.
+    pub fn runlock(&self, va: u64) -> OpFuture {
+        self.op(OpRequest::Unlock { va })
+    }
+
+    /// Fetch-and-add on a remote 8-byte word.
+    pub fn rfaa(&self, va: u64, delta: u64) -> OpFuture {
+        self.op(OpRequest::Faa { va, delta })
+    }
+
+    /// Compare-and-swap on a remote 8-byte word.
+    pub fn rcas(&self, va: u64, expected: u64, new: u64) -> OpFuture {
+        self.op(OpRequest::Cas { va, expected, new })
+    }
+
+    /// `rfence`: fences this process's requests on every MN.
+    pub fn rfence(&self) -> OpFuture {
+        self.op(OpRequest::Fence)
+    }
+
+    /// `rrelease`: local barrier over this process's outstanding ops.
+    pub fn rrelease(&self) -> OpFuture {
+        self.op(OpRequest::Release)
+    }
+
+    /// Invokes an offload installed on `mn`.
+    pub fn roffload(&self, mn: Mac, offload: u16, opcode: u16, arg: Bytes) -> OpFuture {
+        self.op(OpRequest::Offload { mn, offload, opcode, arg })
+    }
+
+    /// `rread_v`: scatter/gather read as one batch submission; await
+    /// yields one completion per entry, in order.
+    pub fn rread_v(&self, reads: Vec<(u64, u32)>) -> VecOpFuture {
+        VecOpFuture {
+            shared: self.shared.clone(),
+            state: VecOpState::Start { req: Some(VecRequest::Read(reads)), arrival: self.now() },
+        }
+    }
+
+    /// `rwrite_v`: scatter/gather write, the mirror of [`rread_v`](Self::rread_v).
+    pub fn rwrite_v(&self, writes: Vec<(u64, Bytes)>) -> VecOpFuture {
+        VecOpFuture {
+            shared: self.shared.clone(),
+            state: VecOpState::Start { req: Some(VecRequest::Write(writes)), arrival: self.now() },
+        }
+    }
+
+    /// Sleeps for `dur` of virtual time.
+    pub fn sleep(&self, dur: SimDuration) -> SleepFuture {
+        SleepFuture { shared: self.shared.clone(), state: SleepState::Start { dur } }
+    }
+
+    /// Resolves on the next [`PokeDriver`](crate::node::PokeDriver)
+    /// delivered to this executor (level-triggered: pokes arriving while
+    /// nobody awaits are not lost). The blocking-shim servicer's doorbell.
+    pub fn next_poke(&self) -> PokeFuture {
+        PokeFuture { shared: self.shared.clone() }
+    }
+}
+
+enum OpState {
+    Start { req: Option<OpRequest>, arrival: SimTime },
+    Queued { slot: Rc<RefCell<OpSlot>> },
+    Done,
+}
+
+/// An awaitable remote op. Resolves to the full [`AppCompletion`] (value,
+/// issue/completion timestamps) when CLib's completion path wakes the
+/// awaiting task.
+pub struct OpFuture {
+    shared: Rc<ExecShared>,
+    state: OpState,
+}
+
+impl OpFuture {
+    /// Back-dates this op's arrival to `at` (clamped to "not in the
+    /// future"): its `issued_at`, latency, and trace origin start there,
+    /// with the wait until actual submission attributed to the
+    /// `SubmitQueued` stage. Open-loop generators use this so measured
+    /// latency includes queueing delay.
+    pub fn arriving_at(mut self, at: SimTime) -> Self {
+        if let OpState::Start { arrival, .. } = &mut self.state {
+            *arrival = at;
+        }
+        self
+    }
+}
+
+impl Future for OpFuture {
+    type Output = AppCompletion;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<AppCompletion> {
+        let this = self.get_mut();
+        match &mut this.state {
+            OpState::Start { req, arrival } => {
+                let mut inner = this.shared.inner.borrow_mut();
+                if inner.inflight >= inner.budget {
+                    // Budget exhausted: park FIFO until a completion
+                    // frees window credit. `arrival` is untouched, so the
+                    // whole park shows up as SubmitQueued in the trace.
+                    inner.parked.push_back(cx.waker().clone());
+                    inner.bump_gauge(|g| &g.parked, 1);
+                    return Poll::Pending;
+                }
+                inner.inflight += 1;
+                inner.peak_inflight = inner.peak_inflight.max(inner.inflight as u64);
+                inner.bump_gauge(|g| &g.inflight, 1);
+                let slot = OpSlot::armed(cx.waker().clone());
+                inner.submit_q.push_back(Submission::Op {
+                    req: req.take().expect("op submitted once"),
+                    arrival: *arrival,
+                    slot: slot.clone(),
+                    waker: cx.waker().clone(),
+                });
+                drop(inner);
+                this.state = OpState::Queued { slot };
+                Poll::Pending
+            }
+            OpState::Queued { slot } => {
+                let mut s = slot.borrow_mut();
+                match s.result.take() {
+                    Some(c) => {
+                        drop(s);
+                        this.state = OpState::Done;
+                        Poll::Ready(c)
+                    }
+                    None => {
+                        s.waker = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                }
+            }
+            OpState::Done => panic!("OpFuture polled after completion"),
+        }
+    }
+}
+
+enum VecOpState {
+    Start { req: Option<VecRequest>, arrival: SimTime },
+    Queued { slots: Vec<Rc<RefCell<OpSlot>>> },
+    Done,
+}
+
+/// An awaitable scatter/gather batch; resolves to per-entry completions
+/// in submission order once every entry finishes.
+pub struct VecOpFuture {
+    shared: Rc<ExecShared>,
+    state: VecOpState,
+}
+
+impl Future for VecOpFuture {
+    type Output = Vec<AppCompletion>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<AppCompletion>> {
+        let this = self.get_mut();
+        match &mut this.state {
+            VecOpState::Start { req, arrival } => {
+                let req = req.take().expect("batch submitted once");
+                let n = match &req {
+                    VecRequest::Read(v) => v.len(),
+                    VecRequest::Write(v) => v.len(),
+                };
+                if n == 0 {
+                    this.state = VecOpState::Done;
+                    return Poll::Ready(Vec::new());
+                }
+                let mut inner = this.shared.inner.borrow_mut();
+                // A batch is one atomic submission: it debits the budget
+                // (later scalar ops park) but never parks itself, even if
+                // n alone exceeds the budget.
+                inner.inflight += n;
+                inner.peak_inflight = inner.peak_inflight.max(inner.inflight as u64);
+                inner.bump_gauge(|g| &g.inflight, n as i64);
+                let slots: Vec<_> = (0..n).map(|_| OpSlot::armed(cx.waker().clone())).collect();
+                inner.submit_q.push_back(Submission::Vec {
+                    req,
+                    arrival: *arrival,
+                    slots: slots.clone(),
+                    waker: cx.waker().clone(),
+                });
+                drop(inner);
+                this.state = VecOpState::Queued { slots };
+                Poll::Pending
+            }
+            VecOpState::Queued { slots } => {
+                if slots.iter().all(|s| s.borrow().result.is_some()) {
+                    let out = slots
+                        .iter()
+                        .map(|s| s.borrow_mut().result.take().expect("checked above"))
+                        .collect();
+                    this.state = VecOpState::Done;
+                    Poll::Ready(out)
+                } else {
+                    for s in slots.iter() {
+                        let mut s = s.borrow_mut();
+                        if s.result.is_none() {
+                            s.waker = Some(cx.waker().clone());
+                        }
+                    }
+                    Poll::Pending
+                }
+            }
+            VecOpState::Done => panic!("VecOpFuture polled after completion"),
+        }
+    }
+}
+
+enum SleepState {
+    Start { dur: SimDuration },
+    Waiting { tag: u64 },
+    Done,
+}
+
+/// An awaitable virtual-time delay (carried by a sim timer event).
+pub struct SleepFuture {
+    shared: Rc<ExecShared>,
+    state: SleepState,
+}
+
+impl Future for SleepFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match &mut this.state {
+            SleepState::Start { dur } => {
+                let mut inner = this.shared.inner.borrow_mut();
+                inner.next_timer_tag += 1;
+                let tag = inner.next_timer_tag;
+                debug_assert_ne!(tag, POKE_TAG, "timer tags never reach the poke tag");
+                inner
+                    .timers
+                    .insert(tag, TimerEntry { fired: false, waker: Some(cx.waker().clone()) });
+                inner.submit_q.push_back(Submission::Timer { tag, dur: *dur });
+                drop(inner);
+                this.state = SleepState::Waiting { tag };
+                Poll::Pending
+            }
+            SleepState::Waiting { tag } => {
+                let mut inner = this.shared.inner.borrow_mut();
+                let entry = inner.timers.get_mut(tag).expect("armed timer");
+                if entry.fired {
+                    let tag = *tag;
+                    inner.timers.remove(&tag);
+                    drop(inner);
+                    this.state = SleepState::Done;
+                    Poll::Ready(())
+                } else {
+                    entry.waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+            SleepState::Done => panic!("SleepFuture polled after completion"),
+        }
+    }
+}
+
+/// Resolves when this executor receives a driver poke (see
+/// [`ProcHandle::next_poke`]).
+pub struct PokeFuture {
+    shared: Rc<ExecShared>,
+}
+
+impl Future for PokeFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.shared.inner.borrow_mut();
+        if inner.poke_pending > 0 {
+            inner.poke_pending -= 1;
+            Poll::Ready(())
+        } else {
+            inner.poke_waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterConfig};
+    use clio_proto::Pid;
+
+    #[test]
+    fn await_roundtrip_and_fanout() {
+        let mut cluster = Cluster::build(&ClusterConfig::test_small());
+        let done = Rc::new(Cell::new(false));
+        let flag = done.clone();
+        cluster.spawn(0, Pid(7), move |h| async move {
+            let va = h.ralloc(4096, Perm::RW).await.va();
+            h.rwrite(va, Bytes::from_static(b"executor says hi")).await;
+            let echo = h.rread(va, 16).await;
+            assert_eq!(echo.data().as_ref(), b"executor says hi");
+
+            // Concurrent subtasks share the handle; spawn is inline-polled
+            // so both writes are submitted before the fence below.
+            let (h1, h2) = (h.clone(), h.clone());
+            h.spawn(async move {
+                h1.rwrite(va + 64, Bytes::from_static(b"a")).await;
+            });
+            h.spawn(async move {
+                h2.rwrite(va + 128, Bytes::from_static(b"b")).await;
+            });
+            h.rfence().await;
+            let (a, b) = (h.rread(va + 64, 1).await, h.rread(va + 128, 1).await);
+            assert_eq!((a.data().as_ref(), b.data().as_ref()), (&b"a"[..], &b"b"[..]));
+
+            h.sleep(SimDuration::from_micros(3)).await;
+            let batch = h.rread_v(vec![(va, 4), (va + 64, 1)]).await;
+            assert_eq!(batch.len(), 2);
+            assert_eq!(batch[0].data().as_ref(), b"exec");
+            flag.set(true);
+        });
+        cluster.start();
+        cluster.run_until_idle();
+        assert!(done.get(), "root task must run to completion");
+        assert_eq!(cluster.cn(0).driver::<ExecDriver>(0).live_tasks(), 0);
+    }
+
+    #[test]
+    fn budget_parks_submitters_and_recovers() {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.runtime_inflight_budget = 2;
+        let mut cluster = Cluster::build(&cfg);
+        let completed = Rc::new(Cell::new(0u32));
+        let n_ops = 16u64;
+        let count = completed.clone();
+        cluster.spawn(0, Pid(7), move |h| async move {
+            let va = h.ralloc(1 << 16, Perm::RW).await.va();
+            for i in 0..n_ops {
+                let (h2, count) = (h.clone(), count.clone());
+                h.spawn(async move {
+                    h2.rwrite(va + i * 8192, Bytes::from_static(b"x")).await;
+                    count.set(count.get() + 1);
+                });
+            }
+        });
+        cluster.start();
+        cluster.run_until_idle();
+        assert_eq!(completed.get(), n_ops as u32);
+        let peak = cluster.cn(0).driver::<ExecDriver>(0).peak_inflight();
+        assert!(peak <= 2, "budget of 2 must cap concurrency, saw {peak}");
+        // Gauges drained back to zero once everything completed.
+        let reg = cluster.registry();
+        assert_eq!(reg.gauge("cn0.runtime.inflight"), Some(0));
+        assert_eq!(reg.gauge("cn0.runtime.parked"), Some(0));
+        assert_eq!(reg.gauge("cn0.runtime.tasks"), Some(0));
+    }
+
+    #[test]
+    fn executor_schedule_is_digest_deterministic() {
+        let run = |ops: u64| {
+            let mut cluster = Cluster::build(&ClusterConfig::test_small());
+            cluster.spawn(0, Pid(7), move |h| async move {
+                let va = h.ralloc(1 << 16, Perm::RW).await.va();
+                for i in 0..ops {
+                    let h2 = h.clone();
+                    h.spawn(async move {
+                        h2.rwrite(va + i * 512, Bytes::from_static(b"d")).await;
+                        h2.rread(va + i * 512, 1).await;
+                    });
+                }
+            });
+            cluster.start();
+            cluster.run_until_idle();
+            (cluster.sim.digest(), cluster.sim.events_dispatched(), cluster.now())
+        };
+        assert_eq!(run(64), run(64), "same program, same schedule");
+        assert_ne!(run(64).0, run(32).0, "digest must actually depend on the run");
+    }
+}

@@ -7,10 +7,14 @@
 //! * **event-driven drivers** ([`ClientDriver`]) — state machines used by
 //!   workload generators and benchmarks; thousands of client processes cost
 //!   no OS threads,
+//! * **async tasks** ([`exec`]) — a deterministic cooperative executor where
+//!   remote ops are futures (`h.rread(va, len).await`), completions wake
+//!   tasks through per-op wakers, and submission is backpressure-aware; the
+//!   [`exec::openloop`] generator drives open-loop offered load,
 //! * **the blocking runtime** ([`runtime::BlockingCluster`]) — spawn real OS
 //!   threads whose code reads like the paper's Figure 1
-//!   (`ralloc`/`rread`/`rwrite`/`rlock`/...), rendezvousing with the
-//!   simulator under the hood.
+//!   (`ralloc`/`rread`/`rwrite`/`rlock`/...); a thin compatibility shim
+//!   over the executor under the hood.
 //!
 //! The [`Controller`] implements the paper's two-level distributed virtual
 //! memory management (§4.7): it places allocations across MNs (each MN owns
@@ -20,11 +24,15 @@
 
 pub mod cluster;
 pub mod controller;
+pub mod exec;
 pub mod metrics;
 pub mod node;
 pub mod runtime;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use controller::Controller;
-pub use node::{AppCompletion, AppResult, AppToken, ClientApi, ClientDriver, ComputeNode};
+pub use exec::{ExecDriver, OpFuture, ProcHandle};
+pub use node::{
+    AppCompletion, AppResult, AppToken, ClientApi, ClientDriver, ComputeNode, RuntimeGauges,
+};
 pub use runtime::{BlockingCluster, RemoteProcess};

@@ -16,7 +16,7 @@ use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, OpTo
 use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{Perm, Pid};
 use clio_sim::{Actor, ActorId, Ctx, Message, SimDuration, SimTime};
-use clio_trace::metrics::Registry;
+use clio_trace::metrics::{Gauge, Registry};
 use clio_trace::{Tracer, Track};
 
 use crate::controller::{
@@ -183,6 +183,15 @@ struct HostOp {
     moved_retries: u32,
     /// Outstanding sub-operations (only >1 for multi-MN fences).
     fanout: u32,
+    /// The arrival time to attribute the first CLib submission to (a
+    /// `SubmitQueued` span covers [arrival, submit]); consumed on dispatch.
+    queued_since: Option<SimTime>,
+    /// The CLib token of the current submission attempt (refreshed on
+    /// transparent re-routes), so wakers can follow the op across retries.
+    clib_token: Option<OpToken>,
+    /// Completion waker registered through [`ClientApi::register_waker`];
+    /// re-armed with CLib on every re-submission.
+    waker: Option<std::task::Waker>,
 }
 
 /// Kick-off message: start all drivers (sent by `Cluster::start`).
@@ -200,6 +209,11 @@ pub struct PokeDriver {
 /// The `on_wake` tag delivered by [`PokeDriver`].
 pub const POKE_TAG: u64 = u64::MAX;
 
+/// Default per-process in-flight submission budget (ops holding a window
+/// credit before the executor parks further submitters). Large enough that
+/// closed-loop drivers never park; open-loop overload tests shrink it.
+pub const DEFAULT_INFLIGHT_BUDGET: usize = 65_536;
+
 /// Driver timer message.
 #[derive(Debug, Clone, Copy)]
 struct Wake {
@@ -210,6 +224,28 @@ struct Wake {
 enum DriverEvent {
     Completion(AppCompletion),
     Wake(u64),
+}
+
+/// Live gauges describing the async client runtime on one compute node,
+/// registered as `cn<i>.runtime.inflight` / `.parked` / `.tasks`. Shared
+/// (clone-handle) between the node and every executor driver it hosts, so
+/// values aggregate across a CN's processes.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeGauges {
+    /// Operations submitted (or holding a submission credit) and not yet
+    /// completed.
+    pub inflight: Gauge,
+    /// Submitters parked because the in-flight budget is exhausted.
+    pub parked: Gauge,
+    /// Live executor tasks.
+    pub tasks: Gauge,
+}
+
+impl RuntimeGauges {
+    /// Adds `d` to a gauge (single-threaded, so read-modify-write is fine).
+    pub(crate) fn bump(g: &Gauge, d: i64) {
+        g.set(g.get().saturating_add_signed(d));
+    }
 }
 
 struct NodeCore {
@@ -228,6 +264,11 @@ struct NodeCore {
     pending_routes: HashMap<u64, AppToken>,
     events: VecDeque<(usize, DriverEvent)>,
     max_moved_retries: u32,
+    /// Arrival-time override consumed by the next [`ClientApi`] issue call.
+    next_arrival: Option<SimTime>,
+    /// Per-process in-flight submission budget executor drivers enforce.
+    runtime_budget: usize,
+    runtime_gauges: RuntimeGauges,
 }
 
 impl NodeCore {
@@ -262,9 +303,17 @@ impl NodeCore {
                 // Fence every MN the process might touch.
                 let spec = host_op.spec.clone();
                 host_op.fanout = self.mn_macs.len() as u32;
+                let mut queued_since = host_op.queued_since.take();
+                let waker = host_op.waker.clone();
                 for mac in self.mn_macs.clone() {
+                    // Only the first sub-submission carries the arrival
+                    // attribution; the rest start at `now`.
+                    self.clib.set_queued_since(queued_since.take());
                     let (t, comps) = self.clib.submit(ctx, &mut self.nic, thread, spec.to_op(mac));
                     self.token_map.insert(t, token);
+                    if let Some(w) = waker.clone() {
+                        self.clib.register_waker(t, w);
+                    }
                     self.enqueue_clib_completions(ctx, comps);
                 }
             }
@@ -294,8 +343,17 @@ impl NodeCore {
                     },
                 };
                 let op = spec.to_op(mn);
+                let queued_since = host_op.queued_since.take();
+                let waker = host_op.waker.clone();
+                self.clib.set_queued_since(queued_since);
                 let (t, comps) = self.clib.submit(ctx, &mut self.nic, thread, op);
                 self.token_map.insert(t, token);
+                if let Some(host_op) = self.app_ops.get_mut(&token) {
+                    host_op.clib_token = Some(t);
+                }
+                if let Some(w) = waker {
+                    self.clib.register_waker(t, w);
+                }
                 self.enqueue_clib_completions(ctx, comps);
             }
         }
@@ -310,8 +368,12 @@ impl NodeCore {
         let thread = ThreadId(driver as u64);
         let mut ops = Vec::with_capacity(tokens.len());
         let mut routed = Vec::with_capacity(tokens.len());
+        let mut queued_since = None;
         for &token in tokens {
-            let Some(host_op) = self.app_ops.get(&token) else { continue };
+            let Some(host_op) = self.app_ops.get_mut(&token) else { continue };
+            if let Some(a) = host_op.queued_since.take() {
+                queued_since.get_or_insert(a);
+            }
             let (pid, va) = host_op.spec.route_va().expect("vector ops address memory");
             match self.router.lookup(pid, va) {
                 Some(mn) => {
@@ -333,9 +395,17 @@ impl NodeCore {
                 }
             }
         }
+        self.clib.set_queued_since(queued_since);
         let (clib_tokens, comps) = self.clib.submit_many(ctx, &mut self.nic, thread, ops);
         for (t, app) in clib_tokens.into_iter().zip(routed) {
             self.token_map.insert(t, app);
+            if let Some(host_op) = self.app_ops.get_mut(&app) {
+                host_op.clib_token = Some(t);
+                let waker = host_op.waker.clone();
+                if let Some(w) = waker {
+                    self.clib.register_waker(t, w);
+                }
+            }
         }
         self.enqueue_clib_completions(ctx, comps);
     }
@@ -421,14 +491,19 @@ impl ClientApi<'_, '_> {
 
     fn issue(&mut self, spec: OpSpec) -> AppToken {
         let token = self.core.fresh_token();
+        let now = self.ctx.now();
+        let arrival = self.core.next_arrival.take().map_or(now, |a| a.min(now));
         self.core.app_ops.insert(
             token,
             HostOp {
                 driver: self.driver,
                 spec,
-                issued_at: self.ctx.now(),
+                issued_at: arrival,
                 moved_retries: 0,
                 fanout: 1,
+                queued_since: (arrival < now).then_some(arrival),
+                clib_token: None,
+                waker: None,
             },
         );
         self.core.dispatch(self.ctx, token);
@@ -480,13 +555,23 @@ impl ClientApi<'_, '_> {
     fn issue_vec(&mut self, specs: Vec<OpSpec>) -> Vec<AppToken> {
         let driver = self.driver;
         let now = self.ctx.now();
+        let arrival = self.core.next_arrival.take().map_or(now, |a| a.min(now));
         let tokens: Vec<AppToken> = specs
             .into_iter()
             .map(|spec| {
                 let token = self.core.fresh_token();
                 self.core.app_ops.insert(
                     token,
-                    HostOp { driver, spec, issued_at: now, moved_retries: 0, fanout: 1 },
+                    HostOp {
+                        driver,
+                        spec,
+                        issued_at: arrival,
+                        moved_retries: 0,
+                        fanout: 1,
+                        queued_since: (arrival < now).then_some(arrival),
+                        clib_token: None,
+                        waker: None,
+                    },
                 );
                 token
             })
@@ -541,6 +626,38 @@ impl ClientApi<'_, '_> {
         let driver = self.driver;
         self.ctx.schedule(delay, Message::new(Wake { driver, tag }));
     }
+
+    /// Declares the arrival time of the *next* issued op (open-loop load or
+    /// an op parked behind the in-flight budget). The op's `issued_at` (and
+    /// its trace origin) becomes `at`; the wait until actual submission is
+    /// attributed to the `SubmitQueued` stage. Clamped to `now`; consumed by
+    /// the next `issue`/`issue_vec` call.
+    pub fn arrive_at(&mut self, at: SimTime) {
+        self.core.next_arrival = Some(at);
+    }
+
+    /// Registers a completion waker for an outstanding op: it fires when the
+    /// op completes (following it across transparent re-routes). The
+    /// executor's per-op wake path — no-op if the op already completed.
+    pub fn register_waker(&mut self, token: AppToken, waker: std::task::Waker) {
+        if let Some(host_op) = self.core.app_ops.get_mut(&token) {
+            host_op.waker = Some(waker.clone());
+            let clib_token = host_op.clib_token;
+            if let Some(t) = clib_token {
+                self.core.clib.register_waker(t, waker);
+            }
+        }
+    }
+
+    /// This node's shared runtime gauges (in-flight / parked / tasks).
+    pub fn runtime_gauges(&self) -> RuntimeGauges {
+        self.core.runtime_gauges.clone()
+    }
+
+    /// The per-process in-flight submission budget executor drivers enforce.
+    pub fn inflight_budget(&self) -> usize {
+        self.core.runtime_budget
+    }
 }
 
 /// The compute-node actor.
@@ -582,6 +699,9 @@ impl ComputeNode {
                 pending_routes: HashMap::new(),
                 events: VecDeque::new(),
                 max_moved_retries: 8,
+                next_arrival: None,
+                runtime_budget: DEFAULT_INFLIGHT_BUDGET,
+                runtime_gauges: RuntimeGauges::default(),
             },
             drivers: Vec::new(),
         }
@@ -606,9 +726,20 @@ impl ComputeNode {
     }
 
     /// Shares the node's live CLib/transport counters with `registry`
-    /// under `<prefix>.clib.*` / `<prefix>.transport.*`.
+    /// under `<prefix>.clib.*` / `<prefix>.transport.*`, plus the async
+    /// runtime gauges under `<prefix>.runtime.*`.
     pub fn register_metrics(&self, registry: &mut Registry, prefix: &str) {
         self.core.clib.register_metrics(registry, prefix);
+        let g = &self.core.runtime_gauges;
+        registry.register_gauge(format!("{prefix}.runtime.inflight"), g.inflight.clone());
+        registry.register_gauge(format!("{prefix}.runtime.parked"), g.parked.clone());
+        registry.register_gauge(format!("{prefix}.runtime.tasks"), g.tasks.clone());
+    }
+
+    /// Overrides the per-process in-flight submission budget (backpressure
+    /// window) enforced by executor drivers on this node.
+    pub fn set_runtime_budget(&mut self, budget: usize) {
+        self.core.runtime_budget = budget.max(1);
     }
 
     /// This node's link-layer address (per-port fabric stats lookups).
@@ -692,11 +823,20 @@ impl Actor for ComputeNode {
         let msg = match msg.downcast::<PlacementReply>() {
             Ok(p) => {
                 if let Some(token) = self.core.pending_placements.remove(&p.tag) {
-                    if let Some(host_op) = self.core.app_ops.get(&token) {
+                    if let Some(host_op) = self.core.app_ops.get_mut(&token) {
                         let thread = ThreadId(host_op.driver as u64);
                         let op = host_op.spec.to_op(p.mn);
+                        let queued_since = host_op.queued_since.take();
+                        let waker = host_op.waker.clone();
+                        self.core.clib.set_queued_since(queued_since);
                         let (t, comps) = self.core.clib.submit(ctx, &mut self.core.nic, thread, op);
                         self.core.token_map.insert(t, token);
+                        if let Some(host_op) = self.core.app_ops.get_mut(&token) {
+                            host_op.clib_token = Some(t);
+                        }
+                        if let Some(w) = waker {
+                            self.core.clib.register_waker(t, w);
+                        }
                         self.core.enqueue_clib_completions(ctx, comps);
                         self.pump_events(ctx);
                     }

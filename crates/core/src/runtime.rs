@@ -1,20 +1,35 @@
 //! The blocking client runtime: paper-style application code on OS threads.
 //!
 //! The paper's Figure 1 programs Clio with blocking calls (`ralloc`,
-//! `rread`, `rlock`, ...). This module reproduces that programming model on
-//! top of the deterministic simulator: each spawned process runs on a real
-//! OS thread holding a [`RemoteProcess`] handle; its calls rendezvous with
-//! the simulation, which advances virtual time only at well-defined points.
-//! Thread "compute" between calls takes zero virtual time unless modeled
-//! explicitly with [`RemoteProcess::compute`].
+//! `rread`, `rlock`, ...). This module reproduces that programming model as
+//! a thin compatibility shim over the async executor ([`crate::exec`]):
+//! each spawned process runs on a real OS thread holding a
+//! [`RemoteProcess`] handle; its calls are forwarded to a *servicer task*
+//! on the hosting compute node's [`ExecDriver`], which awaits the matching
+//! [`OpFuture`]s and sends results back. Thread "compute" between calls
+//! takes zero virtual time unless modeled explicitly with
+//! [`RemoteProcess::compute`].
+//!
+//! Async-handle hygiene: results of `*_async` calls are retained only
+//! until polled, and `rrelease`/process exit drop every result the
+//! application abandoned — a process issuing a million never-polled ops
+//! no longer accumulates a million completions. Polling a handle that
+//! belongs to another process (or was dropped by a release) returns
+//! [`ClioError::InvalidHandle`] instead of stalling forever.
 //!
 //! Determinism: the runtime services bridge threads in index order and one
 //! command at a time, so a given program + seed always produces the same
 //! virtual-time schedule.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
@@ -24,13 +39,19 @@ use clio_proto::{Perm, Pid};
 use clio_sim::{Message, SimDuration};
 
 use crate::cluster::{Cluster, ClusterConfig};
-use crate::node::{
-    AppCompletion, AppToken, ClientApi, ClientDriver, ComputeNode, PokeDriver, POKE_TAG,
-};
+use crate::exec::{ExecDriver, OpFuture, ProcHandle};
+use crate::node::{ComputeNode, PokeDriver};
+
+/// Distinguishes every spawned process instance, so a handle leaked across
+/// processes is recognized instead of colliding on per-process seq numbers.
+static NEXT_OWNER: AtomicU64 = AtomicU64::new(1);
 
 /// A handle to one asynchronous operation issued by a [`RemoteProcess`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct AsyncHandle(u64);
+pub struct AsyncHandle {
+    seq: u64,
+    owner: u64,
+}
 
 /// Calls a bridge thread can queue.
 #[derive(Debug, Clone)]
@@ -97,11 +118,6 @@ impl CallSpec {
             _ => 1,
         }
     }
-
-    /// Whether the caller expects a vector of results even for one entry.
-    fn is_vector(&self) -> bool {
-        matches!(self, CallSpec::ReadV { .. } | CallSpec::WriteV { .. })
-    }
 }
 
 #[derive(Debug)]
@@ -118,77 +134,228 @@ enum Resp {
     Many(Vec<Result<CompletionValue, ClioError>>),
 }
 
-#[derive(Debug, Default)]
-struct BridgeShared {
-    queue: Vec<(u64, CallSpec)>,
-    ready: HashMap<u64, Result<CompletionValue, ClioError>>,
+/// One async call's retained result on the sim side of the bridge.
+enum SeqSlot {
+    /// Outstanding; a blocked `rpoll` may have left a waker.
+    Pending { waker: Option<Waker> },
+    /// Completed, awaiting its (first and only) poll.
+    Ready(Result<CompletionValue, ClioError>),
 }
 
-/// The driver living inside the simulation on behalf of one bridge thread.
-struct BridgeDriver {
-    shared: Arc<Mutex<BridgeShared>>,
-    seq_of_token: HashMap<AppToken, u64>,
+/// Per-bridge result store, owned by the servicer task and read by the
+/// harness after the run (leak accounting).
+#[derive(Default)]
+struct ShimState {
+    slots: HashMap<u64, SeqSlot>,
+    high_water: usize,
 }
 
-impl ClientDriver for BridgeDriver {
-    fn name(&self) -> &str {
-        "bridge"
+impl ShimState {
+    fn reserve(&mut self, seq: u64) {
+        self.slots.insert(seq, SeqSlot::Pending { waker: None });
+        self.high_water = self.high_water.max(self.slots.len());
     }
 
-    fn on_start(&mut self, _api: &mut ClientApi<'_, '_>) {}
-
-    fn on_completion(&mut self, _api: &mut ClientApi<'_, '_>, c: AppCompletion) {
-        if let Some(seq) = self.seq_of_token.remove(&c.token) {
-            self.shared.lock().expect("bridge lock").ready.insert(seq, c.result);
+    fn fill(&mut self, seq: u64, result: Result<CompletionValue, ClioError>) {
+        if let Some(slot) = self.slots.get_mut(&seq) {
+            if let SeqSlot::Pending { waker } = slot {
+                let waker = waker.take();
+                *slot = SeqSlot::Ready(result);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            }
         }
     }
 
-    fn on_wake(&mut self, api: &mut ClientApi<'_, '_>, tag: u64) {
-        if tag != POKE_TAG {
-            // A Sleep finished.
-            self.shared.lock().expect("bridge lock").ready.insert(tag, Ok(CompletionValue::Done));
-            return;
+    fn peek(&self, seq: u64) -> Result<CompletionValue, ClioError> {
+        match self.slots.get(&seq) {
+            Some(SeqSlot::Ready(r)) => r.clone(),
+            _ => Err(ClioError::InvalidHandle),
         }
-        let calls: Vec<(u64, CallSpec)> =
-            std::mem::take(&mut self.shared.lock().expect("bridge lock").queue);
-        for (seq, call) in calls {
-            let token = match call {
-                // Vector calls fan out into one token per entry, mapped to
-                // the consecutive seqs the caller reserved.
-                CallSpec::ReadV { ops } => {
-                    for (i, token) in api.read_v(&ops).into_iter().enumerate() {
-                        self.seq_of_token.insert(token, seq + i as u64);
+    }
+
+    fn consume(&mut self, seq: u64) {
+        if matches!(self.slots.get(&seq), Some(SeqSlot::Ready(_))) {
+            self.slots.remove(&seq);
+        }
+    }
+
+    /// Drops every completed-but-never-polled result (`rrelease` / process
+    /// exit): abandoned handles must not accumulate for the process's life.
+    fn purge_completed(&mut self) {
+        self.slots.retain(|_, s| matches!(s, SeqSlot::Pending { .. }));
+    }
+}
+
+/// Resolves once `seq` is no longer pending (completed, or unknown —
+/// the latter surfaces as `InvalidHandle` when the result is read).
+struct SeqWait {
+    state: Rc<RefCell<ShimState>>,
+    seq: u64,
+}
+
+impl Future for SeqWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.state.borrow_mut();
+        match st.slots.get_mut(&self.seq) {
+            Some(SeqSlot::Pending { waker }) => {
+                *waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+            _ => Poll::Ready(()),
+        }
+    }
+}
+
+/// Builds the executor future matching a scalar call.
+fn scalar_future(h: &ProcHandle, macs: &[Mac], call: CallSpec) -> OpFuture {
+    match call {
+        CallSpec::Alloc { size, perm } => h.ralloc(size, perm),
+        CallSpec::Free { va, size } => h.rfree(va, size),
+        CallSpec::Read { va, len } => h.rread(va, len),
+        CallSpec::Write { va, data } => h.rwrite(va, data),
+        CallSpec::Lock { va } => h.rlock(va),
+        CallSpec::Unlock { va } => h.runlock(va),
+        CallSpec::Faa { va, delta } => h.rfaa(va, delta),
+        CallSpec::Cas { va, expected, new } => h.rcas(va, expected, new),
+        CallSpec::Fence => h.rfence(),
+        CallSpec::Release => h.rrelease(),
+        CallSpec::Offload { mn_index, offload, opcode, arg } => {
+            h.roffload(macs[mn_index], offload, opcode, arg)
+        }
+        CallSpec::ReadV { .. } | CallSpec::WriteV { .. } | CallSpec::Sleep { .. } => {
+            unreachable!("vector and sleep calls are routed before scalar_future")
+        }
+    }
+}
+
+/// The per-bridge servicer task: pops thread commands off the inbox (or
+/// parks on the next doorbell poke), awaits the matching executor futures,
+/// and pushes responses for the pump to deliver. Sync calls are awaited
+/// inline — exactly the rendezvous the blocking API promises; async calls
+/// fan out into sub-tasks that fill [`SeqSlot`]s for later `rpoll`.
+async fn servicer(
+    h: ProcHandle,
+    macs: Vec<Mac>,
+    inbox: Arc<Mutex<VecDeque<Cmd>>>,
+    outbox: Arc<Mutex<VecDeque<Resp>>>,
+    state: Rc<RefCell<ShimState>>,
+) {
+    let respond = |r: Resp| outbox.lock().expect("shim outbox").push_back(r);
+    loop {
+        let cmd = loop {
+            let next = inbox.lock().expect("shim inbox").pop_front();
+            match next {
+                Some(c) => break c,
+                None => h.next_poke().await,
+            }
+        };
+        match cmd {
+            Cmd::Finish => {
+                state.borrow_mut().purge_completed();
+                break;
+            }
+            Cmd::Poll { seqs } => {
+                for &s in &seqs {
+                    SeqWait { state: state.clone(), seq: s }.await;
+                }
+                // Peek-all then consume: `rpoll` may legally pass the same
+                // handle more than once in a single call.
+                let mut st = state.borrow_mut();
+                let results: Vec<_> = seqs.iter().map(|s| st.peek(*s)).collect();
+                for s in &seqs {
+                    st.consume(*s);
+                }
+                drop(st);
+                respond(Resp::Many(results));
+            }
+            Cmd::Call { seq, call, sync } => match call {
+                CallSpec::Sleep { dur } => {
+                    if sync {
+                        h.sleep(dur).await;
+                        respond(Resp::One(Ok(CompletionValue::Done)));
+                    } else {
+                        state.borrow_mut().reserve(seq);
+                        let (h2, st) = (h.clone(), state.clone());
+                        h.spawn(async move {
+                            h2.sleep(dur).await;
+                            st.borrow_mut().fill(seq, Ok(CompletionValue::Done));
+                        });
                     }
-                    continue;
+                }
+                CallSpec::ReadV { ops } => {
+                    let n = ops.len() as u64;
+                    let fut = h.rread_v(ops);
+                    if sync {
+                        let rs = fut.await.into_iter().map(|c| c.result).collect();
+                        respond(Resp::Many(rs));
+                    } else {
+                        spawn_vec_fill(&h, &state, seq, n, fut);
+                    }
                 }
                 CallSpec::WriteV { ops } => {
-                    for (i, token) in api.write_v(ops).into_iter().enumerate() {
-                        self.seq_of_token.insert(token, seq + i as u64);
+                    let n = ops.len() as u64;
+                    let fut = h.rwrite_v(ops);
+                    if sync {
+                        let rs = fut.await.into_iter().map(|c| c.result).collect();
+                        respond(Resp::Many(rs));
+                    } else {
+                        spawn_vec_fill(&h, &state, seq, n, fut);
                     }
-                    continue;
                 }
-                CallSpec::Alloc { size, perm } => api.alloc(size, perm),
-                CallSpec::Free { va, size } => api.free(va, size),
-                CallSpec::Read { va, len } => api.read(va, len),
-                CallSpec::Write { va, data } => api.write(va, data),
-                CallSpec::Lock { va } => api.lock(va),
-                CallSpec::Unlock { va } => api.unlock(va),
-                CallSpec::Faa { va, delta } => api.faa(va, delta),
-                CallSpec::Cas { va, expected, new } => api.cas(va, expected, new),
-                CallSpec::Fence => api.fence(),
-                CallSpec::Release => api.release(),
-                CallSpec::Offload { mn_index, offload, opcode, arg } => {
-                    let mac: Mac = api.mn_macs()[mn_index];
-                    api.offload(mac, offload, opcode, arg)
+                call => {
+                    let release = matches!(call, CallSpec::Release);
+                    let fut = scalar_future(&h, &macs, call);
+                    if sync {
+                        let c = fut.await;
+                        if release {
+                            state.borrow_mut().purge_completed();
+                        }
+                        respond(Resp::One(c.result));
+                    } else {
+                        state.borrow_mut().reserve(seq);
+                        let st = state.clone();
+                        h.spawn(async move {
+                            let c = fut.await;
+                            let mut st = st.borrow_mut();
+                            if release {
+                                st.purge_completed();
+                            }
+                            st.fill(seq, c.result);
+                        });
+                    }
                 }
-                CallSpec::Sleep { dur } => {
-                    api.wake_in(dur, seq);
-                    continue;
-                }
-            };
-            self.seq_of_token.insert(token, seq);
+            },
         }
     }
+}
+
+/// Reserves `seq..seq+n` and spawns a sub-task filling them when the batch
+/// completes (async vector calls).
+fn spawn_vec_fill(
+    h: &ProcHandle,
+    state: &Rc<RefCell<ShimState>>,
+    seq: u64,
+    n: u64,
+    fut: crate::exec::VecOpFuture,
+) {
+    {
+        let mut st = state.borrow_mut();
+        for i in 0..n {
+            st.reserve(seq + i);
+        }
+    }
+    let st = state.clone();
+    h.spawn(async move {
+        let comps = fut.await;
+        let mut st = st.borrow_mut();
+        for (i, c) in comps.into_iter().enumerate() {
+            st.fill(seq + i as u64, c.result);
+        }
+    });
 }
 
 /// The blocking application handle, used from a spawned OS thread.
@@ -203,6 +370,7 @@ pub struct RemoteProcess {
     cmd_tx: Sender<Cmd>,
     resp_rx: Receiver<Resp>,
     next_seq: u64,
+    owner: u64,
 }
 
 impl RemoteProcess {
@@ -223,7 +391,7 @@ impl RemoteProcess {
             .send(Cmd::Call { seq: self.next_seq, call, sync: false })
             .expect("runtime alive");
         match self.resp_rx.recv().expect("runtime alive") {
-            Resp::Token(t) => AsyncHandle(t),
+            Resp::Token(t) => AsyncHandle { seq: t, owner: self.owner },
             other => panic!("unexpected response {other:?}"),
         }
     }
@@ -255,7 +423,7 @@ impl RemoteProcess {
         match self.resp_rx.recv().expect("runtime alive") {
             Resp::Token(t) => {
                 debug_assert_eq!(t, base, "vector call token is its base seq");
-                (base..base + n).map(AsyncHandle).collect()
+                (base..base + n).map(|seq| AsyncHandle { seq, owner: self.owner }).collect()
             }
             other => panic!("unexpected response {other:?}"),
         }
@@ -363,9 +531,14 @@ impl RemoteProcess {
     /// # Errors
     ///
     /// Returns the first error among the polled operations.
+    /// [`ClioError::InvalidHandle`] if a handle belongs to a different
+    /// process, was already polled, or was dropped by `rrelease`.
     pub fn rpoll(&mut self, handles: &[AsyncHandle]) -> Result<Vec<CompletionValue>, ClioError> {
+        if handles.iter().any(|h| h.owner != self.owner) {
+            return Err(ClioError::InvalidHandle);
+        }
         self.cmd_tx
-            .send(Cmd::Poll { seqs: handles.iter().map(|h| h.0).collect() })
+            .send(Cmd::Poll { seqs: handles.iter().map(|h| h.seq).collect() })
             .expect("runtime alive");
         match self.resp_rx.recv().expect("runtime alive") {
             Resp::Many(rs) => rs.into_iter().collect(),
@@ -424,7 +597,9 @@ impl RemoteProcess {
         self.call_sync(CallSpec::Fence).map(|_| ())
     }
 
-    /// `rrelease`: waits for all of this process's outstanding async ops.
+    /// `rrelease`: waits for all of this process's outstanding async ops,
+    /// then drops every result the application never polled — handles
+    /// issued before the release become invalid.
     ///
     /// # Errors
     ///
@@ -466,16 +641,13 @@ impl RemoteProcess {
 struct Bridge {
     cmd_rx: Receiver<Cmd>,
     resp_tx: Sender<Resp>,
-    shared: Arc<Mutex<BridgeShared>>,
+    inbox: Arc<Mutex<VecDeque<Cmd>>>,
+    outbox: Arc<Mutex<VecDeque<Resp>>>,
+    state: Rc<RefCell<ShimState>>,
     join: Option<JoinHandle<()>>,
     cn: usize,
     driver: usize,
-    runnable: bool,
     finished: bool,
-    waiting: Option<Vec<u64>>,
-    /// Whether the waiting call expects `Resp::Many` even for one seq
-    /// (vector calls and `rpoll`).
-    waiting_many: bool,
 }
 
 /// A cluster plus the blocking-thread machinery.
@@ -502,25 +674,32 @@ impl BlockingCluster {
     {
         let (cmd_tx, cmd_rx) = channel();
         let (resp_tx, resp_rx) = channel();
-        let shared = Arc::new(Mutex::new(BridgeShared::default()));
-        let driver = BridgeDriver { shared: Arc::clone(&shared), seq_of_token: HashMap::new() };
+        let inbox: Arc<Mutex<VecDeque<Cmd>>> = Arc::default();
+        let outbox: Arc<Mutex<VecDeque<Resp>>> = Arc::default();
+        let state = Rc::new(RefCell::new(ShimState::default()));
+
+        let driver = ExecDriver::new();
+        let h = driver.handle();
+        let macs = self.cluster.mn_macs().to_vec();
+        h.spawn(servicer(h.clone(), macs, inbox.clone(), outbox.clone(), state.clone()));
         let driver_idx = self.cluster.add_driver(cn, Pid(pid), Box::new(driver));
+
+        let owner = NEXT_OWNER.fetch_add(1, Ordering::Relaxed);
         let join = std::thread::spawn(move || {
-            let mut proc = RemoteProcess { cmd_tx, resp_rx, next_seq: 0 };
+            let mut proc = RemoteProcess { cmd_tx, resp_rx, next_seq: 0, owner };
             f(&mut proc);
             let _ = proc.cmd_tx.send(Cmd::Finish);
         });
         self.bridges.push(Bridge {
             cmd_rx,
             resp_tx,
-            shared,
+            inbox,
+            outbox,
+            state,
             join: Some(join),
             cn,
             driver: driver_idx,
-            runnable: true,
             finished: false,
-            waiting: None,
-            waiting_many: false,
         });
     }
 
@@ -536,46 +715,37 @@ impl BlockingCluster {
     /// spawned thread panicked.
     pub fn run(&mut self) {
         self.cluster.start();
-        // Let on_start settle.
+        // Let on_start settle (servicers park on their doorbells).
         self.cluster.sim.run_until_idle();
 
         let mut idle_spins: u32 = 0;
         loop {
             let mut progress = false;
 
-            // Phase 1: drain commands from runnable threads, in index order.
+            // Phase 1: forward commands from threads to their servicers,
+            // in bridge index order. Async calls get their token reply
+            // right here — the handle is the pre-assigned seq — so the
+            // thread continues immediately, like the paper's async CLib.
             let mut pokes: Vec<(usize, usize)> = Vec::new();
             for b in &mut self.bridges {
-                while b.runnable && !b.finished {
+                while !b.finished {
                     match b.cmd_rx.try_recv() {
-                        Ok(Cmd::Call { seq, call, sync }) => {
+                        Ok(cmd) => {
                             progress = true;
-                            let span = call.seq_span();
-                            let many = call.is_vector();
-                            b.shared.lock().expect("bridge lock").queue.push((seq, call));
-                            pokes.push((b.cn, b.driver));
-                            if sync {
-                                b.runnable = false;
-                                b.waiting = Some((seq..seq + span).collect());
-                                b.waiting_many = many;
-                            } else {
-                                b.resp_tx.send(Resp::Token(seq)).expect("thread alive");
+                            if let Cmd::Call { seq, sync: false, .. } = &cmd {
+                                b.resp_tx.send(Resp::Token(*seq)).expect("thread alive");
                             }
-                        }
-                        Ok(Cmd::Poll { seqs }) => {
-                            progress = true;
-                            b.runnable = false;
-                            b.waiting = Some(seqs);
-                            b.waiting_many = true;
-                        }
-                        Ok(Cmd::Finish) => {
-                            progress = true;
-                            b.finished = true;
-                            b.runnable = false;
+                            if matches!(cmd, Cmd::Finish) {
+                                b.finished = true;
+                            }
+                            b.inbox.lock().expect("shim inbox").push_back(cmd);
+                            pokes.push((b.cn, b.driver));
                         }
                         Err(std::sync::mpsc::TryRecvError::Disconnected) => {
                             b.finished = true;
-                            b.runnable = false;
+                            b.inbox.lock().expect("shim inbox").push_back(Cmd::Finish);
+                            pokes.push((b.cn, b.driver));
+                            break;
                         }
                         Err(std::sync::mpsc::TryRecvError::Empty) => break,
                     }
@@ -591,34 +761,15 @@ impl BlockingCluster {
                 self.cluster.sim.post(cn_actor, Message::new(PokeDriver { driver }));
             }
 
-            // Phase 2: deliver results to waiting threads.
+            // Phase 2: deliver servicer responses to their threads, only at
+            // this batch boundary — the same rendezvous points the old
+            // runtime used, keeping thread wake-ups off the hot sim path.
             for b in &mut self.bridges {
-                let Some(waiting) = &b.waiting else { continue };
-                let mut shared = b.shared.lock().expect("bridge lock");
-                if waiting.iter().all(|s| shared.ready.contains_key(s)) {
-                    // Clone then remove: `rpoll` may legally pass the same
-                    // handle more than once, so removal must not assume each
-                    // seq appears a single time.
-                    let results: Vec<_> = waiting
-                        .iter()
-                        .map(|s| shared.ready.get(s).cloned().expect("checked"))
-                        .collect();
-                    for s in waiting {
-                        shared.ready.remove(s);
-                    }
-                    drop(shared);
-                    let single = b.waiting.as_ref().expect("waiting").len() == 1;
-                    // Vector calls and rpoll get `Many` even for one seq.
-                    let resp = if single && !b.waiting_many {
-                        Resp::One(results.into_iter().next().expect("one"))
-                    } else {
-                        Resp::Many(results)
-                    };
-                    b.resp_tx.send(resp).expect("thread alive");
-                    b.waiting = None;
-                    b.waiting_many = false;
-                    b.runnable = true;
+                let mut outbox = b.outbox.lock().expect("shim outbox");
+                while let Some(resp) = outbox.pop_front() {
                     progress = true;
+                    // A finished thread has dropped its receiver.
+                    let _ = b.resp_tx.send(resp);
                 }
             }
 
@@ -646,9 +797,9 @@ impl BlockingCluster {
                 idle_spins += 1;
                 if idle_spins > 200_000 {
                     panic!(
-                        "blocking runtime deadlock: no thread progressed for ~20s (waiting={}, runnable={})",
-                        self.bridges.iter().filter(|b| b.waiting.is_some()).count(),
-                        self.bridges.iter().filter(|b| b.runnable && !b.finished).count()
+                        "blocking runtime deadlock: no thread progressed for ~20s (finished={}/{})",
+                        self.bridges.iter().filter(|b| b.finished).count(),
+                        self.bridges.len()
                     );
                 }
                 std::thread::sleep(std::time::Duration::from_micros(100));
@@ -665,6 +816,13 @@ impl BlockingCluster {
     /// Convenience: the CN hosting bridge `i` (for post-run inspection).
     pub fn cn_of_bridge(&self, i: usize) -> &ComputeNode {
         self.cluster.cn(self.bridges[i].cn)
+    }
+
+    /// The most results bridge `i` ever retained for unpolled async
+    /// handles (leak accounting: bounded by the gap between releases, not
+    /// by process lifetime).
+    pub fn async_backlog_high_water(&self, i: usize) -> usize {
+        self.bridges[i].state.borrow().high_water
     }
 }
 

@@ -301,3 +301,66 @@ fn deterministic_across_runs() {
     };
     assert_eq!(digest(1), digest(1), "same seed must replay identically");
 }
+
+#[test]
+fn rpoll_with_foreign_handle_fails_fast() {
+    // A handle leaked from one process to another must be rejected with
+    // `InvalidHandle` immediately — not stall the polling thread forever
+    // waiting on a seq that will never complete in its bridge.
+    let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
+    let (handle_tx, handle_rx) = std::sync::mpsc::channel();
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    bc.spawn(0, 1, move |p| {
+        let va = p.ralloc(4096).expect("ralloc");
+        let h = p.rwrite_async(va, b"mine");
+        handle_tx.send(h).expect("handle channel");
+        // Keep our own side honest: polling our own handle still works.
+        done_rx.recv().expect("peer finished");
+        assert_eq!(p.rpoll(&[h]).expect("own handle polls fine").len(), 1);
+    });
+    bc.spawn(0, 2, move |p| {
+        let foreign = handle_rx.recv().expect("handle channel");
+        let err = p.rpoll(&[foreign]).expect_err("foreign handle must be rejected");
+        assert_eq!(err, clio_cn::ClioError::InvalidHandle);
+        // A mix of valid and foreign handles is rejected as a whole.
+        let va = p.ralloc(4096).expect("ralloc");
+        let mine = p.rwrite_async(va, b"ok");
+        let err = p.rpoll(&[mine, foreign]).expect_err("mixed poll must be rejected");
+        assert_eq!(err, clio_cn::ClioError::InvalidHandle);
+        assert_eq!(p.rpoll(&[mine]).expect("own handle").len(), 1);
+        done_tx.send(()).expect("done channel");
+    });
+    bc.run();
+}
+
+#[test]
+fn unpolled_async_results_do_not_accumulate() {
+    // Regression for the async-handle leak: a process that issues thousands
+    // of async ops and never polls them must not retain a result per op for
+    // its whole life. `rrelease` (and process exit) drop abandoned results,
+    // so the retained backlog is bounded by the gap between releases.
+    const BATCH: usize = 256;
+    const BATCHES: usize = 16;
+    let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
+    bc.spawn(0, 9, |p| {
+        let va = p.ralloc(1 << 20).expect("ralloc");
+        let mut stale = None;
+        for _ in 0..BATCHES {
+            for i in 0..BATCH as u64 {
+                let h = p.rwrite_async(va + (i % 64) * 4096, b"fire-and-forget");
+                stale.get_or_insert(h);
+            }
+            p.rrelease().expect("rrelease");
+        }
+        // A handle abandoned before a release is gone, not silently pending.
+        let err = p.rpoll(&[stale.unwrap()]).expect_err("released handle must be invalid");
+        assert_eq!(err, clio_cn::ClioError::InvalidHandle);
+    });
+    bc.run();
+    let issued = BATCH * BATCHES;
+    let high_water = bc.async_backlog_high_water(0);
+    assert!(
+        high_water <= BATCH + 2,
+        "async results leaked: high water {high_water} for {issued} never-polled ops"
+    );
+}

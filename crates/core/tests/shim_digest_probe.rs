@@ -1,0 +1,41 @@
+//! Shim parity and determinism: the blocking runtime is a compatibility
+//! shim over the async executor; a fixed sync-only program must (a) land on
+//! the exact virtual completion time the pre-shim rendezvous runtime
+//! produced (op-level schedule parity, checked against the recorded
+//! constant below), and (b) be digest-identical across repeated runs
+//! (the shim adds no wall-clock nondeterminism for sync programs).
+
+use clio_core::{BlockingCluster, ClusterConfig};
+
+/// Final virtual time of the probe program on the pre-shim runtime,
+/// recorded before `runtime.rs` was reimplemented over the executor. The
+/// event-sequence digest differs by construction (the executor posts one
+/// extra doorbell event), but op timing must not move.
+const PRE_SHIM_FINAL_NANOS: u64 = 217_998;
+
+fn probe_run() -> (u64, u64, u64) {
+    let mut bc = BlockingCluster::new(&ClusterConfig::test_small());
+    bc.spawn(0, 7, |p| {
+        let va = p.ralloc(1 << 16).unwrap();
+        for i in 0..32u64 {
+            p.rwrite(va + i * 256, format!("blob-{i}").as_bytes()).unwrap();
+        }
+        for i in 0..32u64 {
+            let d = p.rread(va + i * 256, 6).unwrap();
+            assert_eq!(&d[..5], b"blob-");
+        }
+        p.rfence().unwrap();
+        let _ = p.rfaa(va, 3).unwrap();
+        assert_eq!(p.rcas(va, u64::from_le_bytes(*b"blob-0\x003"), 9), p.rcas(va, 0, 0));
+    });
+    bc.run();
+    (bc.cluster.sim.digest(), bc.cluster.sim.events_dispatched(), bc.cluster.now().as_nanos())
+}
+
+#[test]
+fn shim_matches_pre_shim_schedule_and_is_deterministic() {
+    let a = probe_run();
+    let b = probe_run();
+    assert_eq!(a, b, "sync blocking program must be digest-deterministic");
+    assert_eq!(a.2, PRE_SHIM_FINAL_NANOS, "op-level schedule moved vs the pre-shim runtime");
+}

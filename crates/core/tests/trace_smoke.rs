@@ -327,3 +327,55 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn runtime_gauges_register_snapshot_and_reset() {
+    // The executor's submission state is observable through the unified
+    // registry: `cn<i>.runtime.inflight` saturates at the configured
+    // budget, `parked` counts submitters waiting for window credit, and
+    // `tasks` counts live tasks — all draining to zero at idle and all
+    // covered by snapshot/reset like every other metric.
+    let mut cfg = ClusterConfig::test_small();
+    cfg.runtime_inflight_budget = 2;
+    let mut cluster = Cluster::build(&cfg);
+    cluster.spawn(0, Pid(3), |h| async move {
+        let va = match h.ralloc(1 << 16, Perm::RW).await.result.unwrap() {
+            clio_cn::CompletionValue::Va(va) => va,
+            other => panic!("alloc returned {other:?}"),
+        };
+        for i in 0..8u64 {
+            let h2 = h.clone();
+            h.spawn(async move {
+                h2.rwrite(va + i * 4096, Bytes::from(vec![i as u8; 64])).await.result.unwrap();
+            });
+        }
+    });
+    cluster.start();
+    let (mut max_inflight, mut max_parked, mut max_tasks) = (0, 0, 0);
+    loop {
+        let snap = cluster.registry().snapshot();
+        max_inflight = max_inflight.max(snap.gauges["cn0.runtime.inflight"]);
+        max_parked = max_parked.max(snap.gauges["cn0.runtime.parked"]);
+        max_tasks = max_tasks.max(snap.gauges["cn0.runtime.tasks"]);
+        if !cluster.sim.step() {
+            break;
+        }
+    }
+    assert_eq!(max_inflight, 2, "in-flight ops must saturate at the budget");
+    assert_eq!(max_parked, 6, "8 concurrent submitters minus budget 2 must park");
+    assert!(max_tasks >= 8, "only {max_tasks} live tasks observed");
+
+    // Idle: every runtime gauge drained back to zero.
+    let end = cluster.registry().snapshot();
+    assert_eq!(end.gauges["cn0.runtime.inflight"], 0, "inflight leaked");
+    assert_eq!(end.gauges["cn0.runtime.parked"], 0, "parked leaked");
+    assert_eq!(end.gauges["cn0.runtime.tasks"], 0, "tasks leaked");
+
+    // And reset covers them like any other registry metric.
+    cluster.registry_mut().reset();
+    let zeroed = cluster.registry().snapshot();
+    assert!(zeroed.gauges.contains_key("cn0.runtime.inflight"));
+    assert!(zeroed.gauges.contains_key("cn0.runtime.parked"));
+    assert!(zeroed.gauges.contains_key("cn0.runtime.tasks"));
+    assert!(zeroed.gauges.values().all(|&v| v == 0), "gauge survived reset");
+}

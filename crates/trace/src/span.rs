@@ -49,6 +49,10 @@ impl Track {
 /// doorbells, backoffs, admission waits — as opposed to work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
+    /// Held before CLib admission: the op had arrived (open-loop arrival or
+    /// an `.await`ing task) but the runtime's in-flight budget was exhausted,
+    /// so submission was parked until window credit freed.
+    SubmitQueued,
     /// CLib software work from submit to transport hand-off, plus any wait
     /// on intra-thread dependency ordering.
     Submit,
@@ -108,7 +112,8 @@ impl Stage {
     pub fn is_queueing(&self) -> bool {
         matches!(
             self,
-            Stage::Submit
+            Stage::SubmitQueued
+                | Stage::Submit
                 | Stage::DoorbellHold
                 | Stage::PipelineWait
                 | Stage::FenceHold
@@ -123,6 +128,7 @@ impl Stage {
     /// A stable display name for exports and tables.
     pub fn name(&self) -> &'static str {
         match self {
+            Stage::SubmitQueued => "submit_queued",
             Stage::Submit => "submit",
             Stage::DoorbellHold => "doorbell_hold",
             Stage::Pack => "pack",
@@ -348,6 +354,8 @@ mod tests {
 
     #[test]
     fn queueing_taxonomy() {
+        assert!(Stage::SubmitQueued.is_queueing());
+        assert_eq!(Stage::SubmitQueued.name(), "submit_queued");
         assert!(Stage::DoorbellHold.is_queueing());
         assert!(Stage::EgressHold.is_queueing());
         assert!(!Stage::Dram.is_queueing());

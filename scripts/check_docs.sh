@@ -82,4 +82,23 @@ if [ "$fail" -ne 0 ]; then
   echo "docs/ARCHITECTURE.md stage taxonomy does not match clio_trace::Stage"
   exit 1
 fi
+
+# Client-runtime tour: the async-executor section must exist and must name
+# the real runtime surface, and those names must still exist in the
+# sources — the quickstart leans on them.
+grep -q '^## Client runtime' "$DOC" || { echo "missing '## Client runtime' section"; fail=1; }
+for t in ExecDriver ProcHandle ArrivalGen runtime_inflight_budget SubmitQueued InvalidHandle; do
+  if ! grep -qw "$t" "$DOC"; then
+    echo "client-runtime docs missing term: $t"
+    fail=1
+  fi
+  if ! grep -rqw --include='*.rs' "$t" crates 2>/dev/null; then
+    echo "client-runtime term not in sources: $t"
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "docs/ARCHITECTURE.md client-runtime section is stale (see above)"
+  exit 1
+fi
 echo "docs link check: OK"
