@@ -426,7 +426,9 @@ impl CLib {
             }
         }
         self.queued_since = None;
-        self.transport.send_many(ctx, nic, sends);
+        for done in self.transport.send_many(ctx, nic, sends) {
+            self.finish(ctx, nic, done, &mut completions);
+        }
         (tokens, completions)
     }
 
@@ -542,7 +544,13 @@ impl CLib {
         match self.blueprint_of(token) {
             Some((target, pid, blueprint)) => {
                 let trace = self.ops.get(&token).and_then(|p| p.trace);
-                self.transport.send(ctx, nic, XferToken(token.0), target, pid, blueprint, trace);
+                // The send can complete synchronously (circuit breaker open
+                // -> fail fast with `Unreachable`).
+                for done in
+                    self.transport.send(ctx, nic, XferToken(token.0), target, pid, blueprint, trace)
+                {
+                    self.finish(ctx, nic, done, completions);
+                }
             }
             None => self.finish_release(ctx, nic, token, completions),
         }
@@ -590,24 +598,69 @@ impl CLib {
         match msg.downcast::<LockRetry>() {
             Ok(LockRetry { token }) => {
                 // Re-issue the TAS for a still-pending lock.
-                if let Some(p) = self.ops.get(&token) {
-                    if let Op::Lock { mn, pid, va } = p.op {
-                        let trace = p.trace;
-                        self.transport.send(
-                            ctx,
-                            nic,
-                            XferToken(token.0),
-                            mn,
-                            pid,
-                            Blueprint::Atomic { va, op: AtomicKind::Tas },
-                            trace,
-                        );
+                let mut completions = Vec::new();
+                let args = self.ops.get(&token).and_then(|p| match p.op {
+                    Op::Lock { mn, pid, va } => Some((mn, pid, va, p.trace)),
+                    _ => None,
+                });
+                if let Some((mn, pid, va, trace)) = args {
+                    for done in self.transport.send(
+                        ctx,
+                        nic,
+                        XferToken(token.0),
+                        mn,
+                        pid,
+                        Blueprint::Atomic { va, op: AtomicKind::Tas },
+                        trace,
+                    ) {
+                        self.finish(ctx, nic, done, &mut completions);
                     }
                 }
-                (Vec::new(), None)
+                (completions, None)
             }
             Err(m) => (Vec::new(), Some(m)),
         }
+    }
+
+    /// Cancels a still-pending op (its deadline elapsed): withdraws every
+    /// transport attempt, ends the op's trace with a [`Stage::Cancelled`]
+    /// span, wakes any parked waker, and releases the thread's dependents.
+    /// Returns the resulting completions — the cancelled op's
+    /// [`ClioError::DeadlineExceeded`] failure plus anything dependents
+    /// produced synchronously. A token no longer pending (the completion
+    /// won the race) returns nothing; the caller must treat the op as
+    /// completed normally.
+    pub fn cancel(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        token: OpToken,
+    ) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        let Some(pending) = self.ops.remove(&token) else { return completions };
+        self.transport.cancel(ctx, XferToken(token.0));
+        if let Some(waker) = self.wakers.remove(&token) {
+            waker.wake();
+        }
+        self.completed_count.inc();
+        self.tracer.stitch(pending.trace, self.track, Stage::Cancelled, ctx.now());
+        self.tracer.finish(pending.trace, self.track, ctx.now());
+        completions.push(Completion {
+            token,
+            thread: pending.thread,
+            result: Err(ClioError::DeadlineExceeded),
+            issued_at: pending.issued_at,
+            completed_at: ctx.now(),
+        });
+        // The cancelled op still orders its thread: dependents it was
+        // blocking dispatch now, exactly as on a normal failure.
+        if let Some(tracker) = self.trackers.get_mut(&pending.thread) {
+            let released = tracker.complete(token);
+            for t in released {
+                self.dispatch(ctx, nic, t, &mut completions);
+            }
+        }
+        completions
     }
 
     /// Processes one finished transfer: lock spinning, ordering release,

@@ -72,6 +72,17 @@ pub struct CLibConfig {
     /// so an idle transport never waits and a busy one never waits longer
     /// than the budget.
     pub doorbell_max_delay: Option<SimDuration>,
+    /// Consecutive attempt-level timeouts toward one MN before its circuit
+    /// breaker trips and further ops to it fail fast with
+    /// `ClioError::Unreachable` instead of each burning the full retry
+    /// budget. `0` disables the breaker (the paper-faithful default: Clio's
+    /// prototype always retries to exhaustion; the chaos layer turns the
+    /// breaker on explicitly).
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before moving to half-open and
+    /// letting one probe op through (a seeded jitter of up to 1/4 of this
+    /// is added so recovering CNs do not probe in lockstep).
+    pub breaker_probe_backoff: SimDuration,
 }
 
 impl CLibConfig {
@@ -106,6 +117,8 @@ impl CLibConfig {
             batch_max_ops: 16,
             batch_max_bytes: clio_proto::MTU_BYTES as u32,
             doorbell_max_delay: None,
+            breaker_threshold: 0,
+            breaker_probe_backoff: SimDuration::from_micros(200),
         }
     }
 
@@ -139,5 +152,7 @@ mod tests {
         assert!(CLibConfig::DOORBELL_FALLBACK_DELAY.is_zero(), "never hold before calibration");
         assert!(CLibConfig::DOORBELL_DERIVED_CAP < c.target_rtt, "cap stays well under the RTT");
         assert_eq!(CLibConfig::prototype_unbatched().batch_max_ops, 1);
+        assert_eq!(c.breaker_threshold, 0, "breaker is opt-in; prototype retries to exhaustion");
+        assert!(c.breaker_probe_backoff > c.request_timeout, "probe waits out the timeout");
     }
 }

@@ -94,7 +94,7 @@ use clio_proto::{
     RequestBody, RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES, MAX_WRITE_FRAG_PAYLOAD,
 };
 use clio_sim::{Ctx, EventId, Message, SimDuration, SimTime};
-use clio_trace::metrics::{Counter, Registry};
+use clio_trace::metrics::{Counter, Gauge, Registry};
 use clio_trace::{Stage, TraceCtx, Tracer, Track};
 
 use crate::config::CLibConfig;
@@ -285,6 +285,21 @@ impl Blueprint {
         )
     }
 
+    /// Short kind name surfaced in error context (`ClioError::TimedOut`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Blueprint::Read { .. } => "read",
+            Blueprint::Write { .. } => "write",
+            Blueprint::Atomic { .. } => "atomic",
+            Blueprint::Fence => "fence",
+            Blueprint::Alloc { .. } => "alloc",
+            Blueprint::Free { .. } => "free",
+            Blueprint::CreateAs => "create_as",
+            Blueprint::DestroyAs => "destroy_as",
+            Blueprint::Offload { .. } => "offload",
+        }
+    }
+
     /// Slow-path and extend-path operations inherently take tens of
     /// microseconds to milliseconds (ARM crossing, software service,
     /// offload chains), so their retry timers are much longer than the
@@ -338,6 +353,33 @@ pub enum TransportTimer {
     RetryPump(Mac),
     /// Re-issue a request refused with `Conflict`.
     ConflictRetry(XferToken),
+    /// An open circuit breaker toward an MN may move to half-open and let
+    /// a probe through.
+    BreakerProbe(Mac),
+}
+
+/// Circuit-breaker state toward one MN (§ failure model). `Closed` is
+/// normal operation; `Open` fails ops fast with `ClioError::Unreachable`;
+/// `HalfOpen` lets queued ops through as probes — one success closes the
+/// breaker, one more timeout re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum BreakerState {
+    /// Normal operation: ops flow, timeouts are counted.
+    #[default]
+    Closed,
+    /// Presumed dead: ops fail fast until a probe succeeds.
+    Open,
+    /// Probing: the next completed op decides open vs closed.
+    HalfOpen,
+}
+
+/// Liveness bookkeeping toward one MN. Only attempt-level timeouts count
+/// against a board: a NACK (corruption) proves the board is alive and
+/// resets the streak just like a response does.
+#[derive(Debug, Default)]
+struct PeerHealth {
+    consecutive_timeouts: u32,
+    state: BreakerState,
 }
 
 #[derive(Debug)]
@@ -506,6 +548,14 @@ pub struct Transport {
     /// NACK coalescing, a corrupted 16-entry batch should cost one retry
     /// frame here, not sixteen.
     pub retry_frames: Counter,
+    /// Per-MN circuit-breaker state (empty while the breaker is disabled,
+    /// i.e. `breaker_threshold == 0`).
+    health: HashMap<Mac, PeerHealth>,
+    /// Breaker trips (Closed/HalfOpen -> Open transitions).
+    pub circuit_open_total: Counter,
+    /// Number of MNs currently presumed unhealthy (breaker Open or
+    /// HalfOpen); clears only on a confirmed success.
+    pub peer_health: Gauge,
     /// Planted bug for the model checker's self-test (see [`McMutation`]).
     mutation: McMutation,
     /// Stage-span recorder (disabled by default; see
@@ -539,6 +589,9 @@ impl Transport {
             batch_frames: Counter::new(),
             batched_ops: Counter::new(),
             retry_frames: Counter::new(),
+            health: HashMap::new(),
+            circuit_open_total: Counter::new(),
+            peer_health: Gauge::new(),
             mutation: McMutation::None,
             tracer: Tracer::disabled(),
             track: Track::Cn(0),
@@ -568,6 +621,12 @@ impl Transport {
             format!("{prefix}.transport.retry_frames"),
             self.retry_frames.clone(),
         );
+        registry.register_counter(
+            format!("{prefix}.transport.circuit_open_total"),
+            self.circuit_open_total.clone(),
+        );
+        registry
+            .register_gauge(format!("{prefix}.transport.peer_health"), self.peer_health.clone());
     }
 
     /// Plants (or clears) a deliberate bug for the model checker's
@@ -718,6 +777,18 @@ impl Transport {
             .collect();
         windows.sort_unstable();
         h = fnv_fold(h, 5, &windows);
+        let mut health: Vec<u64> = self
+            .health
+            .iter()
+            .filter(|(_, ph)| ph.state != BreakerState::Closed || ph.consecutive_timeouts != 0)
+            .map(|(mac, ph)| {
+                let mut e = fnv_mix(0xcbf2_9ce4_8422_2325, mac.0 as u64);
+                e = fnv_mix(e, ph.state as u64);
+                fnv_mix(e, ph.consecutive_timeouts as u64)
+            })
+            .collect();
+        health.sort_unstable();
+        h = fnv_fold(h, 6, &health);
         h = fnv_mix(h, self.iwnd.in_flight());
         h = fnv_mix(h, self.next_req);
         h
@@ -733,10 +804,77 @@ impl Transport {
         self.cwnds.entry(mn).or_insert_with(|| CongestionWindow::new(cfg))
     }
 
+    /// True when the circuit breaker toward `mn` is open (ops fail fast).
+    pub fn peer_open(&self, mn: Mac) -> bool {
+        self.health.get(&mn).is_some_and(|h| h.state == BreakerState::Open)
+    }
+
+    /// Recounts the unhealthy-peer gauge (breaker Open or HalfOpen).
+    fn refresh_peer_health_gauge(&self) {
+        let unhealthy =
+            self.health.values().filter(|h| h.state != BreakerState::Closed).count() as u64;
+        self.peer_health.set(unhealthy);
+    }
+
+    /// Records one attempt-level timeout toward `mn`. Trips the breaker —
+    /// Closed at the configured streak, HalfOpen on any timeout — emitting
+    /// a `board_down` trace event and scheduling the half-open probe with
+    /// seeded jitter (up to a quarter of the backoff) so recovering CNs do
+    /// not probe in lockstep. No-op while the breaker is disabled; the
+    /// jitter draw only happens on a trip, so disabled runs consume no
+    /// randomness.
+    fn note_peer_timeout(&mut self, ctx: &mut Ctx<'_>, mn: Mac) {
+        if self.cfg.breaker_threshold == 0 {
+            return;
+        }
+        let threshold = self.cfg.breaker_threshold;
+        let h = self.health.entry(mn).or_default();
+        h.consecutive_timeouts += 1;
+        let trip = match h.state {
+            BreakerState::Closed => h.consecutive_timeouts >= threshold,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => false,
+        };
+        if trip {
+            h.state = BreakerState::Open;
+            self.circuit_open_total.inc();
+            self.refresh_peer_health_gauge();
+            self.tracer.event(self.track, "board_down", ctx.now());
+            let backoff = self.cfg.breaker_probe_backoff;
+            let jitter_ns = (ctx.rng().f64() * (backoff.as_nanos() as f64 / 4.0)) as u64;
+            ctx.schedule(
+                backoff + SimDuration::from_nanos(jitter_ns),
+                Message::new(TransportTimer::BreakerProbe(mn)),
+            );
+        }
+    }
+
+    /// Records proof of life from `mn` (a response or a NACK): resets the
+    /// timeout streak and closes the breaker, emitting `board_up` when the
+    /// peer was previously presumed unhealthy.
+    fn note_peer_success(&mut self, now: SimTime, mn: Mac) {
+        if self.cfg.breaker_threshold == 0 {
+            return;
+        }
+        if let Some(h) = self.health.get_mut(&mn) {
+            let was_unhealthy = h.state != BreakerState::Closed;
+            h.consecutive_timeouts = 0;
+            h.state = BreakerState::Closed;
+            if was_unhealthy {
+                self.refresh_peer_health_gauge();
+                self.tracer.event(self.track, "board_up", now);
+            }
+        }
+    }
+
     /// Submits a request. With batching disabled it is sent immediately if
     /// the congestion and incast windows allow (otherwise queued); with
     /// batching enabled it is queued and the (load-adaptive) doorbell
     /// coalesces every submission sharing a pump into shared frames.
+    ///
+    /// Returns completions produced synchronously: with the circuit
+    /// breaker toward `target` open, the request fails fast here with
+    /// [`ClioError::Unreachable`] instead of waiting out a retry budget.
     #[allow(clippy::too_many_arguments)] // the op's full identity travels together
     pub fn send(
         &mut self,
@@ -747,12 +885,14 @@ impl Transport {
         pid: Pid,
         blueprint: Blueprint,
         trace: Option<TraceCtx>,
-    ) {
+    ) -> Vec<XferDone> {
+        let mut done = Vec::new();
         self.note_submission(target, ctx.now());
         self.tracer.stitch(trace, self.track, Stage::Submit, ctx.now());
         let q = QueuedSend { token, pid, blueprint, enqueued_at: ctx.now(), trace };
         self.queues.entry(target).or_default().push_back(q);
-        self.kick(ctx, nic, target);
+        self.kick(ctx, nic, target, &mut done);
+        done
     }
 
     /// Submits an explicit vector of requests (the scatter/gather path):
@@ -764,7 +904,8 @@ impl Transport {
         ctx: &mut Ctx<'_>,
         nic: &mut NicPort,
         requests: Vec<(XferToken, Mac, Pid, Blueprint, Option<TraceCtx>)>,
-    ) {
+    ) -> Vec<XferDone> {
+        let mut done = Vec::new();
         let now = ctx.now();
         let mut targets: Vec<Mac> = Vec::new();
         for (token, target, pid, blueprint, trace) in requests {
@@ -780,8 +921,9 @@ impl Transport {
             if let Some(ev) = self.doorbells.remove(&target) {
                 ctx.cancel(ev);
             }
-            self.pump(ctx, nic, target);
+            self.pump(ctx, nic, target, &mut done);
         }
+        done
     }
 
     /// Feeds the per-MN inter-submission-gap estimate (EWMA, α = 1/4) that
@@ -842,9 +984,23 @@ impl Transport {
     /// batching is off, via the coalescing doorbell when on. A doorbell
     /// already scheduled is left in place unless a full batch is waiting,
     /// in which case it is re-rung to fire now.
-    fn kick(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, target: Mac) {
+    fn kick(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        target: Mac,
+        done: &mut Vec<XferDone>,
+    ) {
+        if self.peer_open(target) {
+            // Fail fast synchronously: no doorbell hold for a dead board.
+            if let Some(ev) = self.doorbells.remove(&target) {
+                ctx.cancel(ev);
+            }
+            self.pump(ctx, nic, target, done);
+            return;
+        }
         if !self.batching() {
-            self.pump(ctx, nic, target);
+            self.pump(ctx, nic, target, done);
             return;
         }
         let full =
@@ -864,17 +1020,40 @@ impl Transport {
     }
 
     /// Kicks every queue (after a completion/failure freed window space).
-    fn kick_all(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort) {
+    fn kick_all(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, done: &mut Vec<XferDone>) {
         let macs: Vec<Mac> = self.queues.keys().copied().collect();
         for m in macs {
-            self.kick(ctx, nic, m);
+            self.kick(ctx, nic, m, done);
         }
     }
 
     /// Tries to transmit queued requests toward `target`, coalescing small
-    /// admitted requests into batch frames.
-    fn pump(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, target: Mac) {
+    /// admitted requests into batch frames. With the breaker toward
+    /// `target` open, drains the whole queue to `Unreachable` completions
+    /// instead — queued ops hold no window slots, so nothing needs
+    /// releasing.
+    fn pump(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        target: Mac,
+        done: &mut Vec<XferDone>,
+    ) {
         self.doorbells.remove(&target);
+        if self.peer_open(target) {
+            if let Some(mut queue) = self.queues.remove(&target) {
+                let now = ctx.now();
+                for q in queue.drain(..) {
+                    self.conflict_generations.remove(&q.token);
+                    done.push(XferDone {
+                        token: q.token,
+                        result: Err(ClioError::Unreachable { mn: target }),
+                        rtt: now.since(q.enqueued_at),
+                    });
+                }
+            }
+            return;
+        }
         let mut batch =
             BatchBuilder::new(self.cfg.batch_max_ops as usize, self.cfg.batch_max_bytes as usize);
         // Trace contexts of the requests currently packed in `batch`, in
@@ -1126,6 +1305,53 @@ impl Transport {
         self.iwnd.release(o.expected_bytes);
     }
 
+    /// Releases an outstanding request's window slots without feeding the
+    /// congestion controller any signal — used when the request is being
+    /// abandoned (cancellation, breaker fail-fast) rather than answered or
+    /// lost: the abandonment says nothing about the fabric.
+    fn release_windows_neutral(&mut self, o: &Outstanding) {
+        let cfg = &self.cfg;
+        self.cwnds.entry(o.target).or_insert_with(|| CongestionWindow::new(cfg)).on_release();
+        self.iwnd.release(o.expected_bytes);
+    }
+
+    /// Cancels every attempt of `token` still owned by the transport:
+    /// in-flight requests (timer cancelled, window slots released
+    /// neutrally, reassembly state dropped), queued sends, queued
+    /// retransmissions, and parked conflicts. Returns whether anything was
+    /// actually cancelled; the caller owns reporting the op's completion
+    /// (e.g. `DeadlineExceeded`) upward. A response or NACK for a
+    /// cancelled id arriving later is dropped by the outstanding-id lookup
+    /// like any stale frame.
+    pub fn cancel(&mut self, ctx: &mut Ctx<'_>, token: XferToken) -> bool {
+        let mut found = false;
+        let ids: Vec<ReqId> =
+            self.outstanding.iter().filter(|(_, o)| o.token == token).map(|(id, _)| *id).collect();
+        for id in ids {
+            let mut o = self.outstanding.remove(&id).expect("collected above");
+            if let Some(t) = o.timer.take() {
+                ctx.cancel(t);
+            }
+            self.release_windows_neutral(&o);
+            self.reassembler.forget(id);
+            found = true;
+        }
+        // Retry-queue entries for ids that no longer exist must not be
+        // rebuilt by the retry pump.
+        let outstanding = &self.outstanding;
+        for q in self.retry_queues.values_mut() {
+            q.retain(|(id, _)| outstanding.contains_key(id));
+        }
+        for q in self.queues.values_mut() {
+            let before = q.len();
+            q.retain(|s| s.token != token);
+            found |= q.len() != before;
+        }
+        found |= self.parked_conflicts.remove(&token).is_some();
+        self.conflict_generations.remove(&token);
+        found
+    }
+
     /// Handles a frame payload (a [`ClioPacket`]) delivered to this CN.
     /// Returns completions to surface and the MACs whose queues may now
     /// drain (the caller should keep forwarding frames in).
@@ -1153,7 +1379,7 @@ impl Transport {
             ClioPacket::Response { header, body } => {
                 if self.handle_response(ctx, header, body, &mut done) {
                     // A completion freed window space: drain every queue.
-                    self.kick_all(ctx, nic);
+                    self.kick_all(ctx, nic, &mut done);
                 }
             }
             ClioPacket::BatchResp { responses } => {
@@ -1167,7 +1393,7 @@ impl Transport {
                 if completed {
                     // One drain for the whole frame: the first kick arms
                     // the doorbells, further passes would no-op.
-                    self.kick_all(ctx, nic);
+                    self.kick_all(ctx, nic, &mut done);
                 }
             }
             ClioPacket::Nack { req_id } => {
@@ -1175,7 +1401,7 @@ impl Transport {
                     // The failure freed window space just like a
                     // completion: drain queued requests now instead of
                     // stalling them until an unrelated completion.
-                    self.kick_all(ctx, nic);
+                    self.kick_all(ctx, nic, &mut done);
                 }
             }
             ClioPacket::BatchNack { req_ids } => {
@@ -1190,7 +1416,7 @@ impl Transport {
                     failed |= self.handle_nack(ctx, req_id, &mut done);
                 }
                 if failed {
-                    self.kick_all(ctx, nic);
+                    self.kick_all(ctx, nic, &mut done);
                 }
             }
             // CNs never receive requests (batched or not).
@@ -1213,6 +1439,9 @@ impl Transport {
         }
         self.retry_count.inc();
         o.retries += 1;
+        // A NACK proves the board is alive (it decoded and answered the
+        // frame), so it feeds the breaker as a success signal.
+        self.note_peer_success(ctx.now(), o.target);
         // The corrupted attempt's wire + MN time is unattributable (the MN
         // executes nothing for it); the turnaround span from the attempt's
         // last stitch to the NACK's arrival absorbs it, keeping the op's
@@ -1224,7 +1453,11 @@ impl Transport {
             }
             done.push(XferDone {
                 token: o.token,
-                result: Err(ClioError::TimedOut),
+                result: Err(ClioError::TimedOut {
+                    op: o.blueprint.kind(),
+                    mn: o.target,
+                    attempts: o.retries,
+                }),
                 rtt: ctx.now().since(o.first_sent_at),
             });
             true
@@ -1269,6 +1502,7 @@ impl Transport {
             ctx.cancel(t);
         }
         let now = ctx.now();
+        self.note_peer_success(now, o.target);
         // Response wire time: from the MN's last stitch (egress NIC
         // serialization) to delivery here. For multi-fragment reads this
         // covers the whole reassembly window, attributed once on
@@ -1339,10 +1573,35 @@ impl Transport {
     }
 
     /// Ships queued retransmissions toward `target`, packing batchable
-    /// single-packet retries into shared frames.
-    fn retry_pump(&mut self, ctx: &mut Ctx<'_>, nic: &mut NicPort, target: Mac) {
+    /// single-packet retries into shared frames. With the breaker open
+    /// (tripped between queueing and this pump by a same-instant timer),
+    /// the queued retries fail fast instead: slots released neutrally,
+    /// `Unreachable` reported.
+    fn retry_pump(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nic: &mut NicPort,
+        target: Mac,
+        done: &mut Vec<XferDone>,
+    ) {
         self.retry_doorbells.remove(&target);
         let Some(entries) = self.retry_queues.remove(&target) else { return };
+        if self.peer_open(target) {
+            let now = ctx.now();
+            for (req_id, _) in entries {
+                let Some(mut o) = self.outstanding.remove(&req_id) else { continue };
+                if let Some(t) = o.timer.take() {
+                    ctx.cancel(t);
+                }
+                self.release_windows_neutral(&o);
+                done.push(XferDone {
+                    token: o.token,
+                    result: Err(ClioError::Unreachable { mn: target }),
+                    rtt: now.since(o.first_sent_at),
+                });
+            }
+            return;
+        }
         let mut batch =
             BatchBuilder::new(self.cfg.batch_max_ops as usize, self.cfg.batch_max_bytes as usize);
         let mut batch_traces: Vec<Option<TraceCtx>> = Vec::new();
@@ -1437,14 +1696,30 @@ impl Transport {
                 // span from its last stitch to the timer firing absorbs the
                 // whole silent interval.
                 self.tracer.stitch(o.trace, self.track, Stage::TimeoutWait, now);
-                if o.retries > self.cfg.max_retries {
+                self.note_peer_timeout(ctx, o.target);
+                if self.peer_open(o.target) {
+                    // The breaker just tripped (or was already open): give
+                    // up on this op now instead of burning more retries
+                    // against a board presumed dead.
                     self.release_windows(now, &o, None);
                     done.push(XferDone {
                         token: o.token,
-                        result: Err(ClioError::TimedOut),
+                        result: Err(ClioError::Unreachable { mn: o.target }),
                         rtt: now.since(o.first_sent_at),
                     });
-                    self.kick_all(ctx, nic);
+                    self.kick_all(ctx, nic, &mut done);
+                } else if o.retries > self.cfg.max_retries {
+                    self.release_windows(now, &o, None);
+                    done.push(XferDone {
+                        token: o.token,
+                        result: Err(ClioError::TimedOut {
+                            op: o.blueprint.kind(),
+                            mn: o.target,
+                            attempts: o.retries,
+                        }),
+                        rtt: now.since(o.first_sent_at),
+                    });
+                    self.kick_all(ctx, nic, &mut done);
                 } else {
                     o.trace = self.tracer.retry(o.trace, now);
                     // Timeout is a congestion signal; shrink but keep the
@@ -1456,8 +1731,19 @@ impl Transport {
                     self.queue_retransmit(ctx, o, req_id);
                 }
             }
-            TransportTimer::Pump(mac) => self.pump(ctx, nic, mac),
-            TransportTimer::RetryPump(mac) => self.retry_pump(ctx, nic, mac),
+            TransportTimer::Pump(mac) => self.pump(ctx, nic, mac, &mut done),
+            TransportTimer::RetryPump(mac) => self.retry_pump(ctx, nic, mac, &mut done),
+            TransportTimer::BreakerProbe(mac) => {
+                if let Some(h) = self.health.get_mut(&mac) {
+                    if h.state == BreakerState::Open {
+                        // Half-open: queued ops flow again as probes. The
+                        // gauge stays up — the peer is not healthy until a
+                        // probe actually completes.
+                        h.state = BreakerState::HalfOpen;
+                        self.kick(ctx, nic, mac, &mut done);
+                    }
+                }
+            }
             TransportTimer::ConflictRetry(token) => {
                 if let Some(o) = self.parked_conflicts.remove(&token) {
                     // Rejoin the send queue (at the front: it is the oldest
@@ -1472,7 +1758,7 @@ impl Transport {
                         trace: o.trace,
                     });
                     self.conflict_generations.insert(o.token, o.conflict_retries + 1);
-                    self.kick(ctx, nic, target);
+                    self.kick(ctx, nic, target, &mut done);
                 }
             }
         }

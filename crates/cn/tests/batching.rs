@@ -546,8 +546,11 @@ fn nack_retry_exhaustion_pumps_queued_requests() {
     r.submit_nowait(0, Op::Read { mn: r.board_mac, pid: Pid(7), va, len: 8 });
     r.submit_nowait(0, Op::Read { mn: r.board_mac, pid: Pid(7), va: va + PAGE, len: 8 });
     r.sim.run_until_idle();
-    let comps: Vec<_> =
-        r.completions().iter().filter(|c| c.result == Err(ClioError::TimedOut)).collect();
+    let comps: Vec<_> = r
+        .completions()
+        .iter()
+        .filter(|c| matches!(c.result, Err(ClioError::TimedOut { .. })))
+        .collect();
     assert_eq!(
         comps.len(),
         2,

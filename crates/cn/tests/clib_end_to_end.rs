@@ -287,7 +287,12 @@ fn total_blackout_times_out_with_error() {
     );
     r.submit(0, Op::Read { mn: r.board_mac, pid: Pid(7), va, len: 8 });
     let c = r.completions().last().expect("completion");
-    assert_eq!(c.result, Err(ClioError::TimedOut));
+    let Err(ClioError::TimedOut { op, mn, attempts }) = c.result else {
+        panic!("expected TimedOut, got {:?}", c.result);
+    };
+    assert_eq!(op, "read");
+    assert_eq!(mn, r.board_mac, "error names the unresponsive MN");
+    assert!(attempts > 1, "error reports the attempts made ({attempts})");
     // Took (retries+1) x timeout.
     let lat = c.completed_at.since(c.issued_at);
     assert!(lat >= SimDuration::from_micros(200), "timeout latency {lat}");

@@ -52,9 +52,11 @@ impl Fate {
     }
 }
 
-/// Kick-off message carrying the workload.
+/// Kick-off message carrying the workload; tokens are numbered from
+/// `base` so a test can post several bursts without token collisions.
 struct Go {
     ops: Vec<Blueprint>,
+    base: u64,
 }
 
 /// CN host driving a bare `Transport`.
@@ -72,15 +74,18 @@ impl Actor for Host {
         let msg = match msg.downcast::<Go>() {
             Ok(go) => {
                 for (i, bp) in go.ops.into_iter().enumerate() {
-                    self.transport.send(
+                    let done = self.transport.send(
                         ctx,
                         &mut self.nic,
-                        XferToken(i as u64),
+                        XferToken(go.base + i as u64),
                         MN_MAC,
                         clio_proto::Pid(7),
                         bp,
                         None,
                     );
+                    // Synchronous completions (breaker fail-fast) surface
+                    // from `send` itself.
+                    self.done.extend(done);
                 }
                 return;
             }
@@ -232,7 +237,7 @@ fn run_case(op_kinds: &[u8], script: &[u8], batch_max_ops: u32, seed: u64) {
 
     let ops: Vec<Blueprint> = op_kinds.iter().map(|&k| blueprint_of(k)).collect();
     let n = ops.len();
-    sim.post(cn_id, Message::new(Go { ops }));
+    sim.post(cn_id, Message::new(Go { ops, base: 0 }));
     sim.run_until_idle();
 
     let host = sim.actor_mut::<Host>(cn_id);
@@ -325,7 +330,7 @@ fn doorbell_budget_derives_from_measured_rtt_after_warmup() {
     let cn_id = sim.add_actor(Host { nic, transport: Transport::new(cfg, 1), done: vec![] });
     sim.actor_mut::<ScriptedMn>(mn_id).cn = Some(cn_id);
     let ops: Vec<Blueprint> = (0..24).map(|k| blueprint_of(k as u8)).collect();
-    sim.post(cn_id, Message::new(Go { ops }));
+    sim.post(cn_id, Message::new(Go { ops, base: 0 }));
     sim.run_until_idle();
     let host = sim.actor_mut::<Host>(cn_id);
     assert_eq!(host.done.len(), 24, "warm-up traffic completed");
@@ -335,4 +340,129 @@ fn doorbell_budget_derives_from_measured_rtt_after_warmup() {
     assert!(budget <= srtt / 4, "hold budget {budget} exceeds srtt/4 ({})", srtt / 4);
     assert!(budget <= CLibConfig::DOORBELL_DERIVED_CAP);
     assert_eq!(budget, (srtt / 4).min(CLibConfig::DOORBELL_DERIVED_CAP));
+}
+
+// ---------------------------------------------------------------------
+// Retry-timer hygiene and circuit-breaker fail-fast (§ failure model)
+// ---------------------------------------------------------------------
+
+use clio_cn::ClioError;
+
+fn lossy_rig(cfg: CLibConfig, seed: u64) -> (Simulation, clio_sim::ActorId) {
+    let mut sim = Simulation::new(seed);
+    // Every request is silently dropped: `loss_prob = 1.0` toward this MN.
+    let mn_id = sim.add_actor(ScriptedMn { cn: None, script: vec![Fate::Drop; 4096], next: 0 });
+    let nic = NicPort::new(CN_MAC, Bandwidth::from_gbps(40), mn_id, SimDuration::from_nanos(50));
+    let cn_id = sim.add_actor(Host { nic, transport: Transport::new(cfg, 1), done: vec![] });
+    sim.actor_mut::<ScriptedMn>(mn_id).cn = Some(cn_id);
+    (sim, cn_id)
+}
+
+/// Retry-timer hygiene: a burst into total loss must exhaust each op's
+/// retry budget *exactly* — every op fails with `TimedOut` after
+/// `max_retries + 1` attempts, no orphaned `Timeout` timer fires a fourth
+/// attempt, no window slot leaks, and virtual time stays bounded by the
+/// retry budget rather than running away on stray timers.
+#[test]
+fn total_loss_burst_exhausts_retries_exactly_and_leaks_nothing() {
+    let cfg = CLibConfig {
+        request_timeout: SimDuration::from_micros(20),
+        max_retries: 2,
+        ..CLibConfig::prototype()
+    };
+    let max_retries = cfg.max_retries;
+    let (mut sim, cn_id) = lossy_rig(cfg, 77);
+    let n = 12usize;
+    let ops: Vec<Blueprint> = (0..n).map(|k| blueprint_of(k as u8)).collect();
+    sim.post(cn_id, Message::new(Go { ops, base: 0 }));
+    sim.run_until_idle();
+
+    let end = sim.now();
+    let host = sim.actor_mut::<Host>(cn_id);
+    assert_eq!(host.done.len(), n, "every op must terminate");
+    for d in &host.done {
+        let Err(ClioError::TimedOut { op, mn, attempts }) = &d.result else {
+            panic!("total loss must end in TimedOut, got {:?}", d.result);
+        };
+        assert_eq!(*mn, MN_MAC);
+        assert_eq!(
+            *attempts,
+            max_retries + 1,
+            "{op} burned a wrong number of attempts (orphaned or missing timer)"
+        );
+    }
+    // Exactly one timer fired per attempt: any orphaned Timeout event
+    // surviving its request would inflate this count.
+    assert_eq!(
+        host.transport.retry_count.get(),
+        n as u64 * (max_retries + 1) as u64,
+        "timer fired for a request no longer outstanding"
+    );
+    assert_eq!(host.transport.in_flight(), 0, "outstanding not drained");
+    assert_eq!(host.transport.queued(), 0, "send queue not drained");
+    assert_eq!(host.transport.parked(), 0, "conflict parking not drained");
+    assert_eq!(host.transport.incast_in_flight(), 0, "incast bytes leaked");
+    host.transport.check_invariants().expect("window accounting after total loss");
+    // Bounded by the retry budget (generous slack for window pacing):
+    // leaked timers would keep pushing `now` far past this.
+    assert!(
+        end <= SimTime::from_nanos(1_000_000),
+        "total-loss burst ran to {end}, expected well under 1 ms"
+    );
+}
+
+/// A tripped circuit breaker fails subsequent ops toward the dead MN fast
+/// — synchronously at submission — which is well under a quarter of the
+/// full retry-budget latency the op would otherwise wait out
+/// (`(max_retries + 1) × request_timeout`).
+#[test]
+fn tripped_breaker_fails_fast_under_quarter_retry_budget() {
+    let cfg = CLibConfig {
+        request_timeout: SimDuration::from_micros(20),
+        max_retries: 3,
+        breaker_threshold: 2,
+        breaker_probe_backoff: SimDuration::from_millis(10),
+        batch_max_ops: 1,
+        ..CLibConfig::prototype()
+    };
+    let max_retries = cfg.max_retries;
+    let request_timeout = cfg.request_timeout;
+    let (mut sim, cn_id) = lossy_rig(cfg, 5);
+    // Op 0 burns the consecutive-timeout streak and trips the breaker.
+    sim.post(cn_id, Message::new(Go { ops: vec![blueprint_of(0)], base: 0 }));
+    // Op 1 arrives later, against a breaker already open.
+    sim.post_in(
+        cn_id,
+        SimDuration::from_micros(200),
+        Message::new(Go { ops: vec![blueprint_of(0)], base: 1 }),
+    );
+    sim.run_until_idle();
+
+    let host = sim.actor_mut::<Host>(cn_id);
+    assert_eq!(host.done.len(), 2, "both ops must terminate");
+    for d in &host.done {
+        assert!(
+            matches!(d.result, Err(ClioError::Unreachable { mn: MN_MAC })),
+            "dead board must surface Unreachable, got {:?}",
+            d.result
+        );
+    }
+    // The op submitted after the trip fails fast: its observed latency is
+    // under a quarter of what the full retry budget would have cost.
+    let fast = host.done.iter().find(|d| d.token == XferToken(1)).expect("op 1 completed");
+    let full_budget = request_timeout * (max_retries + 1) as u64;
+    assert!(
+        fast.rtt < full_budget / 4,
+        "post-trip op took {} (budget {full_budget}, wanted < a quarter)",
+        fast.rtt
+    );
+    // The trip is observable. By idle the probe backoff has elapsed and
+    // the breaker sits HalfOpen (no traffic confirmed recovery), which the
+    // unhealthy-peer gauge still counts.
+    assert_eq!(host.transport.peer_health.get(), 1, "unhealthy-peer gauge");
+    assert!(host.transport.circuit_open_total.get() >= 1, "trip counter");
+    assert_eq!(host.transport.in_flight(), 0, "outstanding not drained");
+    assert_eq!(host.transport.queued(), 0, "send queue not drained");
+    assert_eq!(host.transport.incast_in_flight(), 0, "incast bytes leaked");
+    host.transport.check_invariants().expect("window accounting after fail-fast");
 }

@@ -2,7 +2,7 @@
 
 use clio_cn::CLibConfig;
 use clio_mn::{CBoard, CBoardConfig, Offload};
-use clio_net::{Mac, Network, NetworkConfig};
+use clio_net::{ChaosSchedule, Mac, Network, NetworkConfig};
 use clio_proto::Pid;
 use clio_sim::{ActorId, Bandwidth, SimDuration, SimTime, Simulation};
 use clio_trace::metrics::Registry;
@@ -269,6 +269,28 @@ impl Cluster {
     /// (Clio-DF style, §6).
     pub fn install_offload_shared(&mut self, mn: usize, id: u16, module: Box<dyn Offload>) {
         self.sim.actor_mut::<CBoard>(self.mns[mn]).install_offload_shared(id, module);
+    }
+
+    /// Installs a seeded chaos schedule: link actions are pre-posted to the
+    /// fabric switch, board power cycles to the target `CBoard` actors, all
+    /// at their absolute fire times. Installing the same schedule into the
+    /// same cluster build always yields the same run digest — chaos draws
+    /// no runtime randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `CrashBoard`/`RestartBoard` action targets a MAC that is
+    /// not one of this cluster's memory nodes.
+    pub fn apply_chaos(&mut self, schedule: &ChaosSchedule) {
+        let switch = self.net.switch_id();
+        let (macs, ids) = (self.mn_macs.clone(), self.mns.clone());
+        schedule.install(&mut self.sim, switch, |mac| {
+            let i = macs
+                .iter()
+                .position(|&m| m == mac)
+                .expect("chaos board action must target a memory node");
+            ids[i]
+        });
     }
 
     /// Starts every registered driver.

@@ -59,6 +59,7 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
 use bytes::Bytes;
+use clio_cn::ClioError;
 use clio_net::Mac;
 use clio_proto::Perm;
 use clio_sim::{SimDuration, SimTime};
@@ -86,16 +87,37 @@ impl Wake for TaskWaker {
     }
 }
 
-/// One outstanding op's mailbox, shared between its [`OpFuture`] and the
-/// driver's token → slot map.
+/// One outstanding op's mailbox, shared between its [`OpFuture`], the
+/// driver's token → slot map, and any [`CancelHandle`]s.
 struct OpSlot {
     result: Option<AppCompletion>,
     waker: Option<Waker>,
+    /// The host token, known once the driver flushes the submission;
+    /// cancellation after this point goes through [`ClientApi::cancel`].
+    token: Option<AppToken>,
+    /// Set by [`CancelHandle::cancel`] / an expired deadline; a queued
+    /// submission carrying this flag is resolved locally instead of issued.
+    cancel_requested: bool,
+    /// True while the op sits in the executor's submit queue (budget
+    /// debited, not yet handed to the node API).
+    in_submit_q: bool,
 }
 
 impl OpSlot {
+    fn new() -> Rc<RefCell<OpSlot>> {
+        Rc::new(RefCell::new(OpSlot {
+            result: None,
+            waker: None,
+            token: None,
+            cancel_requested: false,
+            in_submit_q: false,
+        }))
+    }
+
     fn armed(waker: Waker) -> Rc<RefCell<OpSlot>> {
-        Rc::new(RefCell::new(OpSlot { result: None, waker: Some(waker) }))
+        let slot = Self::new();
+        slot.borrow_mut().waker = Some(waker);
+        slot
     }
 }
 
@@ -128,6 +150,7 @@ enum Submission {
     Op { req: OpRequest, arrival: SimTime, slot: Rc<RefCell<OpSlot>>, waker: Waker },
     Vec { req: VecRequest, arrival: SimTime, slots: Vec<Rc<RefCell<OpSlot>>>, waker: Waker },
     Timer { tag: u64, dur: SimDuration },
+    Cancel { token: AppToken },
 }
 
 struct TimerEntry {
@@ -267,6 +290,40 @@ impl ExecDriver {
             let Some(sub) = sub else { break };
             match sub {
                 Submission::Op { req, arrival, slot, waker } => {
+                    if slot.borrow().cancel_requested {
+                        // The deadline fired before the submission reached
+                        // the node API: resolve locally and refund the
+                        // budget slot without ever issuing the op.
+                        let now = api.now();
+                        let unparked = {
+                            let mut inner = self.shared.inner.borrow_mut();
+                            inner.inflight -= 1;
+                            inner.bump_gauge(|g| &g.inflight, -1);
+                            let unparked = inner.parked.pop_front();
+                            if unparked.is_some() {
+                                inner.bump_gauge(|g| &g.parked, -1);
+                            }
+                            unparked
+                        };
+                        let slot_waker = {
+                            let mut s = slot.borrow_mut();
+                            s.in_submit_q = false;
+                            s.result = Some(AppCompletion {
+                                token: AppToken(0),
+                                result: Err(ClioError::DeadlineExceeded),
+                                issued_at: arrival,
+                                completed_at: now,
+                            });
+                            s.waker.take()
+                        };
+                        if let Some(w) = slot_waker {
+                            w.wake();
+                        }
+                        if let Some(w) = unparked {
+                            w.wake();
+                        }
+                        continue;
+                    }
                     api.arrive_at(arrival);
                     let token = match req {
                         OpRequest::Read { va, len } => api.read(va, len),
@@ -284,6 +341,11 @@ impl ExecDriver {
                         }
                     };
                     api.register_waker(token, waker);
+                    {
+                        let mut s = slot.borrow_mut();
+                        s.in_submit_q = false;
+                        s.token = Some(token);
+                    }
                     self.shared.inner.borrow_mut().op_slots.insert(token, slot);
                 }
                 Submission::Vec { req, arrival, slots, waker } => {
@@ -298,6 +360,9 @@ impl ExecDriver {
                     }
                 }
                 Submission::Timer { tag, dur } => api.wake_in(dur, tag),
+                Submission::Cancel { token } => {
+                    api.cancel(token);
+                }
             }
         }
     }
@@ -441,8 +506,19 @@ impl ProcHandle {
     fn op(&self, req: OpRequest) -> OpFuture {
         OpFuture {
             shared: self.shared.clone(),
+            slot: OpSlot::new(),
             state: OpState::Start { req: Some(req), arrival: self.now() },
         }
+    }
+
+    /// Bounds `op` by a deadline: if it has not completed after `deadline`
+    /// of virtual time, it is cancelled — the budget slot is released, a
+    /// `Cancelled` stage ends its trace, and the future resolves with
+    /// [`ClioError::DeadlineExceeded`] in the completion's result. An op
+    /// that completes first resolves normally; cancellation never
+    /// un-completes a finished op.
+    pub fn with_deadline(&self, op: OpFuture, deadline: SimDuration) -> DeadlineFuture {
+        op.with_deadline(deadline)
     }
 
     /// `ralloc`: allocate remote memory (await yields a VA completion).
@@ -532,7 +608,7 @@ impl ProcHandle {
 
 enum OpState {
     Start { req: Option<OpRequest>, arrival: SimTime },
-    Queued { slot: Rc<RefCell<OpSlot>> },
+    Queued,
     Done,
 }
 
@@ -541,6 +617,7 @@ enum OpState {
 /// awaiting task.
 pub struct OpFuture {
     shared: Rc<ExecShared>,
+    slot: Rc<RefCell<OpSlot>>,
     state: OpState,
 }
 
@@ -556,6 +633,19 @@ impl OpFuture {
         }
         self
     }
+
+    /// Bounds this op by a deadline (see [`ProcHandle::with_deadline`]).
+    pub fn with_deadline(self, deadline: SimDuration) -> DeadlineFuture {
+        let sleep =
+            SleepFuture { shared: self.shared.clone(), state: SleepState::Start { dur: deadline } };
+        DeadlineFuture { op: self, sleep, expired: false }
+    }
+
+    /// A handle that can cancel this op from another task (or after the
+    /// future has been moved into a combinator).
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle { shared: self.shared.clone(), slot: self.slot.clone() }
+    }
 }
 
 impl Future for OpFuture {
@@ -565,6 +655,11 @@ impl Future for OpFuture {
         let this = self.get_mut();
         match &mut this.state {
             OpState::Start { req, arrival } => {
+                if let Some(c) = this.slot.borrow_mut().result.take() {
+                    // Cancelled before it was ever submitted.
+                    this.state = OpState::Done;
+                    return Poll::Ready(c);
+                }
                 let mut inner = this.shared.inner.borrow_mut();
                 if inner.inflight >= inner.budget {
                     // Budget exhausted: park FIFO until a completion
@@ -572,24 +667,29 @@ impl Future for OpFuture {
                     // whole park shows up as SubmitQueued in the trace.
                     inner.parked.push_back(cx.waker().clone());
                     inner.bump_gauge(|g| &g.parked, 1);
+                    this.slot.borrow_mut().waker = Some(cx.waker().clone());
                     return Poll::Pending;
                 }
                 inner.inflight += 1;
                 inner.peak_inflight = inner.peak_inflight.max(inner.inflight as u64);
                 inner.bump_gauge(|g| &g.inflight, 1);
-                let slot = OpSlot::armed(cx.waker().clone());
+                {
+                    let mut s = this.slot.borrow_mut();
+                    s.waker = Some(cx.waker().clone());
+                    s.in_submit_q = true;
+                }
                 inner.submit_q.push_back(Submission::Op {
                     req: req.take().expect("op submitted once"),
                     arrival: *arrival,
-                    slot: slot.clone(),
+                    slot: this.slot.clone(),
                     waker: cx.waker().clone(),
                 });
                 drop(inner);
-                this.state = OpState::Queued { slot };
+                this.state = OpState::Queued;
                 Poll::Pending
             }
-            OpState::Queued { slot } => {
-                let mut s = slot.borrow_mut();
+            OpState::Queued => {
+                let mut s = this.slot.borrow_mut();
                 match s.result.take() {
                     Some(c) => {
                         drop(s);
@@ -604,6 +704,104 @@ impl Future for OpFuture {
             }
             OpState::Done => panic!("OpFuture polled after completion"),
         }
+    }
+}
+
+/// Requests cancellation of the op behind `slot`. Three cases, by how far
+/// the op has travelled:
+///
+/// * **issued** (token known) — queue a `Submission::Cancel`; the node API
+///   cancels it through CLib and the completion flows back normally.
+/// * **in the submit queue** — mark the slot; the driver's flush resolves
+///   it locally instead of issuing (refunding the budget slot).
+/// * **parked / not yet polled** — resolve locally now, and pull the
+///   task's waker out of the park queue so a later completion doesn't
+///   spend its one unpark credit waking a dead submitter.
+fn request_cancel(shared: &Rc<ExecShared>, slot: &Rc<RefCell<OpSlot>>) {
+    let (token, in_submit_q) = {
+        let mut s = slot.borrow_mut();
+        if s.result.is_some() || s.cancel_requested {
+            return;
+        }
+        s.cancel_requested = true;
+        (s.token, s.in_submit_q)
+    };
+    let mut inner = shared.inner.borrow_mut();
+    if let Some(token) = token {
+        inner.submit_q.push_back(Submission::Cancel { token });
+        return;
+    }
+    if in_submit_q {
+        return; // flush() resolves it when the submission surfaces
+    }
+    let waker = slot.borrow_mut().waker.take();
+    if let Some(w) = &waker {
+        let before = inner.parked.len();
+        inner.parked.retain(|p| !p.will_wake(w));
+        let removed = (before - inner.parked.len()) as i64;
+        if removed > 0 {
+            inner.bump_gauge(|g| &g.parked, -removed);
+        }
+    }
+    drop(inner);
+    let now = shared.now.get();
+    slot.borrow_mut().result = Some(AppCompletion {
+        token: AppToken(0),
+        result: Err(ClioError::DeadlineExceeded),
+        issued_at: now,
+        completed_at: now,
+    });
+    if let Some(w) = waker {
+        w.wake();
+    }
+}
+
+/// Cancels one op from outside its awaiting task (see
+/// [`OpFuture::cancel_handle`]). Cloneable; cancelling twice, or after the
+/// op completed, is a no-op.
+#[derive(Clone)]
+pub struct CancelHandle {
+    shared: Rc<ExecShared>,
+    slot: Rc<RefCell<OpSlot>>,
+}
+
+impl CancelHandle {
+    /// Requests cancellation: the op resolves with
+    /// [`ClioError::DeadlineExceeded`] unless it already completed.
+    pub fn cancel(&self) {
+        request_cancel(&self.shared, &self.slot);
+    }
+}
+
+/// An [`OpFuture`] bounded by a deadline (built by
+/// [`ProcHandle::with_deadline`] / [`OpFuture::with_deadline`]). Resolves
+/// with the op's own completion, or — once the deadline passes — with a
+/// completion carrying [`ClioError::DeadlineExceeded`].
+pub struct DeadlineFuture {
+    op: OpFuture,
+    sleep: SleepFuture,
+    expired: bool,
+}
+
+impl Future for DeadlineFuture {
+    type Output = AppCompletion;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<AppCompletion> {
+        let this = self.get_mut();
+        if let Poll::Ready(c) = Pin::new(&mut this.op).poll(cx) {
+            return Poll::Ready(c);
+        }
+        if !this.expired {
+            if let Poll::Ready(()) = Pin::new(&mut this.sleep).poll(cx) {
+                this.expired = true;
+                request_cancel(&this.op.shared, &this.op.slot);
+                // A parked or still-queued op resolves synchronously.
+                if let Poll::Ready(c) = Pin::new(&mut this.op).poll(cx) {
+                    return Poll::Ready(c);
+                }
+            }
+        }
+        Poll::Pending
     }
 }
 
@@ -818,6 +1016,104 @@ mod tests {
         assert_eq!(reg.gauge("cn0.runtime.inflight"), Some(0));
         assert_eq!(reg.gauge("cn0.runtime.parked"), Some(0));
         assert_eq!(reg.gauge("cn0.runtime.tasks"), Some(0));
+    }
+
+    #[test]
+    fn deadline_cancels_op_to_downed_link_and_budget_recovers() {
+        use clio_net::{ChaosAction, ChaosSchedule, Mac};
+
+        let mut cluster = Cluster::build(&ClusterConfig::test_small().with_tracing(1));
+        let mn: Mac = cluster.mn_macs()[0];
+        // Link to the only MN is dark from 50 µs to 600 µs.
+        let schedule = ChaosSchedule::new()
+            .at(SimDuration::from_micros(50), ChaosAction::LinkDown(mn))
+            .at(SimDuration::from_micros(600), ChaosAction::LinkUp(mn));
+        cluster.apply_chaos(&schedule);
+
+        let outcome = Rc::new(RefCell::new(Vec::new()));
+        let sink = outcome.clone();
+        cluster.spawn(0, Pid(7), move |h| async move {
+            let va = h.ralloc(4096, Perm::RW).await.va();
+            h.rwrite(va, Bytes::from_static(b"before outage")).await;
+            h.sleep(SimDuration::from_micros(60)).await;
+            // The link is down: without the 80 µs deadline this read would
+            // burn the full retry budget (~200 µs) before erroring.
+            let c = h.with_deadline(h.rread(va, 13), SimDuration::from_micros(80)).await;
+            sink.borrow_mut().push(c.result.clone());
+            h.sleep(SimDuration::from_micros(700)).await;
+            // Link restored: the same address still serves the committed
+            // bytes, and the freed budget slot admits the op.
+            let c = h.rread(va, 13).await;
+            sink.borrow_mut().push(c.result.clone());
+        });
+        cluster.start();
+        cluster.run_until_idle();
+
+        let results = outcome.borrow();
+        assert_eq!(results.len(), 2, "both ops terminated");
+        assert_eq!(results[0], Err(clio_cn::ClioError::DeadlineExceeded));
+        match &results[1] {
+            Ok(v) => assert_eq!(
+                match v {
+                    clio_cn::CompletionValue::Data(d) => &d[..],
+                    other => panic!("expected data, got {other:?}"),
+                },
+                b"before outage"
+            ),
+            other => panic!("post-outage read failed: {other:?}"),
+        }
+
+        let reg = cluster.registry();
+        assert_eq!(reg.counter("cn0.runtime.deadline_exceeded_total"), Some(1));
+        assert_eq!(reg.gauge("cn0.runtime.inflight"), Some(0), "budget slot released");
+        assert_eq!(reg.gauge("cn0.runtime.parked"), Some(0));
+        // The cancelled op's trace ends with a Cancelled stage.
+        let traces = cluster.take_traces();
+        assert!(
+            traces.iter().any(|t| t.spans.iter().any(|s| s.stage == clio_trace::Stage::Cancelled)),
+            "cancelled op records a Cancelled stage"
+        );
+    }
+
+    #[test]
+    fn cancel_handle_resolves_parked_op_without_submitting() {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.runtime_inflight_budget = 1;
+        let mut cluster = Cluster::build(&cfg);
+        let outcome = Rc::new(RefCell::new(Vec::new()));
+        let sink = outcome.clone();
+        cluster.spawn(0, Pid(7), move |h| async move {
+            let va = h.ralloc(4096, Perm::RW).await.va();
+            let fut_a = h.rwrite(va, Bytes::from_static(b"a"));
+            let fut_b = h.rwrite(va + 64, Bytes::from_static(b"b"));
+            let cancel_b = fut_b.cancel_handle();
+            let (s1, s2) = (sink.clone(), sink.clone());
+            // A takes the only budget slot; B parks behind it.
+            h.spawn(async move {
+                let c = fut_a.await;
+                s1.borrow_mut().push(("a", c.result));
+            });
+            h.spawn(async move {
+                let c = fut_b.await;
+                s2.borrow_mut().push(("b", c.result));
+            });
+            cancel_b.cancel();
+            cancel_b.cancel(); // idempotent
+        });
+        cluster.start();
+        cluster.run_until_idle();
+
+        let results = outcome.borrow();
+        assert_eq!(results.len(), 2, "both tasks finished");
+        let get = |k| results.iter().find(|(n, _)| *n == k).map(|(_, r)| r.clone()).unwrap();
+        assert!(get("a").is_ok(), "the admitted write completes normally");
+        assert_eq!(get("b"), Err(clio_cn::ClioError::DeadlineExceeded));
+        let reg = cluster.registry();
+        // B never reached the node API, so the node-level counter stays 0
+        // and no unpark credit was wasted on the dead submitter.
+        assert_eq!(reg.counter("cn0.runtime.deadline_exceeded_total"), Some(0));
+        assert_eq!(reg.gauge("cn0.runtime.inflight"), Some(0));
+        assert_eq!(reg.gauge("cn0.runtime.parked"), Some(0));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, OpTo
 use clio_net::{Frame, Mac, NicPort};
 use clio_proto::{Perm, Pid};
 use clio_sim::{Actor, ActorId, Ctx, Message, SimDuration, SimTime};
-use clio_trace::metrics::{Gauge, Registry};
+use clio_trace::metrics::{Counter, Gauge, Registry};
 use clio_trace::{Tracer, Track};
 
 use crate::controller::{
@@ -269,6 +269,8 @@ struct NodeCore {
     /// Per-process in-flight submission budget executor drivers enforce.
     runtime_budget: usize,
     runtime_gauges: RuntimeGauges,
+    /// Ops resolved with `DeadlineExceeded` by [`ClientApi::cancel`].
+    deadline_exceeded: Counter,
 }
 
 impl NodeCore {
@@ -636,6 +638,46 @@ impl ClientApi<'_, '_> {
         self.core.next_arrival = Some(at);
     }
 
+    /// Cancels an outstanding op: it completes now with
+    /// [`ClioError::DeadlineExceeded`], its transport window credit is
+    /// released (no congestion signal — abandonment is not loss), and a
+    /// `Cancelled` stage ends its trace. Sub-submissions of a fanned-out
+    /// fence are all cancelled; an op still parked at the controller
+    /// (placement or route query) is failed directly. Returns `false` (and
+    /// does nothing) if the op already completed — cancellation is
+    /// best-effort and never un-completes a finished op.
+    pub fn cancel(&mut self, token: AppToken) -> bool {
+        if !self.core.app_ops.contains_key(&token) {
+            return false;
+        }
+        self.core.deadline_exceeded.inc();
+        let clib_tokens: Vec<OpToken> =
+            self.core.token_map.iter().filter(|(_, a)| **a == token).map(|(t, _)| *t).collect();
+        if clib_tokens.is_empty() {
+            // Never reached CLib: the op is waiting on a controller reply.
+            // Drop the pending request and fail the op host-side.
+            self.core.pending_placements.retain(|_, t| *t != token);
+            self.core.pending_routes.retain(|_, t| *t != token);
+            let host_op = self.core.app_ops.remove(&token).expect("checked above");
+            self.core.events.push_back((
+                host_op.driver,
+                DriverEvent::Completion(AppCompletion {
+                    token,
+                    result: Err(ClioError::DeadlineExceeded),
+                    issued_at: host_op.issued_at,
+                    completed_at: self.ctx.now(),
+                }),
+            ));
+        } else {
+            let mut comps = Vec::new();
+            for t in clib_tokens {
+                comps.extend(self.core.clib.cancel(self.ctx, &mut self.core.nic, t));
+            }
+            self.core.enqueue_clib_completions(self.ctx, comps);
+        }
+        true
+    }
+
     /// Registers a completion waker for an outstanding op: it fires when the
     /// op completes (following it across transparent re-routes). The
     /// executor's per-op wake path — no-op if the op already completed.
@@ -702,6 +744,7 @@ impl ComputeNode {
                 next_arrival: None,
                 runtime_budget: DEFAULT_INFLIGHT_BUDGET,
                 runtime_gauges: RuntimeGauges::default(),
+                deadline_exceeded: Counter::default(),
             },
             drivers: Vec::new(),
         }
@@ -734,6 +777,10 @@ impl ComputeNode {
         registry.register_gauge(format!("{prefix}.runtime.inflight"), g.inflight.clone());
         registry.register_gauge(format!("{prefix}.runtime.parked"), g.parked.clone());
         registry.register_gauge(format!("{prefix}.runtime.tasks"), g.tasks.clone());
+        registry.register_counter(
+            format!("{prefix}.runtime.deadline_exceeded_total"),
+            self.core.deadline_exceeded.clone(),
+        );
     }
 
     /// Overrides the per-process in-flight submission budget (backpressure

@@ -205,6 +205,18 @@ fn registry_snapshot_and_reset_cover_every_metric() {
     assert!(snap.counters.contains_key("mn0.board.rx_frames"));
     assert!(snap.counters.contains_key("mn0.silicon.reads"));
     assert!(snap.gauges.contains_key("mn0.board.peer_srtt_ns"));
+    // The failure-model metrics are registered even on a healthy run, so a
+    // dashboard can alert on them without waiting for the first outage.
+    assert!(snap.gauges.contains_key("cn0.transport.peer_health"));
+    assert!(snap.counters.contains_key("cn0.transport.circuit_open_total"));
+    assert!(snap.counters.contains_key("cn0.runtime.deadline_exceeded_total"));
+    assert!(snap.counters.contains_key("mn0.board.board_restarts"));
+    assert!(snap.counters.contains_key("mn0.board.dropped_while_down"));
+    // Healthy cluster: no peer unhealthy, breaker never tripped, no board
+    // ever power-cycled.
+    assert_eq!(snap.gauges["cn0.transport.peer_health"], 0, "no peer should be unhealthy");
+    assert_eq!(snap.counters["cn0.transport.circuit_open_total"], 0);
+    assert_eq!(snap.counters["mn0.board.board_restarts"], 0);
     assert!(snap.counters["cn0.clib.completed"] >= BURST as u64);
     assert!(snap.counters["mn0.board.rx_frames"] > 0);
     // The MN learned the CN's srtt from the request headers' echo.

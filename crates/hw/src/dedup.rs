@@ -98,6 +98,14 @@ impl DedupBuffer {
         }
     }
 
+    /// Forgets every remembered execution (a board power-cycle: the dedup
+    /// buffer is volatile SRAM and does not survive a crash). The hit
+    /// counter is preserved — it is harness observability, not board state.
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.records.clear();
+    }
+
     /// Checks whether the original of a retry already executed; counts a hit
     /// if so. The fast path calls this with the retry's `retry_of` id.
     pub fn check(&mut self, original: ReqId) -> Option<DedupRecord> {
@@ -142,6 +150,19 @@ mod tests {
         let d = DedupBuffer::with_byte_budget(30 << 10, 32);
         assert_eq!(d.capacity(), 960);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn clear_forgets_records_keeps_hits() {
+        let mut d = DedupBuffer::new(4);
+        d.record(ReqId(1), DedupRecord::Write);
+        assert!(d.check(ReqId(1)).is_some());
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.check(ReqId(1)), None, "crash forgets executions");
+        assert_eq!(d.hits(), 1, "observability counter survives");
+        d.record(ReqId(2), DedupRecord::Write);
+        assert_eq!(d.len(), 1, "buffer usable after clear");
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! CI smoke run of the bounded model checker.
 //!
 //! Explores the two-op scenario at the default bounds (override with
-//! `MC_DEPTH` / `MC_FAULTS` / `MC_RETRIES`), prints the search statistics,
-//! and exits nonzero on any invariant violation — printing the replayable
-//! counterexample schedule first.
+//! `MC_DEPTH` / `MC_FAULTS` / `MC_RETRIES` / `MC_CRASHES`), prints the
+//! search statistics, and exits nonzero on any invariant violation —
+//! printing the replayable counterexample schedule first.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -20,11 +20,12 @@ fn main() -> ExitCode {
         max_depth: env_usize("MC_DEPTH", defaults.max_depth),
         fault_budget: env_usize("MC_FAULTS", defaults.fault_budget as usize) as u32,
         max_retries: env_usize("MC_RETRIES", defaults.max_retries as usize) as u32,
+        crash_budget: env_usize("MC_CRASHES", defaults.crash_budget as usize) as u32,
         ..defaults
     };
     println!(
-        "clio_mc smoke: depth {} / fault budget {} / retries {}",
-        cfg.max_depth, cfg.fault_budget, cfg.max_retries
+        "clio_mc smoke: depth {} / fault budget {} / retries {} / crash budget {}",
+        cfg.max_depth, cfg.fault_budget, cfg.max_retries, cfg.crash_budget
     );
     let started = Instant::now();
     let report = explore(&cfg);

@@ -72,6 +72,14 @@ pub enum McAction {
     /// Run the next pending simulation event past the settle horizon —
     /// typically a retransmission timeout. Free, but consumes depth.
     FireTimer,
+    /// Power-blip the board (crash + immediate restart): its volatile
+    /// state — dedup buffer, egress queues, pending doorbells — is lost,
+    /// while committed DRAM and page tables survive. Costs one unit of
+    /// [`McConfig::crash_budget`]; with the dedup buffer cold, a retry of
+    /// an already-executed non-idempotent op re-executes, so crash runs
+    /// are checked against a relaxed at-least-once outcome instead of
+    /// strict baseline equality.
+    CrashBoard,
 }
 
 impl fmt::Display for McAction {
@@ -82,6 +90,7 @@ impl fmt::Display for McAction {
             McAction::Drop(i) => write!(f, "Drop({i})"),
             McAction::Duplicate(i) => write!(f, "Duplicate({i})"),
             McAction::FireTimer => write!(f, "FireTimer"),
+            McAction::CrashBoard => write!(f, "CrashBoard"),
         }
     }
 }
@@ -94,6 +103,13 @@ pub struct McConfig {
     /// Maximum injected faults per run (reorders + corruptions + drops +
     /// duplications).
     pub fault_budget: u32,
+    /// Maximum board power-blips ([`McAction::CrashBoard`]) per run.
+    /// Separate from `fault_budget` because a crash changes the *spec*
+    /// being checked: runs that used a crash are held to at-least-once
+    /// semantics for the fetch-and-add (the dedup buffer is volatile by
+    /// design), not strict baseline equality. Zero (the default) keeps
+    /// the search identical to the crash-free checker.
+    pub crash_budget: u32,
     /// Planted transport mutation ([`McMutation::None`] for the real
     /// code).
     pub mutation: McMutation,
@@ -120,6 +136,7 @@ impl Default for McConfig {
             // ~1.1 M distinct states.
             max_depth: 9,
             fault_budget: 2,
+            crash_budget: 0,
             mutation: McMutation::None,
             max_retries: 16,
             settle_horizon: SimDuration::from_micros(20),
@@ -184,6 +201,9 @@ struct Run {
     /// Freshness-scan watermark: frames with `seq` below this were
     /// scanned.
     scanned_up_to: u64,
+    /// Board power-blips applied so far (selects the relaxed at-least-once
+    /// outcome check at quiescence).
+    crashes: u32,
     /// Narration of the applied actions.
     trace: Vec<String>,
 }
@@ -198,6 +218,7 @@ impl Run {
             seen_req_ids: HashSet::new(),
             synthetic: HashSet::new(),
             scanned_up_to: 0,
+            crashes: 0,
             trace: Vec::new(),
         };
         run.settle_and_check()?;
@@ -243,6 +264,11 @@ impl Run {
             McAction::FireTimer => {
                 self.trace.push("FireTimer: run next event past the horizon".into());
                 self.scenario.sim.step();
+            }
+            McAction::CrashBoard => {
+                self.trace.push("CrashBoard: power-blip the board (volatile state lost)".into());
+                self.crashes += 1;
+                self.scenario.power_blip();
             }
         }
         self.settle_and_check()
@@ -325,6 +351,11 @@ impl Run {
     /// pruning).
     fn state_hash(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        // Crash count is part of the logical state: a post-blip state with
+        // a cold dedup buffer is checked against a different (relaxed)
+        // quiescent spec than its crash-free twin, so they must not prune
+        // into one node.
+        h = mix(h, self.crashes as u64);
         h = mix(h, self.scenario.host().clib().transport().fingerprint());
         h = mix(h, self.scenario.host().clib().in_flight() as u64);
         h = mix(h, self.scenario.cboard().fingerprint());
@@ -366,10 +397,82 @@ impl Run {
                 baseline.results.len()
             ));
         }
-        if got != *baseline {
+        if self.crashes == 0 {
+            if got != *baseline {
+                return Err(format!(
+                    "observational equivalence violated: explored run produced {got:?}, the \
+                     fault-free unbatched baseline produced {baseline:?}"
+                ));
+            }
+            return Ok(());
+        }
+        self.check_quiescent_after_crashes(baseline, &got)
+    }
+
+    /// The quiescent spec for runs that power-blipped the board: single
+    /// completion per op and read-side equality still hold verbatim, but
+    /// the fetch-and-add degrades from exactly-once to **at-least-once,
+    /// at-most-`crashes + 1`-times** — each blip clears the volatile dedup
+    /// buffer, so one retry of an already-executed FAA may re-execute per
+    /// crash. The value the application observed must be one the cell
+    /// actually passed through.
+    fn check_quiescent_after_crashes(
+        &self,
+        baseline: &Outcome,
+        got: &Outcome,
+    ) -> Result<(), String> {
+        use crate::harness::{FAA_DELTA, FAA_SEED};
+        if got.read_page != baseline.read_page {
             return Err(format!(
-                "observational equivalence violated: explored run produced {got:?}, the \
-                 fault-free unbatched baseline produced {baseline:?}"
+                "crash run corrupted the read page: got {:?}, baseline {:?} — committed \
+                 DRAM must survive a board restart",
+                got.read_page, baseline.read_page
+            ));
+        }
+        // Token order (= submission order): [0] the read, [1] the FAA.
+        if got.results[0] != baseline.results[0] {
+            return Err(format!(
+                "crash run changed the read's completion: got {:?}, baseline {:?}",
+                got.results[0], baseline.results[0]
+            ));
+        }
+        let executions = match &got.results[1].1 {
+            Ok(clio_cn::CompletionValue::Old(v))
+                if *v >= FAA_SEED && (*v - FAA_SEED).is_multiple_of(FAA_DELTA) =>
+            {
+                (*v - FAA_SEED) / FAA_DELTA
+            }
+            other => {
+                return Err(format!(
+                    "crash run's FAA completed with {other:?}, expected Ok(Old(seed + \
+                     k*delta)) for some prior execution count k"
+                ));
+            }
+        };
+        if executions > self.crashes as u64 {
+            return Err(format!(
+                "FAA old-value implies {executions} prior executions but only {} crash(es) \
+                 could have cleared the dedup buffer",
+                self.crashes
+            ));
+        }
+        let cell = got.faa_cell;
+        let over_seed = cell
+            .checked_sub(FAA_SEED)
+            .ok_or_else(|| format!("FAA cell regressed below its seed: {cell} < {FAA_SEED}"))?;
+        if over_seed == 0 || !over_seed.is_multiple_of(FAA_DELTA) {
+            return Err(format!(
+                "FAA cell holds {cell}: the completed op must have applied the delta a whole \
+                 number of times, at least once"
+            ));
+        }
+        let applied = over_seed / FAA_DELTA;
+        if applied > (self.crashes + 1) as u64 {
+            return Err(format!(
+                "FAA applied {applied} times but {} crash(es) permit at most {} — dedup \
+                 failed beyond what volatility explains",
+                self.crashes,
+                self.crashes + 1
             ));
         }
         Ok(())
@@ -481,7 +584,7 @@ pub fn explore(cfg: &McConfig) -> McReport {
         truncated: false,
     };
     let mut schedule = Vec::new();
-    let violation = dfs(&mut search, &mut schedule, 0);
+    let violation = dfs(&mut search, &mut schedule, 0, 0);
     McReport {
         distinct_states: search.visited.len(),
         nodes: search.nodes,
@@ -498,6 +601,7 @@ fn dfs(
     search: &mut Search<'_>,
     schedule: &mut Vec<McAction>,
     faults_used: u32,
+    crashes_used: u32,
 ) -> Option<Violation> {
     if search.nodes >= search.cfg.max_nodes {
         search.truncated = true;
@@ -562,28 +666,32 @@ fn dfs(
     }
 
     // Enumerate children. The run itself cannot be reused across children
-    // (each child mutates it), so collect the action list first.
-    let mut actions: Vec<(McAction, u32)> = Vec::new();
+    // (each child mutates it), so collect the action list first. Each
+    // entry carries its (fault cost, crash cost).
+    let mut actions: Vec<(McAction, u32, u32)> = Vec::new();
     for i in 0..pending_frames {
         let reorders = run.scenario.wire().delivery_reorders(i);
-        actions.push((McAction::Deliver(i), reorders as u32));
+        actions.push((McAction::Deliver(i), reorders as u32, 0));
         if !run.scenario.wire().pending()[i].frame.corrupted {
-            actions.push((McAction::Corrupt(i), 1));
+            actions.push((McAction::Corrupt(i), 1, 0));
         }
-        actions.push((McAction::Drop(i), 1));
-        actions.push((McAction::Duplicate(i), 1));
+        actions.push((McAction::Drop(i), 1, 0));
+        actions.push((McAction::Duplicate(i), 1, 0));
     }
     if timer_pending {
-        actions.push((McAction::FireTimer, 0));
+        actions.push((McAction::FireTimer, 0, 0));
     }
+    actions.push((McAction::CrashBoard, 0, 1));
     drop(run);
 
-    for (action, cost) in actions {
-        if faults_used + cost > search.cfg.fault_budget {
+    for (action, cost, crash_cost) in actions {
+        if faults_used + cost > search.cfg.fault_budget
+            || crashes_used + crash_cost > search.cfg.crash_budget
+        {
             continue;
         }
         schedule.push(action);
-        let v = dfs(search, schedule, faults_used + cost);
+        let v = dfs(search, schedule, faults_used + cost, crashes_used + crash_cost);
         schedule.pop();
         if v.is_some() {
             return v;

@@ -21,7 +21,7 @@ use clio_cn::transport::McMutation;
 use clio_cn::{CLib, CLibConfig, ClioError, Completion, CompletionValue, Op, ThreadId};
 use clio_hw::pagetable::Pte;
 use clio_mn::{CBoard, CBoardConfig};
-use clio_net::{Frame, Mac, NicPort, VirtualWire};
+use clio_net::{BoardPower, Frame, Mac, NicPort, VirtualWire};
 use clio_proto::{Perm, Pid};
 use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, SimDuration, SimTime, Simulation};
 
@@ -198,6 +198,17 @@ impl Scenario {
     /// The board, read-only.
     pub fn cboard(&self) -> &CBoard {
         self.sim.actor::<CBoard>(self.board)
+    }
+
+    /// Power-blips the board: posts a [`BoardPower::Crash`] immediately
+    /// followed by a [`BoardPower::Restart`], so the next settle loses the
+    /// board's volatile state (dedup buffer, egress queues, pending
+    /// doorbells) while committed DRAM, page tables, and allocator state
+    /// survive. Frames already captured on the wire are untouched — they
+    /// belong to the network, not the board.
+    pub fn power_blip(&mut self) {
+        self.sim.post(self.board, Message::new(BoardPower::Crash));
+        self.sim.post(self.board, Message::new(BoardPower::Restart));
     }
 
     /// Removes pending frame `index` from the wire and posts it to its

@@ -89,6 +89,61 @@ fn planted_window_leak_is_caught_and_replays() {
     assert_eq!(replayed.message, v.message, "replay diverged from the search");
 }
 
+/// A bounded search with one board power-blip in the budget: every
+/// schedule interleaving a crash/restart with the two-op exchange must
+/// keep all existing invariants — window accounting and id freshness at
+/// every settled state, single completion and drained windows at
+/// quiescence — with the outcome held to the relaxed at-least-once spec
+/// (the dedup buffer is volatile, so a post-crash retry may re-execute
+/// the FAA once per blip, never more).
+#[test]
+fn one_crash_schedules_of_the_two_op_exchange_stay_clean() {
+    let cfg = McConfig { max_depth: 6, crash_budget: 1, ..McConfig::default() };
+    let report = explore(&cfg);
+    assert!(!report.truncated, "search hit the node cap; not exhaustive");
+    assert!(report.quiescent_runs > 0, "no crash schedule reached quiescence");
+    if let Some(v) = report.violation {
+        panic!("{v}");
+    }
+    // The crash budget genuinely widens the search: the same bounds
+    // without it visit strictly fewer states.
+    let without = explore(&McConfig { max_depth: 6, crash_budget: 0, ..McConfig::default() });
+    assert!(
+        report.distinct_states > without.distinct_states,
+        "crash budget added no states ({} vs {})",
+        report.distinct_states,
+        without.distinct_states
+    );
+}
+
+/// A deterministic crash schedule pinning the at-least-once relaxation:
+/// the batch executes, its response is dropped, the board power-blips
+/// (dedup buffer lost), and the timeout-driven retry re-executes the FAA.
+/// The run must stay violation-free — the re-execution is within the
+/// volatile-dedup spec — and reach quiescence.
+#[test]
+fn crash_after_execution_reexecutes_faa_within_spec() {
+    let schedule = [
+        Deliver(0),           // deliver the Batch: both ops execute
+        Drop(0),              // drop the BatchResp -> CN never hears back
+        McAction::CrashBoard, // power-blip: dedup buffer now cold
+        FireTimer,            // retry both ops
+        Deliver(0),           // deliver the retry batch -> FAA re-executes
+        Deliver(0),           // deliver its response
+        Deliver(0),
+        Deliver(0),
+    ];
+    let cfg = McConfig {
+        fault_budget: 1,
+        crash_budget: 1,
+        max_depth: schedule.len(),
+        ..McConfig::default()
+    };
+    if let Err(v) = replay(&cfg, &schedule) {
+        panic!("{v}");
+    }
+}
+
 /// Sanity on the bounds themselves: a zero-fault search is a plain
 /// delivery-order exploration and must stay clean even at larger depth.
 #[test]

@@ -85,7 +85,7 @@ use std::collections::{HashMap, VecDeque};
 use bytes::Bytes;
 use clio_hw::dedup::DedupRecord;
 use clio_hw::silicon::{AccessTiming, AtomicOp, Silicon};
-use clio_net::{Frame, Mac, NicPort};
+use clio_net::{BoardPower, Frame, Mac, NicPort};
 use clio_proto::{
     codec, split_read_response, ClioPacket, NackBatchBuilder, Pid, ReqHeader, ReqId, RequestBody,
     RespBatchBuilder, RespHeader, ResponseBody, Status, ETH_OVERHEAD_BYTES,
@@ -134,6 +134,10 @@ pub struct BoardStats {
     pub conflicts: u64,
     /// Requests answered with `Moved`.
     pub moved: u64,
+    /// Power cycles completed: `BoardPower::Restart` messages handled.
+    pub board_restarts: u64,
+    /// Frames and doorbells dropped because the board was powered off.
+    pub dropped_while_down: u64,
 }
 
 /// The board's live counters: shared [`Counter`] handles so a metrics
@@ -154,6 +158,8 @@ struct BoardMetrics {
     offload_calls: Counter,
     conflicts: Counter,
     moved: Counter,
+    board_restarts: Counter,
+    dropped_while_down: Counter,
 }
 
 #[derive(Debug)]
@@ -289,6 +295,9 @@ pub struct CBoard {
     peer_srtt: HashMap<Mac, u32>,
     /// Most recent echoed srtt (ns), exported for harness observability.
     peer_srtt_ns: Gauge,
+    /// Power state: a crashed board (`BoardPower::Crash`) drops all traffic
+    /// and has lost its volatile state until `BoardPower::Restart`.
+    alive: bool,
 }
 
 impl CBoard {
@@ -324,6 +333,7 @@ impl CBoard {
             cur_trace: None,
             peer_srtt: HashMap::new(),
             peer_srtt_ns: Gauge::default(),
+            alive: true,
         };
         board.refill_async_buffer();
         board
@@ -371,7 +381,14 @@ impl CBoard {
             offload_calls: self.stats.offload_calls.get(),
             conflicts: self.stats.conflicts.get(),
             moved: self.stats.moved.get(),
+            board_restarts: self.stats.board_restarts.get(),
+            dropped_while_down: self.stats.dropped_while_down.get(),
         }
+    }
+
+    /// Whether the board is powered on (a crashed board drops all traffic).
+    pub fn alive(&self) -> bool {
+        self.alive
     }
 
     /// Injects a live span collector; subsequent requests stitch their
@@ -404,6 +421,12 @@ impl CBoard {
         registry.register_counter(format!("{prefix}.board.offload_calls"), m.offload_calls.clone());
         registry.register_counter(format!("{prefix}.board.conflicts"), m.conflicts.clone());
         registry.register_counter(format!("{prefix}.board.moved"), m.moved.clone());
+        registry
+            .register_counter(format!("{prefix}.board.board_restarts"), m.board_restarts.clone());
+        registry.register_counter(
+            format!("{prefix}.board.dropped_while_down"),
+            m.dropped_while_down.clone(),
+        );
         registry.register_gauge(format!("{prefix}.board.peer_srtt_ns"), self.peer_srtt_ns.clone());
         self.silicon.register_metrics(registry, prefix);
     }
@@ -460,6 +483,7 @@ impl CBoard {
         h = fnv_mix(h, self.silicon.dedup().len() as u64);
         h = fnv_mix(h, self.out_migrations.len() as u64);
         h = fnv_mix(h, self.in_migrations.len() as u64);
+        h = fnv_mix(h, self.alive as u64);
         h
     }
 
@@ -493,6 +517,45 @@ impl CBoard {
                 self.silicon.vm_mut().async_buffer_mut().push(p);
             }
         }
+    }
+
+    /// Powers the board off (`BoardPower::Crash`): every piece of volatile
+    /// state is lost — the multi-packet write tracker, the egress queues
+    /// and their pending doorbells, the retry-dedup buffer, the fence
+    /// barrier, and all per-destination RTT/turnaround estimators. What
+    /// survives is exactly what lives in DRAM or on the ARM: committed
+    /// data, page tables, and allocator state — the durability contract
+    /// [`clio_net::BoardPower`] documents. While down, the board drops all
+    /// traffic silently; the CN's timeout/retry machinery (and its circuit
+    /// breaker) is what observes the outage.
+    fn crash(&mut self, ctx: &mut Ctx<'_>) {
+        self.alive = false;
+        self.writes.pending.clear();
+        self.writes.order.clear();
+        self.egress.clear();
+        for (_, (_, event)) in self.egress_doorbells.drain() {
+            ctx.cancel(event);
+        }
+        self.egress_last_ready.clear();
+        self.egress_gap_ewma.clear();
+        self.egress_turnaround_ewma.clear();
+        self.peer_srtt.clear();
+        self.peer_srtt_ns.set(0);
+        self.silicon.dedup_mut().clear();
+        self.fence_until = SimTime::ZERO;
+        self.last_completion = SimTime::ZERO;
+        self.cur_trace = None;
+    }
+
+    /// Powers the board back on (`BoardPower::Restart`) with cold volatile
+    /// state. Crash + restart is idempotent on committed memory: reads of
+    /// previously acknowledged writes still return the committed bytes.
+    fn restart(&mut self) {
+        if self.alive {
+            return;
+        }
+        self.alive = true;
+        self.stats.board_restarts.inc();
     }
 
     /// Queues a packet for egress toward `dst`, ready (fully produced by the
@@ -1415,6 +1478,26 @@ impl Actor for CBoard {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        // Power control is handled first and unconditionally: a crashed
+        // board must still hear its own restart.
+        let msg = match msg.downcast::<BoardPower>() {
+            Ok(BoardPower::Crash) => {
+                self.crash(ctx);
+                return;
+            }
+            Ok(BoardPower::Restart) => {
+                self.restart();
+                return;
+            }
+            Err(m) => m,
+        };
+        if !self.alive {
+            // Powered off: every frame, doorbell and migration message is
+            // dropped on the floor. The CN's timeout machinery sees the
+            // silence; nothing is NACKed (a dead board can't NACK).
+            self.stats.dropped_while_down.inc();
+            return;
+        }
         let msg = match msg.downcast::<MigrateCommand>() {
             Ok(cmd) => {
                 self.start_migration(ctx, cmd);

@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use clio_mn::migrate::MigrateCommand;
 use clio_mn::{CBoard, CBoardConfig, Offload, OffloadEnv, OffloadReply};
-use clio_net::{FaultInjector, Frame, Mac, Network, NetworkConfig, NicPort};
+use clio_net::{BoardPower, FaultInjector, Frame, Mac, Network, NetworkConfig, NicPort};
 use clio_proto::{
     codec, split_write, ClioPacket, Perm, Pid, Reassembler, ReqHeader, ReqId, RequestBody,
     ResponseBody, Status, ETH_OVERHEAD_BYTES,
@@ -539,6 +539,93 @@ fn over_commit_faults_until_physical_exhaustion() {
     }
     assert_eq!(ok, 8, "exactly the physical capacity faults in");
     assert_eq!(oom, 8, "the rest report physical exhaustion");
+}
+
+#[test]
+fn crash_drops_traffic_and_restart_preserves_committed_writes() {
+    let mut r = rig();
+    let va = r.alloc(1, 7, 4096, Perm::RW);
+    r.send(Message::new(SendWrite {
+        req_id: ReqId(2),
+        retry_of: None,
+        pid: Pid(7),
+        va,
+        data: Bytes::from_static(b"durable bytes"),
+    }));
+    match r.response_for(2).expect("write acked") {
+        ClioPacket::Response { header, .. } => assert_eq!(header.status, Status::Ok),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Power the board off: requests vanish into the void — no response,
+    // no NACK.
+    r.sim.post(r.board_id, Message::new(BoardPower::Crash));
+    r.sim.run_until_idle();
+    assert!(!r.sim.actor::<CBoard>(r.board_id).alive());
+    let n_before = r.responses().len();
+    r.send(req(3, 7, RequestBody::Read { va, len: 13 }));
+    assert_eq!(r.responses().len(), n_before, "dead board answers nothing");
+    {
+        let board = r.sim.actor::<CBoard>(r.board_id);
+        let stats = board.stats();
+        assert!(stats.dropped_while_down >= 1, "drop counted");
+        assert_eq!(stats.board_restarts, 0);
+        assert!(board.silicon().dedup().is_empty(), "dedup buffer is volatile");
+    }
+
+    // Restart: volatile state is cold, committed DRAM and page tables
+    // survive — the pre-crash write reads back intact.
+    r.sim.post(r.board_id, Message::new(BoardPower::Restart));
+    r.sim.run_until_idle();
+    assert!(r.sim.actor::<CBoard>(r.board_id).alive());
+    r.send(req(4, 7, RequestBody::Read { va, len: 13 }));
+    let client = r.sim.actor::<RawClient>(r.client_id);
+    let (_, got) = client.reads.last().expect("post-restart read");
+    assert_eq!(&got[..], b"durable bytes", "committed writes survive a power cycle");
+    assert_eq!(r.sim.actor::<CBoard>(r.board_id).stats().board_restarts, 1);
+}
+
+#[test]
+fn crash_clears_volatile_state_and_redundant_restart_is_noop() {
+    let mut r = rig();
+    let va = r.alloc(1, 7, 4096, Perm::RW);
+    // Seed the dedup buffer with a non-idempotent execution.
+    r.send(Message::new(SendWrite {
+        req_id: ReqId(2),
+        retry_of: None,
+        pid: Pid(7),
+        va,
+        data: Bytes::from_static(b"first"),
+    }));
+    assert!(!r.sim.actor::<CBoard>(r.board_id).silicon().dedup().is_empty());
+    let fp_alive = r.sim.actor::<CBoard>(r.board_id).fingerprint();
+
+    r.sim.post(r.board_id, Message::new(BoardPower::Crash));
+    r.sim.run_until_idle();
+    let fp_dead = r.sim.actor::<CBoard>(r.board_id).fingerprint();
+    assert_ne!(fp_alive, fp_dead, "power state is protocol-visible");
+
+    // Restart twice: the second is a no-op, not a second power cycle.
+    r.sim.post(r.board_id, Message::new(BoardPower::Restart));
+    r.sim.post(r.board_id, Message::new(BoardPower::Restart));
+    r.sim.run_until_idle();
+    assert_eq!(r.sim.actor::<CBoard>(r.board_id).stats().board_restarts, 1);
+
+    // The dedup buffer was lost: a "retry" of the pre-crash write
+    // re-executes (the documented at-most-once window is bounded by the
+    // buffer's volatility — exactly why CNs must not retry across a known
+    // power cycle without re-reading).
+    r.send(Message::new(SendWrite {
+        req_id: ReqId(3),
+        retry_of: Some(ReqId(2)),
+        pid: Pid(7),
+        va,
+        data: Bytes::from_static(b"again"),
+    }));
+    r.send(req(4, 7, RequestBody::Read { va, len: 5 }));
+    let client = r.sim.actor::<RawClient>(r.client_id);
+    let (_, got) = client.reads.last().expect("read");
+    assert_eq!(&got[..], b"again", "cold dedup buffer no longer suppresses the retry");
 }
 
 #[test]

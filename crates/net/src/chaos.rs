@@ -1,0 +1,263 @@
+//! Scriptable chaos schedules: seeded, virtual-time-driven fault events.
+//!
+//! A [`ChaosSchedule`] is a replayable list of `(delay, action)` pairs —
+//! link flaps, delay spikes, and board crash/restart cycles — generated
+//! up-front from a seed and installed into the simulation as ordinary
+//! pre-posted messages. Because installation happens before the run and
+//! every action is carried by the same deterministic event queue as real
+//! traffic, the same seed always produces the same fault timeline and the
+//! same run digest; there are no runtime draws.
+//!
+//! Link-level actions are delivered to the [`Switch`](crate::Switch) as
+//! [`LinkCommand`] messages; board-level actions are delivered to the
+//! target board actor as [`BoardPower`] messages (handled by `clio_mn`'s
+//! `CBoard`, which drops its volatile state — dedup buffer, egress queues,
+//! in-flight pipeline — while preserving committed DRAM).
+
+use clio_sim::{ActorId, Message, SimDuration, SimRng, Simulation};
+
+use crate::frame::Mac;
+
+/// Link control message handled by the [`Switch`](crate::Switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkCommand {
+    /// Take the port for this MAC down: frames to or from it are dropped
+    /// (counted as `dropped_link_down`) until the link comes back up.
+    Down(Mac),
+    /// Bring the port for this MAC back up.
+    Up(Mac),
+    /// Set the port's delivery jitter — a delay spike. A zero duration
+    /// clears the spike.
+    SetJitter(Mac, SimDuration),
+}
+
+/// Board power-cycle message handled by `clio_mn`'s `CBoard`.
+///
+/// `Crash` drops the board's volatile state (dedup buffer, egress queues,
+/// pending doorbells, RTT estimators) and makes it drop all traffic;
+/// committed DRAM, page tables and allocator state survive. `Restart`
+/// brings the board back with cold volatile state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoardPower {
+    /// Power the board off, losing volatile state.
+    Crash,
+    /// Power the board back on with cold volatile state.
+    Restart,
+}
+
+/// One scheduled chaos event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Take the link toward this MAC down.
+    LinkDown(Mac),
+    /// Bring the link toward this MAC back up.
+    LinkUp(Mac),
+    /// Set delivery jitter toward this MAC (zero clears).
+    DelaySpike {
+        /// Port whose deliveries are delayed.
+        mac: Mac,
+        /// Maximum extra uniformly-random delay per frame.
+        jitter: SimDuration,
+    },
+    /// Power-off the board at this MAC (volatile state lost).
+    CrashBoard(Mac),
+    /// Power the board at this MAC back on.
+    RestartBoard(Mac),
+}
+
+/// Knobs for [`ChaosSchedule::storm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormConfig {
+    /// Window the storm is spread over (events land in `[0, span)`).
+    pub span: SimDuration,
+    /// Board crash/restart cycles, round-robin over the boards.
+    pub crashes: u32,
+    /// Link down/up flap pairs, round-robin over the links.
+    pub flaps: u32,
+    /// Delay-spike set/clear pairs, round-robin over the links.
+    pub spikes: u32,
+    /// Maximum board outage (actual outages are uniform in half..max).
+    pub max_outage: SimDuration,
+    /// Maximum link-down duration (uniform in half..max).
+    pub max_flap: SimDuration,
+    /// Maximum spike jitter (uniform in half..max).
+    pub max_jitter: SimDuration,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            span: SimDuration::from_millis(2),
+            crashes: 2,
+            flaps: 4,
+            spikes: 2,
+            max_outage: SimDuration::from_micros(300),
+            max_flap: SimDuration::from_micros(150),
+            max_jitter: SimDuration::from_micros(5),
+        }
+    }
+}
+
+/// A replayable, seeded fault timeline: `(delay, action)` pairs sorted by
+/// delay. Build one explicitly with [`at`](ChaosSchedule::at) or generate
+/// a whole storm from a seed with [`storm`](ChaosSchedule::storm), then
+/// [`install`](ChaosSchedule::install) it into a simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    events: Vec<(SimDuration, ChaosAction)>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an action at `delay` from installation time (builder-style).
+    pub fn at(mut self, delay: SimDuration, action: ChaosAction) -> Self {
+        self.events.push((delay, action));
+        self.events.sort_by_key(|(d, _)| *d);
+        self
+    }
+
+    /// The scheduled events, sorted by delay.
+    pub fn events(&self) -> &[(SimDuration, ChaosAction)] {
+        &self.events
+    }
+
+    /// Number of `CrashBoard` actions in the schedule.
+    pub fn crashes(&self) -> usize {
+        self.events.iter().filter(|(_, a)| matches!(a, ChaosAction::CrashBoard(_))).count()
+    }
+
+    /// Number of `LinkDown` actions (flaps) in the schedule.
+    pub fn flaps(&self) -> usize {
+        self.events.iter().filter(|(_, a)| matches!(a, ChaosAction::LinkDown(_))).count()
+    }
+
+    /// Generates a seeded crash/flap storm: `cfg.crashes` board power
+    /// cycles round-robin over `boards`, `cfg.flaps` link flaps and
+    /// `cfg.spikes` delay spikes round-robin over `links`, with all times
+    /// and durations drawn from a SplitMix64 stream seeded by `seed`.
+    /// The same `(seed, boards, links, cfg)` always yields the same
+    /// schedule.
+    pub fn storm(seed: u64, boards: &[Mac], links: &[Mac], cfg: StormConfig) -> Self {
+        let mut rng = SimRng::new(seed);
+        let mut events = Vec::new();
+        let span_ns = cfg.span.as_nanos().max(1);
+        let draw_window = |rng: &mut SimRng, max: SimDuration| {
+            let max_ns = max.as_nanos().max(2);
+            let len = rng.range_u64(max_ns / 2, max_ns);
+            let start = rng.range_u64(0, span_ns.saturating_sub(len).max(1));
+            (SimDuration::from_nanos(start), SimDuration::from_nanos(start + len))
+        };
+        if !boards.is_empty() {
+            for i in 0..cfg.crashes {
+                let mac = boards[i as usize % boards.len()];
+                let (down, up) = draw_window(&mut rng, cfg.max_outage);
+                events.push((down, ChaosAction::CrashBoard(mac)));
+                events.push((up, ChaosAction::RestartBoard(mac)));
+            }
+        }
+        if !links.is_empty() {
+            for i in 0..cfg.flaps {
+                let mac = links[i as usize % links.len()];
+                let (down, up) = draw_window(&mut rng, cfg.max_flap);
+                events.push((down, ChaosAction::LinkDown(mac)));
+                events.push((up, ChaosAction::LinkUp(mac)));
+            }
+            for i in 0..cfg.spikes {
+                let mac = links[i as usize % links.len()];
+                let (set, clear) = draw_window(&mut rng, cfg.max_flap);
+                let jitter_ns = rng.range_u64(
+                    cfg.max_jitter.as_nanos().max(2) / 2,
+                    cfg.max_jitter.as_nanos().max(2),
+                );
+                events.push((
+                    set,
+                    ChaosAction::DelaySpike { mac, jitter: SimDuration::from_nanos(jitter_ns) },
+                ));
+                events.push((clear, ChaosAction::DelaySpike { mac, jitter: SimDuration::ZERO }));
+            }
+        }
+        events.sort_by_key(|(d, _)| *d);
+        ChaosSchedule { events }
+    }
+
+    /// Installs the schedule into `sim` by pre-posting every action as a
+    /// message at its absolute fire time: link actions go to the `switch`
+    /// actor as [`LinkCommand`]s, board actions to `board_of(mac)` as
+    /// [`BoardPower`] messages. Replaying the same schedule into the same
+    /// simulation always yields the same digest.
+    pub fn install<F>(&self, sim: &mut Simulation, switch: ActorId, mut board_of: F)
+    where
+        F: FnMut(Mac) -> ActorId,
+    {
+        for &(delay, action) in &self.events {
+            match action {
+                ChaosAction::LinkDown(mac) => {
+                    sim.post_in(switch, delay, Message::new(LinkCommand::Down(mac)));
+                }
+                ChaosAction::LinkUp(mac) => {
+                    sim.post_in(switch, delay, Message::new(LinkCommand::Up(mac)));
+                }
+                ChaosAction::DelaySpike { mac, jitter } => {
+                    sim.post_in(switch, delay, Message::new(LinkCommand::SetJitter(mac, jitter)));
+                }
+                ChaosAction::CrashBoard(mac) => {
+                    sim.post_in(board_of(mac), delay, Message::new(BoardPower::Crash));
+                }
+                ChaosAction::RestartBoard(mac) => {
+                    sim.post_in(board_of(mac), delay, Message::new(BoardPower::Restart));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_is_deterministic_per_seed() {
+        let boards = [Mac(1), Mac(2)];
+        let links = [Mac(3), Mac(4), Mac(5)];
+        let a = ChaosSchedule::storm(42, &boards, &links, StormConfig::default());
+        let b = ChaosSchedule::storm(42, &boards, &links, StormConfig::default());
+        assert_eq!(a, b, "same seed must yield the same schedule");
+        let c = ChaosSchedule::storm(43, &boards, &links, StormConfig::default());
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn storm_meets_requested_counts_sorted() {
+        let cfg = StormConfig { crashes: 3, flaps: 5, ..StormConfig::default() };
+        let s = ChaosSchedule::storm(7, &[Mac(1)], &[Mac(2), Mac(3)], cfg);
+        assert_eq!(s.crashes(), 3);
+        assert_eq!(s.flaps(), 5);
+        let restarts =
+            s.events().iter().filter(|(_, a)| matches!(a, ChaosAction::RestartBoard(_))).count();
+        assert_eq!(restarts, 3, "every crash has a matching restart");
+        let delays: Vec<_> = s.events().iter().map(|(d, _)| *d).collect();
+        let mut sorted = delays.clone();
+        sorted.sort();
+        assert_eq!(delays, sorted, "events sorted by delay");
+    }
+
+    #[test]
+    fn builder_keeps_events_sorted() {
+        let s = ChaosSchedule::new()
+            .at(SimDuration::from_micros(10), ChaosAction::LinkUp(Mac(1)))
+            .at(SimDuration::from_micros(5), ChaosAction::LinkDown(Mac(1)));
+        assert!(matches!(s.events()[0], (_, ChaosAction::LinkDown(_))));
+        assert_eq!(s.flaps(), 1);
+        assert_eq!(s.crashes(), 0);
+    }
+
+    #[test]
+    fn empty_targets_yield_empty_schedule() {
+        let s = ChaosSchedule::storm(1, &[], &[], StormConfig::default());
+        assert!(s.events().is_empty());
+    }
+}

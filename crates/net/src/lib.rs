@@ -22,16 +22,32 @@
 //! bounded model checker) decides each delivery, reorder, corruption, drop
 //! or duplication as an explicit, replayable choice.
 //!
+//! ## Determinism and seeding
+//!
+//! Every probabilistic draw a [`FaultInjector`] makes (`loss_prob`,
+//! `corrupt_prob`, jitter) comes from the simulation's single seeded
+//! SplitMix64 stream (`clio_sim::SimRng`), consumed in event-dispatch
+//! order: the switch draws exactly when a frame is forwarded, never at
+//! configuration time. Two runs with the same `Simulation::new(seed)` and
+//! the same message sequence therefore make identical draws and produce
+//! identical frame timelines and run digests. Longer-lived faults —
+//! link flaps, delay spikes, board crash/restart cycles — are scripted
+//! rather than drawn: a [`ChaosSchedule`] is generated up-front from its
+//! own seed and installed as pre-posted messages, so the whole fault
+//! timeline replays exactly (same seed ⇒ same digest).
+//!
 //! Frames carry a type-erased payload ([`clio_sim::Message`]) plus an
 //! explicit wire size, so upper layers (clio-proto packets, RDMA verbs, ...)
 //! share one fabric.
 
+mod chaos;
 mod frame;
 mod nic;
 mod switch;
 mod topology;
 mod wire;
 
+pub use chaos::{BoardPower, ChaosAction, ChaosSchedule, LinkCommand, StormConfig};
 pub use frame::{Frame, Mac};
 pub use nic::NicPort;
 pub use switch::{FaultInjector, PortStats, QueueDiscipline, Switch, SwitchConfig};

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use clio_sim::resource::SerialResource;
 use clio_sim::{Actor, ActorId, Bandwidth, Ctx, Message, SimDuration};
 
+use crate::chaos::LinkCommand;
 use crate::frame::{Frame, Mac};
 
 /// Egress queue behavior for a switch port.
@@ -58,6 +59,10 @@ pub struct PortStats {
     pub dropped_overflow: u64,
     /// Frames dropped by fault injection.
     pub dropped_fault: u64,
+    /// Frames dropped because the link was administratively down
+    /// (a [`LinkCommand::Down`] chaos event), counted at whichever side
+    /// of the crossbar the down link was on.
+    pub dropped_link_down: u64,
     /// Frames delivered corrupted by fault injection.
     pub corrupted: u64,
 }
@@ -91,6 +96,7 @@ struct Port {
     discipline: QueueDiscipline,
     faults: FaultInjector,
     stats: PortStats,
+    link_up: bool,
 }
 
 /// A store-and-forward switch connecting all endpoints of the fabric.
@@ -134,6 +140,7 @@ impl Switch {
                 discipline,
                 faults,
                 stats: PortStats::default(),
+                link_up: true,
             },
         );
         assert!(prev.is_none(), "duplicate port registration for {mac}");
@@ -166,6 +173,38 @@ impl Switch {
     pub fn port_rate(&self, mac: Mac) -> Bandwidth {
         self.ports.get(&mac).expect("unknown port").rate
     }
+
+    /// Whether the link toward `mac` is administratively up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is not registered.
+    pub fn link_up(&self, mac: Mac) -> bool {
+        self.ports.get(&mac).expect("unknown port").link_up
+    }
+
+    /// Applies a chaos [`LinkCommand`] (also reachable by posting the
+    /// command to the switch actor, which is how [`ChaosSchedule`]
+    /// installs flaps).
+    ///
+    /// [`ChaosSchedule`]: crate::ChaosSchedule
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command names an unregistered port.
+    pub fn apply_link_command(&mut self, cmd: LinkCommand) {
+        match cmd {
+            LinkCommand::Down(mac) => {
+                self.ports.get_mut(&mac).expect("unknown port").link_up = false;
+            }
+            LinkCommand::Up(mac) => {
+                self.ports.get_mut(&mac).expect("unknown port").link_up = true;
+            }
+            LinkCommand::SetJitter(mac, jitter) => {
+                self.ports.get_mut(&mac).expect("unknown port").faults.jitter = jitter;
+            }
+        }
+    }
 }
 
 impl Actor for Switch {
@@ -174,14 +213,30 @@ impl Actor for Switch {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let msg = match msg.downcast::<LinkCommand>() {
+            Ok(cmd) => return self.apply_link_command(cmd),
+            Err(other) => other,
+        };
         let mut frame = match msg.downcast::<Frame>() {
             Ok(f) => f,
             Err(other) => panic!("switch received non-frame message: {other:?}"),
         };
+        // A down ingress link: the frame never reached the crossbar.
+        if let Some(src_port) = self.ports.get_mut(&frame.src) {
+            if !src_port.link_up {
+                src_port.stats.dropped_link_down += 1;
+                return;
+            }
+        }
         let Some(port) = self.ports.get_mut(&frame.dst) else {
             // Unknown destination: drop (no flooding in this model).
             return;
         };
+        // A down egress link: the frame black-holes at the port.
+        if !port.link_up {
+            port.stats.dropped_link_down += 1;
+            return;
+        }
 
         // Fault injection at egress.
         if ctx.rng().chance(port.faults.loss_prob) {
@@ -362,6 +417,52 @@ mod tests {
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
         assert_ne!(sizes, sorted, "jitter should reorder some frames");
+    }
+
+    #[test]
+    fn link_down_black_holes_until_link_up() {
+        let (mut sim, sw, sink) = build(QueueDiscipline::Lossless, FaultInjector::none());
+        sim.actor_mut::<Switch>(sw).apply_link_command(LinkCommand::Down(Mac(2)));
+        sim.post(sw, frame(100));
+        sim.run_until_idle();
+        assert!(sim.actor::<Sink>(sink).got.is_empty(), "down link must drop");
+        assert_eq!(sim.actor::<Switch>(sw).port_stats(Mac(2)).dropped_link_down, 1);
+        assert!(!sim.actor::<Switch>(sw).link_up(Mac(2)));
+
+        // A LinkCommand posted as a message restores delivery.
+        sim.post(sw, Message::new(LinkCommand::Up(Mac(2))));
+        sim.post(sw, frame(100));
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Sink>(sink).got.len(), 1, "restored link delivers");
+        assert!(sim.actor::<Switch>(sw).link_up(Mac(2)));
+    }
+
+    #[test]
+    fn delay_spike_sets_and_clears_jitter() {
+        let (mut sim, sw, sink) = build(QueueDiscipline::Lossless, FaultInjector::none());
+        let spike = SimDuration::from_micros(100);
+        sim.post(sw, Message::new(LinkCommand::SetJitter(Mac(2), spike)));
+        for i in 0..50u32 {
+            sim.post_in(sw, SimDuration::from_nanos(1 + i as u64), frame(64 + i));
+        }
+        sim.run_until_idle();
+        let sizes: Vec<u32> = sim.actor::<Sink>(sink).got.iter().map(|(_, b, _)| *b).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_ne!(sizes, sorted, "spike jitter should reorder some frames");
+
+        sim.post(sw, Message::new(LinkCommand::SetJitter(Mac(2), SimDuration::ZERO)));
+        sim.run_until_idle();
+        let before = sim.actor::<Sink>(sink).got.len();
+        for i in 0..10u32 {
+            sim.post_in(sw, SimDuration::from_nanos(1 + i as u64), frame(200 + i));
+        }
+        sim.run_until_idle();
+        let after: Vec<u32> =
+            sim.actor::<Sink>(sink).got[before..].iter().map(|(_, b, _)| *b).collect();
+        let mut after_sorted = after.clone();
+        after_sorted.sort_unstable();
+        assert_eq!(after, after_sorted, "cleared spike delivers in order");
     }
 
     #[test]

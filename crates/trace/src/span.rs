@@ -104,6 +104,9 @@ pub enum Stage {
     RetryDoorbell,
     /// Parked after a `Conflict` refusal until the backoff expired.
     ConflictBackoff,
+    /// The op was cancelled (deadline exceeded) before completing; covers
+    /// from the last stitched stage to the cancellation point.
+    Cancelled,
 }
 
 impl Stage {
@@ -122,6 +125,7 @@ impl Stage {
                 | Stage::TimeoutWait
                 | Stage::RetryDoorbell
                 | Stage::ConflictBackoff
+                | Stage::Cancelled
         )
     }
 
@@ -153,6 +157,7 @@ impl Stage {
             Stage::TimeoutWait => "timeout_wait",
             Stage::RetryDoorbell => "retry_doorbell",
             Stage::ConflictBackoff => "conflict_backoff",
+            Stage::Cancelled => "cancelled",
         }
     }
 }

@@ -8,6 +8,20 @@ use clio_sim::SimTime;
 
 use crate::span::{OpTrace, RetryLink, Span, Stage, TraceCtx, Track};
 
+/// A point-in-time system event on a track (e.g. a circuit breaker
+/// observing a board going down or coming back), exported as a Chrome
+/// trace instant event. Unlike spans, events belong to no op and are
+/// never sampled away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The track the event marks.
+    pub track: Track,
+    /// Event name ("board_down", "board_up", ...).
+    pub name: &'static str,
+    /// When it happened.
+    pub at: SimTime,
+}
+
 #[derive(Debug, Default)]
 struct TraceSink {
     next_id: u64,
@@ -15,6 +29,7 @@ struct TraceSink {
     seen: u64,
     active: HashMap<u64, OpTrace>,
     finished: Vec<OpTrace>,
+    events: Vec<TraceEvent>,
 }
 
 /// A cloneable handle every traced component holds. Disabled (the default)
@@ -48,6 +63,7 @@ impl Tracer {
             seen: 0,
             active: HashMap::new(),
             finished: Vec::new(),
+            events: Vec::new(),
         }))))
     }
 
@@ -138,6 +154,26 @@ impl Tracer {
     /// Traces begun but not yet finished.
     pub fn active_count(&self) -> usize {
         self.0.as_ref().map(|s| s.borrow().active.len()).unwrap_or(0)
+    }
+
+    /// Records a point-in-time system event on `track` (no-op when
+    /// disabled). Events skip per-op sampling: a board going down is a
+    /// system fact, not a latency sample.
+    pub fn event(&self, track: Track, name: &'static str, at: SimTime) {
+        if let Some(sink) = self.0.as_ref() {
+            sink.borrow_mut().events.push(TraceEvent { track, name, at });
+        }
+    }
+
+    /// Clones the recorded system events (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0.as_ref().map(|s| s.borrow().events.clone()).unwrap_or_default()
+    }
+
+    /// Removes and returns the recorded system events (empty when
+    /// disabled).
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        self.0.as_ref().map(|s| std::mem::take(&mut s.borrow_mut().events)).unwrap_or_default()
     }
 }
 

@@ -101,4 +101,24 @@ if [ "$fail" -ne 0 ]; then
   echo "docs/ARCHITECTURE.md client-runtime section is stale (see above)"
   exit 1
 fi
+
+# Failure-model tour: the chaos/breaker/deadline section must exist and
+# its load-bearing names must still exist in the sources.
+grep -q '^## Failure model' "$DOC" || { echo "missing '## Failure model' section"; fail=1; }
+for t in ChaosSchedule StormConfig BoardPower FaultInjector peer_health \
+         circuit_open_total board_restarts dropped_while_down \
+         Unreachable DeadlineExceeded breaker_threshold with_deadline; do
+  if ! grep -qw "$t" "$DOC"; then
+    echo "failure-model docs missing term: $t"
+    fail=1
+  fi
+  if ! grep -rqw --include='*.rs' "$t" crates 2>/dev/null; then
+    echo "failure-model term not in sources: $t"
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "docs/ARCHITECTURE.md failure-model section is stale (see above)"
+  exit 1
+fi
 echo "docs link check: OK"
