@@ -33,6 +33,16 @@ pub enum ClioError {
     /// The target region moved to another MN; the caller should refresh its
     /// routing (handled transparently by the cluster runtime).
     Moved,
+    /// The access straddles two memory nodes: no single MN serves every
+    /// byte of `[va, va + len)`, so the op is refused instead of silently
+    /// routed to the start address's owner. Callers must split the access
+    /// at the ownership boundary.
+    SpansOwners {
+        /// Start of the refused access.
+        va: u64,
+        /// Length of the refused access.
+        len: u64,
+    },
     /// An async handle was polled by a process that did not issue it (or
     /// after its issuing process released it).
     InvalidHandle,
@@ -50,6 +60,9 @@ impl std::fmt::Display for ClioError {
             }
             ClioError::DeadlineExceeded => write!(f, "deadline exceeded before completion"),
             ClioError::Moved => write!(f, "region moved to another memory node"),
+            ClioError::SpansOwners { va, len } => {
+                write!(f, "access {va:#x}+{len} spans multiple memory nodes; split it")
+            }
             ClioError::InvalidHandle => {
                 write!(f, "async handle does not belong to this process")
             }
@@ -84,5 +97,8 @@ mod tests {
         assert!(ClioError::DeadlineExceeded.to_string().contains("deadline"));
         assert!(ClioError::Remote(Status::InvalidAddr).to_string().contains("invalid"));
         assert!(ClioError::InvalidHandle.to_string().contains("does not belong"));
+        let spans = ClioError::SpansOwners { va: 0x1000, len: 8192 };
+        assert!(spans.to_string().contains("spans multiple memory nodes"));
+        assert!(spans.to_string().contains("0x1000"));
     }
 }

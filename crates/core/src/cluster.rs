@@ -133,7 +133,8 @@ impl Cluster {
             sim.actor_mut::<CBoard>(mn).set_controller(controller_id, cfg.pressure_threshold);
         }
 
-        // Compute nodes.
+        // Compute nodes, each registered with the controller so committed
+        // migrations broadcast routing-cache invalidations to all of them.
         let mut cns = Vec::new();
         for i in 0..cfg.cns {
             let port = net.create_port(cfg.cn_nic_rate);
@@ -150,6 +151,7 @@ impl Cluster {
             );
             let id = sim.add_actor(node);
             net.attach(&mut sim, mac, id);
+            sim.actor_mut::<Controller>(controller_id).register_cn(id);
             cns.push(id);
         }
 
@@ -211,6 +213,11 @@ impl Cluster {
     /// The controller actor id.
     pub fn controller_id(&self) -> ActorId {
         self.controller
+    }
+
+    /// Borrows the global controller (placement/migration accounting).
+    pub fn controller(&self) -> &Controller {
+        self.sim.actor::<Controller>(self.controller)
     }
 
     /// Compute-node actor ids.

@@ -41,14 +41,16 @@ pub struct PlacementReply {
     pub tag: u64,
 }
 
-/// Management RPC: which MN owns `(pid, va)` now? (Sent after a `Moved`
-/// refusal.)
+/// Management RPC: which MN owns the `len`-byte access at `(pid, va)` now?
+/// (Sent after a `Moved` refusal.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteQuery {
     /// Process.
     pub pid: Pid,
     /// Address being accessed.
     pub va: u64,
+    /// Bytes the access covers (the whole span must share one owner).
+    pub len: u64,
     /// Who to answer.
     pub reply_to: ActorId,
     /// Caller-chosen tag echoed in the reply.
@@ -58,10 +60,29 @@ pub struct RouteQuery {
 /// Reply to [`RouteQuery`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteReply {
-    /// Current owner of the address (`None` if unknown).
+    /// Current owner of the whole access (`None` if unknown or split).
     pub mn: Option<Mac>,
+    /// True when the access straddles two owners: no single MN can serve
+    /// it, and the CN must fail it fast rather than guess.
+    pub spans: bool,
     /// Echoed tag.
     pub tag: u64,
+}
+
+/// Routing-cache invalidation broadcast to every registered CN when a
+/// migration commits: `[start, start + len)` of `pid` now lives on `mn`.
+/// CNs overwrite any cached route for the range so subsequent ops dispatch
+/// to the new owner without eating a `Moved` refusal first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteUpdate {
+    /// Owning process.
+    pub pid: Pid,
+    /// Migrated range start.
+    pub start: u64,
+    /// Migrated range length.
+    pub len: u64,
+    /// The new owner.
+    pub mn: Mac,
 }
 
 /// Notification from a CN: an allocation succeeded (the controller tracks
@@ -111,6 +132,7 @@ struct MnInfo {
 #[derive(Debug)]
 pub struct Controller {
     mns: Vec<MnInfo>,
+    cns: Vec<ActorId>,
     ranges: Vec<TrackedRange>,
     rpc_latency: SimDuration,
     migrations_started: u64,
@@ -123,6 +145,7 @@ impl Controller {
     pub fn new() -> Self {
         Controller {
             mns: Vec::new(),
+            cns: Vec::new(),
             ranges: Vec::new(),
             rpc_latency: SimDuration::from_micros(2),
             migrations_started: 0,
@@ -142,6 +165,12 @@ impl Controller {
         self.mns.push(MnInfo { mac, actor, slice_base, slice_span, phys_bytes, placed_bytes: 0 });
     }
 
+    /// Registers a compute node to receive [`RouteUpdate`] invalidation
+    /// broadcasts when migrations commit.
+    pub fn register_cn(&mut self, actor: ActorId) {
+        self.cns.push(actor);
+    }
+
     /// The RAS slice `(base, span)` owned by the MN at `mac`.
     ///
     /// # Panics
@@ -150,6 +179,15 @@ impl Controller {
     pub fn slice_of(&self, mac: Mac) -> (u64, u64) {
         let m = self.mns.iter().find(|m| m.mac == mac).expect("unregistered MN");
         (m.slice_base, m.slice_span)
+    }
+
+    /// Bytes currently placed on (charged against) the MN at `mac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is not registered.
+    pub fn placed_bytes_of(&self, mac: Mac) -> u64 {
+        self.mns.iter().find(|m| m.mac == mac).expect("unregistered MN").placed_bytes
     }
 
     /// Registered memory nodes, in registration order.
@@ -175,9 +213,9 @@ impl Controller {
         Some(idx)
     }
 
-    /// The current owner of `(pid, va)`: a tracked range's owner, or the
-    /// slice owner as the default.
-    fn owner_of(&self, pid: Pid, va: u64) -> Option<Mac> {
+    /// The current owner of the single byte at `(pid, va)`: a tracked
+    /// range's owner, or the slice owner as the default.
+    pub fn owner_of(&self, pid: Pid, va: u64) -> Option<Mac> {
         if let Some(r) =
             self.ranges.iter().find(|r| r.pid == pid && va >= r.va && va < r.va + r.len)
         {
@@ -187,6 +225,30 @@ impl Controller {
             .iter()
             .find(|m| va >= m.slice_base && va < m.slice_base + m.slice_span)
             .map(|m| m.mac)
+    }
+
+    /// Resolves the owner of a whole `len`-byte access. Returns
+    /// `(owner, spans)`: `spans` is true (and `owner` is `None`) when the
+    /// access straddles two owners — checking only the start VA would
+    /// silently route the whole op to one MN and corrupt the other's half.
+    fn owner_of_range(&self, pid: Pid, va: u64, len: u64) -> (Option<Mac>, bool) {
+        let end = va + len.max(1) - 1; // inclusive last byte
+        let first = self.owner_of(pid, va);
+        if self.owner_of(pid, end) != first {
+            return (None, true);
+        }
+        // Endpoints agreeing is not enough: a sub-range migrated away from
+        // the middle of the access leaves both ends on the old owner while
+        // interior bytes route elsewhere.
+        let interior_differs = self
+            .ranges
+            .iter()
+            .any(|r| r.pid == pid && r.va <= end && va < r.va + r.len && Some(r.owner) != first);
+        if interior_differs {
+            (None, true)
+        } else {
+            (first, false)
+        }
     }
 
     fn handle_pressure(&mut self, ctx: &mut Ctx<'_>, report: PressureReport) {
@@ -226,17 +288,35 @@ impl Controller {
         ctx.send(src_actor, self.rpc_latency, Message::new(cmd));
     }
 
-    fn handle_complete(&mut self, done: MigrationComplete) {
+    fn handle_complete(&mut self, ctx: &mut Ctx<'_>, done: MigrationComplete) {
         self.migrations_completed += 1;
+        let mut src: Option<Mac> = None;
         for r in &mut self.ranges {
             if r.pid == done.pid && r.va == done.start {
+                src = Some(r.owner);
                 r.owner = done.dst;
                 r.migrating = false;
             }
         }
-        // Account the moved bytes.
-        if let Some(m) = self.mns.iter_mut().find(|m| m.mac == done.dst) {
-            m.placed_bytes += done.len;
+        // Account the moved bytes: credit the destination AND debit the
+        // source, or placement permanently over-counts migrated-away
+        // ranges and the skew compounds with every migration. A completion
+        // for an untracked range (freed mid-migration) or a same-node
+        // "move" changes no accounting.
+        if src.is_some() && src != Some(done.dst) {
+            if let Some(m) = self.mns.iter_mut().find(|m| m.mac == done.dst) {
+                m.placed_bytes += done.len;
+            }
+            if let Some(m) = self.mns.iter_mut().find(|m| Some(m.mac) == src) {
+                m.placed_bytes = m.placed_bytes.saturating_sub(done.len);
+            }
+        }
+        // Invalidate every CN's cached route for the moved range so the
+        // fast path re-targets the new owner without a `Moved` round-trip.
+        for &cn in &self.cns {
+            let update =
+                RouteUpdate { pid: done.pid, start: done.start, len: done.len, mn: done.dst };
+            ctx.send(cn, self.rpc_latency, Message::new(update));
         }
     }
 }
@@ -270,8 +350,12 @@ impl Actor for Controller {
         };
         let msg = match msg.downcast::<RouteQuery>() {
             Ok(q) => {
-                let mn = self.owner_of(q.pid, q.va);
-                ctx.send(q.reply_to, self.rpc_latency, Message::new(RouteReply { mn, tag: q.tag }));
+                let (mn, spans) = self.owner_of_range(q.pid, q.va, q.len);
+                ctx.send(
+                    q.reply_to,
+                    self.rpc_latency,
+                    Message::new(RouteReply { mn, spans, tag: q.tag }),
+                );
                 return;
             }
             Err(m) => m,
@@ -292,6 +376,15 @@ impl Actor for Controller {
         };
         let msg = match msg.downcast::<FreeNotify>() {
             Ok(n) => {
+                // Refund the freed range's bytes to its current owner (the
+                // same conservation rule as migration: placement charges
+                // move with the range and vanish with it).
+                if let Some(r) = self.ranges.iter().find(|r| r.pid == n.pid && r.va == n.va) {
+                    let (owner, len) = (r.owner, r.len);
+                    if let Some(m) = self.mns.iter_mut().find(|m| m.mac == owner) {
+                        m.placed_bytes = m.placed_bytes.saturating_sub(len);
+                    }
+                }
                 self.ranges.retain(|r| !(r.pid == n.pid && r.va == n.va));
                 return;
             }
@@ -305,7 +398,7 @@ impl Actor for Controller {
             Err(m) => m,
         };
         match msg.downcast::<MigrationComplete>() {
-            Ok(done) => self.handle_complete(done),
+            Ok(done) => self.handle_complete(ctx, done),
             Err(other) => panic!("controller got unexpected message {other:?}"),
         }
     }
@@ -368,7 +461,13 @@ mod tests {
         // Address in MN 1's slice with no tracked range.
         sim.post(
             ctrl,
-            Message::new(RouteQuery { pid: Pid(1), va: (1 << 30) + 8192, reply_to: sink, tag: 1 }),
+            Message::new(RouteQuery {
+                pid: Pid(1),
+                va: (1 << 30) + 8192,
+                len: 64,
+                reply_to: sink,
+                tag: 1,
+            }),
         );
         // Tracked range overrides the slice owner.
         sim.post(
@@ -377,18 +476,66 @@ mod tests {
         );
         sim.post(
             ctrl,
-            Message::new(RouteQuery { pid: Pid(1), va: (1 << 30) + 10, reply_to: sink, tag: 2 }),
+            Message::new(RouteQuery {
+                pid: Pid(1),
+                va: (1 << 30) + 10,
+                len: 8,
+                reply_to: sink,
+                tag: 2,
+            }),
         );
         // Unknown address outside every slice.
         sim.post(
             ctrl,
-            Message::new(RouteQuery { pid: Pid(1), va: 1 << 45, reply_to: sink, tag: 3 }),
+            Message::new(RouteQuery { pid: Pid(1), va: 1 << 45, len: 8, reply_to: sink, tag: 3 }),
         );
         sim.run_until_idle();
         let routes = &sim.actor::<Sink>(sink).routes;
-        assert_eq!(routes[0], RouteReply { mn: Some(Mac(10)), tag: 1 });
-        assert_eq!(routes[1], RouteReply { mn: Some(Mac(20)), tag: 2 });
-        assert_eq!(routes[2], RouteReply { mn: None, tag: 3 });
+        assert_eq!(routes[0], RouteReply { mn: Some(Mac(10)), spans: false, tag: 1 });
+        assert_eq!(routes[1], RouteReply { mn: Some(Mac(20)), spans: false, tag: 2 });
+        assert_eq!(routes[2], RouteReply { mn: None, spans: false, tag: 3 });
+    }
+
+    /// Regression (issue 10): an access straddling two owners must answer
+    /// `spans` instead of silently routing the whole op to the start VA's
+    /// owner — whether the straddle is a slice boundary or a sub-range
+    /// migrated out of the interior of the access.
+    #[test]
+    fn range_spanning_accesses_are_refused_not_misrouted() {
+        let (mut sim, ctrl, sink) = setup();
+        // Slices are [1 GB, 2 GB) on Mac(10) and [2 GB, 3 GB) on Mac(20):
+        // an access crossing 2 GB straddles both.
+        sim.post(
+            ctrl,
+            Message::new(RouteQuery {
+                pid: Pid(1),
+                va: (2 << 30) - 64,
+                len: 128,
+                reply_to: sink,
+                tag: 1,
+            }),
+        );
+        // A range in the middle of MN 1's slice that migrated to Mac(20):
+        // endpoints of a covering access agree (both default to Mac(10))
+        // but the interior routes elsewhere.
+        sim.post(
+            ctrl,
+            Message::new(AllocNotify { pid: Pid(1), va: (1 << 30) + 8192, len: 4096, mn: Mac(20) }),
+        );
+        sim.post(
+            ctrl,
+            Message::new(RouteQuery {
+                pid: Pid(1),
+                va: (1 << 30) + 4096,
+                len: 3 * 4096,
+                reply_to: sink,
+                tag: 2,
+            }),
+        );
+        sim.run_until_idle();
+        let routes = &sim.actor::<Sink>(sink).routes;
+        assert_eq!(routes[0], RouteReply { mn: None, spans: true, tag: 1 });
+        assert_eq!(routes[1], RouteReply { mn: None, spans: true, tag: 2 });
     }
 
     #[test]
@@ -430,5 +577,101 @@ mod tests {
         );
         sim.run_until_idle();
         assert_eq!(sim.actor::<Controller>(ctrl).migration_stats(), (1, 1));
+    }
+
+    /// Regression (issue 10): migration completion must debit the source
+    /// MN as well as crediting the destination. A migrate round-trip
+    /// (A -> B -> A) must leave per-MN `placed_bytes` exactly where it
+    /// started, and freeing the range must drain it to zero.
+    #[test]
+    fn migration_roundtrip_conserves_placed_bytes() {
+        let (mut sim, ctrl, sink) = setup();
+        // Place through the real policy so the charge lands where the
+        // routing state says it lives.
+        sim.post(
+            ctrl,
+            Message::new(PlaceAlloc { pid: Pid(9), size: 8192, reply_to: sink, tag: 0 }),
+        );
+        sim.run_until_idle();
+        let placed_on = sim.actor::<Sink>(sink).placements[0].mn;
+        assert_eq!(placed_on, Mac(10), "policy picks the roomier node");
+        sim.post(
+            ctrl,
+            Message::new(AllocNotify { pid: Pid(9), va: 1 << 30, len: 8192, mn: placed_on }),
+        );
+        let total = |sim: &Simulation| {
+            let c = sim.actor::<Controller>(ctrl);
+            (c.placed_bytes_of(Mac(10)), c.placed_bytes_of(Mac(20)))
+        };
+        sim.run_until_idle();
+        assert_eq!(total(&sim), (8192, 0));
+        // A -> B.
+        sim.post(
+            ctrl,
+            Message::new(MigrationComplete {
+                pid: Pid(9),
+                start: 1 << 30,
+                len: 8192,
+                dst: Mac(20),
+            }),
+        );
+        sim.run_until_idle();
+        assert_eq!(total(&sim), (0, 8192), "moved bytes debited from the source");
+        // B -> A: back exactly where we started.
+        sim.post(
+            ctrl,
+            Message::new(MigrationComplete {
+                pid: Pid(9),
+                start: 1 << 30,
+                len: 8192,
+                dst: Mac(10),
+            }),
+        );
+        sim.run_until_idle();
+        assert_eq!(total(&sim), (8192, 0), "round-trip conserves placement");
+        // Freeing refunds the current owner and drains accounting to zero.
+        sim.post(ctrl, Message::new(FreeNotify { pid: Pid(9), va: 1 << 30 }));
+        sim.run_until_idle();
+        assert_eq!(total(&sim), (0, 0), "free refunds the owner");
+    }
+
+    /// A committed migration broadcasts a [`RouteUpdate`] to every
+    /// registered CN so routing caches are invalidated proactively.
+    #[test]
+    fn migration_complete_broadcasts_route_updates_to_cns() {
+        let mut sim = Simulation::new(5);
+        struct CnStub {
+            updates: Vec<RouteUpdate>,
+        }
+        impl Actor for CnStub {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+                self.updates.push(msg.downcast::<RouteUpdate>().expect("route update"));
+            }
+        }
+        let cn_a = sim.add_actor(CnStub { updates: vec![] });
+        let cn_b = sim.add_actor(CnStub { updates: vec![] });
+        let mut c = Controller::new();
+        c.register_mn(Mac(10), cn_a /*placeholder*/, 1 << 30, 1 << 30, 4 << 30);
+        c.register_mn(Mac(20), cn_a, 2 << 30, 1 << 30, 4 << 30);
+        c.register_cn(cn_a);
+        c.register_cn(cn_b);
+        let ctrl = sim.add_actor(c);
+        sim.post(
+            ctrl,
+            Message::new(AllocNotify { pid: Pid(4), va: 1 << 30, len: 4096, mn: Mac(10) }),
+        );
+        sim.post(
+            ctrl,
+            Message::new(MigrationComplete {
+                pid: Pid(4),
+                start: 1 << 30,
+                len: 4096,
+                dst: Mac(20),
+            }),
+        );
+        sim.run_until_idle();
+        let want = RouteUpdate { pid: Pid(4), start: 1 << 30, len: 4096, mn: Mac(20) };
+        assert_eq!(sim.actor::<CnStub>(cn_a).updates, vec![want]);
+        assert_eq!(sim.actor::<CnStub>(cn_b).updates, vec![want]);
     }
 }

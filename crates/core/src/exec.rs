@@ -35,8 +35,14 @@
 //!
 //! Submission is backpressure-aware: once `inflight == budget`
 //! ([`ClusterConfig::runtime_inflight_budget`](crate::ClusterConfig)),
-//! further submitters *park* — their wakers queue FIFO and each completion
-//! wakes exactly one. The wait is visible twice: live, via the
+//! further submitters *park* — they queue FIFO, and each completion hands
+//! its freed credit to the queue head directly (the head's slot is
+//! pre-admitted before any waker runs). The handoff is what makes parking
+//! fair: the completing task's own continuation is woken first and polled
+//! first, so without it a task looping over sequential ops would re-take
+//! every slot it frees and starve parked peers forever. With pre-admission
+//! the barger finds the credit already spoken for and parks behind the
+//! peer it would have starved. The wait is visible twice: live, via the
 //! `cn<i>.runtime.inflight` / `.parked` / `.tasks` registry gauges, and
 //! per-op, as a `SubmitQueued` trace stage covering [arrival, submit].
 //! Vector ops ([`ProcHandle::rread_v`] / [`rwrite_v`](ProcHandle::rwrite_v))
@@ -101,6 +107,10 @@ struct OpSlot {
     /// True while the op sits in the executor's submit queue (budget
     /// debited, not yet handed to the node API).
     in_submit_q: bool,
+    /// Set by [`release_credit`] when a freed in-flight credit is handed to
+    /// this (parked) op: the credit is already counted, so the next poll
+    /// proceeds straight to submission instead of re-checking the budget.
+    admitted: bool,
 }
 
 impl OpSlot {
@@ -111,6 +121,7 @@ impl OpSlot {
             token: None,
             cancel_requested: false,
             in_submit_q: false,
+            admitted: false,
         }))
     }
 
@@ -166,8 +177,10 @@ struct ExecInner {
     next_task: TaskId,
     live_tasks: usize,
     submit_q: VecDeque<Submission>,
-    /// Submitters waiting for window credit, woken FIFO one-per-completion.
-    parked: VecDeque<Waker>,
+    /// Submitters waiting for window credit, FIFO. Each freed credit is
+    /// handed to the head ([`release_credit`]) before any waker runs, so
+    /// the completing task cannot barge back in ahead of parked peers.
+    parked: VecDeque<(Rc<RefCell<OpSlot>>, Waker)>,
     inflight: usize,
     peak_inflight: u64,
     budget: usize,
@@ -188,6 +201,24 @@ impl ExecInner {
             RuntimeGauges::bump(pick(g), d);
         }
     }
+}
+
+/// Releases one in-flight credit. If a submitter is parked, the credit is
+/// transferred to the FIFO head *now* — its slot marked `admitted`, the
+/// credit kept counted — and its waker returned for the caller to wake
+/// outside the borrow. Pre-admitting before any waker runs is the fairness
+/// guarantee: the completing task's continuation is polled first, but the
+/// freed slot is already spoken for, so it parks behind the peer instead
+/// of starving it.
+fn release_credit(inner: &mut ExecInner) -> Option<Waker> {
+    inner.inflight -= 1;
+    inner.bump_gauge(|g| &g.inflight, -1);
+    let (slot, waker) = inner.parked.pop_front()?;
+    inner.bump_gauge(|g| &g.parked, -1);
+    slot.borrow_mut().admitted = true;
+    inner.inflight += 1;
+    inner.bump_gauge(|g| &g.inflight, 1);
+    Some(waker)
 }
 
 struct ExecShared {
@@ -295,16 +326,7 @@ impl ExecDriver {
                         // the node API: resolve locally and refund the
                         // budget slot without ever issuing the op.
                         let now = api.now();
-                        let unparked = {
-                            let mut inner = self.shared.inner.borrow_mut();
-                            inner.inflight -= 1;
-                            inner.bump_gauge(|g| &g.inflight, -1);
-                            let unparked = inner.parked.pop_front();
-                            if unparked.is_some() {
-                                inner.bump_gauge(|g| &g.parked, -1);
-                            }
-                            unparked
-                        };
+                        let unparked = release_credit(&mut self.shared.inner.borrow_mut());
                         let slot_waker = {
                             let mut s = slot.borrow_mut();
                             s.in_submit_q = false;
@@ -404,17 +426,12 @@ impl ClientDriver for ExecDriver {
             let mut inner = self.shared.inner.borrow_mut();
             match inner.op_slots.remove(&completion.token) {
                 Some(slot) => {
-                    inner.inflight -= 1;
-                    inner.bump_gauge(|g| &g.inflight, -1);
                     let slot_waker = {
                         let mut s = slot.borrow_mut();
                         s.result = Some(completion);
                         s.waker.take()
                     };
-                    let unparked = inner.parked.pop_front();
-                    if unparked.is_some() {
-                        inner.bump_gauge(|g| &g.parked, -1);
-                    }
+                    let unparked = release_credit(&mut inner);
                     (slot_waker, unparked)
                 }
                 None => (None, None),
@@ -661,18 +678,28 @@ impl Future for OpFuture {
                     return Poll::Ready(c);
                 }
                 let mut inner = this.shared.inner.borrow_mut();
-                if inner.inflight >= inner.budget {
-                    // Budget exhausted: park FIFO until a completion
-                    // frees window credit. `arrival` is untouched, so the
-                    // whole park shows up as SubmitQueued in the trace.
-                    inner.parked.push_back(cx.waker().clone());
-                    inner.bump_gauge(|g| &g.parked, 1);
-                    this.slot.borrow_mut().waker = Some(cx.waker().clone());
-                    return Poll::Pending;
+                let pre_admitted = std::mem::take(&mut this.slot.borrow_mut().admitted);
+                if !pre_admitted {
+                    if inner.inflight >= inner.budget || !inner.parked.is_empty() {
+                        // Budget exhausted (or peers already queued — no
+                        // barging past them): park FIFO until a completion
+                        // hands this op its credit. `arrival` is untouched,
+                        // so the whole park shows up as SubmitQueued.
+                        if let Some(entry) =
+                            inner.parked.iter_mut().find(|(s, _)| Rc::ptr_eq(s, &this.slot))
+                        {
+                            entry.1 = cx.waker().clone(); // re-polled while parked
+                        } else {
+                            inner.parked.push_back((this.slot.clone(), cx.waker().clone()));
+                            inner.bump_gauge(|g| &g.parked, 1);
+                        }
+                        this.slot.borrow_mut().waker = Some(cx.waker().clone());
+                        return Poll::Pending;
+                    }
+                    inner.inflight += 1;
+                    inner.bump_gauge(|g| &g.inflight, 1);
                 }
-                inner.inflight += 1;
                 inner.peak_inflight = inner.peak_inflight.max(inner.inflight as u64);
-                inner.bump_gauge(|g| &g.inflight, 1);
                 {
                     let mut s = this.slot.borrow_mut();
                     s.waker = Some(cx.waker().clone());
@@ -714,9 +741,10 @@ impl Future for OpFuture {
 ///   cancels it through CLib and the completion flows back normally.
 /// * **in the submit queue** — mark the slot; the driver's flush resolves
 ///   it locally instead of issuing (refunding the budget slot).
-/// * **parked / not yet polled** — resolve locally now, and pull the
-///   task's waker out of the park queue so a later completion doesn't
-///   spend its one unpark credit waking a dead submitter.
+/// * **parked / not yet polled** — resolve locally now, pulling the op out
+///   of the park queue so a later credit handoff doesn't wake a dead
+///   submitter; a credit already handed to the op is released (possibly
+///   handed straight on to the next parked peer).
 fn request_cancel(shared: &Rc<ExecShared>, slot: &Rc<RefCell<OpSlot>>) {
     let (token, in_submit_q) = {
         let mut s = slot.borrow_mut();
@@ -734,15 +762,18 @@ fn request_cancel(shared: &Rc<ExecShared>, slot: &Rc<RefCell<OpSlot>>) {
     if in_submit_q {
         return; // flush() resolves it when the submission surfaces
     }
-    let waker = slot.borrow_mut().waker.take();
-    if let Some(w) = &waker {
-        let before = inner.parked.len();
-        inner.parked.retain(|p| !p.will_wake(w));
-        let removed = (before - inner.parked.len()) as i64;
-        if removed > 0 {
-            inner.bump_gauge(|g| &g.parked, -removed);
-        }
+    let before = inner.parked.len();
+    inner.parked.retain(|(s, _)| !Rc::ptr_eq(s, slot));
+    let removed = (before - inner.parked.len()) as i64;
+    if removed > 0 {
+        inner.bump_gauge(|g| &g.parked, -removed);
     }
+    let handoff = if std::mem::take(&mut slot.borrow_mut().admitted) {
+        release_credit(&mut inner)
+    } else {
+        None
+    };
+    let waker = slot.borrow_mut().waker.take();
     drop(inner);
     let now = shared.now.get();
     slot.borrow_mut().result = Some(AppCompletion {
@@ -752,6 +783,9 @@ fn request_cancel(shared: &Rc<ExecShared>, slot: &Rc<RefCell<OpSlot>>) {
         completed_at: now,
     });
     if let Some(w) = waker {
+        w.wake();
+    }
+    if let Some(w) = handoff {
         w.wake();
     }
 }
@@ -1112,6 +1146,46 @@ mod tests {
         // B never reached the node API, so the node-level counter stays 0
         // and no unpark credit was wasted on the dead submitter.
         assert_eq!(reg.counter("cn0.runtime.deadline_exceeded_total"), Some(0));
+        assert_eq!(reg.gauge("cn0.runtime.inflight"), Some(0));
+        assert_eq!(reg.gauge("cn0.runtime.parked"), Some(0));
+    }
+
+    /// Regression (issue 10): one task flooding the submit queue must not
+    /// starve a FIFO-parked peer. With budget 1, the flooder's completion
+    /// used to wake its own continuation first, which grabbed the freed
+    /// slot before the parked peer was re-polled — the peer re-parked at
+    /// the back and every flooder op completed before the peer's first.
+    /// Credit handoff pre-admits the queue head, so completions alternate.
+    #[test]
+    fn parked_peer_is_not_starved_by_flooding_task() {
+        let mut cfg = ClusterConfig::test_small();
+        cfg.runtime_inflight_budget = 1;
+        let mut cluster = Cluster::build(&cfg);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let (oa, ob) = (order.clone(), order.clone());
+        cluster.spawn(0, Pid(7), move |h| async move {
+            let va = h.ralloc(1 << 16, Perm::RW).await.va();
+            let (ha, hb) = (h.clone(), h.clone());
+            h.spawn(async move {
+                for i in 0..12u64 {
+                    ha.rwrite(va + i * 256, Bytes::from_static(b"A")).await;
+                    oa.borrow_mut().push('A');
+                }
+            });
+            h.spawn(async move {
+                for i in 0..3u64 {
+                    hb.rwrite(va + 8192 + i * 256, Bytes::from_static(b"B")).await;
+                    ob.borrow_mut().push('B');
+                }
+            });
+        });
+        cluster.start();
+        cluster.run_until_idle();
+        let order = order.borrow();
+        assert_eq!(order.len(), 15, "all ops completed: {order:?}");
+        let first_b = order.iter().position(|&c| c == 'B').expect("peer completed");
+        assert!(first_b < 4, "peer starved: first B at index {first_b} of {order:?}");
+        let reg = cluster.registry();
         assert_eq!(reg.gauge("cn0.runtime.inflight"), Some(0));
         assert_eq!(reg.gauge("cn0.runtime.parked"), Some(0));
     }

@@ -20,7 +20,7 @@ use clio_trace::metrics::{Counter, Gauge, Registry};
 use clio_trace::{Tracer, Track};
 
 use crate::controller::{
-    AllocNotify, FreeNotify, PlaceAlloc, PlacementReply, RouteQuery, RouteReply,
+    AllocNotify, FreeNotify, PlaceAlloc, PlacementReply, RouteQuery, RouteReply, RouteUpdate,
 };
 
 /// Host-level operation handle, stable across transparent re-submissions.
@@ -114,16 +114,20 @@ enum OpSpec {
 }
 
 impl OpSpec {
-    /// The address that determines routing, if any.
-    fn route_va(&self) -> Option<(Pid, u64)> {
+    /// The `(pid, va, len)` span that determines routing, if any. The
+    /// length matters: an op is routable only if *every* byte it touches
+    /// lives on one MN, so routing must consider the full span rather than
+    /// just the start address.
+    fn route_range(&self) -> Option<(Pid, u64, u64)> {
         match self {
-            OpSpec::Read { pid, va, .. }
-            | OpSpec::Write { pid, va, .. }
-            | OpSpec::Free { pid, va, .. }
-            | OpSpec::Lock { pid, va }
+            OpSpec::Read { pid, va, len } => Some((*pid, *va, u64::from(*len))),
+            OpSpec::Write { pid, va, data } => Some((*pid, *va, data.len() as u64)),
+            OpSpec::Free { pid, va, size } => Some((*pid, *va, *size)),
+            // Lock words and atomics are 8-byte cells.
+            OpSpec::Lock { pid, va }
             | OpSpec::Unlock { pid, va }
             | OpSpec::Faa { pid, va, .. }
-            | OpSpec::Cas { pid, va, .. } => Some((*pid, *va)),
+            | OpSpec::Cas { pid, va, .. } => Some((*pid, *va, 8)),
             _ => None,
         }
     }
@@ -147,15 +151,27 @@ impl OpSpec {
     }
 }
 
-/// Routing table: RAS slices (static) + migrated-range exceptions (learned).
+/// Routing table: RAS slices (static) + migrated-range exceptions (learned
+/// from `Moved` refusals and controller [`RouteUpdate`] broadcasts).
 #[derive(Debug, Default)]
 struct RasRouter {
     slices: Vec<(u64, u64, Mac)>,
     exceptions: Vec<(Pid, u64, u64, Mac)>,
 }
 
+/// Routing verdict for a whole access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// One MN serves every byte of the access.
+    Owned(Mac),
+    /// The access straddles two owners: no single MN can serve it.
+    Spans,
+    /// No slice or exception covers the address.
+    Unknown,
+}
+
 impl RasRouter {
-    fn lookup(&self, pid: Pid, va: u64) -> Option<Mac> {
+    fn lookup_byte(&self, pid: Pid, va: u64) -> Option<Mac> {
         if let Some(&(_, _, _, mac)) = self
             .exceptions
             .iter()
@@ -169,8 +185,39 @@ impl RasRouter {
             .map(|&(_, _, mac)| mac)
     }
 
+    /// Resolves a whole `len`-byte access. Start-VA-only resolution would
+    /// silently route a boundary-straddling op to one MN; checking both
+    /// endpoints plus any interior exception catches every split.
+    fn lookup(&self, pid: Pid, va: u64, len: u64) -> Route {
+        let end = va + len.max(1) - 1; // inclusive last byte
+        let first = self.lookup_byte(pid, va);
+        if self.lookup_byte(pid, end) != first {
+            return Route::Spans;
+        }
+        let interior_differs = self
+            .exceptions
+            .iter()
+            .any(|(p, s, l, m)| *p == pid && *s <= end && va < s + l && Some(*m) != first);
+        if interior_differs {
+            return Route::Spans;
+        }
+        match first {
+            Some(mac) => Route::Owned(mac),
+            None => Route::Unknown,
+        }
+    }
+
     fn add_exception(&mut self, pid: Pid, start: u64, len: u64, mac: Mac) {
         self.exceptions.retain(|(p, s, _, _)| !(*p == pid && *s == start));
+        self.exceptions.push((pid, start, len, mac));
+    }
+
+    /// Applies a controller [`RouteUpdate`]: every cached exception
+    /// overlapping the migrated range is stale, so drop the lot and install
+    /// one exception covering the whole range at its new owner.
+    fn apply_update(&mut self, pid: Pid, start: u64, len: u64, mac: Mac) {
+        let end = start + len;
+        self.exceptions.retain(|(p, s, l, _)| !(*p == pid && *s < end && start < s + l));
         self.exceptions.push((pid, start, len, mac));
     }
 }
@@ -320,17 +367,23 @@ impl NodeCore {
                 }
             }
             spec => {
-                let mn = match spec.route_va() {
-                    Some((pid, va)) => match self.router.lookup(pid, va) {
-                        Some(m) => m,
-                        None => {
-                            // Unknown address: fail fast.
+                let mn = match spec.route_range() {
+                    Some((pid, va, len)) => match self.router.lookup(pid, va, len) {
+                        Route::Owned(m) => m,
+                        verdict => {
+                            // Unroutable: fail fast with a typed error —
+                            // spanning accesses must never be guessed onto
+                            // the start VA's owner.
+                            let result = match verdict {
+                                Route::Spans => Err(ClioError::SpansOwners { va, len }),
+                                _ => Err(ClioError::Remote(clio_proto::Status::InvalidAddr)),
+                            };
                             let issued_at = host_op.issued_at;
                             self.events.push_back((
                                 driver,
                                 DriverEvent::Completion(AppCompletion {
                                     token,
-                                    result: Err(ClioError::Remote(clio_proto::Status::InvalidAddr)),
+                                    result,
                                     issued_at,
                                     completed_at: ctx.now(),
                                 }),
@@ -376,19 +429,23 @@ impl NodeCore {
             if let Some(a) = host_op.queued_since.take() {
                 queued_since.get_or_insert(a);
             }
-            let (pid, va) = host_op.spec.route_va().expect("vector ops address memory");
-            match self.router.lookup(pid, va) {
-                Some(mn) => {
+            let (pid, va, len) = host_op.spec.route_range().expect("vector ops address memory");
+            match self.router.lookup(pid, va, len) {
+                Route::Owned(mn) => {
                     ops.push(host_op.spec.to_op(mn));
                     routed.push(token);
                 }
-                None => {
+                verdict => {
+                    let result = match verdict {
+                        Route::Spans => Err(ClioError::SpansOwners { va, len }),
+                        _ => Err(ClioError::Remote(clio_proto::Status::InvalidAddr)),
+                    };
                     let issued_at = host_op.issued_at;
                     self.events.push_back((
                         driver,
                         DriverEvent::Completion(AppCompletion {
                             token,
-                            result: Err(ClioError::Remote(clio_proto::Status::InvalidAddr)),
+                            result,
                             issued_at,
                             completed_at: ctx.now(),
                         }),
@@ -422,10 +479,10 @@ impl NodeCore {
             // Transparent re-route on Moved.
             if c.result == Err(ClioError::Moved) && host_op.moved_retries < self.max_moved_retries {
                 host_op.moved_retries += 1;
-                if let Some((pid, va)) = host_op.spec.route_va() {
+                if let Some((pid, va, len)) = host_op.spec.route_range() {
                     let tag = self.fresh_tag();
                     self.pending_routes.insert(tag, app_token);
-                    let q = RouteQuery { pid, va, reply_to: ctx.self_id(), tag };
+                    let q = RouteQuery { pid, va, len, reply_to: ctx.self_id(), tag };
                     ctx.send(self.controller, SimDuration::from_micros(1), Message::new(q));
                     continue;
                 }
@@ -442,7 +499,9 @@ impl NodeCore {
             if let (OpSpec::Alloc { pid, size, .. }, Ok(CompletionValue::Va(va))) =
                 (&host_op.spec, &c.result)
             {
-                let mn = self.router.lookup(*pid, *va).expect("allocated address must be routable");
+                let Route::Owned(mn) = self.router.lookup(*pid, *va, *size) else {
+                    panic!("allocated range must be routable to one MN")
+                };
                 let n = AllocNotify { pid: *pid, va: *va, len: *size, mn };
                 ctx.send(self.controller, SimDuration::from_micros(1), Message::new(n));
             }
@@ -794,6 +853,16 @@ impl ComputeNode {
         self.core.nic.mac()
     }
 
+    /// The MN this node would route a `len`-byte access at `(pid, va)` to
+    /// right now — `None` when the address is unknown or the access spans
+    /// owners. Test/diagnostic accessor for the routing cache.
+    pub fn route_of(&self, pid: Pid, va: u64, len: u64) -> Option<Mac> {
+        match self.core.router.lookup(pid, va, len) {
+            Route::Owned(mac) => Some(mac),
+            _ => None,
+        }
+    }
+
     /// Borrows a driver's concrete state (harvesting measurements).
     ///
     /// # Panics
@@ -897,17 +966,26 @@ impl Actor for ComputeNode {
                 if let Some(token) = self.core.pending_routes.remove(&r.tag) {
                     match (r.mn, self.core.app_ops.get(&token)) {
                         (Some(mac), Some(host_op)) => {
-                            if let Some((pid, va)) = host_op.spec.route_va() {
-                                // Cache a page-sized exception; subsequent
-                                // Moved refusals refine it.
-                                self.core.router.add_exception(pid, va, 1, mac);
+                            if let Some((pid, va, len)) = host_op.spec.route_range() {
+                                // Cache an access-sized exception; the
+                                // controller's RouteUpdate broadcast widens
+                                // it to the whole migrated range.
+                                self.core.router.add_exception(pid, va, len.max(1), mac);
                             }
                             self.core.dispatch(ctx, token);
                         }
                         (None, Some(host_op)) => {
+                            // The controller either lost track of the range
+                            // or reports it straddling two owners.
+                            let result = match host_op.spec.route_range() {
+                                Some((_, va, len)) if r.spans => {
+                                    Err(ClioError::SpansOwners { va, len })
+                                }
+                                _ => Err(ClioError::Moved),
+                            };
                             let ev = DriverEvent::Completion(AppCompletion {
                                 token,
-                                result: Err(ClioError::Moved),
+                                result,
                                 issued_at: host_op.issued_at,
                                 completed_at: ctx.now(),
                             });
@@ -919,6 +997,16 @@ impl Actor for ComputeNode {
                     }
                     self.pump_events(ctx);
                 }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RouteUpdate>() {
+            Ok(u) => {
+                // A migration committed somewhere in the cluster: refresh
+                // this node's routing cache so the next op targets the new
+                // owner directly instead of eating a Moved refusal.
+                self.core.router.apply_update(u.pid, u.start, u.len, u.mn);
                 return;
             }
             Err(m) => m,

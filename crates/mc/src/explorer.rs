@@ -125,6 +125,12 @@ pub struct McConfig {
     /// Hard cap on explored nodes (a safety valve, not a tuning knob; the
     /// run reports whether it was hit).
     pub max_nodes: u64,
+    /// Memory boards in the scenario. One (the default) runs the classic
+    /// read + fetch-and-add pair against a single board; two or more run
+    /// one read per board, so the search covers per-destination windows,
+    /// retries, and dedup with frames to several boards interleaving on
+    /// the shared wire.
+    pub mns: usize,
 }
 
 impl Default for McConfig {
@@ -141,6 +147,7 @@ impl Default for McConfig {
             max_retries: 16,
             settle_horizon: SimDuration::from_micros(20),
             max_nodes: 5_000_000,
+            mns: 1,
         }
     }
 }
@@ -211,7 +218,7 @@ struct Run {
 impl Run {
     /// Builds the scenario and settles to the first decision point.
     fn start(cfg: &McConfig) -> Result<Run, String> {
-        let scenario = Scenario::new(Framing::Batched, cfg.mutation, cfg.max_retries);
+        let scenario = Scenario::new_with(Framing::Batched, cfg.mutation, cfg.max_retries, cfg.mns);
         let mut run = Run {
             scenario,
             horizon: cfg.settle_horizon,
@@ -358,7 +365,9 @@ impl Run {
         h = mix(h, self.crashes as u64);
         h = mix(h, self.scenario.host().clib().transport().fingerprint());
         h = mix(h, self.scenario.host().clib().in_flight() as u64);
-        h = mix(h, self.scenario.cboard().fingerprint());
+        for fp in self.scenario.board_fingerprints() {
+            h = mix(h, fp);
+        }
         for c in self.scenario.wire().pending() {
             h = mix(h, c.frame.src.0 as u64);
             h = mix(h, c.frame.dst.0 as u64);
@@ -422,13 +431,25 @@ impl Run {
         got: &Outcome,
     ) -> Result<(), String> {
         use crate::harness::{FAA_DELTA, FAA_SEED};
-        if got.read_page != baseline.read_page {
-            return Err(format!(
-                "crash run corrupted the read page: got {:?}, baseline {:?} — committed \
-                 DRAM must survive a board restart",
-                got.read_page, baseline.read_page
-            ));
+        for (i, (g, b)) in got.read_pages.iter().zip(baseline.read_pages.iter()).enumerate() {
+            if g != b {
+                return Err(format!(
+                    "crash run corrupted board {i}'s read page: got {g:?}, baseline {b:?} — \
+                     committed DRAM must survive a board restart"
+                ));
+            }
         }
+        let (Some(got_cell), Some(_)) = (got.faa_cell, baseline.faa_cell) else {
+            // Multi-MN scenarios are read-only: every op is idempotent, so
+            // even crash runs must match the baseline verbatim.
+            if *got != *baseline {
+                return Err(format!(
+                    "crash run of the read-only scenario diverged from the baseline: got \
+                     {got:?}, baseline {baseline:?}"
+                ));
+            }
+            return Ok(());
+        };
         // Token order (= submission order): [0] the read, [1] the FAA.
         if got.results[0] != baseline.results[0] {
             return Err(format!(
@@ -456,7 +477,7 @@ impl Run {
                 self.crashes
             ));
         }
-        let cell = got.faa_cell;
+        let cell = got_cell;
         let over_seed = cell
             .checked_sub(FAA_SEED)
             .ok_or_else(|| format!("FAA cell regressed below its seed: {cell} < {FAA_SEED}"))?;
@@ -501,7 +522,7 @@ fn mix_str(mut h: u64, s: &str) -> u64 {
 /// outcome — the reference every explored schedule must be observationally
 /// equivalent to.
 pub fn baseline_outcome(cfg: &McConfig) -> Outcome {
-    let mut sc = Scenario::new(Framing::Unbatched, McMutation::None, cfg.max_retries);
+    let mut sc = Scenario::new_with(Framing::Unbatched, McMutation::None, cfg.max_retries, cfg.mns);
     loop {
         // Settle, then deliver everything in capture order; fire timers
         // only if somehow needed (a fault-free run should never time out).

@@ -46,8 +46,26 @@ pub const FAA_DELTA: u64 = 2;
 
 /// The CN's MAC on the virtual wire.
 pub const CN_MAC: Mac = Mac(1);
-/// The board's MAC on the virtual wire.
+/// The board's MAC on the virtual wire (board 0 in multi-MN scenarios).
 pub const MN_MAC: Mac = Mac(2);
+
+/// MAC of board `i` on the virtual wire (`mn_mac(0) == MN_MAC`).
+pub fn mn_mac(i: usize) -> Mac {
+    Mac(2 + i as u32)
+}
+
+/// Virtual address of the page the read on board `i` targets. Boards get
+/// every other page (`va_read(0) == VA_READ`; 17 * PAGE stays reserved for
+/// the single-MN fetch-and-add cell).
+pub fn va_read(i: usize) -> u64 {
+    (16 + 2 * i as u64) * PAGE
+}
+
+/// Fill byte pre-seeded into board `i`'s read page — distinct per board so
+/// a misrouted read cannot produce the right bytes by accident.
+pub fn read_seed(i: usize) -> u8 {
+    READ_SEED.wrapping_add(i as u8)
+}
 
 /// Which framing policy the scenario runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,33 +141,50 @@ pub struct Scenario {
     pub wire: ActorId,
     /// The CN host actor ([`McCnHost`]).
     pub cn: ActorId,
-    /// The CBoard actor.
-    pub board: ActorId,
+    /// The CBoard actors, one per memory node, in board order (board 0 is
+    /// `MN_MAC`, board `i` is `mn_mac(i)`).
+    pub boards: Vec<ActorId>,
 }
 
 impl Scenario {
-    /// Builds the two-op scenario: board with pre-installed page tables and
-    /// pre-seeded page contents, CN with both operations submitted at
-    /// `t = 0` (so they coalesce under the batched framing), everything
-    /// wired through a [`VirtualWire`]. Nothing has executed yet — the
-    /// caller settles the simulation to materialize the first frames.
+    /// Builds the single-board two-op scenario (read + fetch-and-add).
+    /// Equivalent to [`Scenario::new_with`] with one memory node.
     pub fn new(framing: Framing, mutation: McMutation, max_retries: u32) -> Self {
+        Scenario::new_with(framing, mutation, max_retries, 1)
+    }
+
+    /// Builds the scenario with `mns` memory boards behind the shared wire,
+    /// each with pre-installed page tables and pre-seeded page contents,
+    /// and a CN with every operation submitted at `t = 0` (so same-board
+    /// ops coalesce under the batched framing). With one board the op mix
+    /// is the classic read + fetch-and-add pair; with several it is one
+    /// read per board, so the explorer exercises per-destination windows,
+    /// retries, and dedup while frames to different boards interleave.
+    /// Nothing has executed yet — the caller settles the simulation to
+    /// materialize the first frames.
+    pub fn new_with(framing: Framing, mutation: McMutation, max_retries: u32, mns: usize) -> Self {
+        assert!(mns >= 1, "scenario needs at least one memory board");
         let mut sim = Simulation::new(1);
         let wire = sim.add_actor(VirtualWire::new());
 
-        let board_cfg = match framing {
-            Framing::Batched => CBoardConfig::test_small(),
-            Framing::Unbatched => CBoardConfig {
-                hw: CBoardConfig::test_small().hw,
-                ..CBoardConfig::prototype_unbatched()
-            },
-        };
-        let bport =
-            NicPort::new(MN_MAC, Bandwidth::from_gbps(10), wire, SimDuration::from_nanos(5));
-        let mut board = CBoard::new("mc-mn", board_cfg, bport);
-        seed_board(&mut board);
-        let board = sim.add_actor(board);
-        sim.actor_mut::<VirtualWire>(wire).attach(MN_MAC, board);
+        let mut boards = Vec::with_capacity(mns);
+        for i in 0..mns {
+            let board_cfg = match framing {
+                Framing::Batched => CBoardConfig::test_small(),
+                Framing::Unbatched => CBoardConfig {
+                    hw: CBoardConfig::test_small().hw,
+                    ..CBoardConfig::prototype_unbatched()
+                },
+            };
+            let mac = mn_mac(i);
+            let bport =
+                NicPort::new(mac, Bandwidth::from_gbps(10), wire, SimDuration::from_nanos(5));
+            let mut board = CBoard::new(format!("mc-mn{i}"), board_cfg, bport);
+            seed_board(&mut board, i, mns);
+            let board = sim.add_actor(board);
+            sim.actor_mut::<VirtualWire>(wire).attach(mac, board);
+            boards.push(board);
+        }
 
         let clib_cfg = match framing {
             Framing::Batched => CLibConfig { max_retries, ..CLibConfig::prototype() },
@@ -162,21 +197,35 @@ impl Scenario {
         let cn = sim.add_actor(McCnHost { nic: cport, clib, completions: vec![] });
         sim.actor_mut::<VirtualWire>(wire).attach(CN_MAC, cn);
 
-        // Both ops at the same instant: the doorbell coalesces them into
-        // one Batch frame under the batched framing.
-        sim.post(
-            cn,
-            Message::new(Submit {
-                op: Op::Read { mn: MN_MAC, pid: PID, va: VA_READ, len: READ_LEN },
-            }),
-        );
-        sim.post(
-            cn,
-            Message::new(Submit {
-                op: Op::Faa { mn: MN_MAC, pid: PID, va: VA_FAA, delta: FAA_DELTA },
-            }),
-        );
-        Scenario { sim, wire, cn, board }
+        if mns == 1 {
+            // Both ops at the same instant: the doorbell coalesces them
+            // into one Batch frame under the batched framing.
+            sim.post(
+                cn,
+                Message::new(Submit {
+                    op: Op::Read { mn: MN_MAC, pid: PID, va: VA_READ, len: READ_LEN },
+                }),
+            );
+            sim.post(
+                cn,
+                Message::new(Submit {
+                    op: Op::Faa { mn: MN_MAC, pid: PID, va: VA_FAA, delta: FAA_DELTA },
+                }),
+            );
+        } else {
+            // One read per board, all at the same instant: each board gets
+            // its own frame (batching is per destination), so the wire
+            // holds concurrently-in-flight traffic to every board.
+            for i in 0..mns {
+                sim.post(
+                    cn,
+                    Message::new(Submit {
+                        op: Op::Read { mn: mn_mac(i), pid: PID, va: va_read(i), len: READ_LEN },
+                    }),
+                );
+            }
+        }
+        Scenario { sim, wire, cn, boards }
     }
 
     /// The wire, read-only.
@@ -195,20 +244,31 @@ impl Scenario {
         self.sim.actor::<McCnHost>(self.cn)
     }
 
-    /// The board, read-only.
+    /// Board 0, read-only.
     pub fn cboard(&self) -> &CBoard {
-        self.sim.actor::<CBoard>(self.board)
+        self.cboard_at(0)
     }
 
-    /// Power-blips the board: posts a [`BoardPower::Crash`] immediately
+    /// Board `i`, read-only.
+    pub fn cboard_at(&self, i: usize) -> &CBoard {
+        self.sim.actor::<CBoard>(self.boards[i])
+    }
+
+    /// Logical fingerprint of every board, in board order (the explorer
+    /// folds these into its state hash).
+    pub fn board_fingerprints(&self) -> Vec<u64> {
+        (0..self.boards.len()).map(|i| self.cboard_at(i).fingerprint()).collect()
+    }
+
+    /// Power-blips board 0: posts a [`BoardPower::Crash`] immediately
     /// followed by a [`BoardPower::Restart`], so the next settle loses the
     /// board's volatile state (dedup buffer, egress queues, pending
     /// doorbells) while committed DRAM, page tables, and allocator state
     /// survive. Frames already captured on the wire are untouched — they
     /// belong to the network, not the board.
     pub fn power_blip(&mut self) {
-        self.sim.post(self.board, Message::new(BoardPower::Crash));
-        self.sim.post(self.board, Message::new(BoardPower::Restart));
+        self.sim.post(self.boards[0], Message::new(BoardPower::Crash));
+        self.sim.post(self.boards[0], Message::new(BoardPower::Restart));
     }
 
     /// Removes pending frame `index` from the wire and posts it to its
@@ -228,26 +288,31 @@ impl Scenario {
     }
 
     /// Extracts the observable outcome of a finished run: per-op results
-    /// in token order, plus the final contents of both touched pages read
+    /// in token order, plus the final contents of every touched page read
     /// back directly from silicon (no protocol traffic).
     pub fn outcome(&mut self) -> Outcome {
         let mut results: Vec<(u64, Result<CompletionValue, ClioError>)> =
             self.host().completions().iter().map(|c| (c.token.0, c.result.clone())).collect();
         results.sort_by_key(|(t, _)| *t);
         let now = self.sim.now();
-        let silicon = self.sim.actor_mut::<CBoard>(self.board).silicon_mut();
-        let was = silicon.set_internal_access(true);
-        let (read_page, _) = silicon.read(now, PID, VA_READ, READ_LEN);
-        let (faa_cell, _) = silicon.read(now, PID, VA_FAA, 8);
-        silicon.set_internal_access(was);
-        let faa_bytes = faa_cell.expect("faa cell readable");
-        let mut le = [0u8; 8];
-        le.copy_from_slice(&faa_bytes);
-        Outcome {
-            results,
-            read_page: read_page.expect("read page readable"),
-            faa_cell: u64::from_le_bytes(le),
+        let boards = self.boards.clone();
+        let single = boards.len() == 1;
+        let mut read_pages = Vec::with_capacity(boards.len());
+        let mut faa_cell = None;
+        for (i, id) in boards.iter().enumerate() {
+            let silicon = self.sim.actor_mut::<CBoard>(*id).silicon_mut();
+            let was = silicon.set_internal_access(true);
+            let (page, _) = silicon.read(now, PID, va_read(i), READ_LEN);
+            read_pages.push(page.expect("read page readable"));
+            if single {
+                let (cell, _) = silicon.read(now, PID, VA_FAA, 8);
+                let mut le = [0u8; 8];
+                le.copy_from_slice(&cell.expect("faa cell readable"));
+                faa_cell = Some(u64::from_le_bytes(le));
+            }
+            silicon.set_internal_access(was);
         }
+        Outcome { results, read_pages, faa_cell }
     }
 }
 
@@ -257,30 +322,35 @@ impl Scenario {
 pub struct Outcome {
     /// Per-op `(token, result)` in token (= submission) order.
     pub results: Vec<(u64, Result<CompletionValue, ClioError>)>,
-    /// Final bytes of the read-target page slice.
-    pub read_page: Bytes,
+    /// Final bytes of each board's read-target page slice, in board order.
+    pub read_pages: Vec<Bytes>,
     /// Final value of the fetch-and-add cell (seed + delta if the add took
-    /// effect exactly once).
-    pub faa_cell: u64,
+    /// effect exactly once). `None` in multi-MN scenarios, whose op mix is
+    /// read-only.
+    pub faa_cell: Option<u64>,
 }
 
-/// Installs page tables and seeds page contents for both target pages, so
-/// the explored wire traffic is exactly the two ops under test.
-fn seed_board(board: &mut CBoard) {
+/// Installs page tables and seeds page contents for board `index`'s target
+/// pages, so the explored wire traffic is exactly the ops under test. The
+/// single-board scenario also hosts the fetch-and-add cell.
+fn seed_board(board: &mut CBoard, index: usize, mns: usize) {
     // The board constructor pre-fills the async free-page buffer, so
     // first-touch faults during seeding are served without slow-path help.
     let silicon = board.silicon_mut();
-    for vpn in [VA_READ / PAGE, VA_FAA / PAGE] {
+    let mut pages: Vec<(u64, Vec<u8>)> =
+        vec![(va_read(index), vec![read_seed(index); READ_LEN as usize])];
+    if mns == 1 {
+        pages.push((VA_FAA, FAA_SEED.to_le_bytes().to_vec()));
+    }
+    for (va, _) in &pages {
         silicon
             .vm_mut()
-            .install_pte(Pte { pid: PID, vpn, ppn: 0, perm: Perm::RW, valid: false })
+            .install_pte(Pte { pid: PID, vpn: va / PAGE, ppn: 0, perm: Perm::RW, valid: false })
             .expect("install pte");
     }
     let was = silicon.set_internal_access(true);
-    silicon
-        .write(SimTime::ZERO, PID, VA_READ, &[READ_SEED; READ_LEN as usize])
-        .0
-        .expect("seed read page");
-    silicon.write(SimTime::ZERO, PID, VA_FAA, &FAA_SEED.to_le_bytes()).0.expect("seed faa cell");
+    for (va, data) in &pages {
+        silicon.write(SimTime::ZERO, PID, *va, data).0.expect("seed page");
+    }
     silicon.set_internal_access(was);
 }

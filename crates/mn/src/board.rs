@@ -249,6 +249,13 @@ struct InMigration {
     received_vpns: Vec<u64>,
 }
 
+/// Fraction of the pressure threshold utilization must fall below before
+/// the one-report-per-excursion latch re-arms. The band keeps a board that
+/// hovers at the threshold from flapping: without it, shedding one small
+/// range dips utilization epsilon under the bar and the next fault-in
+/// immediately triggers another migration.
+const PRESSURE_REARM_FRACTION: f64 = 0.875;
+
 /// The memory-node device actor.
 #[derive(Debug)]
 pub struct CBoard {
@@ -821,7 +828,13 @@ impl CBoard {
                 SimDuration::from_micros(1),
                 Message::new(PressureReport { mac: self.nic.mac(), utilization: util }),
             );
-        } else if util < self.pressure_threshold {
+        } else if util < self.pressure_threshold * PRESSURE_REARM_FRACTION {
+            // Hysteresis: re-arm only well below the threshold. Resetting
+            // the latch the instant utilization dips under the bar flaps —
+            // shedding one small range drops the board epsilon below,
+            // re-arms the latch, and the very next fault-in triggers a
+            // second migration, ping-ponging ranges while the board hovers
+            // at the threshold.
             self.pressure_reported = false;
         }
     }
